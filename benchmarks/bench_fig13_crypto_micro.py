@@ -1,0 +1,117 @@
+"""Figure 13: microbenchmarks of the cryptographic schemes.
+
+Paper values (per unit of data): Blowfish 0.0001 ms, AES-CBC(1KB) 0.008 ms,
+AES-CMC(1KB) 0.016 ms, OPE(1 int) 9.0 ms, SEARCH(1 word) 0.01 ms,
+HOM encrypt 9.7 ms / decrypt 0.7 ms / add 0.005 ms, JOIN-ADJ 0.52 ms.
+Pure-Python absolute numbers are larger; the asserted *shape* is that OPE and
+HOM encryption dominate everything else, exactly the paper's conclusion that
+motivates ciphertext pre-computation and caching (§3.5.2).
+"""
+
+import pytest
+
+from repro.crypto.aes import AES
+from repro.crypto.det import DET
+from repro.crypto.feistel import FeistelPRP
+from repro.crypto.join_adj import JoinAdj
+from repro.crypto.modes import cbc_encrypt, cmc_encrypt
+from repro.crypto.ope import OPE
+from repro.crypto.paillier import Paillier
+from repro.crypto.rnd import RND
+from repro.crypto.search import SEARCH
+
+KEY = b"benchmark-key-16"
+ONE_KB = b"x" * 1024
+
+
+def test_fig13_feistel_int_encrypt(benchmark):
+    prp = FeistelPRP(KEY)
+    benchmark(prp.encrypt_int, 123456789)
+
+
+def test_fig13_aes_cbc_1kb(benchmark):
+    cipher = AES(KEY)
+    iv = b"\x01" * 16
+    benchmark(cbc_encrypt, cipher, iv, ONE_KB)
+
+
+def test_fig13_aes_cmc_1kb(benchmark):
+    cipher = AES(KEY)
+    benchmark(cmc_encrypt, cipher, ONE_KB)
+
+
+def test_fig13_det_int(benchmark):
+    det = DET(KEY)
+    benchmark(det.encrypt_int, 987654321)
+
+
+def test_fig13_rnd_int(benchmark):
+    rnd = RND(KEY)
+    iv = RND.generate_iv()
+    benchmark(rnd.encrypt_int, 987654321, iv)
+
+
+def test_fig13_ope_encrypt_int(benchmark):
+    ope = OPE(KEY, cache=False)
+    counter = iter(range(10_000_000))
+    benchmark(lambda: ope.encrypt(next(counter)))
+
+
+def test_fig13_ope_compare_is_free(benchmark):
+    ope = OPE(KEY)
+    a, b = ope.encrypt(5), ope.encrypt(9)
+    benchmark(lambda: a < b)
+
+
+def test_fig13_search_encrypt_word(benchmark):
+    search = SEARCH(KEY)
+    benchmark(search.encrypt_word, "confidential")
+
+
+def test_fig13_search_match(benchmark):
+    search = SEARCH(KEY)
+    ciphertext = search.encrypt("alpha beta gamma delta")
+    token = search.token("gamma")
+    benchmark(SEARCH.matches, ciphertext, token)
+
+
+def test_fig13_hom_encrypt(benchmark, paillier_keypair):
+    benchmark(paillier_keypair.encrypt, 123456)
+
+
+def test_fig13_hom_decrypt(benchmark, paillier_keypair):
+    ciphertext = paillier_keypair.encrypt(123456)
+    benchmark(paillier_keypair.decrypt, ciphertext)
+
+
+def test_fig13_hom_add(benchmark, paillier_keypair):
+    hom = Paillier(paillier_keypair.public)
+    a = paillier_keypair.encrypt(1)
+    b = paillier_keypair.encrypt(2)
+    benchmark(hom.add, a, b)
+
+
+def test_fig13_join_adj_hash(benchmark):
+    adj = JoinAdj.for_column(KEY, "t", "c")
+    benchmark(adj.hash_value, b"42")
+
+
+def test_fig13_shape_ope_and_hom_dominate(paillier_keypair):
+    """The paper's qualitative result: OPE and HOM encryption are the slow ops."""
+    import time
+
+    def time_of(fn, repeat=5):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            fn()
+        return (time.perf_counter() - start) / repeat
+
+    det = DET(KEY)
+    ope = OPE(KEY, cache=False)
+    values = iter(range(1000, 100000))
+    det_time = time_of(lambda: det.encrypt_int(123))
+    ope_time = time_of(lambda: ope.encrypt(next(values)))
+    hom_time = time_of(lambda: paillier_keypair.encrypt(123))
+    hom_add_time = time_of(lambda: Paillier(paillier_keypair.public).add(3, 9))
+    assert ope_time > det_time * 5
+    assert hom_time > hom_add_time * 5

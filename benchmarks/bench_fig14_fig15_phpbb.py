@@ -1,0 +1,115 @@
+"""Figures 14 and 15: phpBB throughput and per-request latency.
+
+Figure 14 compares phpBB on MySQL, on MySQL behind a pass-through proxy, and
+on CryptDB with the notably sensitive fields encrypted; the paper measures a
+14.5% total throughput loss, roughly half of which is the proxy itself.
+Figure 15 reports per-request latency for Login / Read post / Write post /
+Read msg / Write msg, with CryptDB adding 6-20% per request.
+"""
+
+import time
+
+import pytest
+
+from repro.core.passthrough import PassthroughProxy
+from repro.sql.engine import Database
+from repro.workloads.phpbb import PHPBB_SENSITIVE_FIELDS, PhpBBApplication, REQUEST_TYPES
+
+from conftest import print_table
+
+_USERS = 6
+_FORUMS = 2
+_PRELOAD = dict(messages=6, posts=6)
+_REQUESTS = 20
+
+
+def _make_app(target) -> PhpBBApplication:
+    app = PhpBBApplication(target, users=_USERS, forums=_FORUMS)
+    app.create_schema()
+    app.load_initial_data(**_PRELOAD)
+    return app
+
+
+def _encrypted_app(paillier) -> PhpBBApplication:
+    from repro.core.proxy import CryptDBProxy
+
+    proxy = CryptDBProxy(paillier=paillier)
+    app = PhpBBApplication(proxy, users=_USERS, forums=_FORUMS)
+    # Only the notably sensitive fields are encrypted (Figure 14's setup):
+    # the proxy still intercepts everything, but non-sensitive columns are
+    # stored in plaintext via the §3.5.2 annotation.
+    from repro.sql.parser import parse_sql
+    from repro.workloads.phpbb import PHPBB_PLAIN_SCHEMA
+
+    for statement in PHPBB_PLAIN_SCHEMA:
+        parsed = parse_sql(statement)
+        sensitive = set(PHPBB_SENSITIVE_FIELDS.get(parsed.table, ()))
+        plaintext = [c.name for c in parsed.columns if c.name not in sensitive]
+        proxy.create_table(parsed, plaintext_columns=plaintext, sensitive_columns=sensitive)
+    app.load_initial_data(**_PRELOAD)
+    return app
+
+
+@pytest.fixture(scope="module")
+def apps(small_paillier):
+    return {
+        "MySQL": _make_app(Database()),
+        "MySQL+proxy": _make_app(PassthroughProxy(Database())),
+        "CryptDB": _encrypted_app(small_paillier),
+    }
+
+
+def _throughput(app: PhpBBApplication, requests: int) -> float:
+    start = time.perf_counter()
+    app.mixed_requests(requests)
+    return requests / (time.perf_counter() - start)
+
+
+def test_fig14_phpbb_throughput(benchmark, apps):
+    baseline = _throughput(apps["MySQL"], _REQUESTS)
+    with_proxy = _throughput(apps["MySQL+proxy"], _REQUESTS)
+    cryptdb = _throughput(apps["CryptDB"], _REQUESTS)
+    rows = [
+        {"configuration": "MySQL", "req/s": round(baseline, 1), "loss %": 0.0, "paper loss %": 0.0},
+        {"configuration": "MySQL+proxy", "req/s": round(with_proxy, 1),
+         "loss %": round(100 * (1 - with_proxy / baseline), 1), "paper loss %": 8.3},
+        {"configuration": "CryptDB", "req/s": round(cryptdb, 1),
+         "loss %": round(100 * (1 - cryptdb / baseline), 1), "paper loss %": 14.5},
+    ]
+    print_table("Figure 14: phpBB throughput", rows)
+    # Shape: MySQL >= MySQL+proxy >= CryptDB.  The paper's 8.3% / 14.5% losses
+    # rely on MySQL's C engine and CryptDB's C++ crypto being comparable; with
+    # a pure-Python engine and pure-Python crypto the absolute gap is larger,
+    # so only the ordering is asserted (EXPERIMENTS.md records both numbers).
+    assert baseline >= with_proxy * 0.9
+    assert with_proxy >= cryptdb * 0.5
+    assert cryptdb > 0
+    benchmark(lambda: apps["CryptDB"].request("R post"))
+
+
+def test_fig15_phpbb_request_latency(benchmark, apps):
+    rows = []
+    paper_mysql = {"Login": 60, "R post": 50, "W post": 133, "R msg": 61, "W msg": 237}
+    paper_cryptdb = {"Login": 67, "R post": 60, "W post": 151, "R msg": 73, "W msg": 251}
+    for request_type in REQUEST_TYPES:
+        timings = {}
+        for config in ("MySQL", "CryptDB"):
+            app = apps[config]
+            start = time.perf_counter()
+            for _ in range(5):
+                app.request(request_type)
+            timings[config] = (time.perf_counter() - start) / 5 * 1000
+        rows.append({
+            "request": request_type,
+            "MySQL ms": round(timings["MySQL"], 2),
+            "CryptDB ms": round(timings["CryptDB"], 2),
+            "overhead %": round(100 * (timings["CryptDB"] / timings["MySQL"] - 1), 1),
+            "paper MySQL ms": paper_mysql[request_type],
+            "paper CryptDB ms": paper_cryptdb[request_type],
+        })
+    print_table("Figure 15: phpBB per-request latency", rows)
+    # Shape: CryptDB adds overhead to every request type but never an order
+    # of magnitude (the paper reports 6-20%; pure-Python crypto costs more).
+    for row in rows:
+        assert row["CryptDB ms"] >= row["MySQL ms"] * 0.8
+    benchmark(lambda: apps["CryptDB"].request("Login"))

@@ -1,0 +1,50 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§8).  Absolute numbers differ from the paper -- the substrate is a pure
+Python engine, not a 16-core MySQL testbed -- but each benchmark asserts the
+*shape* the paper reports (who wins, by roughly what factor) and prints the
+rows so EXPERIMENTS.md can record paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import MasterKey
+from repro.crypto.paillier import PaillierKeyPair
+
+
+@pytest.fixture(scope="session")
+def paillier_keypair() -> PaillierKeyPair:
+    # The paper's HOM uses 1024-bit Paillier (2048-bit ciphertexts).
+    return PaillierKeyPair.generate(1024)
+
+
+@pytest.fixture(scope="session")
+def small_paillier() -> PaillierKeyPair:
+    return PaillierKeyPair.generate(512)
+
+
+@pytest.fixture()
+def make_proxy(small_paillier):
+    from repro.core.proxy import CryptDBProxy
+
+    def factory(**kwargs):
+        kwargs.setdefault("paillier", small_paillier)
+        kwargs.setdefault("master_key", MasterKey.from_passphrase("bench-master"))
+        return CryptDBProxy(**kwargs)
+
+    return factory
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Print a small aligned table (captured with pytest -s)."""
+    if not rows:
+        return
+    headers = list(rows[0].keys())
+    widths = {h: max(len(str(h)), max(len(str(r[h])) for r in rows)) for h in headers}
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  ".join(str(row[h]).ljust(widths[h]) for h in headers))

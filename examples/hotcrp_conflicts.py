@@ -1,0 +1,51 @@
+"""HotCRP with CryptDB: even the PC chair cannot see reviews of her own paper.
+
+Run with:  python examples/hotcrp_conflicts.py
+
+Reproduces the Figure 6 policy: the review key of a paper is delegated to PC
+members *except* those in conflict with it (the ``NoConflict`` predicate), so
+a conflicted PC chair -- even with full database access -- cannot learn who
+reviewed her paper.
+"""
+
+from repro import MultiPrincipalProxy
+from repro.errors import AccessDeniedError
+from repro.workloads.hotcrp import HotCRPApplication
+
+
+def main() -> None:
+    proxy = MultiPrincipalProxy(paillier_bits=512)
+    app = HotCRPApplication(proxy)
+    app.install()
+
+    app.add_pc_member(1, "chair@conf.org", "chair-password")
+    app.add_pc_member(2, "reviewer@conf.org", "reviewer-password")
+
+    # Paper 10 is authored by the chair: a conflict row exists before reviews.
+    app.declare_conflict(10, 1)
+    app.submit_paper(10, "Encrypted Query Processing", "onions of encryption")
+    app.submit_review(100, 10, 2, "Strong accept; thorough evaluation.")
+
+    # The unconflicted reviewer can read reviewer identities and comments.
+    proxy.logout("chair@conf.org")
+    proxy.end_session()
+    rows = proxy.execute(
+        "SELECT reviewerId, commentsToPC FROM PaperReview WHERE paperId = 10"
+    ).rows
+    print("Reviewer (no conflict) sees:", rows)
+
+    # The chair alone -- despite complete database access -- cannot.
+    proxy.logout("reviewer@conf.org")
+    proxy.login("chair@conf.org", "chair-password")
+    proxy.end_session()
+    try:
+        proxy.execute("SELECT reviewerId FROM PaperReview WHERE paperId = 10")
+    except AccessDeniedError:
+        print("Conflicted PC chair cannot decrypt the review of her own paper.")
+    report = proxy.compromise_report("PaperReview", "reviewerId")
+    print(f"Rows decryptable by a compromise while only the chair is logged in: "
+          f"{report['readable']} of {report['total']}")
+
+
+if __name__ == "__main__":
+    main()

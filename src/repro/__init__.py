@@ -1,0 +1,43 @@
+"""CryptDB reproduction: encrypted query processing (SOSP 2011).
+
+The package is organised as:
+
+* :mod:`repro.crypto` -- the SQL-aware encryption schemes (RND, DET, OPE,
+  HOM/Paillier, SEARCH, JOIN/JOIN-ADJ) and their building blocks.
+* :mod:`repro.sql` -- an in-memory relational engine playing the role of the
+  unmodified DBMS server (MySQL/Postgres in the paper).
+* :mod:`repro.core` -- the CryptDB proxy: onion encryption state, query
+  rewriting, onion adjustment, result decryption, training mode.
+* :mod:`repro.principals` -- multi-principal mode: schema annotations and
+  key chaining to user passwords.
+* :mod:`repro.workloads` -- TPC-C, phpBB, HotCRP, grad-apply and the other
+  applications used in the paper's evaluation.
+* :mod:`repro.analysis` -- functional, security and storage analyses used to
+  regenerate the evaluation tables.
+
+The three most commonly used entry points are re-exported lazily here:
+``CryptDBProxy`` (single-principal proxy), ``MultiPrincipalProxy``
+(key chaining to user passwords) and ``Database`` (the DBMS substrate).
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+__all__ = ["CryptDBProxy", "MultiPrincipalProxy", "Database", "__version__"]
+
+_LAZY_EXPORTS = {
+    "CryptDBProxy": ("repro.core.proxy", "CryptDBProxy"),
+    "MultiPrincipalProxy": ("repro.principals.multi_proxy", "MultiPrincipalProxy"),
+    "Database": ("repro.sql.engine", "Database"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily import the public entry points to keep ``import repro`` cheap."""
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module_name, attr = _LAZY_EXPORTS[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,21 @@
+"""Analyses that regenerate the paper's evaluation tables.
+
+* :mod:`repro.analysis.functional` -- static per-column computation-class
+  analysis (the left half of Figure 9 and the trace analysis).
+* :mod:`repro.analysis.security` -- MinEnc / HIGH classification over a live
+  proxy (the right half of Figure 9 and §8.3).
+* :mod:`repro.analysis.storage` -- ciphertext expansion accounting (§8.4.3).
+"""
+
+from repro.analysis.functional import ColumnClassifier, FunctionalReport
+from repro.analysis.security import high_classification, min_enc_summary
+from repro.analysis.storage import StorageReport, storage_comparison
+
+__all__ = [
+    "ColumnClassifier",
+    "FunctionalReport",
+    "high_classification",
+    "min_enc_summary",
+    "StorageReport",
+    "storage_comparison",
+]

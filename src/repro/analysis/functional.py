@@ -1,0 +1,324 @@
+"""Static functional analysis: which computation classes does each column need?
+
+This reproduces the offline analysis the paper runs over the sql.mit.edu
+trace and over each application's query set (the left half of Figure 9):
+for every column it determines whether CryptDB can support the observed
+queries over ciphertext, which encryption schemes are required (HOM for
+SUM/increments, SEARCH for word search), and the steady-state onion level the
+column would end up at.  It works purely on parsed SQL -- no keys, no data --
+so it scales to trace-sized inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.onion import ComputationClass
+from repro.errors import SQLError
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_sql
+
+#: Scalar functions CryptDB cannot evaluate over ciphertext when applied to a
+#: column inside a predicate (string/date manipulation, maths, bit twiddling).
+_PLAINTEXT_FUNCTIONS = {
+    "LOWER", "UPPER", "SUBSTRING", "SUBSTR", "CONCAT", "LENGTH", "ROUND",
+    "ABS", "MOD", "YEAR", "MONTH", "DAY", "DATE_FORMAT",
+}
+
+_AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+@dataclass
+class ColumnUsage:
+    """Accumulated computation classes for one column."""
+
+    table: str
+    column: str
+    classes: set[ComputationClass] = field(default_factory=set)
+
+    @property
+    def needs_plaintext(self) -> bool:
+        return ComputationClass.PLAINTEXT in self.classes
+
+    @property
+    def needs_hom(self) -> bool:
+        return ComputationClass.ADDITION in self.classes
+
+    @property
+    def needs_search(self) -> bool:
+        return ComputationClass.WORD_SEARCH in self.classes
+
+    def min_enc(self) -> str:
+        """Steady-state MinEnc class (RND / SEARCH / DET / OPE / PLAINTEXT)."""
+        if self.needs_plaintext:
+            return "PLAINTEXT"
+        if {ComputationClass.ORDER, ComputationClass.RANGE_JOIN} & self.classes:
+            return "OPE"
+        if {ComputationClass.EQUALITY, ComputationClass.EQUI_JOIN} & self.classes:
+            return "DET"
+        if self.needs_search:
+            return "SEARCH"
+        return "RND"
+
+
+@dataclass
+class FunctionalReport:
+    """The Figure-9-left style summary for one application or trace."""
+
+    name: str
+    total_columns: int
+    considered_columns: int
+    usages: dict[tuple[str, str], ColumnUsage]
+
+    def count(self, predicate) -> int:
+        return sum(1 for usage in self.usages.values() if predicate(usage))
+
+    @property
+    def needs_plaintext(self) -> int:
+        return self.count(lambda u: u.needs_plaintext)
+
+    @property
+    def needs_hom(self) -> int:
+        return self.count(lambda u: u.needs_hom and not u.needs_plaintext)
+
+    @property
+    def needs_search(self) -> int:
+        return self.count(lambda u: u.needs_search and not u.needs_plaintext)
+
+    def min_enc_counts(self) -> dict[str, int]:
+        counts = {"RND": 0, "SEARCH": 0, "DET": 0, "OPE": 0, "PLAINTEXT": 0}
+        for usage in self.usages.values():
+            counts[usage.min_enc()] += 1
+        # Columns never referenced by any query stay at RND.
+        counts["RND"] += self.considered_columns - len(self.usages)
+        return counts
+
+    @property
+    def supported_fraction(self) -> float:
+        if self.considered_columns == 0:
+            return 1.0
+        return 1.0 - self.needs_plaintext / self.considered_columns
+
+    def as_row(self) -> dict[str, object]:
+        counts = self.min_enc_counts()
+        return {
+            "application": self.name,
+            "total_cols": self.total_columns,
+            "consider_for_enc": self.considered_columns,
+            "needs_plaintext": self.needs_plaintext,
+            "needs_HOM": self.needs_hom,
+            "needs_SEARCH": self.needs_search,
+            "RND": counts["RND"],
+            "SEARCH": counts["SEARCH"],
+            "DET": counts["DET"],
+            "OPE": counts["OPE"],
+        }
+
+
+class ColumnClassifier:
+    """Classifies column usage from CREATE TABLE statements and a query set."""
+
+    def __init__(self, name: str = "workload"):
+        self.name = name
+        self._tables: dict[str, list[str]] = {}
+        self._usages: dict[tuple[str, str], ColumnUsage] = {}
+        self.unsupported_queries: list[str] = []
+
+    # -- schema ----------------------------------------------------------
+    def add_schema(self, statements: Iterable[str]) -> None:
+        for sql in statements:
+            statement = parse_sql(sql)
+            if isinstance(statement, ast.CreateTable):
+                self._tables[statement.table] = [c.name for c in statement.columns]
+
+    def total_columns(self) -> int:
+        return sum(len(cols) for cols in self._tables.values())
+
+    # -- queries -----------------------------------------------------------
+    def add_queries(self, queries: Iterable[str]) -> None:
+        for sql in queries:
+            try:
+                statement = parse_sql(sql)
+            except SQLError:
+                self.unsupported_queries.append(sql)
+                continue
+            self._classify_statement(statement, sql)
+
+    def report(self, considered: Optional[int] = None) -> FunctionalReport:
+        return FunctionalReport(
+            name=self.name,
+            total_columns=self.total_columns(),
+            considered_columns=considered if considered is not None else self.total_columns(),
+            usages=dict(self._usages),
+        )
+
+    # -- classification ------------------------------------------------------
+    def _usage(self, table: Optional[str], column: str) -> Optional[ColumnUsage]:
+        owner = table
+        if owner is None:
+            candidates = [t for t, cols in self._tables.items() if column in cols]
+            if len(candidates) != 1:
+                owner = candidates[0] if candidates else None
+            else:
+                owner = candidates[0]
+        if owner is None or column not in self._tables.get(owner, ()):
+            return None
+        key = (owner, column)
+        if key not in self._usages:
+            self._usages[key] = ColumnUsage(owner, column)
+        return self._usages[key]
+
+    def _mark(self, ref: ast.ColumnRef, computation: ComputationClass, tables: list[str]) -> None:
+        table = ref.table if ref.table in self._tables else None
+        if table is None and ref.table is not None:
+            # Alias: fall back to searching the FROM tables.
+            table = next((t for t in tables if ref.name in self._tables.get(t, ())), None)
+        elif table is None:
+            table = next((t for t in tables if ref.name in self._tables.get(t, ())), None)
+        usage = self._usage(table, ref.name)
+        if usage is not None:
+            usage.classes.add(computation)
+
+    def _from_tables(self, clause: Optional[ast.FromClause]) -> list[str]:
+        tables: list[str] = []
+        while isinstance(clause, ast.Join):
+            tables.append(clause.right.name)
+            clause = clause.left
+        if isinstance(clause, ast.TableRef):
+            tables.append(clause.name)
+        return tables
+
+    def _classify_statement(self, statement: ast.Statement, sql: str) -> None:
+        if isinstance(statement, ast.Select):
+            tables = self._from_tables(statement.from_clause)
+            for item in statement.items:
+                self._classify_projection(item.expr, tables)
+            self._classify_predicate(statement.where, tables, sql)
+            self._classify_predicate(statement.having, tables, sql)
+            for group in statement.group_by:
+                if isinstance(group, ast.ColumnRef):
+                    self._mark(group, ComputationClass.EQUALITY, tables)
+            for order in statement.order_by:
+                if isinstance(order.expr, ast.ColumnRef):
+                    self._mark(order.expr, ComputationClass.ORDER, tables)
+            if isinstance(statement.from_clause, ast.Join):
+                self._classify_predicate(statement.from_clause.condition, tables, sql)
+        elif isinstance(statement, ast.Update):
+            tables = [statement.table]
+            for column, expr in statement.assignments:
+                usage = self._usage(statement.table, column)
+                if usage is None:
+                    continue
+                if isinstance(expr, ast.Literal):
+                    usage.classes.add(ComputationClass.NONE)
+                elif isinstance(expr, ast.BinaryOp) and expr.op in ("+", "-"):
+                    usage.classes.add(ComputationClass.ADDITION)
+                else:
+                    usage.classes.add(ComputationClass.PLAINTEXT)
+            self._classify_predicate(statement.where, tables, sql)
+        elif isinstance(statement, ast.Delete):
+            self._classify_predicate(statement.where, [statement.table], sql)
+        elif isinstance(statement, ast.Insert):
+            for column in statement.columns:
+                usage = self._usage(statement.table, column)
+                if usage is not None:
+                    usage.classes.add(ComputationClass.NONE)
+
+    def _classify_projection(self, expr: ast.Expression, tables: list[str]) -> None:
+        if isinstance(expr, ast.ColumnRef):
+            self._mark(expr, ComputationClass.NONE, tables)
+        elif isinstance(expr, ast.Star):
+            for table in tables:
+                for column in self._tables.get(table, ()):
+                    usage = self._usage(table, column)
+                    if usage is not None:
+                        usage.classes.add(ComputationClass.NONE)
+        elif isinstance(expr, ast.FunctionCall):
+            name = expr.name.upper()
+            for arg in expr.args:
+                if not isinstance(arg, ast.ColumnRef):
+                    continue
+                if name in ("SUM", "AVG"):
+                    self._mark(arg, ComputationClass.ADDITION, tables)
+                elif name in ("MIN", "MAX"):
+                    self._mark(arg, ComputationClass.ORDER, tables)
+                elif name == "COUNT":
+                    computation = (
+                        ComputationClass.EQUALITY if expr.distinct else ComputationClass.NONE
+                    )
+                    self._mark(arg, computation, tables)
+                elif name in _PLAINTEXT_FUNCTIONS:
+                    self._mark(arg, ComputationClass.PLAINTEXT, tables)
+                else:
+                    self._mark(arg, ComputationClass.NONE, tables)
+
+    def _classify_predicate(
+        self, expr: Optional[ast.Expression], tables: list[str], sql: str
+    ) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.BinaryOp) and expr.op in ("AND", "OR"):
+            self._classify_predicate(expr.left, tables, sql)
+            self._classify_predicate(expr.right, tables, sql)
+            return
+        if isinstance(expr, ast.UnaryOp) and expr.op == "NOT":
+            self._classify_predicate(expr.operand, tables, sql)
+            return
+        if isinstance(expr, ast.BinaryOp) and expr.op in ("=", "!=", "<", "<=", ">", ">="):
+            left_col = expr.left if isinstance(expr.left, ast.ColumnRef) else None
+            right_col = expr.right if isinstance(expr.right, ast.ColumnRef) else None
+            if left_col is not None and right_col is not None:
+                computation = (
+                    ComputationClass.EQUI_JOIN if expr.op == "=" else ComputationClass.RANGE_JOIN
+                )
+                self._mark(left_col, computation, tables)
+                self._mark(right_col, computation, tables)
+                return
+            column = left_col or right_col
+            if column is None:
+                # A function or arithmetic over a column inside a predicate
+                # requires plaintext processing.
+                self._mark_embedded_plaintext(expr, tables, sql)
+                return
+            computation = (
+                ComputationClass.EQUALITY if expr.op in ("=", "!=") else ComputationClass.ORDER
+            )
+            self._mark(column, computation, tables)
+            return
+        if isinstance(expr, ast.InList) and isinstance(expr.expr, ast.ColumnRef):
+            self._mark(expr.expr, ComputationClass.EQUALITY, tables)
+            return
+        if isinstance(expr, ast.Between) and isinstance(expr.expr, ast.ColumnRef):
+            self._mark(expr.expr, ComputationClass.ORDER, tables)
+            return
+        if isinstance(expr, ast.Like) and isinstance(expr.expr, ast.ColumnRef):
+            pattern = expr.pattern.value if isinstance(expr.pattern, ast.Literal) else None
+            if isinstance(pattern, str):
+                stripped = pattern.strip("%").strip()
+                if stripped and "%" not in stripped and "_" not in stripped:
+                    computation = (
+                        ComputationClass.WORD_SEARCH
+                        if pattern.startswith("%") or pattern.endswith("%")
+                        else ComputationClass.EQUALITY
+                    )
+                    self._mark(expr.expr, computation, tables)
+                    return
+            self._mark(expr.expr, ComputationClass.PLAINTEXT, tables)
+            self.unsupported_queries.append(sql)
+            return
+        if isinstance(expr, ast.IsNull) and isinstance(expr.expr, ast.ColumnRef):
+            self._mark(expr.expr, ComputationClass.NONE, tables)
+            return
+        self._mark_embedded_plaintext(expr, tables, sql)
+
+    def _mark_embedded_plaintext(
+        self, expr: ast.Expression, tables: list[str], sql: str
+    ) -> None:
+        found = False
+        for node in ast.walk_expression(expr):
+            if isinstance(node, ast.ColumnRef):
+                self._mark(node, ComputationClass.PLAINTEXT, tables)
+                found = True
+        if found:
+            self.unsupported_queries.append(sql)

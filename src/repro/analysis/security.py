@@ -1,0 +1,86 @@
+"""Security analysis: MinEnc and the HIGH class (§8.3, right half of Figure 9).
+
+MinEnc of a column is the weakest onion level exposed on any of its onions in
+the steady state.  HIGH comprises RND and HOM, plus DET for columns with no
+repeated values (where DET is logically equivalent to RND).  The functions
+here operate either on a live proxy (so DET repeats can be checked against
+the actual data) or on a static functional report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.functional import FunctionalReport
+from repro.core.onion import SecurityLevel
+from repro.core.proxy import CryptDBProxy
+
+
+def min_enc_summary(proxy: CryptDBProxy) -> dict[str, int]:
+    """Counts of columns per MinEnc level for every table managed by a proxy."""
+    counts = {level.name: 0 for level in SecurityLevel}
+    for table in proxy.schema.table_names():
+        for column in proxy.schema.table(table).column_names():
+            counts[proxy.min_enc(table, column).name] += 1
+    return counts
+
+
+def _det_has_repeats(proxy: CryptDBProxy, table: str, column: str) -> bool:
+    """Check on the server whether a DET column has duplicate ciphertexts."""
+    from repro.core.onion import Onion
+
+    meta = proxy.schema.column(table, column)
+    if not meta.has_onion(Onion.EQ):
+        return False
+    anon_table = proxy.schema.table(table).anon_name
+    anon_column = meta.onion_state(Onion.EQ).anon_name
+    values = [
+        row[anon_column]
+        for _, row in proxy.db.table(anon_table).scan()
+        if row.get(anon_column) is not None
+    ]
+    hashable = [bytes(v) if isinstance(v, (bytes, bytearray)) else v for v in values]
+    return len(hashable) != len(set(hashable))
+
+
+def high_classification(
+    proxy: CryptDBProxy,
+    sensitive_columns: Iterable[tuple[str, str]],
+) -> dict[str, object]:
+    """How many of the given sensitive columns end up in the HIGH class.
+
+    HIGH = RND/HOM, or DET with no repeats (§8.3).  OPE and DET-with-repeats
+    are excluded because they reveal relations to the DBMS server.
+    """
+    high = 0
+    total = 0
+    per_column = {}
+    for table, column in sensitive_columns:
+        total += 1
+        level = proxy.min_enc(table, column)
+        if level >= SecurityLevel.SEARCH:
+            is_high = True
+        elif level == SecurityLevel.DET:
+            is_high = not _det_has_repeats(proxy, table, column)
+        else:
+            is_high = False
+        per_column[(table, column)] = (level.name, is_high)
+        high += int(is_high)
+    return {"high": high, "total": total, "columns": per_column}
+
+
+def static_min_enc_summary(report: FunctionalReport) -> dict[str, int]:
+    """MinEnc counts from a static functional report (trace-scale analysis)."""
+    return report.min_enc_counts()
+
+
+def ope_usage_breakdown(report: FunctionalReport) -> dict[str, float]:
+    """Fraction of columns at OPE, as discussed for the trace in §8.3."""
+    counts = report.min_enc_counts()
+    considered = max(report.considered_columns, 1)
+    return {
+        "ope_fraction": counts["OPE"] / considered,
+        "det_or_better_fraction": (
+            (counts["RND"] + counts["SEARCH"] + counts["DET"]) / considered
+        ),
+    }

@@ -1,0 +1,65 @@
+"""Storage overhead analysis (§8.4.3).
+
+CryptDB stores several onions per column plus per-row IVs, and HOM expands
+32-bit integers to ciphertexts of twice the Paillier modulus, so the
+encrypted database is larger than the plaintext one: the paper measures
+3.76x for TPC-C (dominated by HOM expansion) and about 1.2x for phpBB.
+``storage_comparison`` loads the same workload into a plain database and an
+encrypted one and reports the ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.proxy import CryptDBProxy
+from repro.sql.engine import Database
+
+
+@dataclass
+class StorageReport:
+    """Plain vs encrypted storage footprint."""
+
+    plain_bytes: int
+    encrypted_bytes: int
+
+    @property
+    def expansion(self) -> float:
+        if self.plain_bytes == 0:
+            return float("inf")
+        return self.encrypted_bytes / self.plain_bytes
+
+
+def storage_comparison(
+    schema_statements: Iterable[str],
+    data_statements: Iterable[str],
+    proxy_factory: Callable[[Database], CryptDBProxy] | None = None,
+) -> StorageReport:
+    """Load the same schema + data plain and encrypted; compare storage."""
+    schema_statements = list(schema_statements)
+    data_statements = list(data_statements)
+
+    plain_db = Database()
+    for statement in schema_statements + data_statements:
+        plain_db.execute(statement)
+
+    encrypted_db = Database()
+    if proxy_factory is None:
+        proxy = CryptDBProxy(encrypted_db, paillier_bits=1024)
+    else:
+        proxy = proxy_factory(encrypted_db)
+    for statement in schema_statements + data_statements:
+        proxy.execute(statement)
+
+    return StorageReport(
+        plain_bytes=plain_db.storage_bytes(),
+        encrypted_bytes=encrypted_db.storage_bytes(),
+    )
+
+
+def breakdown_by_table(proxy: CryptDBProxy) -> dict[str, int]:
+    """Per-table encrypted storage, for the phpBB-style breakdown in §8.4.3."""
+    return {
+        name: proxy.db.table(name).storage_bytes() for name in proxy.db.table_names()
+    }

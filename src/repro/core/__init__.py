@@ -1,0 +1,26 @@
+"""The CryptDB proxy: encrypted query processing (sections 3 and 8 of the paper).
+
+* :mod:`repro.core.onion` -- onions of encryption, layers, security levels.
+* :mod:`repro.core.schema` -- plaintext-to-anonymised schema mapping and
+  per-column onion state.
+* :mod:`repro.core.encryptor` -- value encoding and layered onion encryption.
+* :mod:`repro.core.udfs` -- the server-side UDFs CryptDB installs in the DBMS.
+* :mod:`repro.core.rewriter` -- query analysis and rewriting onto onions.
+* :mod:`repro.core.proxy` -- the database proxy tying everything together.
+* :mod:`repro.core.strawman` -- the strawman baseline of Figure 11.
+* :mod:`repro.core.training` -- training mode (section 3.5.1).
+* :mod:`repro.core.cache` -- ciphertext pre-computation and caching (3.5.2).
+"""
+
+from repro.core.onion import ComputationClass, EncryptionScheme, Onion, SecurityLevel
+from repro.core.proxy import CryptDBProxy
+from repro.core.strawman import StrawmanProxy
+
+__all__ = [
+    "CryptDBProxy",
+    "StrawmanProxy",
+    "Onion",
+    "EncryptionScheme",
+    "ComputationClass",
+    "SecurityLevel",
+]

@@ -1,0 +1,329 @@
+"""Value encoding and layered onion encryption/decryption.
+
+The encryptor turns application values into the per-onion ciphertexts stored
+in the anonymised tables (Figure 3) and back.  It owns the per-column crypto
+objects (RND, DET, OPE, SEARCH, Paillier, JOIN), all keyed through the key
+manager implementing Equation (1), and implements the value encodings:
+
+* integer-kind columns are mapped to unsigned 64-bit values (offset 2^63)
+  for RND/DET, to unsigned 32-bit values (offset 2^31) for OPE, and into the
+  Paillier plaintext group (negatives as ``n - |v|``) for HOM;
+* text-kind columns are encrypted as UTF-8 bytes; for OPE the first four
+  bytes provide a (prefix) order-preserving encoding;
+* DECIMAL/FLOAT columns are scaled by 10^4 and treated as integers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.joins import JoinManager
+from repro.core.onion import EncryptionScheme, Onion
+from repro.core.schema import ColumnMeta
+from repro.crypto.det import DET
+from repro.crypto.join_adj import ADJ_SIZE, JoinCiphertext
+from repro.crypto.keys import KeyManager
+from repro.crypto.ope import OPE
+from repro.crypto.paillier import Paillier, PaillierKeyPair
+from repro.crypto.rnd import RND
+from repro.crypto.search import SEARCH
+from repro.errors import CryptoError, ProxyError
+
+_INT64_OFFSET = 1 << 63
+_INT32_OFFSET = 1 << 31
+_DECIMAL_SCALE = 10_000
+
+
+class Encryptor:
+    """Performs all onion-layer encryption and decryption for the proxy."""
+
+    def __init__(
+        self,
+        keys: KeyManager,
+        joins: JoinManager,
+        paillier: PaillierKeyPair,
+        use_ope_cache: bool = True,
+    ):
+        self.keys = keys
+        self.joins = joins
+        self.paillier = paillier
+        self.hom = Paillier(paillier.public)
+        self.use_ope_cache = use_ope_cache
+        self._rnd: dict[tuple, RND] = {}
+        self._det: dict[tuple, DET] = {}
+        self._ope: dict[tuple, OPE] = {}
+        self._search: dict[tuple, SEARCH] = {}
+        self._det_join: dict[tuple, DET] = {}
+
+    # ------------------------------------------------------------------
+    # Per-column crypto objects
+    # ------------------------------------------------------------------
+    def _rnd_for(self, column: ColumnMeta, onion: Onion) -> RND:
+        cache_key = (column.table, column.name, onion)
+        if cache_key not in self._rnd:
+            key = self.keys.key_for(column.table, column.name, onion.value, "RND")
+            self._rnd[cache_key] = RND(key)
+        return self._rnd[cache_key]
+
+    def _det_for(self, column: ColumnMeta) -> DET:
+        cache_key = (column.table, column.name)
+        if cache_key not in self._det:
+            key = self.keys.key_for(column.table, column.name, Onion.EQ.value, "DET")
+            self._det[cache_key] = DET(key)
+        return self._det[cache_key]
+
+    def _det_join_for(self, column: ColumnMeta) -> DET:
+        cache_key = (column.table, column.name)
+        if cache_key not in self._det_join:
+            self._det_join[cache_key] = DET(self.joins.det_key(column.table, column.name))
+        return self._det_join[cache_key]
+
+    def _ope_for(self, column: ColumnMeta) -> OPE:
+        cache_key = (column.table, column.name)
+        if cache_key not in self._ope:
+            if column.ope_join_group is not None:
+                key = self.keys.key_for(
+                    "__ope_join__", column.ope_join_group, Onion.ORD.value, "OPE"
+                )
+            else:
+                key = self.keys.key_for(column.table, column.name, Onion.ORD.value, "OPE")
+            self._ope[cache_key] = OPE(key, cache=self.use_ope_cache)
+        return self._ope[cache_key]
+
+    def _search_for(self, column: ColumnMeta) -> SEARCH:
+        cache_key = (column.table, column.name)
+        if cache_key not in self._search:
+            key = self.keys.key_for(column.table, column.name, Onion.SEARCH.value, "SEARCH")
+            self._search[cache_key] = SEARCH(key)
+        return self._search[cache_key]
+
+    # ------------------------------------------------------------------
+    # Value encodings
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _to_int(column: ColumnMeta, value: Any) -> int:
+        if isinstance(value, bool):
+            return int(value)
+        if column.data_type.name in ("DECIMAL", "NUMERIC", "FLOAT", "DOUBLE", "REAL"):
+            return int(round(float(value) * _DECIMAL_SCALE))
+        return int(value)
+
+    @staticmethod
+    def _from_int(column: ColumnMeta, encoded: int) -> Any:
+        if column.data_type.name in ("DECIMAL", "NUMERIC", "FLOAT", "DOUBLE", "REAL"):
+            return encoded / _DECIMAL_SCALE
+        return encoded
+
+    def _to_bytes(self, column: ColumnMeta, value: Any) -> bytes:
+        if column.kind == "integer":
+            return (self._to_int(column, value) + _INT64_OFFSET).to_bytes(8, "big")
+        if isinstance(value, bytes):
+            return value
+        return str(value).encode("utf-8")
+
+    def _from_bytes(self, column: ColumnMeta, data: bytes) -> Any:
+        if column.kind == "integer":
+            return self._from_int(column, int.from_bytes(data, "big") - _INT64_OFFSET)
+        if column.kind == "binary":
+            return data
+        return data.decode("utf-8")
+
+    def _to_ope_int(self, column: ColumnMeta, value: Any) -> int:
+        if column.kind == "integer":
+            encoded = self._to_int(column, value) + _INT32_OFFSET
+            return min(max(encoded, 0), (1 << 32) - 1)
+        raw = value if isinstance(value, bytes) else str(value).encode("utf-8")
+        padded = raw[:4].ljust(4, b"\x00")
+        return int.from_bytes(padded, "big")
+
+    def _from_ope_int(self, column: ColumnMeta, encoded: int) -> Any:
+        if column.kind == "integer":
+            return self._from_int(column, encoded - _INT32_OFFSET)
+        return encoded.to_bytes(4, "big").rstrip(b"\x00").decode("utf-8", "replace")
+
+    def _to_hom_int(self, value: Any, column: ColumnMeta) -> int:
+        encoded = self._to_int(column, value)
+        n = self.paillier.public.n
+        return encoded % n
+
+    def _from_hom_int(self, decrypted: int, column: ColumnMeta) -> Any:
+        n = self.paillier.public.n
+        if decrypted > n // 2:
+            decrypted -= n
+        return self._from_int(column, decrypted)
+
+    # ------------------------------------------------------------------
+    # Onion encryption (INSERT path)
+    # ------------------------------------------------------------------
+    def encrypt_row_value(
+        self, column: ColumnMeta, value: Any
+    ) -> dict[str, Any]:
+        """Encrypt one value into all of its onion columns (plus the IV).
+
+        Only the layers that have not yet been stripped from each onion are
+        applied, matching §3.3's write-query behaviour.
+        """
+        result: dict[str, Any] = {}
+        if column.plaintext:
+            return result
+        if value is None:
+            # CryptDB exposes NULLs to the DBMS unencrypted (§3.3).
+            for state in column.onions.values():
+                result[state.anon_name] = None
+            if column.iv_column:
+                result[column.iv_column] = None
+            return result
+
+        iv = RND.generate_iv()
+        if column.iv_column:
+            result[column.iv_column] = iv
+        for onion, state in column.onions.items():
+            result[state.anon_name] = self.encrypt_to_level(
+                column, onion, state.level, value, iv
+            )
+        return result
+
+    def encrypt_to_level(
+        self,
+        column: ColumnMeta,
+        onion: Onion,
+        level: EncryptionScheme,
+        value: Any,
+        iv: Optional[bytes] = None,
+    ) -> Any:
+        """Encrypt a value for one onion up to (and including) ``level``."""
+        if onion is Onion.EQ:
+            return self._encrypt_eq(column, level, value, iv)
+        if onion is Onion.ORD:
+            return self._encrypt_ord(column, level, value, iv)
+        if onion is Onion.ADD:
+            return self.paillier.encrypt(self._to_hom_int(value, column))
+        if onion is Onion.SEARCH:
+            text = value if isinstance(value, str) else str(value)
+            return self._search_for(column).encrypt(text).serialize()
+        raise ProxyError(f"unknown onion {onion}")
+
+    def _encrypt_eq(
+        self,
+        column: ColumnMeta,
+        level: EncryptionScheme,
+        value: Any,
+        iv: Optional[bytes],
+    ) -> bytes:
+        plaintext = self._to_bytes(column, value)
+        adj = self.joins.join_adj_for(column.table, column.name).hash_value(plaintext)
+        det_component = self._det_join_for(column).encrypt_bytes(plaintext)
+        join_ct = JoinCiphertext(adj, det_component).serialize()
+        if level is EncryptionScheme.JOIN:
+            return join_ct
+        det_ct = self._det_for(column).encrypt_bytes(join_ct)
+        if level is EncryptionScheme.DET:
+            return det_ct
+        if level is EncryptionScheme.RND:
+            if iv is None:
+                raise CryptoError("RND encryption requires an IV")
+            return self._rnd_for(column, Onion.EQ).encrypt_bytes(det_ct, iv)
+        raise ProxyError(f"invalid Eq onion level {level}")
+
+    def _encrypt_ord(
+        self,
+        column: ColumnMeta,
+        level: EncryptionScheme,
+        value: Any,
+        iv: Optional[bytes],
+    ) -> int:
+        ope_ct = self._ope_for(column).encrypt(self._to_ope_int(column, value))
+        if level in (EncryptionScheme.OPE, EncryptionScheme.OPE_JOIN):
+            return ope_ct
+        if level is EncryptionScheme.RND:
+            if iv is None:
+                raise CryptoError("RND encryption requires an IV")
+            return self._rnd_for(column, Onion.ORD).encrypt_int(ope_ct, iv)
+        raise ProxyError(f"invalid Ord onion level {level}")
+
+    # ------------------------------------------------------------------
+    # Constant encryption (query rewrite path)
+    # ------------------------------------------------------------------
+    def encrypt_constant(
+        self, column: ColumnMeta, onion: Onion, level: EncryptionScheme, value: Any
+    ) -> Any:
+        """Encrypt a query constant for comparison at the given onion level."""
+        if value is None:
+            return None
+        if onion is Onion.EQ:
+            if level not in (EncryptionScheme.DET, EncryptionScheme.JOIN):
+                raise ProxyError("equality constants require the DET or JOIN layer")
+            return self._encrypt_eq(column, level, value, None)
+        if onion is Onion.ORD:
+            return self._encrypt_ord(column, EncryptionScheme.OPE, value, None)
+        if onion is Onion.ADD:
+            return self.paillier.encrypt(self._to_hom_int(value, column))
+        if onion is Onion.SEARCH:
+            raise ProxyError("SEARCH constants are encrypted as tokens, not values")
+        raise ProxyError(f"unknown onion {onion}")
+
+    def search_token(self, column: ColumnMeta, word: str):
+        """Produce the SEARCH token handed to the DBMS for a LIKE keyword."""
+        return self._search_for(column).token(word)
+
+    def hom_delta(self, column: ColumnMeta, delta: int) -> int:
+        """Paillier encryption of an increment used by UPDATE ... SET c = c + k."""
+        return self.paillier.encrypt(self._to_hom_int(delta, column))
+
+    # ------------------------------------------------------------------
+    # Decryption (result path)
+    # ------------------------------------------------------------------
+    def decrypt_value(
+        self,
+        column: ColumnMeta,
+        onion: Onion,
+        level: EncryptionScheme,
+        ciphertext: Any,
+        iv: Optional[bytes] = None,
+    ) -> Any:
+        """Decrypt a result-set value given the onion level it was read at."""
+        if ciphertext is None:
+            return None
+        if onion is Onion.EQ:
+            data = ciphertext
+            if level is EncryptionScheme.RND:
+                if iv is None:
+                    raise CryptoError("decrypting the RND layer requires the row IV")
+                data = self._rnd_for(column, Onion.EQ).decrypt_bytes(data, iv)
+                level = EncryptionScheme.DET
+            if level is EncryptionScheme.DET:
+                data = self._det_for(column).decrypt_bytes(data)
+                level = EncryptionScheme.JOIN
+            join_ct = JoinCiphertext.deserialize(data)
+            plaintext = self._det_join_for(column).decrypt_bytes(join_ct.det)
+            return self._from_bytes(column, plaintext)
+        if onion is Onion.ORD:
+            value = ciphertext
+            if level is EncryptionScheme.RND:
+                if iv is None:
+                    raise CryptoError("decrypting the RND layer requires the row IV")
+                value = self._rnd_for(column, Onion.ORD).decrypt_int(value, iv)
+            return self._from_ope_int(column, self._ope_for(column).decrypt(value))
+        if onion is Onion.ADD:
+            return self._from_hom_int(self.paillier.decrypt(ciphertext), column)
+        if onion is Onion.SEARCH:
+            raise ProxyError("SEARCH ciphertexts cannot be decrypted to plaintext")
+        raise ProxyError(f"unknown onion {onion}")
+
+    def decrypt_hom_sum(self, column: ColumnMeta, ciphertext: Any) -> Any:
+        """Decrypt the result of the Paillier SUM aggregate UDF."""
+        if ciphertext is None:
+            return None
+        return self._from_hom_int(self.paillier.decrypt(ciphertext), column)
+
+    # ------------------------------------------------------------------
+    # Server-side layer keys (handed out during onion adjustment)
+    # ------------------------------------------------------------------
+    def layer_key(self, column: ColumnMeta, onion: Onion, layer: EncryptionScheme) -> bytes:
+        """The key the proxy sends to the server to strip ``layer``."""
+        return self.keys.key_for(column.table, column.name, onion.value, layer.value)
+
+    @staticmethod
+    def adj_prefix_size() -> int:
+        """Size of the JOIN-ADJ component inside a JOIN ciphertext."""
+        return ADJ_SIZE

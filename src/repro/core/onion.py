@@ -1,0 +1,140 @@
+"""Onions of encryption: layers, the computations they allow, security levels.
+
+Figure 2 of the paper defines four onions:
+
+* **Eq** -- ``RND(DET(JOIN(value)))`` -- equality selection, equality join,
+  GROUP BY, COUNT, DISTINCT.
+* **Ord** -- ``RND(OPE(value))`` -- order comparison, ORDER BY, MIN/MAX,
+  range queries (the OPE-JOIN sub-layer is modelled as a shared-key flag,
+  see DESIGN.md).
+* **Add** -- ``HOM(value)`` -- SUM aggregates and increments, integers only.
+* **Search** -- ``SEARCH(value)`` -- full-word LIKE search, text only.
+
+Each layer is identified by an :class:`EncryptionScheme`; onions peel from
+the outermost (most secure) layer inwards, and never re-encrypt upwards
+without an explicit re-encryption pass.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.errors import ProxyError
+
+
+class Onion(str, Enum):
+    """The onion identifier (one physical DBMS column per onion)."""
+
+    EQ = "Eq"
+    ORD = "Ord"
+    ADD = "Add"
+    SEARCH = "Search"
+
+
+class EncryptionScheme(str, Enum):
+    """An encryption layer within an onion (or PLAIN for decrypted data)."""
+
+    RND = "RND"
+    DET = "DET"
+    JOIN = "JOIN"
+    OPE = "OPE"
+    OPE_JOIN = "OPE-JOIN"
+    HOM = "HOM"
+    SEARCH = "SEARCH"
+    PLAIN = "PLAIN"
+
+
+class ComputationClass(str, Enum):
+    """The classes of computation a query can require on a column (§2.1)."""
+
+    NONE = "none"                # projection / storage only
+    EQUALITY = "equality"        # =, IN, GROUP BY, DISTINCT, COUNT(DISTINCT)
+    EQUI_JOIN = "equi_join"      # equality join across columns
+    ORDER = "order"              # <, >, BETWEEN, ORDER BY, MIN, MAX
+    RANGE_JOIN = "range_join"    # order-based join across columns
+    ADDITION = "addition"        # SUM, AVG, column increments
+    WORD_SEARCH = "word_search"  # LIKE '% word %'
+    PLAINTEXT = "plaintext"      # anything CryptDB cannot run on ciphertext
+
+
+class SecurityLevel(int, Enum):
+    """Ordering of schemes by how much they reveal (§8.3).
+
+    RND and HOM reveal nothing; SEARCH reveals only the number of keywords;
+    DET and JOIN reveal duplicates; OPE reveals order; PLAIN reveals all.
+    Higher numeric value = more secure.
+    """
+
+    PLAIN = 0
+    OPE = 1
+    DET = 2
+    SEARCH = 3
+    RND = 4
+
+    @classmethod
+    def of(cls, scheme: EncryptionScheme) -> "SecurityLevel":
+        mapping = {
+            EncryptionScheme.RND: cls.RND,
+            EncryptionScheme.HOM: cls.RND,
+            EncryptionScheme.SEARCH: cls.SEARCH,
+            EncryptionScheme.DET: cls.DET,
+            EncryptionScheme.JOIN: cls.DET,
+            EncryptionScheme.OPE: cls.OPE,
+            EncryptionScheme.OPE_JOIN: cls.OPE,
+            EncryptionScheme.PLAIN: cls.PLAIN,
+        }
+        return mapping[scheme]
+
+
+# Layer stacks, outermost first (index 0 is the most secure, initial state).
+ONION_LAYERS: dict[Onion, list[EncryptionScheme]] = {
+    Onion.EQ: [EncryptionScheme.RND, EncryptionScheme.DET, EncryptionScheme.JOIN],
+    Onion.ORD: [EncryptionScheme.RND, EncryptionScheme.OPE, EncryptionScheme.OPE_JOIN],
+    Onion.ADD: [EncryptionScheme.HOM],
+    Onion.SEARCH: [EncryptionScheme.SEARCH],
+}
+
+# Which onions make sense for which column kinds (§3.2: "the Search onion
+# does not make sense for integers, and the Add onion does not make sense
+# for strings").
+ONIONS_FOR_INTEGER = (Onion.EQ, Onion.ORD, Onion.ADD)
+ONIONS_FOR_TEXT = (Onion.EQ, Onion.ORD, Onion.SEARCH)
+ONIONS_FOR_BINARY = (Onion.EQ,)
+
+# The onion and minimum layer needed to evaluate each computation class.
+_REQUIREMENTS: dict[ComputationClass, Optional[tuple[Onion, EncryptionScheme]]] = {
+    ComputationClass.NONE: None,
+    ComputationClass.EQUALITY: (Onion.EQ, EncryptionScheme.DET),
+    ComputationClass.EQUI_JOIN: (Onion.EQ, EncryptionScheme.JOIN),
+    ComputationClass.ORDER: (Onion.ORD, EncryptionScheme.OPE),
+    ComputationClass.RANGE_JOIN: (Onion.ORD, EncryptionScheme.OPE_JOIN),
+    ComputationClass.ADDITION: (Onion.ADD, EncryptionScheme.HOM),
+    ComputationClass.WORD_SEARCH: (Onion.SEARCH, EncryptionScheme.SEARCH),
+}
+
+
+def requirement_for(computation: ComputationClass) -> Optional[tuple[Onion, EncryptionScheme]]:
+    """Return the (onion, layer) a computation class needs, or None."""
+    if computation is ComputationClass.PLAINTEXT:
+        raise ProxyError("plaintext computations cannot be satisfied by any onion layer")
+    return _REQUIREMENTS[computation]
+
+
+def layer_index(onion: Onion, layer: EncryptionScheme) -> int:
+    """Position of a layer within its onion (0 = outermost)."""
+    layers = ONION_LAYERS[onion]
+    if layer not in layers:
+        raise ProxyError(f"layer {layer.value} is not part of onion {onion.value}")
+    return layers.index(layer)
+
+
+def is_at_least(current: EncryptionScheme, needed: EncryptionScheme, onion: Onion) -> bool:
+    """True when the onion, currently at ``current``, already allows ``needed``.
+
+    An onion allows a computation when it has been peeled *to or past* the
+    required layer (a lower, less-secure layer still supports the operations
+    of the layers above it for DET/JOIN, but not in general -- the check is
+    simply positional within the onion's layer list).
+    """
+    return layer_index(onion, current) >= layer_index(onion, needed)

@@ -1,0 +1,34 @@
+"""A pass-through proxy: the "MySQL+proxy" baseline of Figure 14.
+
+The paper separates the overhead of simply interposing MySQL proxy (parsing
+and forwarding every query) from the overhead of CryptDB's cryptography.
+``PassthroughProxy`` does the same: it parses each statement, re-serialises
+it to SQL, and executes it against the DBMS without any encryption.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.sql import ast_nodes as ast
+from repro.sql.engine import Database
+from repro.sql.executor import ResultSet
+from repro.sql.parser import parse_sql
+
+
+class PassthroughProxy:
+    """Parses and forwards queries unchanged (no encryption)."""
+
+    def __init__(self, db: Database | None = None):
+        self.db = db if db is not None else Database()
+        self.queries_forwarded = 0
+
+    def execute(self, sql_or_statement: Union[str, ast.Statement]) -> ResultSet:
+        statement = (
+            parse_sql(sql_or_statement)
+            if isinstance(sql_or_statement, str)
+            else sql_or_statement
+        )
+        # Round-trip through SQL text, as MySQL proxy's Lua layer does.
+        self.queries_forwarded += 1
+        return self.db.execute(parse_sql(statement.to_sql()))

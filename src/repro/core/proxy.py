@@ -1,0 +1,283 @@
+"""The CryptDB database proxy (single-principal mode, threat 1).
+
+The proxy intercepts every SQL statement the application issues, rewrites it
+to execute over encrypted data, forwards it (together with any onion
+adjustment UPDATEs) to the unmodified DBMS, and decrypts the results.  It
+holds the master key MK, the plaintext schema, and the current onion level of
+every column; the DBMS only ever sees anonymised identifiers, ciphertexts and
+CryptDB's UDFs (Figure 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.core import udfs
+from repro.core.cache import CiphertextCache
+from repro.core.encryptor import Encryptor
+from repro.core.joins import JoinManager
+from repro.core.onion import Onion, SecurityLevel
+from repro.core.rewriter import RewritePlan, Rewriter
+from repro.core.results import decrypt_results
+from repro.core.schema import ProxySchema
+from repro.core.training import TrainingReport, build_report
+from repro.crypto.keys import KeyManager, MasterKey
+from repro.crypto.paillier import PaillierKeyPair
+from repro.errors import ProxyError, UnsupportedQueryError
+from repro.sql import ast_nodes as ast
+from repro.sql.engine import Database
+from repro.sql.executor import ResultSet
+from repro.sql.parser import parse_sql
+
+# A modest default keeps pure-Python Paillier fast; the paper uses 1024-bit
+# moduli (2048-bit ciphertexts), which callers can request explicitly.
+DEFAULT_PAILLIER_BITS = 1024
+
+
+@dataclass
+class ProxyStatistics:
+    """Operational counters exposed for the evaluation benchmarks."""
+
+    queries_processed: int = 0
+    queries_rewritten: int = 0
+    onion_adjustments: int = 0
+    unsupported_queries: int = 0
+    proxy_time_seconds: float = 0.0
+    server_time_seconds: float = 0.0
+    per_query_type_seconds: dict[str, list] = field(default_factory=dict)
+
+
+class CryptDBProxy:
+    """Single-principal CryptDB proxy in front of an (unmodified) DBMS."""
+
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        master_key: Optional[MasterKey] = None,
+        paillier_bits: int = DEFAULT_PAILLIER_BITS,
+        paillier: Optional[PaillierKeyPair] = None,
+        anonymize_names: bool = True,
+        in_proxy_processing: bool = False,
+        use_ciphertext_cache: bool = True,
+        hom_precompute: int = 256,
+    ):
+        self.db = db if db is not None else Database()
+        self.master_key = master_key if master_key is not None else MasterKey.generate()
+        self.keys = KeyManager(self.master_key)
+        self.paillier = paillier if paillier is not None else PaillierKeyPair.generate(paillier_bits)
+        self.joins = JoinManager(self.master_key.material)
+        self.encryptor = Encryptor(
+            self.keys, self.joins, self.paillier, use_ope_cache=use_ciphertext_cache
+        )
+        self.schema = ProxySchema(anonymize_names=anonymize_names)
+        self.rewriter = Rewriter(
+            self.schema, self.encryptor, self.joins, in_proxy_processing=in_proxy_processing
+        )
+        self.cache = CiphertextCache(self.paillier, enabled=use_ciphertext_cache)
+        if use_ciphertext_cache and hom_precompute:
+            self.cache.precompute_hom(hom_precompute)
+        self.stats = ProxyStatistics()
+        self._unsupported_log: list[str] = []
+        self._training = False
+        udfs.install_udfs(self.db, self.paillier.public)
+
+    # ------------------------------------------------------------------
+    # schema management
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        sql_or_statement: Union[str, ast.CreateTable],
+        plaintext_columns: Optional[Iterable[str]] = None,
+        sensitive_columns: Optional[Iterable[str]] = None,
+        minimum_levels: Optional[dict[str, SecurityLevel]] = None,
+    ) -> None:
+        """Create an application table; the DBMS receives the anonymised layout.
+
+        ``plaintext_columns`` implements the §3.5.2 developer annotation that
+        leaves non-sensitive fields unencrypted; ``minimum_levels`` implements
+        the §3.5.1 minimum-onion-layer constraint; ``sensitive_columns`` only
+        tags columns for the security analysis.
+        """
+        statement = (
+            parse_sql(sql_or_statement) if isinstance(sql_or_statement, str) else sql_or_statement
+        )
+        if not isinstance(statement, ast.CreateTable):
+            raise ProxyError("create_table expects a CREATE TABLE statement")
+        table_meta = self.schema.add_table(
+            statement.table,
+            statement.columns,
+            plaintext_columns=set(plaintext_columns or ()),
+            sensitive_columns=set(sensitive_columns or ()),
+            minimum_levels=dict(minimum_levels or {}),
+        )
+        for column_def in statement.columns:
+            column = table_meta.column(column_def.name)
+            if not column.plaintext:
+                self.joins.register_column(column.table, column.name)
+        anon_columns = self._anonymized_columns(statement)
+        self.db.execute(ast.CreateTable(table_meta.anon_name, anon_columns, statement.if_not_exists))
+
+    def _anonymized_columns(self, statement: ast.CreateTable):
+        from repro.sql.types import BIGINT, BLOB, ColumnDef
+
+        table_meta = self.schema.table(statement.table)
+        anon_columns: list[ColumnDef] = []
+        for column_def in statement.columns:
+            column = table_meta.column(column_def.name)
+            if column.plaintext:
+                anon_columns.append(ColumnDef(column_def.name, column_def.data_type))
+                continue
+            for onion, state in column.onions.items():
+                if onion in (Onion.EQ, Onion.SEARCH):
+                    anon_columns.append(ColumnDef(state.anon_name, BLOB()))
+                elif onion is Onion.ORD:
+                    anon_columns.append(ColumnDef(state.anon_name, BIGINT()))
+                elif onion is Onion.ADD:
+                    anon_columns.append(ColumnDef(state.anon_name, BLOB()))
+            anon_columns.append(ColumnDef(column.iv_column, BLOB()))
+        return anon_columns
+
+    def create_index(self, table: str, column: str) -> None:
+        """Create indexes over the column's DET/JOIN and OPE onions (§3.3)."""
+        column_meta = self.schema.column(table, column)
+        anon_table = self.db.table(self.schema.table(table).anon_name)
+        if column_meta.plaintext:
+            anon_table.create_index(column)
+            return
+        if column_meta.has_onion(Onion.EQ):
+            anon_table.create_index(column_meta.onion_state(Onion.EQ).anon_name)
+        if column_meta.has_onion(Onion.ORD):
+            anon_table.create_index(column_meta.onion_state(Onion.ORD).anon_name, ordered=True)
+
+    def declare_range_join(self, columns: list[tuple[str, str]], group: str = "default") -> None:
+        """Declare ahead of time that columns will be range-joined (§3.4).
+
+        All declared columns share one OPE key; must be called before data is
+        inserted into those columns.
+        """
+        for table, column in columns:
+            self.schema.column(table, column).ope_join_group = group
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def execute(self, sql_or_statement: Union[str, ast.Statement]) -> ResultSet:
+        """Execute one application statement over encrypted data."""
+        statement = (
+            parse_sql(sql_or_statement)
+            if isinstance(sql_or_statement, str)
+            else sql_or_statement
+        )
+        self.stats.queries_processed += 1
+
+        if isinstance(statement, ast.CreateTable):
+            self.create_table(statement)
+            return ResultSet([], [], 0)
+        if isinstance(statement, ast.CreateIndex):
+            for column in statement.columns:
+                self.create_index(statement.table, column)
+            return ResultSet([], [], 0)
+        if isinstance(statement, ast.DropTable):
+            if self.schema.has_table(statement.table):
+                anon = self.schema.table(statement.table).anon_name
+                self.schema.tables.pop(statement.table)
+                return self.db.execute(ast.DropTable(anon, statement.if_exists))
+            return self.db.execute(statement)
+
+        proxy_start = time.perf_counter()
+        try:
+            plan = self.rewriter.rewrite(statement)
+        except UnsupportedQueryError as exc:
+            self.stats.unsupported_queries += 1
+            self._unsupported_log.append(str(exc))
+            raise
+        self.stats.queries_rewritten += 1
+        self.stats.onion_adjustments = self.rewriter.onion_adjustments
+        self.record_computations(plan)
+        rewrite_time = time.perf_counter() - proxy_start
+
+        server_time = 0.0
+        # Onion adjustments run inside a transaction so concurrent readers
+        # never observe a half-adjusted column (§3.2).
+        if plan.adjustments:
+            adjust_start = time.perf_counter()
+            own_transaction = not self.db.transactions.in_transaction
+            if own_transaction:
+                self.db.execute(ast.Begin())
+            for adjustment in plan.adjustments:
+                self.db.execute(adjustment)
+            if own_transaction:
+                self.db.execute(ast.Commit())
+            server_time += time.perf_counter() - adjust_start
+
+        execute_start = time.perf_counter()
+        server_result = self.db.execute(plan.statement)
+        server_time += time.perf_counter() - execute_start
+
+        decrypt_start = time.perf_counter()
+        if isinstance(statement, ast.Select):
+            result = decrypt_results(plan, server_result, self.encryptor)
+        else:
+            result = ResultSet([], [], server_result.rowcount)
+        decrypt_time = time.perf_counter() - decrypt_start
+
+        self.stats.proxy_time_seconds += rewrite_time + decrypt_time
+        self.stats.server_time_seconds += server_time
+        return result
+
+    # ------------------------------------------------------------------
+    # training mode (§3.5.1) and reporting
+    # ------------------------------------------------------------------
+    def train(self, queries: Iterable[Union[str, ast.Statement]]) -> TrainingReport:
+        """Replay a trace of queries, adjusting onions, and report the outcome.
+
+        Unsupported queries are collected as warnings instead of being raised,
+        exactly as the paper's training mode does.
+        """
+        self._training = True
+        try:
+            for query in queries:
+                try:
+                    self.execute(query)
+                except UnsupportedQueryError:
+                    continue
+        finally:
+            self._training = False
+        return self.report()
+
+    def report(self) -> TrainingReport:
+        """The current steady-state onion levels of every managed column."""
+        computations: dict = {}
+        # Accumulate per-column computations observed across all rewrites.
+        for (table, column), classes in self._accumulated_computations.items():
+            computations[(table, column)] = classes
+        return build_report(self.schema, computations, self._unsupported_log)
+
+    @property
+    def _accumulated_computations(self):
+        # The rewriter records computations per plan; the proxy aggregates them
+        # lazily by re-walking plans is expensive, so the rewriter exposes a
+        # cumulative map instead.
+        if not hasattr(self, "_computation_log"):
+            self._computation_log = {}
+        return self._computation_log
+
+    def record_computations(self, plan: RewritePlan) -> None:
+        for key, classes in plan.computations.items():
+            self._accumulated_computations.setdefault(key, set()).update(classes)
+
+    # ------------------------------------------------------------------
+    # storage / security statistics used by the evaluation
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Total size of the encrypted database (for §8.4.3)."""
+        return self.db.storage_bytes()
+
+    def min_enc(self, table: str, column: str) -> SecurityLevel:
+        """MinEnc of a column (§8.3)."""
+        return self.schema.column(table, column).min_enc()
+
+    def onion_level(self, table: str, column: str, onion: Onion) -> str:
+        return self.schema.column(table, column).onion_state(onion).level.value

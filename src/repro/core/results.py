@@ -1,0 +1,68 @@
+"""Result-set decryption: step 4 of CryptDB's query processing.
+
+The DBMS returns encrypted rows; the proxy walks the rewrite plan's output
+specifications, decrypts each value with the corresponding onion keys
+(requesting the per-row IV columns the rewriter appended when the Eq onion
+was still at RND), recombines AVG from its SUM and COUNT components, applies
+any in-proxy ordering, and returns plaintext rows under the application's
+original column names.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.encryptor import Encryptor
+from repro.core.rewriter import OutputSpec, RewritePlan
+from repro.sql.executor import ResultSet
+
+
+def decrypt_results(
+    plan: RewritePlan, server_result: ResultSet, encryptor: Encryptor
+) -> ResultSet:
+    """Decrypt a server result set according to the rewrite plan."""
+    if not plan.output:
+        return ResultSet([], [], server_result.rowcount)
+
+    columns = [spec.name for spec in plan.output]
+    rows: list[tuple] = []
+    for server_row in server_result.rows:
+        row = tuple(_decrypt_cell(spec, server_row, encryptor) for spec in plan.output)
+        rows.append(row)
+
+    if plan.proxy_order:
+        rows = _proxy_sort(rows, plan.proxy_order)
+
+    return ResultSet(columns, rows, len(rows))
+
+
+def _decrypt_cell(spec: OutputSpec, server_row: tuple, encryptor: Encryptor) -> Any:
+    value = server_row[spec.source_index]
+    if spec.kind == "plain":
+        return value
+    if spec.kind == "column":
+        iv = server_row[spec.iv_index] if spec.iv_index is not None else None
+        return encryptor.decrypt_value(spec.column, spec.onion, spec.level, value, iv)
+    if spec.kind == "hom_sum":
+        return encryptor.decrypt_hom_sum(spec.column, value)
+    if spec.kind == "avg":
+        total = encryptor.decrypt_hom_sum(spec.column, value)
+        count = server_row[spec.extra_index]
+        if not count:
+            return None
+        return total / count
+    if spec.kind == "ope_agg":
+        return encryptor.decrypt_value(spec.column, spec.onion, spec.level, value, None)
+    raise ValueError(f"unknown output spec kind {spec.kind}")
+
+
+def _proxy_sort(rows: list[tuple], order: list[tuple[int, bool]]) -> list[tuple]:
+    """In-proxy ORDER BY (§3.5.1), applied after decryption."""
+    ordered = list(rows)
+    # Apply sort keys from the least significant to the most significant.
+    for index, ascending in reversed(order):
+        ordered.sort(
+            key=lambda row: (row[index] is None, row[index]),
+            reverse=not ascending,
+        )
+    return ordered

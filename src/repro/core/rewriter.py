@@ -1,0 +1,865 @@
+"""Query analysis and rewriting onto encrypted onions (§3.2, §3.3).
+
+For every incoming statement the rewriter:
+
+1. determines the computation classes each referenced column requires;
+2. produces the onion-adjustment UPDATE statements (server-side UDF calls)
+   needed to bring columns to the required layers;
+3. rewrites the statement itself: table and column names are replaced by
+   their anonymised counterparts, constants by onion encryptions, LIKE by
+   SEARCH-token UDF calls, SUM by the Paillier UDF aggregate, and equi-joins
+   by comparisons over the JOIN-ADJ components;
+4. emits a decryption plan describing how the proxy should decrypt the
+   result set before returning it to the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core import udfs
+from repro.core.encryptor import Encryptor
+from repro.core.joins import JoinManager
+from repro.core.onion import (
+    ComputationClass,
+    EncryptionScheme,
+    Onion,
+    is_at_least,
+    requirement_for,
+)
+from repro.core.schema import ColumnMeta, ProxySchema, TableMeta
+from repro.errors import ProxyError, UnsupportedQueryError
+from repro.sql import ast_nodes as ast
+
+
+@dataclass
+class OutputSpec:
+    """How one output column of a rewritten SELECT must be post-processed."""
+
+    kind: str                      # plain | column | hom_sum | ope_agg | avg
+    name: str
+    source_index: int
+    column: Optional[ColumnMeta] = None
+    onion: Optional[Onion] = None
+    level: Optional[EncryptionScheme] = None
+    iv_index: Optional[int] = None
+    extra_index: Optional[int] = None
+
+
+@dataclass
+class RewritePlan:
+    """Everything the proxy needs to execute one application statement."""
+
+    statement: Optional[ast.Statement]
+    adjustments: list[ast.Statement] = field(default_factory=list)
+    output: list[OutputSpec] = field(default_factory=list)
+    computations: dict[tuple[str, str], set[ComputationClass]] = field(default_factory=dict)
+    proxy_order: list[tuple[int, bool]] = field(default_factory=list)
+    passthrough: bool = False
+
+
+class _Scope:
+    """Column resolution for the tables appearing in one statement."""
+
+    def __init__(self, schema: ProxySchema):
+        self.schema = schema
+        self.entries: list[tuple[str, TableMeta, Optional[str]]] = []
+        # entries: (qualifier used in the query, table meta, alias or None)
+
+    def add(self, table_name: str, alias: Optional[str]) -> None:
+        meta = self.schema.table(table_name)
+        qualifier = alias or table_name
+        self.entries.append((qualifier, meta, alias))
+
+    def rewritten_qualifier(self, qualifier: str) -> str:
+        for existing, meta, alias in self.entries:
+            if existing == qualifier:
+                return alias or meta.anon_name
+        raise ProxyError(f"unknown table or alias {qualifier}")
+
+    def resolve(self, ref: ast.ColumnRef) -> Optional[tuple[ColumnMeta, str]]:
+        """Resolve a column reference to its metadata and rewritten qualifier."""
+        if ref.table is not None:
+            for qualifier, meta, alias in self.entries:
+                if qualifier == ref.table:
+                    if meta.has_column(ref.name):
+                        return meta.column(ref.name), (alias or meta.anon_name)
+                    raise ProxyError(f"table {meta.name} has no column {ref.name}")
+            raise ProxyError(f"unknown table or alias {ref.table}")
+        matches = []
+        for qualifier, meta, alias in self.entries:
+            if meta.has_column(ref.name):
+                matches.append((meta.column(ref.name), alias or meta.anon_name))
+        if not matches:
+            raise ProxyError(f"unknown column {ref.name}")
+        if len(matches) > 1:
+            raise ProxyError(f"ambiguous column {ref.name}")
+        return matches[0]
+
+    def all_columns(self, table_filter: Optional[str] = None) -> list[tuple[ColumnMeta, str]]:
+        columns = []
+        for qualifier, meta, alias in self.entries:
+            if table_filter is not None and qualifier != table_filter:
+                continue
+            for name in meta.column_names():
+                columns.append((meta.column(name), alias or meta.anon_name))
+        return columns
+
+
+class Rewriter:
+    """Rewrites application statements into their encrypted form."""
+
+    def __init__(
+        self,
+        schema: ProxySchema,
+        encryptor: Encryptor,
+        joins: JoinManager,
+        in_proxy_processing: bool = False,
+    ):
+        self.schema = schema
+        self.encryptor = encryptor
+        self.joins = joins
+        self.in_proxy_processing = in_proxy_processing
+        self.onion_adjustments = 0
+
+    # ==================================================================
+    # public entry point
+    # ==================================================================
+    def rewrite(self, statement: ast.Statement) -> RewritePlan:
+        if isinstance(statement, (ast.Begin, ast.Commit, ast.Rollback)):
+            return RewritePlan(statement=statement, passthrough=True)
+        if isinstance(statement, ast.Select):
+            return self._rewrite_select(statement)
+        if isinstance(statement, ast.Insert):
+            return self._rewrite_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._rewrite_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._rewrite_delete(statement)
+        raise UnsupportedQueryError(
+            f"statement type {type(statement).__name__} must be handled by the proxy directly"
+        )
+
+    # ==================================================================
+    # requirement tracking / onion adjustment
+    # ==================================================================
+    def _record(self, plan: RewritePlan, column: ColumnMeta, computation: ComputationClass) -> None:
+        plan.computations.setdefault((column.table, column.name), set()).add(computation)
+
+    def _require(
+        self,
+        plan: RewritePlan,
+        column: ColumnMeta,
+        computation: ComputationClass,
+    ) -> tuple[Onion, EncryptionScheme]:
+        """Ensure the column can support ``computation``; emit adjustments.
+
+        Returns the onion and the layer the column will be at when the
+        rewritten query executes.
+        """
+        self._record(plan, column, computation)
+        if column.plaintext:
+            raise ProxyError(f"column {column.table}.{column.name} is stored in plaintext")
+        requirement = requirement_for(computation)
+        if requirement is None:
+            # Projection only: read the Eq onion at whatever level it is.
+            state = column.onion_state(Onion.EQ)
+            return Onion.EQ, state.level
+        onion, needed = requirement
+        if not column.has_onion(onion):
+            raise UnsupportedQueryError(
+                f"column {column.table}.{column.name} has no {onion.value} onion "
+                f"(needed for {computation.value})"
+            )
+        state = column.onion_state(onion)
+        if is_at_least(state.level, needed, onion):
+            return onion, state.level
+        if not column.allows_level(onion, needed):
+            raise UnsupportedQueryError(
+                f"developer policy forbids lowering {column.table}.{column.name} "
+                f"to {needed.value}"
+            )
+        removed = self.schema.lower_onion(column.table, column.name, onion, needed)
+        for layer in removed:
+            update = self._adjustment_update(column, onion, layer)
+            if update is not None:
+                plan.adjustments.append(update)
+                self.onion_adjustments += 1
+        return onion, needed
+
+    def _adjustment_update(
+        self, column: ColumnMeta, onion: Onion, removed_layer: EncryptionScheme
+    ) -> Optional[ast.Statement]:
+        """The UPDATE ... SET col = UDF(...) statement stripping one layer."""
+        table_meta = self.schema.table(column.table)
+        state = column.onion_state(onion)
+        anon_col = ast.ColumnRef(state.anon_name)
+        if removed_layer is EncryptionScheme.RND:
+            key = self.encryptor.layer_key(column, onion, EncryptionScheme.RND)
+            udf_name = udfs.DECRYPT_RND_EQ if onion is Onion.EQ else udfs.DECRYPT_RND_ORD
+            call = ast.FunctionCall(
+                udf_name,
+                [ast.Literal(key), anon_col, ast.ColumnRef(column.iv_column)],
+            )
+        elif removed_layer is EncryptionScheme.DET:
+            key = self.encryptor.layer_key(column, onion, EncryptionScheme.DET)
+            call = ast.FunctionCall(udfs.DECRYPT_DET_EQ, [ast.Literal(key), anon_col])
+        elif removed_layer is EncryptionScheme.OPE:
+            # OPE -> OPE-JOIN is a key-sharing policy change, not a physical layer.
+            return None
+        else:
+            raise ProxyError(f"cannot strip layer {removed_layer.value}")
+        return ast.Update(table_meta.anon_name, [(state.anon_name, call)], None)
+
+    def _require_join(
+        self, plan: RewritePlan, left: ColumnMeta, right: ColumnMeta
+    ) -> None:
+        """Bring two columns to the JOIN layer and make their keys match."""
+        self._require(plan, left, ComputationClass.EQUI_JOIN)
+        self._require(plan, right, ComputationClass.EQUI_JOIN)
+        adjustments = self.joins.ensure_joinable(
+            (left.table, left.name), (right.table, right.name)
+        )
+        for adjustment in adjustments:
+            column = self.schema.column(adjustment.table, adjustment.column)
+            table_meta = self.schema.table(adjustment.table)
+            state = column.onion_state(Onion.EQ)
+            delta_bytes = adjustment.delta.to_bytes(32, "big")
+            call = ast.FunctionCall(
+                udfs.JOIN_ADJUST,
+                [ast.ColumnRef(state.anon_name), ast.Literal(delta_bytes)],
+            )
+            plan.adjustments.append(
+                ast.Update(table_meta.anon_name, [(state.anon_name, call)], None)
+            )
+            self.onion_adjustments += 1
+
+    # ==================================================================
+    # expression rewriting (predicates)
+    # ==================================================================
+    def _rewrite_predicate(
+        self, expr: ast.Expression, scope: _Scope, plan: RewritePlan
+    ) -> ast.Expression:
+        if isinstance(expr, ast.BinaryOp) and expr.op in ("AND", "OR"):
+            return ast.BinaryOp(
+                expr.op,
+                self._rewrite_predicate(expr.left, scope, plan),
+                self._rewrite_predicate(expr.right, scope, plan),
+            )
+        if isinstance(expr, ast.UnaryOp) and expr.op == "NOT":
+            return ast.UnaryOp("NOT", self._rewrite_predicate(expr.operand, scope, plan))
+        if isinstance(expr, ast.BinaryOp) and expr.op in ("=", "!=", "<", "<=", ">", ">="):
+            return self._rewrite_comparison(expr, scope, plan)
+        if isinstance(expr, ast.InList):
+            return self._rewrite_in(expr, scope, plan)
+        if isinstance(expr, ast.Between):
+            return self._rewrite_between(expr, scope, plan)
+        if isinstance(expr, ast.Like):
+            return self._rewrite_like(expr, scope, plan)
+        if isinstance(expr, ast.IsNull):
+            return self._rewrite_is_null(expr, scope, plan)
+        if isinstance(expr, ast.Literal):
+            return expr
+        if isinstance(expr, ast.FunctionCall):
+            return self._rewrite_count_predicate(expr, scope, plan)
+        raise UnsupportedQueryError(
+            f"predicate {expr.to_sql()} cannot be evaluated over encrypted data"
+        )
+
+    def _resolve_or_none(
+        self, expr: ast.Expression, scope: _Scope
+    ) -> Optional[tuple[ColumnMeta, str]]:
+        if isinstance(expr, ast.ColumnRef):
+            return scope.resolve(expr)
+        return None
+
+    def _rewrite_comparison(
+        self, expr: ast.BinaryOp, scope: _Scope, plan: RewritePlan
+    ) -> ast.Expression:
+        left_col = self._resolve_or_none(expr.left, scope)
+        right_col = self._resolve_or_none(expr.right, scope)
+
+        # column vs column: equi-join (or range join).
+        if left_col is not None and right_col is not None:
+            left_meta, left_qual = left_col
+            right_meta, right_qual = right_col
+            if left_meta.plaintext and right_meta.plaintext:
+                return ast.BinaryOp(
+                    expr.op,
+                    ast.ColumnRef(left_meta.name, left_qual),
+                    ast.ColumnRef(right_meta.name, right_qual),
+                )
+            if expr.op != "=":
+                return self._rewrite_range_join(expr, left_col, right_col, plan)
+            self._record(plan, left_meta, ComputationClass.EQUI_JOIN)
+            self._record(plan, right_meta, ComputationClass.EQUI_JOIN)
+            self._require_join(plan, left_meta, right_meta)
+            left_ref = ast.ColumnRef(left_meta.onion_state(Onion.EQ).anon_name, left_qual)
+            right_ref = ast.ColumnRef(right_meta.onion_state(Onion.EQ).anon_name, right_qual)
+            return ast.BinaryOp(
+                "=",
+                ast.FunctionCall(udfs.ADJ_PART, [left_ref]),
+                ast.FunctionCall(udfs.ADJ_PART, [right_ref]),
+            )
+
+        # column vs constant.
+        column_side = left_col or right_col
+        if column_side is None:
+            if any(isinstance(node, ast.ColumnRef) for node in ast.walk_expression(expr)):
+                # A function call or arithmetic over a column inside a
+                # predicate: this is the "needs plaintext" class of Figure 9.
+                for node in ast.walk_expression(expr):
+                    if isinstance(node, ast.ColumnRef):
+                        resolved = scope.resolve(node)
+                        self._record(plan, resolved[0], ComputationClass.PLAINTEXT)
+                raise UnsupportedQueryError(
+                    f"predicate {expr.to_sql()} requires computation on an encrypted "
+                    "column and cannot run on the DBMS server"
+                )
+            # constant vs constant: leave untouched.
+            return expr
+        column, qualifier = column_side
+        constant_expr = expr.right if left_col is not None else expr.left
+        if not isinstance(constant_expr, ast.Literal):
+            raise UnsupportedQueryError(
+                f"predicate {expr.to_sql()} mixes computation and comparison on a column"
+            )
+        if column.plaintext:
+            new_ref = ast.ColumnRef(column.name, qualifier)
+            if left_col is not None:
+                return ast.BinaryOp(expr.op, new_ref, constant_expr)
+            return ast.BinaryOp(expr.op, constant_expr, new_ref)
+
+        if expr.op in ("=", "!="):
+            onion, level = self._require(plan, column, ComputationClass.EQUALITY)
+        else:
+            onion, level = self._require(plan, column, ComputationClass.ORDER)
+        encrypted = ast.Literal(
+            self.encryptor.encrypt_constant(column, onion, level, constant_expr.value)
+        )
+        new_ref = ast.ColumnRef(column.onion_state(onion).anon_name, qualifier)
+        if left_col is not None:
+            return ast.BinaryOp(expr.op, new_ref, encrypted)
+        return ast.BinaryOp(expr.op, encrypted, new_ref)
+
+    def _rewrite_range_join(
+        self,
+        expr: ast.BinaryOp,
+        left_col: tuple[ColumnMeta, str],
+        right_col: tuple[ColumnMeta, str],
+        plan: RewritePlan,
+    ) -> ast.Expression:
+        left_meta, left_qual = left_col
+        right_meta, right_qual = right_col
+        self._record(plan, left_meta, ComputationClass.RANGE_JOIN)
+        self._record(plan, right_meta, ComputationClass.RANGE_JOIN)
+        if (
+            left_meta.ope_join_group is None
+            or left_meta.ope_join_group != right_meta.ope_join_group
+        ):
+            raise UnsupportedQueryError(
+                "range joins require the columns to be declared joinable ahead of "
+                "time (declare_range_join), as OPE keys cannot be adjusted at runtime"
+            )
+        self._require(plan, left_meta, ComputationClass.ORDER)
+        self._require(plan, right_meta, ComputationClass.ORDER)
+        return ast.BinaryOp(
+            expr.op,
+            ast.ColumnRef(left_meta.onion_state(Onion.ORD).anon_name, left_qual),
+            ast.ColumnRef(right_meta.onion_state(Onion.ORD).anon_name, right_qual),
+        )
+
+    def _rewrite_in(self, expr: ast.InList, scope: _Scope, plan: RewritePlan) -> ast.Expression:
+        resolved = self._resolve_or_none(expr.expr, scope)
+        if resolved is None:
+            raise UnsupportedQueryError("IN requires a plain column on its left side")
+        column, qualifier = resolved
+        if column.plaintext:
+            return ast.InList(ast.ColumnRef(column.name, qualifier), expr.items, expr.negated)
+        onion, level = self._require(plan, column, ComputationClass.EQUALITY)
+        items = []
+        for item in expr.items:
+            if not isinstance(item, ast.Literal):
+                raise UnsupportedQueryError("IN list items must be constants")
+            items.append(
+                ast.Literal(self.encryptor.encrypt_constant(column, onion, level, item.value))
+            )
+        return ast.InList(
+            ast.ColumnRef(column.onion_state(onion).anon_name, qualifier), items, expr.negated
+        )
+
+    def _rewrite_between(self, expr: ast.Between, scope: _Scope, plan: RewritePlan) -> ast.Expression:
+        resolved = self._resolve_or_none(expr.expr, scope)
+        if resolved is None:
+            raise UnsupportedQueryError("BETWEEN requires a plain column")
+        column, qualifier = resolved
+        if column.plaintext:
+            return ast.Between(ast.ColumnRef(column.name, qualifier), expr.low, expr.high, expr.negated)
+        if not isinstance(expr.low, ast.Literal) or not isinstance(expr.high, ast.Literal):
+            raise UnsupportedQueryError("BETWEEN bounds must be constants")
+        onion, level = self._require(plan, column, ComputationClass.ORDER)
+        return ast.Between(
+            ast.ColumnRef(column.onion_state(onion).anon_name, qualifier),
+            ast.Literal(self.encryptor.encrypt_constant(column, onion, level, expr.low.value)),
+            ast.Literal(self.encryptor.encrypt_constant(column, onion, level, expr.high.value)),
+            expr.negated,
+        )
+
+    def _rewrite_like(self, expr: ast.Like, scope: _Scope, plan: RewritePlan) -> ast.Expression:
+        resolved = self._resolve_or_none(expr.expr, scope)
+        if resolved is None:
+            raise UnsupportedQueryError("LIKE requires a plain column")
+        if not isinstance(expr.pattern, ast.Literal) or not isinstance(expr.pattern.value, str):
+            raise UnsupportedQueryError(
+                "LIKE with a non-constant pattern cannot run over encrypted data"
+            )
+        column, qualifier = resolved
+        pattern = expr.pattern.value
+        if column.plaintext:
+            return ast.Like(ast.ColumnRef(column.name, qualifier), expr.pattern, expr.negated)
+        stripped = pattern.strip("%").strip()
+        if "%" in stripped or "_" in stripped or not stripped:
+            self._record(plan, column, ComputationClass.PLAINTEXT)
+            raise UnsupportedQueryError(
+                f"LIKE pattern {pattern!r} is not a full-word search; SEARCH supports "
+                "only full keywords (§3.1)"
+            )
+        if not pattern.startswith("%") and not pattern.endswith("%"):
+            # No wildcards at all: this is an equality check.
+            onion, level = self._require(plan, column, ComputationClass.EQUALITY)
+            encrypted = ast.Literal(
+                self.encryptor.encrypt_constant(column, onion, level, stripped)
+            )
+            ref = ast.ColumnRef(column.onion_state(onion).anon_name, qualifier)
+            comparison = ast.BinaryOp("=", ref, encrypted)
+            return ast.UnaryOp("NOT", comparison) if expr.negated else comparison
+        onion, _level = self._require(plan, column, ComputationClass.WORD_SEARCH)
+        token = self.encryptor.search_token(column, stripped)
+        call = ast.FunctionCall(
+            udfs.SEARCH_MATCH,
+            [
+                ast.ColumnRef(column.onion_state(Onion.SEARCH).anon_name, qualifier),
+                ast.Literal(token.left),
+                ast.Literal(token.right),
+                ast.Literal(token.prf_key),
+            ],
+        )
+        return ast.UnaryOp("NOT", call) if expr.negated else call
+
+    def _rewrite_is_null(self, expr: ast.IsNull, scope: _Scope, plan: RewritePlan) -> ast.Expression:
+        resolved = self._resolve_or_none(expr.expr, scope)
+        if resolved is None:
+            raise UnsupportedQueryError("IS NULL requires a plain column")
+        column, qualifier = resolved
+        self._record(plan, column, ComputationClass.NONE)
+        if column.plaintext:
+            return ast.IsNull(ast.ColumnRef(column.name, qualifier), expr.negated)
+        state = column.onion_state(Onion.EQ)
+        return ast.IsNull(ast.ColumnRef(state.anon_name, qualifier), expr.negated)
+
+    def _rewrite_count_predicate(
+        self, expr: ast.FunctionCall, scope: _Scope, plan: RewritePlan
+    ) -> ast.Expression:
+        raise UnsupportedQueryError(
+            f"function {expr.name} in a WHERE clause requires plaintext processing"
+        )
+
+    # ==================================================================
+    # SELECT
+    # ==================================================================
+    def _build_scope(self, from_clause: Optional[ast.FromClause]) -> _Scope:
+        scope = _Scope(self.schema)
+        clause = from_clause
+        stack = []
+        while isinstance(clause, ast.Join):
+            stack.append(clause.right)
+            clause = clause.left
+        if isinstance(clause, ast.TableRef):
+            stack.append(clause)
+        for ref in reversed(stack):
+            scope.add(ref.name, ref.alias)
+        return scope
+
+    def _rewrite_from(
+        self, clause: Optional[ast.FromClause], scope: _Scope, plan: RewritePlan
+    ) -> Optional[ast.FromClause]:
+        if clause is None:
+            return None
+        if isinstance(clause, ast.TableRef):
+            meta = self.schema.table(clause.name)
+            return ast.TableRef(meta.anon_name, clause.alias)
+        if isinstance(clause, ast.Join):
+            left = self._rewrite_from(clause.left, scope, plan)
+            right_meta = self.schema.table(clause.right.name)
+            right = ast.TableRef(right_meta.anon_name, clause.right.alias)
+            condition = None
+            if clause.condition is not None:
+                condition = self._rewrite_predicate(clause.condition, scope, plan)
+            return ast.Join(left, right, condition, clause.join_type)
+        raise ProxyError(f"unsupported FROM clause {clause!r}")
+
+    def _rewrite_select(self, statement: ast.Select) -> RewritePlan:
+        plan = RewritePlan(statement=None)
+        scope = self._build_scope(statement.from_clause)
+
+        new_from = self._rewrite_from(statement.from_clause, scope, plan)
+        new_where = (
+            self._rewrite_predicate(statement.where, scope, plan)
+            if statement.where is not None
+            else None
+        )
+
+        items: list[ast.SelectItem] = []
+        specs: list[OutputSpec] = []
+        iv_requests: dict[tuple[str, str], int] = {}
+
+        def add_item(expr: ast.Expression, name: str) -> int:
+            items.append(ast.SelectItem(expr, None))
+            return len(items) - 1
+
+        for item in statement.items:
+            expr = item.expr
+            label = item.alias or (
+                expr.name if isinstance(expr, ast.ColumnRef) else expr.to_sql()
+            )
+            if isinstance(expr, ast.Star):
+                for column, qualifier in scope.all_columns(expr.table):
+                    specs.append(
+                        self._project_column(column, qualifier, column.name, add_item, plan)
+                    )
+                continue
+            if isinstance(expr, ast.ColumnRef):
+                column, qualifier = scope.resolve(expr)
+                specs.append(self._project_column(column, qualifier, label, add_item, plan))
+                continue
+            if isinstance(expr, ast.Literal):
+                index = add_item(expr, label)
+                specs.append(OutputSpec("plain", label, index))
+                continue
+            if isinstance(expr, ast.FunctionCall):
+                specs.append(
+                    self._project_aggregate(expr, label, scope, plan, add_item)
+                )
+                continue
+            raise UnsupportedQueryError(
+                f"projection {expr.to_sql()} requires computation on encrypted data"
+            )
+
+        # GROUP BY
+        new_group_by: list[ast.Expression] = []
+        for group_expr in statement.group_by:
+            if not isinstance(group_expr, ast.ColumnRef):
+                raise UnsupportedQueryError("GROUP BY supports only plain columns")
+            column, qualifier = scope.resolve(group_expr)
+            if column.plaintext:
+                new_group_by.append(ast.ColumnRef(column.name, qualifier))
+                continue
+            onion, _level = self._require(plan, column, ComputationClass.EQUALITY)
+            new_group_by.append(ast.ColumnRef(column.onion_state(onion).anon_name, qualifier))
+
+        # HAVING (only COUNT comparisons can run over ciphertext).
+        new_having = None
+        if statement.having is not None:
+            new_having = self._rewrite_having(statement.having, scope, plan)
+
+        # ORDER BY
+        new_order: list[ast.OrderItem] = []
+        proxy_order: list[tuple[int, bool]] = []
+        for order in statement.order_by:
+            if not isinstance(order.expr, ast.ColumnRef):
+                raise UnsupportedQueryError("ORDER BY supports only plain columns")
+            column, qualifier = scope.resolve(order.expr)
+            if column.plaintext:
+                new_order.append(ast.OrderItem(ast.ColumnRef(column.name, qualifier), order.ascending))
+                continue
+            output_index = _find_output(specs, column)
+            if (
+                self.in_proxy_processing
+                and statement.limit is None
+                and output_index is not None
+            ):
+                # §3.5.1 in-proxy processing: sort at the proxy instead of
+                # revealing the OPE encryption to the server.
+                self._record(plan, column, ComputationClass.NONE)
+                proxy_order.append((output_index, order.ascending))
+                continue
+            onion, _level = self._require(plan, column, ComputationClass.ORDER)
+            new_order.append(
+                ast.OrderItem(
+                    ast.ColumnRef(column.onion_state(onion).anon_name, qualifier),
+                    order.ascending,
+                )
+            )
+
+        # Later clauses (GROUP BY, ORDER BY) may have lowered an onion that a
+        # projection planned to read at a higher level; the adjustments run
+        # before the rewritten SELECT, so refresh each spec to the level the
+        # data will actually be at when the query executes.
+        for spec in specs:
+            if spec.kind == "column" and spec.onion is not Onion.ADD:
+                spec.level = spec.column.onion_state(spec.onion).level
+
+        # Attach IV columns needed to decrypt RND-level projections.
+        for spec in specs:
+            if spec.kind == "column" and spec.level is EncryptionScheme.RND:
+                assert spec.column is not None
+                key = (spec.column.table, spec.column.name)
+                if key not in iv_requests:
+                    qualifier = _qualifier_of(scope, spec.column)
+                    items.append(
+                        ast.SelectItem(ast.ColumnRef(spec.column.iv_column, qualifier), None)
+                    )
+                    iv_requests[key] = len(items) - 1
+                spec.iv_index = iv_requests[key]
+
+        plan.statement = ast.Select(
+            items=items,
+            from_clause=new_from,
+            where=new_where,
+            group_by=new_group_by,
+            having=new_having,
+            order_by=new_order,
+            limit=statement.limit,
+            offset=statement.offset,
+            distinct=statement.distinct,
+        )
+        plan.output = specs
+        plan.proxy_order = proxy_order
+        return plan
+
+    def _project_column(
+        self,
+        column: ColumnMeta,
+        qualifier: str,
+        label: str,
+        add_item,
+        plan: RewritePlan,
+    ) -> OutputSpec:
+        self._record(plan, column, ComputationClass.NONE)
+        if column.plaintext:
+            index = add_item(ast.ColumnRef(column.name, qualifier), label)
+            return OutputSpec("plain", label, index)
+        if column.hom_stale_others and column.has_onion(Onion.ADD):
+            # §3.3: after HOM increments only the Add onion is up to date.
+            state = column.onion_state(Onion.ADD)
+            index = add_item(ast.ColumnRef(state.anon_name, qualifier), label)
+            return OutputSpec(
+                "column", label, index, column=column, onion=Onion.ADD,
+                level=EncryptionScheme.HOM,
+            )
+        state = column.onion_state(Onion.EQ)
+        index = add_item(ast.ColumnRef(state.anon_name, qualifier), label)
+        return OutputSpec(
+            "column", label, index, column=column, onion=Onion.EQ, level=state.level
+        )
+
+    def _project_aggregate(
+        self,
+        expr: ast.FunctionCall,
+        label: str,
+        scope: _Scope,
+        plan: RewritePlan,
+        add_item,
+    ) -> OutputSpec:
+        name = expr.name.upper()
+        if name == "COUNT":
+            if not expr.args or isinstance(expr.args[0], ast.Star):
+                index = add_item(ast.FunctionCall("COUNT", [ast.Star()]), label)
+                return OutputSpec("plain", label, index)
+            if not isinstance(expr.args[0], ast.ColumnRef):
+                raise UnsupportedQueryError("COUNT supports only plain columns")
+            column, qualifier = scope.resolve(expr.args[0])
+            if column.plaintext:
+                ref = ast.ColumnRef(column.name, qualifier)
+            else:
+                computation = (
+                    ComputationClass.EQUALITY if expr.distinct else ComputationClass.NONE
+                )
+                onion, _ = self._require(plan, column, computation)
+                ref = ast.ColumnRef(column.onion_state(onion).anon_name, qualifier)
+            index = add_item(ast.FunctionCall("COUNT", [ref], expr.distinct), label)
+            return OutputSpec("plain", label, index)
+
+        if name in ("SUM", "AVG", "MIN", "MAX"):
+            if len(expr.args) != 1 or not isinstance(expr.args[0], ast.ColumnRef):
+                raise UnsupportedQueryError(f"{name} supports only a single plain column")
+            column, qualifier = scope.resolve(expr.args[0])
+            if column.plaintext:
+                index = add_item(
+                    ast.FunctionCall(name, [ast.ColumnRef(column.name, qualifier)]), label
+                )
+                return OutputSpec("plain", label, index)
+            if name in ("SUM", "AVG"):
+                onion, _ = self._require(plan, column, ComputationClass.ADDITION)
+                ref = ast.ColumnRef(column.onion_state(Onion.ADD).anon_name, qualifier)
+                index = add_item(ast.FunctionCall(udfs.HOM_SUM, [ref]), label)
+                if name == "SUM":
+                    return OutputSpec("hom_sum", label, index, column=column)
+                count_index = add_item(ast.FunctionCall("COUNT", [ref]), label + "__count")
+                return OutputSpec(
+                    "avg", label, index, column=column, extra_index=count_index
+                )
+            onion, level = self._require(plan, column, ComputationClass.ORDER)
+            ref = ast.ColumnRef(column.onion_state(Onion.ORD).anon_name, qualifier)
+            index = add_item(ast.FunctionCall(name, [ref]), label)
+            return OutputSpec("ope_agg", label, index, column=column, onion=Onion.ORD, level=level)
+
+        raise UnsupportedQueryError(f"aggregate/function {name} is not supported over ciphertext")
+
+    def _rewrite_having(
+        self, expr: ast.Expression, scope: _Scope, plan: RewritePlan
+    ) -> ast.Expression:
+        if isinstance(expr, ast.BinaryOp) and expr.op in ("AND", "OR"):
+            return ast.BinaryOp(
+                expr.op,
+                self._rewrite_having(expr.left, scope, plan),
+                self._rewrite_having(expr.right, scope, plan),
+            )
+        if (
+            isinstance(expr, ast.BinaryOp)
+            and isinstance(expr.left, ast.FunctionCall)
+            and expr.left.name.upper() == "COUNT"
+            and isinstance(expr.right, ast.Literal)
+        ):
+            rewritten_count = self._project_count_for_having(expr.left, scope, plan)
+            return ast.BinaryOp(expr.op, rewritten_count, expr.right)
+        raise UnsupportedQueryError(
+            "HAVING clauses over encrypted data support only COUNT comparisons"
+        )
+
+    def _project_count_for_having(
+        self, expr: ast.FunctionCall, scope: _Scope, plan: RewritePlan
+    ) -> ast.Expression:
+        if not expr.args or isinstance(expr.args[0], ast.Star):
+            return ast.FunctionCall("COUNT", [ast.Star()])
+        column, qualifier = scope.resolve(expr.args[0])
+        if column.plaintext:
+            return ast.FunctionCall("COUNT", [ast.ColumnRef(column.name, qualifier)], expr.distinct)
+        computation = ComputationClass.EQUALITY if expr.distinct else ComputationClass.NONE
+        onion, _ = self._require(plan, column, computation)
+        return ast.FunctionCall(
+            "COUNT", [ast.ColumnRef(column.onion_state(onion).anon_name, qualifier)], expr.distinct
+        )
+
+    # ==================================================================
+    # INSERT / UPDATE / DELETE
+    # ==================================================================
+    def _rewrite_insert(self, statement: ast.Insert) -> RewritePlan:
+        plan = RewritePlan(statement=None)
+        table_meta = self.schema.table(statement.table)
+        columns = statement.columns or table_meta.column_names()
+
+        anon_columns: list[str] = []
+        rows: list[list[ast.Expression]] = []
+        for row_exprs in statement.rows:
+            if len(row_exprs) != len(columns):
+                raise ProxyError("INSERT row length does not match the column list")
+            values: dict[str, Any] = {}
+            for column_name, expr in zip(columns, row_exprs):
+                if not isinstance(expr, ast.Literal):
+                    raise UnsupportedQueryError("INSERT values must be constants")
+                column = table_meta.column(column_name)
+                self._record(plan, column, ComputationClass.NONE)
+                if column.plaintext:
+                    values[column.name] = expr.value
+                else:
+                    values.update(self.encryptor.encrypt_row_value(column, expr.value))
+            if not anon_columns:
+                anon_columns = list(values.keys())
+            rows.append([ast.Literal(values[c]) for c in anon_columns])
+        plan.statement = ast.Insert(table_meta.anon_name, anon_columns, rows)
+        return plan
+
+    def _rewrite_update(self, statement: ast.Update) -> RewritePlan:
+        plan = RewritePlan(statement=None)
+        table_meta = self.schema.table(statement.table)
+        scope = _Scope(self.schema)
+        scope.add(statement.table, None)
+
+        assignments: list[tuple[str, ast.Expression]] = []
+        for column_name, expr in statement.assignments:
+            column = table_meta.column(column_name)
+            if column.plaintext:
+                if not isinstance(expr, ast.Literal):
+                    raise UnsupportedQueryError("updates to plaintext columns must be constants")
+                assignments.append((column.name, expr))
+                continue
+            if isinstance(expr, ast.Literal):
+                self._record(plan, column, ComputationClass.NONE)
+                encrypted = self.encryptor.encrypt_row_value(column, expr.value)
+                assignments.extend((name, ast.Literal(value)) for name, value in encrypted.items())
+                continue
+            increment = _match_increment(expr, column_name)
+            if increment is not None:
+                self._record(plan, column, ComputationClass.ADDITION)
+                self._require(plan, column, ComputationClass.ADDITION)
+                state = column.onion_state(Onion.ADD)
+                delta_ct = self.encryptor.hom_delta(column, increment)
+                call = ast.FunctionCall(
+                    udfs.HOM_ADD, [ast.ColumnRef(state.anon_name), ast.Literal(delta_ct)]
+                )
+                assignments.append((state.anon_name, call))
+                column.hom_stale_others = True
+                continue
+            self._record(plan, column, ComputationClass.PLAINTEXT)
+            raise UnsupportedQueryError(
+                f"UPDATE expression {expr.to_sql()} cannot run over encrypted data "
+                "(it requires the SELECT-then-UPDATE strategy of §3.3)"
+            )
+
+        where = (
+            self._rewrite_predicate(statement.where, scope, plan)
+            if statement.where is not None
+            else None
+        )
+        plan.statement = ast.Update(table_meta.anon_name, assignments, where)
+        return plan
+
+    def _rewrite_delete(self, statement: ast.Delete) -> RewritePlan:
+        plan = RewritePlan(statement=None)
+        table_meta = self.schema.table(statement.table)
+        scope = _Scope(self.schema)
+        scope.add(statement.table, None)
+        where = (
+            self._rewrite_predicate(statement.where, scope, plan)
+            if statement.where is not None
+            else None
+        )
+        plan.statement = ast.Delete(table_meta.anon_name, where)
+        return plan
+
+
+def _match_increment(expr: ast.Expression, column_name: str) -> Optional[int]:
+    """Detect ``col + k`` / ``col - k`` patterns in an UPDATE assignment."""
+    if not isinstance(expr, ast.BinaryOp) or expr.op not in ("+", "-"):
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(left, ast.ColumnRef) and left.name == column_name and isinstance(right, ast.Literal):
+        value = right.value
+    elif (
+        expr.op == "+"
+        and isinstance(right, ast.ColumnRef)
+        and right.name == column_name
+        and isinstance(left, ast.Literal)
+    ):
+        value = left.value
+    else:
+        return None
+    if not isinstance(value, (int, float)):
+        return None
+    return -value if expr.op == "-" else value
+
+
+def _find_output(specs: list[OutputSpec], column: ColumnMeta) -> Optional[int]:
+    for position, spec in enumerate(specs):
+        if spec.column is column:
+            return position
+    return None
+
+
+def _qualifier_of(scope: _Scope, column: ColumnMeta) -> str:
+    for qualifier, meta, alias in scope.entries:
+        if meta.name == column.table:
+            return alias or meta.anon_name
+    raise ProxyError(f"column {column.table}.{column.name} is not in scope")

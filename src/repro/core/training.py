@@ -1,0 +1,99 @@
+"""Training mode (§3.5.1): replay a query trace and report onion levels.
+
+A developer provides a representative trace of queries; CryptDB replays it,
+adjusting onions exactly as it would at run time, and reports the resulting
+encryption level of every column plus a warning for every query that cannot
+be supported over encrypted data.  The developer can then add minimum-layer
+constraints, move computation into the proxy, or pre-adjust onions before
+deployment (the "known query set" optimisation of §3.5.2 used for the TPC-C
+experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.onion import ComputationClass, SecurityLevel
+from repro.core.schema import ProxySchema
+
+
+@dataclass
+class ColumnReport:
+    """Steady-state report for one column after training."""
+
+    table: str
+    column: str
+    onion_levels: dict[str, str]
+    min_enc: SecurityLevel
+    computations: set[ComputationClass] = field(default_factory=set)
+    needs_plaintext: bool = False
+
+    @property
+    def is_high(self) -> bool:
+        """The HIGH security class of §8.3 (RND/HOM, or DET without repeats).
+
+        Repeat analysis requires the data itself, so the static report treats
+        DET as not-HIGH; the security analysis module refines this per
+        dataset.
+        """
+        return self.min_enc >= SecurityLevel.SEARCH
+
+
+@dataclass
+class TrainingReport:
+    """The outcome of a training run."""
+
+    columns: list[ColumnReport] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    unsupported_queries: list[str] = field(default_factory=list)
+
+    def column_report(self, table: str, column: str) -> ColumnReport:
+        for report in self.columns:
+            if report.table == table and report.column == column:
+                return report
+        raise KeyError(f"{table}.{column} not present in the training report")
+
+    def columns_at_level(self, level: SecurityLevel) -> list[ColumnReport]:
+        return [c for c in self.columns if c.min_enc == level]
+
+    def summary(self) -> dict[str, int]:
+        """Counts per MinEnc level, as used by the Figure 9 benchmark."""
+        counts = {level.name: 0 for level in SecurityLevel}
+        for report in self.columns:
+            counts[report.min_enc.name] += 1
+        return counts
+
+
+def build_report(
+    schema: ProxySchema,
+    computations: dict[tuple[str, str], set[ComputationClass]],
+    unsupported: list[str],
+) -> TrainingReport:
+    """Assemble a training report from the proxy's accumulated state."""
+    report = TrainingReport(unsupported_queries=list(unsupported))
+    for table_name in schema.table_names():
+        table_meta = schema.table(table_name)
+        for column_name in table_meta.column_names():
+            column = table_meta.column(column_name)
+            column_computations = computations.get((table_name, column_name), set())
+            needs_plaintext = ComputationClass.PLAINTEXT in column_computations
+            report.columns.append(
+                ColumnReport(
+                    table=table_name,
+                    column=column_name,
+                    onion_levels={
+                        onion.value: state.level.value
+                        for onion, state in column.onions.items()
+                    },
+                    min_enc=column.min_enc(),
+                    computations=column_computations,
+                    needs_plaintext=needs_plaintext,
+                )
+            )
+            if needs_plaintext:
+                report.warnings.append(
+                    f"column {table_name}.{column_name} requires plaintext processing"
+                )
+    for query in unsupported:
+        report.warnings.append(f"unsupported query: {query}")
+    return report

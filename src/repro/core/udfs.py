@@ -1,0 +1,104 @@
+"""Server-side user-defined functions installed by CryptDB in the DBMS.
+
+The DBMS itself is never modified (§7): every server-side cryptographic
+operation is a UDF.  The functions here receive any key material explicitly
+as arguments embedded in the rewritten query (exactly like the paper's
+``DECRYPT_RND(K, C2-Ord, C2-IV)`` example) and therefore hold no secrets of
+their own; the Paillier SUM aggregate closes only over the *public* key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.crypto import join_adj
+from repro.crypto.det import DET
+from repro.crypto.paillier import PaillierPublicKey
+from repro.crypto.rnd import RND
+from repro.crypto.search import SEARCH, SearchCiphertext, SearchToken
+from repro.sql.engine import Database
+
+# UDF names, referenced by the rewriter when it builds queries.
+DECRYPT_RND_EQ = "CRYPTDB_DECRYPT_RND_EQ"
+DECRYPT_RND_ORD = "CRYPTDB_DECRYPT_RND_ORD"
+DECRYPT_DET_EQ = "CRYPTDB_DECRYPT_DET_EQ"
+JOIN_ADJUST = "CRYPTDB_JOIN_ADJUST"
+ADJ_PART = "CRYPTDB_ADJ_PART"
+SEARCH_MATCH = "CRYPTDB_SEARCH_MATCH"
+HOM_ADD = "CRYPTDB_HOM_ADD"
+HOM_SUM = "CRYPTDB_HOM_SUM"
+
+
+def _decrypt_rnd_eq(key: Optional[bytes], ciphertext: Optional[bytes], iv: Optional[bytes]) -> Any:
+    """Strip the RND layer of an Eq onion value (bytes ciphertext)."""
+    if ciphertext is None:
+        return None
+    return RND(key).decrypt_bytes(ciphertext, iv)
+
+
+def _decrypt_rnd_ord(key: Optional[bytes], ciphertext: Optional[int], iv: Optional[bytes]) -> Any:
+    """Strip the RND layer of an Ord onion value (64-bit integer ciphertext)."""
+    if ciphertext is None:
+        return None
+    return RND(key).decrypt_int(ciphertext, iv)
+
+
+def _decrypt_det_eq(key: Optional[bytes], ciphertext: Optional[bytes]) -> Any:
+    """Strip the DET layer of an Eq onion value, exposing the JOIN layer."""
+    if ciphertext is None:
+        return None
+    return DET(key).decrypt_bytes(ciphertext)
+
+
+def _join_adjust(ciphertext: Optional[bytes], delta_bytes: Optional[bytes]) -> Any:
+    """Re-key the JOIN-ADJ component of a JOIN-layer ciphertext (§3.4)."""
+    if ciphertext is None:
+        return None
+    parsed = join_adj.JoinCiphertext.deserialize(ciphertext)
+    delta = int.from_bytes(delta_bytes, "big")
+    adjusted = join_adj.adjust(parsed.adj, delta)
+    return join_adj.JoinCiphertext(adjusted, parsed.det).serialize()
+
+
+def _adj_part(ciphertext: Optional[bytes]) -> Any:
+    """Extract the JOIN-ADJ component used for cross-column equality."""
+    if ciphertext is None:
+        return None
+    return ciphertext[: join_adj.ADJ_SIZE]
+
+
+def _search_match(
+    ciphertext: Optional[bytes],
+    token_left: Optional[bytes],
+    token_right: Optional[bytes],
+    prf_key: Optional[bytes],
+) -> Any:
+    """Check whether any encrypted keyword matches the query token."""
+    if ciphertext is None:
+        return None
+    token = SearchToken(token_left, token_right, prf_key)
+    return SEARCH.matches(SearchCiphertext.deserialize(ciphertext), token)
+
+
+def install_udfs(db: Database, public_key: PaillierPublicKey) -> None:
+    """Install all CryptDB UDFs into a DBMS instance."""
+    n_squared = public_key.n_squared
+
+    def hom_add(a: Optional[int], b: Optional[int]) -> Any:
+        if a is None or b is None:
+            return None
+        return (a * b) % n_squared
+
+    db.register_scalar_udf(DECRYPT_RND_EQ, _decrypt_rnd_eq)
+    db.register_scalar_udf(DECRYPT_RND_ORD, _decrypt_rnd_ord)
+    db.register_scalar_udf(DECRYPT_DET_EQ, _decrypt_det_eq)
+    db.register_scalar_udf(JOIN_ADJUST, _join_adjust)
+    db.register_scalar_udf(ADJ_PART, _adj_part)
+    db.register_scalar_udf(SEARCH_MATCH, _search_match)
+    db.register_scalar_udf(HOM_ADD, hom_add)
+    db.register_aggregate_udf(
+        HOM_SUM,
+        initial=lambda: 1,
+        step=lambda state, value: (state * value) % n_squared,
+        finalize=lambda state: state,
+    )

@@ -1,0 +1,42 @@
+"""Cryptographic substrate for CryptDB's SQL-aware encryption.
+
+Each module implements one of the schemes of section 3.1 of the paper:
+
+* :mod:`repro.crypto.rnd` -- RND, probabilistic IND-CPA encryption.
+* :mod:`repro.crypto.det` -- DET, deterministic PRP-style encryption
+  (equality checks).
+* :mod:`repro.crypto.ope` -- OPE, Boldyreva order-preserving encryption
+  (range queries, ORDER BY, MIN/MAX).
+* :mod:`repro.crypto.paillier` -- HOM, additively homomorphic Paillier
+  encryption (SUM, increments).
+* :mod:`repro.crypto.search` -- SEARCH, Song-Wagner-Perrig word search.
+* :mod:`repro.crypto.join_adj` -- JOIN and JOIN-ADJ, the adjustable join
+  primitive built on an elliptic-curve group.
+* :mod:`repro.crypto.keys` -- master-key handling and the per
+  (table, column, onion, layer) key derivation of Equation (1).
+
+Lower-level building blocks live in :mod:`aes`, :mod:`feistel`,
+:mod:`modes`, :mod:`prf`, :mod:`hgd`, :mod:`ecc` and :mod:`numbers`.
+"""
+
+from repro.crypto.det import DET
+from repro.crypto.join_adj import JOIN, JoinAdj
+from repro.crypto.keys import KeyManager, MasterKey
+from repro.crypto.ope import OPE
+from repro.crypto.paillier import Paillier, PaillierKeyPair
+from repro.crypto.rnd import RND
+from repro.crypto.search import SEARCH, SearchToken
+
+__all__ = [
+    "RND",
+    "DET",
+    "OPE",
+    "Paillier",
+    "PaillierKeyPair",
+    "SEARCH",
+    "SearchToken",
+    "JOIN",
+    "JoinAdj",
+    "MasterKey",
+    "KeyManager",
+]

@@ -1,0 +1,212 @@
+"""Pure-Python AES block cipher (FIPS-197).
+
+CryptDB uses AES as the workhorse block cipher for the RND and DET layers on
+128-bit (and larger) values, and as the PRP underlying key derivation.  This
+is a straightforward, table-driven implementation of the forward and inverse
+ciphers for 128/192/256-bit keys operating on single 16-byte blocks; the
+block modes (CBC, CMC, CTR) live in :mod:`repro.crypto.modes`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+BLOCK_SIZE = 16
+
+# The AES S-box and its inverse are generated from the multiplicative inverse
+# in GF(2^8) followed by the affine transform, so we do not need to embed the
+# 256-entry tables as literals.
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) = a^254 in GF(2^8)
+    result = 1
+    base = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = _gf_mul(result, base)
+        base = _gf_mul(base, base)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        inv = _gf_inverse(value)
+        transformed = 0
+        for bit in range(8):
+            b = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+            ) & 1
+            c = (0x63 >> bit) & 1
+            transformed |= (b ^ c) << bit
+        sbox[value] = transformed
+        inv_sbox[transformed] = value
+    return sbox, inv_sbox
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_xtime(_RCON[-1]))
+
+
+class AES:
+    """AES block cipher for a fixed key.
+
+    Parameters
+    ----------
+    key:
+        16, 24 or 32 bytes.
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise CryptoError("AES key must be 16, 24 or 32 bytes")
+        self.key = key
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    # -- key schedule -----------------------------------------------------
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        nk = len(key) // 4
+        nr = self._rounds
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (nr + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([w ^ t for w, t in zip(words[i - nk], temp)])
+        # Group into 16-byte round keys laid out column-major like the state.
+        round_keys = []
+        for r in range(nr + 1):
+            rk = []
+            for c in range(4):
+                rk.extend(words[4 * r + c])
+            round_keys.append(rk)
+        return round_keys
+
+    # -- state helpers ----------------------------------------------------
+    @staticmethod
+    def _bytes_to_state(block: bytes) -> list[int]:
+        return list(block)
+
+    @staticmethod
+    def _state_to_bytes(state: list[int]) -> bytes:
+        return bytes(state)
+
+    @staticmethod
+    def _add_round_key(state: list[int], round_key: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int], box: list[int]) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        # state[i] holds column i//4, row i%4 (column-major like FIPS-197).
+        for row in range(1, 4):
+            column_values = [state[row + 4 * col] for col in range(4)]
+            shifted = column_values[row:] + column_values[:row]
+            for col in range(4):
+                state[row + 4 * col] = shifted[col]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for row in range(1, 4):
+            column_values = [state[row + 4 * col] for col in range(4)]
+            shifted = column_values[-row:] + column_values[:-row]
+            for col in range(4):
+                state[row + 4 * col] = shifted[col]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for col in range(4):
+            a = state[4 * col : 4 * col + 4]
+            state[4 * col + 0] = _gf_mul(a[0], 2) ^ _gf_mul(a[1], 3) ^ a[2] ^ a[3]
+            state[4 * col + 1] = a[0] ^ _gf_mul(a[1], 2) ^ _gf_mul(a[2], 3) ^ a[3]
+            state[4 * col + 2] = a[0] ^ a[1] ^ _gf_mul(a[2], 2) ^ _gf_mul(a[3], 3)
+            state[4 * col + 3] = _gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ _gf_mul(a[3], 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for col in range(4):
+            a = state[4 * col : 4 * col + 4]
+            state[4 * col + 0] = (
+                _gf_mul(a[0], 14) ^ _gf_mul(a[1], 11) ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9)
+            )
+            state[4 * col + 1] = (
+                _gf_mul(a[0], 9) ^ _gf_mul(a[1], 14) ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13)
+            )
+            state[4 * col + 2] = (
+                _gf_mul(a[0], 13) ^ _gf_mul(a[1], 9) ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11)
+            )
+            state[4 * col + 3] = (
+                _gf_mul(a[0], 11) ^ _gf_mul(a[1], 13) ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14)
+            )
+
+    # -- public API -------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError("AES operates on 16-byte blocks")
+        state = self._bytes_to_state(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, self._rounds):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        return self._state_to_bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt a single 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError("AES operates on 16-byte blocks")
+        state = self._bytes_to_state(block)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        for r in range(self._rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return self._state_to_bytes(state)

@@ -1,0 +1,48 @@
+"""DET: deterministic encryption enabling equality checks.
+
+DET reveals only which values repeat within a column.  The paper builds it
+from a pseudo-random permutation: a 64-bit block cipher for integers, and
+AES in a CMC-like mode with a zero IV for longer byte strings (so that
+equality of long prefixes is not leaked, unlike plain CBC).
+"""
+
+from __future__ import annotations
+
+from repro.crypto import modes
+from repro.crypto.aes import AES
+from repro.crypto.feistel import FeistelPRP
+from repro.crypto.rnd import _fit_aes_key
+from repro.errors import CryptoError
+
+
+class DET:
+    """Deterministic encryption under a fixed column key."""
+
+    def __init__(self, key: bytes):
+        if not key:
+            raise CryptoError("DET key must be non-empty")
+        self.key = key
+        self._aes = AES(_fit_aes_key(key))
+        self._prp64 = FeistelPRP(key, block_size=8)
+
+    # -- byte strings -----------------------------------------------------
+    def encrypt_bytes(self, plaintext: bytes) -> bytes:
+        """Deterministically encrypt an arbitrary byte string."""
+        return modes.cmc_encrypt(self._aes, plaintext)
+
+    def decrypt_bytes(self, ciphertext: bytes) -> bytes:
+        """Invert :meth:`encrypt_bytes`."""
+        return modes.cmc_decrypt(self._aes, ciphertext)
+
+    # -- integers ---------------------------------------------------------
+    def encrypt_int(self, value: int) -> int:
+        """Deterministically encrypt a 64-bit unsigned integer (PRP)."""
+        if not 0 <= value < (1 << 64):
+            raise CryptoError("DET integer encryption expects a 64-bit value")
+        return self._prp64.encrypt_int(value)
+
+    def decrypt_int(self, ciphertext: int) -> int:
+        """Invert :meth:`encrypt_int`."""
+        if not 0 <= ciphertext < (1 << 64):
+            raise CryptoError("DET integer decryption expects a 64-bit value")
+        return self._prp64.decrypt_int(ciphertext)

@@ -1,0 +1,101 @@
+"""Prime-field elliptic-curve group used by the adjustable join (JOIN-ADJ).
+
+The paper implements JOIN-ADJ with a NIST-approved curve via NTL; we provide
+a self-contained implementation of the NIST P-192 curve: point addition,
+doubling, scalar multiplication (double-and-add) and point serialisation.
+Security of JOIN-ADJ rests on the Elliptic-Curve Decisional Diffie-Hellman
+assumption in this group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.numbers import modinv
+from repro.errors import CryptoError
+
+# NIST P-192 domain parameters (FIPS 186-4).
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFF
+A = -3 % P
+B = 0x64210519E59C80E70FA7E9AB72243049FEB8DEECC146B9B1
+ORDER = 0xFFFFFFFFFFFFFFFFFFFFFFFF99DEF836146BC9B1B4D22831
+GX = 0x188DA80EB03090F67CBF20EB43A18800F4FF0AFD82FF1012
+GY = 0x07192B95FFC8DA78631011ED6B24CDD573F977A11E794811
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point on the curve; ``None`` coordinates encode the point at infinity."""
+
+    x: int | None
+    y: int | None
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def serialize(self) -> bytes:
+        """Uncompressed serialisation (used as the JOIN-ADJ ciphertext)."""
+        if self.is_infinity:
+            return b"\x00"
+        assert self.x is not None and self.y is not None
+        return b"\x04" + self.x.to_bytes(24, "big") + self.y.to_bytes(24, "big")
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Point":
+        if data == b"\x00":
+            return INFINITY
+        if len(data) != 49 or data[0] != 0x04:
+            raise CryptoError("malformed curve point")
+        x = int.from_bytes(data[1:25], "big")
+        y = int.from_bytes(data[25:], "big")
+        point = cls(x, y)
+        if not is_on_curve(point):
+            raise CryptoError("point is not on the curve")
+        return point
+
+
+INFINITY = Point(None, None)
+GENERATOR = Point(GX, GY)
+
+
+def is_on_curve(point: Point) -> bool:
+    """Check the curve equation y^2 = x^3 + ax + b (mod p)."""
+    if point.is_infinity:
+        return True
+    assert point.x is not None and point.y is not None
+    return (point.y * point.y - (point.x ** 3 + A * point.x + B)) % P == 0
+
+
+def point_add(p1: Point, p2: Point) -> Point:
+    """Add two curve points."""
+    if p1.is_infinity:
+        return p2
+    if p2.is_infinity:
+        return p1
+    assert p1.x is not None and p1.y is not None
+    assert p2.x is not None and p2.y is not None
+    if p1.x == p2.x and (p1.y + p2.y) % P == 0:
+        return INFINITY
+    if p1.x == p2.x and p1.y == p2.y:
+        slope = (3 * p1.x * p1.x + A) * modinv(2 * p1.y, P) % P
+    else:
+        slope = (p2.y - p1.y) * modinv(p2.x - p1.x, P) % P
+    x3 = (slope * slope - p1.x - p2.x) % P
+    y3 = (slope * (p1.x - x3) - p1.y) % P
+    return Point(x3, y3)
+
+
+def scalar_multiply(scalar: int, point: Point) -> Point:
+    """Compute ``scalar * point`` with double-and-add."""
+    scalar %= ORDER
+    if scalar == 0 or point.is_infinity:
+        return INFINITY
+    result = INFINITY
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = point_add(result, addend)
+        addend = point_add(addend, addend)
+        scalar >>= 1
+    return result

@@ -1,0 +1,86 @@
+"""64-bit block PRP built as a Feistel network.
+
+The paper uses Blowfish for 64-bit integer values because AES's 128-bit block
+would double the ciphertext size.  We keep the same interface (a keyed
+pseudo-random permutation over 64-bit blocks) but build it as a Luby-Rackoff
+Feistel network with an HMAC-SHA256 round function, which avoids embedding
+Blowfish's 4 KB of constant S-boxes while providing the same PRP abstraction.
+The substitution is documented in DESIGN.md.
+
+The same construction generalises to arbitrary even block sizes, which the
+DET layer uses to encrypt short values without padding them to 16 bytes.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import prf
+from repro.errors import CryptoError
+
+BLOCK_SIZE = 8
+_ROUNDS = 8
+
+
+class FeistelPRP:
+    """A keyed pseudo-random permutation over fixed-size blocks."""
+
+    def __init__(self, key: bytes, block_size: int = BLOCK_SIZE, rounds: int = _ROUNDS):
+        if not key:
+            raise CryptoError("Feistel key must be non-empty")
+        if block_size < 2 or block_size % 2 != 0:
+            raise CryptoError("Feistel block size must be an even number of bytes >= 2")
+        if rounds < 4:
+            raise CryptoError("a strong PRP needs at least 4 Feistel rounds")
+        self.key = key
+        self.block_size = block_size
+        self._half = block_size // 2
+        self._round_keys = [
+            prf.derive_key(key, "feistel-round", i, length=32) for i in range(rounds)
+        ]
+
+    def _round(self, round_key: bytes, half: bytes) -> bytes:
+        return prf.expand(round_key, half, self._half)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Apply the permutation to one block."""
+        if len(block) != self.block_size:
+            raise CryptoError(
+                "block must be exactly %d bytes, got %d" % (self.block_size, len(block))
+            )
+        left, right = block[: self._half], block[self._half :]
+        for round_key in self._round_keys:
+            mixed = bytes(
+                l ^ f for l, f in zip(left, self._round(round_key, right))
+            )
+            left, right = right, mixed
+        return left + right
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Invert the permutation on one block."""
+        if len(block) != self.block_size:
+            raise CryptoError(
+                "block must be exactly %d bytes, got %d" % (self.block_size, len(block))
+            )
+        left, right = block[: self._half], block[self._half :]
+        for round_key in reversed(self._round_keys):
+            mixed = bytes(
+                r ^ f for r, f in zip(right, self._round(round_key, left))
+            )
+            left, right = mixed, left
+        return left + right
+
+    # Convenience helpers for 64-bit integers, the common CryptDB case.
+    def encrypt_int(self, value: int) -> int:
+        """Encrypt an unsigned integer that fits in the block size."""
+        limit = 1 << (self.block_size * 8)
+        if not 0 <= value < limit:
+            raise CryptoError("integer does not fit in the PRP block")
+        block = value.to_bytes(self.block_size, "big")
+        return int.from_bytes(self.encrypt_block(block), "big")
+
+    def decrypt_int(self, value: int) -> int:
+        """Decrypt an unsigned integer produced by :meth:`encrypt_int`."""
+        limit = 1 << (self.block_size * 8)
+        if not 0 <= value < limit:
+            raise CryptoError("integer does not fit in the PRP block")
+        block = value.to_bytes(self.block_size, "big")
+        return int.from_bytes(self.decrypt_block(block), "big")

@@ -1,0 +1,115 @@
+"""Deterministic hypergeometric sampling for the OPE scheme.
+
+The Boldyreva order-preserving encryption scheme recursively splits the
+ciphertext range and, at each split, draws from a hypergeometric distribution
+how many plaintexts fall below the midpoint.  The draw must be *deterministic*
+given the PRF-derived coins, so that encryption and decryption walk the same
+tree.  The paper ports the 1988 Kachitvichyanukul-Schmeiser Fortran sampler;
+we implement an exact mode-centred inverse-transform sampler for moderate
+variance, and a deterministic normal approximation (clamped to the support)
+when the variance is large.  Only determinism and staying within the support
+are required for correctness of OPE; the approximation affects only how close
+the ciphertext distribution is to a truly random order-preserving function.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.crypto.prf import DeterministicStream
+from repro.errors import CryptoError
+
+# Above this standard deviation the exact inverse transform would need too
+# many probability-mass evaluations, so we switch to the normal approximation.
+_EXACT_STDDEV_LIMIT = 64.0
+
+
+def _log_choose(n: int, k: int) -> float:
+    if k < 0 or k > n:
+        return float("-inf")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def _log_pmf(k: int, draws: int, good: int, total: int) -> float:
+    bad = total - good
+    return (
+        _log_choose(good, k)
+        + _log_choose(bad, draws - k)
+        - _log_choose(total, draws)
+    )
+
+
+def hypergeometric_sample(draws: int, good: int, bad: int, coins: DeterministicStream) -> int:
+    """Sample the number of "good" items among ``draws`` draws without
+    replacement from an urn of ``good`` + ``bad`` items.
+
+    The result always lies in ``[max(0, draws - bad), min(draws, good)]``.
+    """
+    if draws < 0 or good < 0 or bad < 0:
+        raise CryptoError("hypergeometric parameters must be non-negative")
+    total = good + bad
+    if draws > total:
+        raise CryptoError("cannot draw more items than the urn contains")
+
+    low = max(0, draws - bad)
+    high = min(draws, good)
+    if low == high:
+        return low
+
+    mean = draws * good / total
+    variance = (
+        draws * (good / total) * (bad / total) * (total - draws) / max(total - 1, 1)
+    )
+    stddev = math.sqrt(max(variance, 0.0))
+
+    if stddev > _EXACT_STDDEV_LIMIT:
+        return _normal_approximation(mean, stddev, low, high, coins)
+    return _exact_inverse_transform(draws, good, total, low, high, coins)
+
+
+def _normal_approximation(
+    mean: float, stddev: float, low: int, high: int, coins: DeterministicStream
+) -> int:
+    """Deterministic Box-Muller normal draw, rounded and clamped to the support."""
+    u1 = coins.uniform_float()
+    u2 = coins.uniform_float()
+    # Guard against log(0).
+    u1 = max(u1, 1e-300)
+    z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+    value = int(round(mean + stddev * z))
+    return min(max(value, low), high)
+
+
+def _exact_inverse_transform(
+    draws: int, good: int, total: int, low: int, high: int, coins: DeterministicStream
+) -> int:
+    """Mode-centred inverse transform over the exact hypergeometric pmf."""
+    target = coins.uniform_float()
+    mode = int((draws + 1) * (good + 1) / (total + 2))
+    mode = min(max(mode, low), high)
+
+    # Expand outwards from the mode, accumulating probability mass until the
+    # cumulative mass exceeds the target quantile.  Visiting values in a fixed
+    # (deterministic) order keeps encryption and decryption consistent.
+    values = [mode]
+    step = 1
+    while True:
+        added = False
+        if mode - step >= low:
+            values.append(mode - step)
+            added = True
+        if mode + step <= high:
+            values.append(mode + step)
+            added = True
+        if not added:
+            break
+        step += 1
+
+    cumulative = 0.0
+    chosen = values[-1]
+    for value in values:
+        cumulative += math.exp(_log_pmf(value, draws, good, total))
+        if cumulative >= target:
+            chosen = value
+            break
+    return chosen

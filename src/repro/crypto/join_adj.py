@@ -1,0 +1,115 @@
+"""JOIN and JOIN-ADJ: the adjustable-join cryptographic primitive (section 3.4).
+
+``JOIN-ADJ_K(v) = (K * PRF_K0(v)) * P`` where ``P`` is a public curve point
+and ``K0`` is a PRF key shared across columns (both derived from the master
+key).  Two columns with keys ``K`` and ``K'`` can be made joinable by giving
+the DBMS server ``delta = K / K' (mod group order)``: the server re-scales
+each JOIN-ADJ value of the second column by ``delta`` without ever seeing the
+plaintexts, after which equal plaintexts in the two columns have equal
+JOIN-ADJ values.
+
+The full JOIN onion layer is ``JOIN(v) = JOIN-ADJ(v) || DET(v)``: the server
+compares the JOIN-ADJ component for equality, and the proxy decrypts the DET
+component to recover ``v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import ecc
+from repro.crypto.det import DET
+from repro.crypto.numbers import modinv
+from repro.crypto.prf import derive_key, prf_int
+from repro.errors import CryptoError
+
+ADJ_SIZE = 49  # serialised uncompressed P-192 point
+
+
+@dataclass(frozen=True)
+class JoinCiphertext:
+    """The JOIN onion-layer ciphertext: adjustable hash plus DET component."""
+
+    adj: bytes
+    det: bytes
+
+    def serialize(self) -> bytes:
+        return self.adj + self.det
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "JoinCiphertext":
+        if len(data) < ADJ_SIZE:
+            raise CryptoError("malformed JOIN ciphertext")
+        return cls(data[:ADJ_SIZE], data[ADJ_SIZE:])
+
+
+class JoinAdj:
+    """The adjustable keyed hash component of the JOIN layer."""
+
+    def __init__(self, column_key: int, prf_key: bytes):
+        if not 1 <= column_key < ecc.ORDER:
+            raise CryptoError("JOIN-ADJ column key out of range")
+        self.column_key = column_key
+        self._prf_key = prf_key
+
+    @classmethod
+    def for_column(cls, master: bytes, table: str, column: str) -> "JoinAdj":
+        """Derive the per-column scalar key and the shared PRF key."""
+        prf_key = derive_key(master, "join-adj-prf", length=32)
+        scalar = derive_scalar(master, table, column)
+        return cls(scalar, prf_key)
+
+    def hash_value(self, value: bytes) -> bytes:
+        """Compute ``JOIN-ADJ_K(v)`` as a serialised curve point."""
+        exponent = prf_int(self._prf_key, value, 192) % ecc.ORDER
+        if exponent == 0:
+            exponent = 1
+        point = ecc.scalar_multiply(self.column_key * exponent % ecc.ORDER, ecc.GENERATOR)
+        return point.serialize()
+
+    def delta_to(self, other: "JoinAdj") -> int:
+        """Return the key delta that re-bases *this* column onto ``other``.
+
+        Applying :func:`adjust` with the returned delta to values hashed under
+        ``self`` yields values hashed under ``other`` (the join-base column).
+        """
+        return other.column_key * modinv(self.column_key, ecc.ORDER) % ecc.ORDER
+
+
+def derive_scalar(master: bytes, table: str, column: str) -> int:
+    """Derive the initial JOIN-ADJ scalar key for a column."""
+    seed = derive_key(master, "join-adj-key", table, column, length=32)
+    scalar = int.from_bytes(seed, "big") % (ecc.ORDER - 1) + 1
+    return scalar
+
+
+def adjust(adj_ciphertext: bytes, delta: int) -> bytes:
+    """Server-side key adjustment: re-scale a JOIN-ADJ point by ``delta``.
+
+    This is the UDF the proxy invokes with an ``UPDATE`` when a new pair of
+    columns must become joinable; it requires no plaintext access.
+    """
+    point = ecc.Point.deserialize(adj_ciphertext)
+    return ecc.scalar_multiply(delta, point).serialize()
+
+
+class JOIN:
+    """The complete JOIN encryption scheme (JOIN-ADJ || DET)."""
+
+    def __init__(self, master: bytes, table: str, column: str):
+        self.table = table
+        self.column = column
+        self.adj = JoinAdj.for_column(master, table, column)
+        self._det = DET(derive_key(master, "join-det", table, column, length=16))
+
+    def encrypt(self, value: bytes) -> JoinCiphertext:
+        """Encrypt a value at the JOIN layer."""
+        return JoinCiphertext(self.adj.hash_value(value), self._det.encrypt_bytes(value))
+
+    def decrypt(self, ciphertext: JoinCiphertext) -> bytes:
+        """Recover the plaintext from the DET component."""
+        return self._det.decrypt_bytes(ciphertext.det)
+
+    def delta_to(self, other: "JOIN") -> int:
+        """Key delta making this column's JOIN-ADJ values match ``other``'s."""
+        return self.adj.delta_to(other.adj)

@@ -1,0 +1,67 @@
+"""Master key handling and per-layer key derivation.
+
+The proxy stores a single secret master key ``MK``; every onion-layer key is
+derived as ``K_{t,c,o,l} = PRP_MK(table, column, onion, layer)``
+(Equation (1)).  In multi-principal mode the same derivation is performed
+relative to a principal's key instead of the global master key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto import prf
+from repro.crypto.primitives import random_bytes
+from repro.errors import CryptoError
+
+KEY_SIZE = 16
+
+
+@dataclass(frozen=True)
+class MasterKey:
+    """The proxy's secret master key."""
+
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.material) < 16:
+            raise CryptoError("master key must be at least 128 bits")
+
+    @classmethod
+    def generate(cls) -> "MasterKey":
+        """Draw a fresh random master key."""
+        return cls(random_bytes(KEY_SIZE))
+
+    @classmethod
+    def from_passphrase(cls, passphrase: str, *, salt: bytes = b"cryptdb-repro") -> "MasterKey":
+        """Derive a master key from a passphrase (used by tests and examples)."""
+        if not passphrase:
+            raise CryptoError("passphrase must be non-empty")
+        return cls(prf.derive_key(passphrase.encode("utf-8"), "master", salt, length=KEY_SIZE))
+
+
+@dataclass
+class KeyManager:
+    """Derives and caches per (table, column, onion, layer) keys."""
+
+    master: MasterKey
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def key_for(self, table: str, column: str, onion: str, layer: str) -> bytes:
+        """Return the key of Equation (1) for the given tuple."""
+        cache_key = (table, column, onion, layer)
+        if cache_key not in self._cache:
+            self._cache[cache_key] = prf.derive_key(
+                self.master.material, "layer-key", table, column, onion, layer,
+                length=KEY_SIZE,
+            )
+        return self._cache[cache_key]
+
+    def iv_key(self, table: str, column: str) -> bytes:
+        """Key used to derive per-row IV storage (the C*-IV columns)."""
+        return prf.derive_key(self.master.material, "iv", table, column, length=KEY_SIZE)
+
+    def subordinate(self, label: str) -> "KeyManager":
+        """Derive a key manager rooted at a sub-key (used per principal)."""
+        sub = prf.derive_key(self.master.material, "principal", label, length=KEY_SIZE)
+        return KeyManager(MasterKey(sub))

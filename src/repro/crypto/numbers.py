@@ -1,0 +1,76 @@
+"""Number-theoretic helpers for Paillier and the elliptic-curve group."""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.errors import CryptoError
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+
+def modinv(a: int, modulus: int) -> int:
+    """Return the modular inverse of ``a`` mod ``modulus``."""
+    if modulus <= 0:
+        raise CryptoError("modulus must be positive")
+    try:
+        return pow(a, -1, modulus)
+    except ValueError as exc:
+        raise CryptoError("value has no modular inverse") from exc
+
+
+def is_probable_prime(n: int, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n-1 as d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int) -> int:
+    """Generate a random probable prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise CryptoError("prime size too small")
+    while True:
+        candidate = secrets.randbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # correct size, odd
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple."""
+    from math import gcd
+
+    return a // gcd(a, b) * b
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
+    """Chinese remainder theorem for two co-prime moduli."""
+    inv = modinv(m1, m2)
+    return (r1 + ((r2 - r1) * inv % m2) * m1) % (m1 * m2)

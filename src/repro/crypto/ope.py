@@ -1,0 +1,164 @@
+"""OPE: Boldyreva order-preserving encryption.
+
+If ``x < y`` then ``OPE_K(x) < OPE_K(y)``, which lets the DBMS server run
+range predicates, ``ORDER BY``, ``MIN``/``MAX`` and ``SORT`` directly on
+ciphertexts.  The scheme maps a plaintext domain of ``plaintext_bits`` bits
+into a larger ciphertext range of ``ciphertext_bits`` bits by lazily sampling
+a random order-preserving function: the ciphertext range is split at its
+midpoint, a hypergeometric draw decides how many plaintexts map below the
+midpoint, and the recursion descends into the half containing the value.
+All random draws come from a PRF keyed by the column key and the recursion
+node, so the function is deterministic.
+
+The paper reports 25 ms per encryption for the direct implementation and 7 ms
+after adding a search-tree cache for batch encryption; we provide the same
+kind of cache (a plaintext -> ciphertext dictionary plus the sorted interval
+structure implied by already-encrypted values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hgd import hypergeometric_sample
+from repro.crypto.prf import DeterministicStream, derive_key
+from repro.errors import CryptoError
+
+DEFAULT_PLAINTEXT_BITS = 32
+DEFAULT_CIPHERTEXT_BITS = 64
+
+
+@dataclass(frozen=True)
+class _Node:
+    """One node of the lazily sampled order-preserving function."""
+
+    d_lo: int
+    d_hi: int
+    r_lo: int
+    r_hi: int
+
+    @property
+    def domain_size(self) -> int:
+        return self.d_hi - self.d_lo + 1
+
+    @property
+    def range_size(self) -> int:
+        return self.r_hi - self.r_lo + 1
+
+
+class OPE:
+    """Order-preserving encryption under a fixed column key."""
+
+    def __init__(
+        self,
+        key: bytes,
+        plaintext_bits: int = DEFAULT_PLAINTEXT_BITS,
+        ciphertext_bits: int = DEFAULT_CIPHERTEXT_BITS,
+        cache: bool = True,
+    ):
+        if not key:
+            raise CryptoError("OPE key must be non-empty")
+        if ciphertext_bits <= plaintext_bits:
+            raise CryptoError("ciphertext space must be larger than plaintext space")
+        self.key = key
+        self.plaintext_bits = plaintext_bits
+        self.ciphertext_bits = ciphertext_bits
+        self.domain_size = 1 << plaintext_bits
+        self.range_size = 1 << ciphertext_bits
+        self._coins_key = derive_key(key, "ope-coins", length=32)
+        self._cache_enabled = cache
+        self._encrypt_cache: dict[int, int] = {}
+        self._decrypt_cache: dict[int, int] = {}
+
+    # -- public API -------------------------------------------------------
+    def encrypt(self, plaintext: int) -> int:
+        """Encrypt an integer in ``[0, 2^plaintext_bits)``."""
+        if not 0 <= plaintext < self.domain_size:
+            raise CryptoError(
+                "OPE plaintext %d outside [0, %d)" % (plaintext, self.domain_size)
+            )
+        if self._cache_enabled and plaintext in self._encrypt_cache:
+            return self._encrypt_cache[plaintext]
+        ciphertext = self._encrypt_recursive(plaintext, self._root())
+        if self._cache_enabled:
+            self._encrypt_cache[plaintext] = ciphertext
+            self._decrypt_cache[ciphertext] = plaintext
+        return ciphertext
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Invert :meth:`encrypt`."""
+        if not 0 <= ciphertext < self.range_size:
+            raise CryptoError(
+                "OPE ciphertext %d outside [0, %d)" % (ciphertext, self.range_size)
+            )
+        if self._cache_enabled and ciphertext in self._decrypt_cache:
+            return self._decrypt_cache[ciphertext]
+        plaintext = self._decrypt_recursive(ciphertext, self._root())
+        if self._cache_enabled:
+            self._encrypt_cache[plaintext] = ciphertext
+            self._decrypt_cache[ciphertext] = plaintext
+        return plaintext
+
+    def encrypt_batch(self, plaintexts: list[int]) -> list[int]:
+        """Encrypt many values, exploiting the cache (the paper's batch mode)."""
+        return [self.encrypt(p) for p in plaintexts]
+
+    @property
+    def cache_size(self) -> int:
+        """Number of cached plaintext/ciphertext pairs."""
+        return len(self._encrypt_cache)
+
+    def clear_cache(self) -> None:
+        """Drop all cached encryptions."""
+        self._encrypt_cache.clear()
+        self._decrypt_cache.clear()
+
+    # -- recursion --------------------------------------------------------
+    def _root(self) -> _Node:
+        return _Node(0, self.domain_size - 1, 0, self.range_size - 1)
+
+    def _coins(self, node: _Node, label: bytes) -> DeterministicStream:
+        node_label = b"%b:%d:%d:%d:%d" % (label, node.d_lo, node.d_hi, node.r_lo, node.r_hi)
+        return DeterministicStream(self._coins_key, node_label)
+
+    def _split(self, node: _Node) -> tuple[int, int]:
+        """Return (range midpoint, #plaintexts mapped at or below it)."""
+        mid_r = node.r_lo + (node.range_size // 2) - 1
+        lower_range = mid_r - node.r_lo + 1
+        coins = self._coins(node, b"node")
+        below = hypergeometric_sample(
+            draws=lower_range,
+            good=node.domain_size,
+            bad=node.range_size - node.domain_size,
+            coins=coins,
+        )
+        return mid_r, below
+
+    def _encrypt_recursive(self, plaintext: int, node: _Node) -> int:
+        while True:
+            if node.domain_size == 1:
+                coins = self._coins(node, b"leaf")
+                return node.r_lo + coins.uniform_int(node.range_size)
+            mid_r, below = self._split(node)
+            if plaintext < node.d_lo + below:
+                node = _Node(node.d_lo, node.d_lo + below - 1, node.r_lo, mid_r)
+            else:
+                node = _Node(node.d_lo + below, node.d_hi, mid_r + 1, node.r_hi)
+
+    def _decrypt_recursive(self, ciphertext: int, node: _Node) -> int:
+        while True:
+            if node.domain_size == 1:
+                coins = self._coins(node, b"leaf")
+                expected = node.r_lo + coins.uniform_int(node.range_size)
+                if expected != ciphertext:
+                    raise CryptoError("ciphertext is not a valid OPE encryption")
+                return node.d_lo
+            mid_r, below = self._split(node)
+            if ciphertext <= mid_r:
+                if below == 0:
+                    raise CryptoError("ciphertext is not a valid OPE encryption")
+                node = _Node(node.d_lo, node.d_lo + below - 1, node.r_lo, mid_r)
+            else:
+                if below == node.domain_size:
+                    raise CryptoError("ciphertext is not a valid OPE encryption")
+                node = _Node(node.d_lo + below, node.d_hi, mid_r + 1, node.r_hi)

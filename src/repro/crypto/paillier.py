@@ -1,0 +1,157 @@
+"""HOM: the Paillier additively homomorphic cryptosystem.
+
+Multiplying two Paillier ciphertexts yields an encryption of the sum of the
+plaintexts: ``HOM(x) * HOM(y) mod n^2 = HOM(x + y)``.  CryptDB uses this for
+``SUM`` aggregates and for in-place increments (``SET id = id + 1``), with
+the multiplication performed by a server-side UDF that never sees the secret
+key.  The ciphertext is ``2 * key_bits`` long (2048 bits for the paper's
+1024-bit modulus).
+
+The proxy can pre-compute the random ``r^n mod n^2`` factors used by
+encryption (section 3.5.2); :meth:`PaillierKeyPair.precompute_randomness`
+implements that optimisation and the Figure 12 "Proxy*" ablation disables it.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+
+from repro.crypto.numbers import generate_prime, lcm, modinv
+from repro.errors import CryptoError
+
+DEFAULT_KEY_BITS = 1024
+
+
+@dataclass
+class PaillierPublicKey:
+    """The public part (n, g) of a Paillier key pair."""
+
+    n: int
+    g: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+
+@dataclass
+class PaillierPrivateKey:
+    """The secret part (lambda, mu) of a Paillier key pair."""
+
+    lam: int
+    mu: int
+
+
+@dataclass
+class PaillierKeyPair:
+    """A full Paillier key pair plus the optional randomness pool."""
+
+    public: PaillierPublicKey
+    private: PaillierPrivateKey
+    _randomness_pool: list = field(default_factory=list, repr=False)
+
+    @classmethod
+    def generate(cls, bits: int = DEFAULT_KEY_BITS) -> "PaillierKeyPair":
+        """Generate a fresh key pair with an n of roughly ``bits`` bits."""
+        if bits < 64:
+            raise CryptoError("Paillier modulus too small")
+        half = bits // 2
+        while True:
+            p = generate_prime(half)
+            q = generate_prime(half)
+            if p != q:
+                n = p * q
+                if n.bit_length() >= bits - 1:
+                    break
+        lam = lcm(p - 1, q - 1)
+        g = n + 1  # standard simplification: g = n + 1
+        n_sq = n * n
+        # mu = (L(g^lambda mod n^2))^-1 mod n, where L(u) = (u - 1) / n
+        u = pow(g, lam, n_sq)
+        l_value = (u - 1) // n
+        mu = modinv(l_value, n)
+        return cls(PaillierPublicKey(n, g), PaillierPrivateKey(lam, mu))
+
+    # -- randomness pre-computation (section 3.5.2) -----------------------
+    def precompute_randomness(self, count: int) -> None:
+        """Pre-compute ``count`` random ``r^n mod n^2`` factors."""
+        n = self.public.n
+        n_sq = self.public.n_squared
+        for _ in range(count):
+            r = secrets.randbelow(n - 2) + 1
+            self._randomness_pool.append(pow(r, n, n_sq))
+
+    @property
+    def randomness_pool_size(self) -> int:
+        """Number of unused pre-computed randomness factors."""
+        return len(self._randomness_pool)
+
+    def _next_randomness(self) -> int:
+        if self._randomness_pool:
+            return self._randomness_pool.pop()
+        n = self.public.n
+        r = secrets.randbelow(n - 2) + 1
+        return pow(r, n, self.public.n_squared)
+
+    # -- encryption / decryption ------------------------------------------
+    def encrypt(self, plaintext: int) -> int:
+        """Encrypt an integer in ``[0, n)``.
+
+        Negative values should be mapped into the modular range by the caller
+        (the proxy encodes signed SQL integers with an offset).
+        """
+        n = self.public.n
+        if not 0 <= plaintext < n:
+            raise CryptoError("Paillier plaintext out of range")
+        n_sq = self.public.n_squared
+        # g^m = (1 + n)^m = 1 + n*m mod n^2 for g = n + 1.
+        g_m = (1 + n * plaintext) % n_sq
+        return (g_m * self._next_randomness()) % n_sq
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Invert :meth:`encrypt`."""
+        n = self.public.n
+        n_sq = self.public.n_squared
+        if not 0 <= ciphertext < n_sq:
+            raise CryptoError("Paillier ciphertext out of range")
+        u = pow(ciphertext, self.private.lam, n_sq)
+        l_value = (u - 1) // n
+        return (l_value * self.private.mu) % n
+
+
+class Paillier:
+    """Stateless homomorphic operations usable by the DBMS server's UDFs.
+
+    The server holds only the public key; addition of ciphertexts requires no
+    secrets, which is what makes the HOM UDF safe to run on the untrusted
+    DBMS.
+    """
+
+    def __init__(self, public: PaillierPublicKey):
+        self.public = public
+
+    def add(self, ciphertext_a: int, ciphertext_b: int) -> int:
+        """Homomorphically add two ciphertexts."""
+        return (ciphertext_a * ciphertext_b) % self.public.n_squared
+
+    def add_plain(self, ciphertext: int, plaintext: int) -> int:
+        """Homomorphically add a plaintext constant to a ciphertext."""
+        n = self.public.n
+        g_m = (1 + n * (plaintext % n)) % self.public.n_squared
+        return (ciphertext * g_m) % self.public.n_squared
+
+    def identity(self) -> int:
+        """Encryption of zero with unit randomness, the neutral element for SUM."""
+        return 1
+
+    def sum(self, ciphertexts: list[int]) -> int:
+        """Homomorphically sum a list of ciphertexts (the SUM aggregate UDF)."""
+        total = self.identity()
+        for ciphertext in ciphertexts:
+            total = self.add(total, ciphertext)
+        return total

@@ -1,0 +1,131 @@
+"""SEARCH: encrypted keyword search (Song, Wagner, Perrig).
+
+SEARCH supports MySQL's ``LIKE '% word %'`` full-word matching on encrypted
+text.  Following section 3.1 of the paper, the proxy splits a text value into
+keywords using standard delimiters, removes duplicates, randomly permutes the
+word positions and encrypts each word with the SWP scheme padded to a fixed
+size.  At query time the proxy hands the server a *token* for the searched
+word; a UDF checks every word ciphertext for a match without learning the
+word itself, and without learning whether words repeat across rows.
+
+SWP construction per word ``W`` (padded to ``WORD_SIZE`` bytes):
+
+* ``X = DET_k1(W)`` split as ``X = L || R``;
+* draw a random ``S`` of ``len(L)`` bytes;
+* ``T = F_{k2}(S)`` truncated to ``len(R)``;
+* ciphertext ``C = (L xor S) || (R xor T) || S`` (we store ``S`` alongside,
+  playing the role of the stream-cipher position in the original paper).
+
+The token for a word is ``(L, R)``; the server recovers ``S = C_left xor L``
+and checks ``C_right == R xor F_{k2}(S)``.  The token key ``k2`` is shared
+with the server only implicitly through the token, matching the paper's
+"server learns only whether a token matched".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.crypto.det import DET
+from repro.crypto.prf import derive_key, expand
+from repro.crypto.primitives import random_bytes, xor_bytes
+from repro.errors import CryptoError
+
+WORD_SIZE = 16
+_SPLIT = WORD_SIZE // 2
+_DELIMITERS = re.compile(r"[^0-9A-Za-z_]+")
+
+
+@dataclass(frozen=True)
+class SearchToken:
+    """The query token the proxy hands the DBMS server for one keyword."""
+
+    left: bytes
+    right: bytes
+    prf_key: bytes
+
+
+@dataclass(frozen=True)
+class SearchCiphertext:
+    """The SEARCH encryption of one text value: a set of word ciphertexts."""
+
+    words: tuple[bytes, ...]
+
+    def serialize(self) -> bytes:
+        """Flatten to bytes for storage in the DBMS."""
+        return b"".join(self.words)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "SearchCiphertext":
+        unit = WORD_SIZE + _SPLIT
+        if len(data) % unit != 0:
+            raise CryptoError("malformed SEARCH ciphertext")
+        return cls(tuple(data[i : i + unit] for i in range(0, len(data), unit)))
+
+
+def extract_keywords(text: str) -> list[str]:
+    """Split text into lower-cased keywords using standard delimiters."""
+    return [w.lower() for w in _DELIMITERS.split(text) if w]
+
+
+class SEARCH:
+    """Word-search encryption under a fixed column key."""
+
+    def __init__(self, key: bytes, keep_duplicates: bool = False):
+        if not key:
+            raise CryptoError("SEARCH key must be non-empty")
+        self.key = key
+        self.keep_duplicates = keep_duplicates
+        self._det = DET(derive_key(key, "search-det", length=16))
+        self._prf_key = derive_key(key, "search-prf", length=16)
+
+    # -- encryption -------------------------------------------------------
+    def _pad_word(self, word: str) -> bytes:
+        raw = word.encode("utf-8")[: WORD_SIZE - 1]
+        return raw + b"\x00" * (WORD_SIZE - len(raw))
+
+    def _word_core(self, word: str) -> tuple[bytes, bytes]:
+        padded = self._pad_word(word)
+        x = self._det.encrypt_bytes(padded)[:WORD_SIZE]
+        return x[:_SPLIT], x[_SPLIT:]
+
+    def encrypt_word(self, word: str) -> bytes:
+        """Encrypt a single keyword."""
+        left, right = self._word_core(word)
+        s = random_bytes(_SPLIT)
+        t = expand(self._prf_key, s, WORD_SIZE - _SPLIT)
+        return xor_bytes(left, s) + xor_bytes(right, t) + s
+
+    def encrypt(self, text: str) -> SearchCiphertext:
+        """Encrypt a full text value: keyword extraction, dedup, permutation."""
+        words = extract_keywords(text)
+        if not self.keep_duplicates:
+            # Deduplicate while discarding order information: sorting the
+            # ciphertexts afterwards acts as the random permutation since
+            # each word ciphertext is randomised.
+            words = list(dict.fromkeys(words))
+        ciphertexts = [self.encrypt_word(w) for w in words]
+        if not self.keep_duplicates:
+            ciphertexts.sort()
+        return SearchCiphertext(tuple(ciphertexts))
+
+    # -- tokens and matching ----------------------------------------------
+    def token(self, word: str) -> SearchToken:
+        """Produce the search token for one keyword."""
+        left, right = self._word_core(word.lower())
+        return SearchToken(left, right, self._prf_key)
+
+    @staticmethod
+    def matches(ciphertext: SearchCiphertext, token: SearchToken) -> bool:
+        """Server-side match check; uses only the token, never the column key."""
+        for word_ct in ciphertext.words:
+            masked_left = word_ct[:_SPLIT]
+            masked_right = word_ct[_SPLIT:WORD_SIZE]
+            s = word_ct[WORD_SIZE:]
+            if xor_bytes(masked_left, token.left) != s:
+                continue
+            t = expand(token.prf_key, s, WORD_SIZE - _SPLIT)
+            if xor_bytes(masked_right, t) == token.right:
+                return True
+        return False

@@ -1,0 +1,44 @@
+"""Exception hierarchy shared across the CryptDB reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed or was mis-used."""
+
+
+class SQLError(ReproError):
+    """Base class for errors raised by the SQL substrate."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenised or parsed."""
+
+
+class SQLExecutionError(SQLError):
+    """A well-formed statement failed during execution."""
+
+
+class SchemaError(SQLError):
+    """A statement referenced tables/columns inconsistently with the schema."""
+
+
+class ProxyError(ReproError):
+    """The CryptDB proxy could not rewrite or process a query."""
+
+
+class UnsupportedQueryError(ProxyError):
+    """The query requires a computation class CryptDB cannot run on ciphertext.
+
+    This corresponds to the "needs plaintext" columns of Figure 9.
+    """
+
+
+class PolicyError(ReproError):
+    """A multi-principal annotation or access-control operation is invalid."""
+
+
+class AccessDeniedError(PolicyError):
+    """The requesting principal does not hold a key chain to the data."""

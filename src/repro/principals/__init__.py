@@ -1,0 +1,24 @@
+"""Multi-principal mode: chaining encryption keys to user passwords (§4).
+
+* :mod:`repro.principals.annotations` -- the PRINCTYPE / ENC FOR / SPEAKS FOR
+  schema annotation language and its parser.
+* :mod:`repro.principals.pubkey` -- the per-principal public-key (EC ElGamal
+  KEM) used to deliver keys to principals that are not currently online.
+* :mod:`repro.principals.keychain` -- principals, their symmetric/public key
+  pairs, and the access_keys / public_keys / external_keys tables.
+* :mod:`repro.principals.multi_proxy` -- the proxy enforcing the annotations:
+  it encrypts annotated fields under principal keys, maintains delegations on
+  INSERT, and releases plaintext only to sessions holding a key chain.
+"""
+
+from repro.principals.annotations import AnnotatedSchema, parse_annotated_schema
+from repro.principals.keychain import KeyChain, Principal
+from repro.principals.multi_proxy import MultiPrincipalProxy
+
+__all__ = [
+    "AnnotatedSchema",
+    "parse_annotated_schema",
+    "KeyChain",
+    "Principal",
+    "MultiPrincipalProxy",
+]

@@ -1,0 +1,212 @@
+"""Parser for CryptDB's schema annotation language (§4.1).
+
+Developers annotate a SQL schema with three constructs:
+
+* ``PRINCTYPE name [EXTERNAL]`` declares a principal type; external
+  principals authenticate with a password.
+* ``column type ENC FOR (refcol princtype)`` marks a column as encrypted for
+  the principal named (per row) by ``refcol``.
+* ``(subject subjtype) SPEAKS FOR (object objtype) [IF predicate]`` declares
+  a delegation rule: every row of the annotated table grants the subject
+  principal access to the object principal's key, optionally guarded by a
+  predicate over the row (or a registered SQL function such as HotCRP's
+  ``NoConflict``).
+
+The parser accepts both ``ENC FOR`` and ``ENC_FOR`` spellings (same for
+``SPEAKS FOR``), returns the clean SQL schema with annotations stripped, and
+counts annotations the way Figure 8 does (each annotation invocation plus
+each SQL predicate counts as one; unique annotations are de-duplicated by
+their structure).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class PrincipalType:
+    """A declared principal type."""
+
+    name: str
+    external: bool = False
+
+
+@dataclass(frozen=True)
+class EncForAnnotation:
+    """``column ENC FOR (refcol princtype)`` on one table."""
+
+    table: str
+    column: str
+    ref_column: str
+    principal_type: str
+
+
+@dataclass(frozen=True)
+class SpeaksForAnnotation:
+    """``(subject subjtype) SPEAKS FOR (object objtype) [IF predicate]``."""
+
+    table: str
+    subject: str          # column name, "Table.column", or a quoted constant
+    subject_type: str
+    object_column: str
+    object_type: str
+    predicate: Optional[str] = None
+
+    @property
+    def subject_is_external_reference(self) -> bool:
+        return "." in self.subject
+
+    @property
+    def subject_is_constant(self) -> bool:
+        return self.subject.startswith("'") and self.subject.endswith("'")
+
+
+@dataclass
+class AnnotatedSchema:
+    """The outcome of parsing an annotated schema."""
+
+    principal_types: dict[str, PrincipalType] = field(default_factory=dict)
+    enc_for: list[EncForAnnotation] = field(default_factory=list)
+    speaks_for: list[SpeaksForAnnotation] = field(default_factory=list)
+    create_statements: list[str] = field(default_factory=list)
+    annotation_count: int = 0
+    unique_annotation_count: int = 0
+
+    def enc_for_on(self, table: str) -> list[EncForAnnotation]:
+        return [a for a in self.enc_for if a.table == table]
+
+    def speaks_for_on(self, table: str) -> list[SpeaksForAnnotation]:
+        return [a for a in self.speaks_for if a.table == table]
+
+    def external_types(self) -> list[str]:
+        return [t.name for t in self.principal_types.values() if t.external]
+
+    def sensitive_fields(self) -> list[tuple[str, str]]:
+        """All (table, column) pairs protected by ENC FOR annotations."""
+        return [(a.table, a.column) for a in self.enc_for]
+
+
+_PRINCTYPE_RE = re.compile(r"PRINCTYPE\s+(.+?);", re.IGNORECASE | re.DOTALL)
+_ENC_FOR_RE = re.compile(
+    r"ENC[\s_]FOR\s*\(\s*(\w+)\s+(\w+)\s*\)", re.IGNORECASE
+)
+_SPEAKS_FOR_RE = re.compile(
+    r"\(\s*([\w\.']+)\s+(\w+)\s*\)\s*SPEAKS[\s_]FOR\s*\(\s*(\w+)\s+(\w+)\s*\)"
+    r"(?:\s+IF\s+(\w+\s*\([^\)]*\)|[^,\)]+))?",
+    re.IGNORECASE,
+)
+_CREATE_TABLE_RE = re.compile(
+    r"CREATE\s+TABLE\s+(\w+)\s*\((.*?)\)\s*;", re.IGNORECASE | re.DOTALL
+)
+
+
+def parse_annotated_schema(text: str) -> AnnotatedSchema:
+    """Parse an annotated schema into clean SQL plus annotation metadata."""
+    schema = AnnotatedSchema()
+    unique_signatures: set[tuple] = set()
+
+    # PRINCTYPE declarations.
+    for match in _PRINCTYPE_RE.finditer(text):
+        body = match.group(1).strip()
+        external = bool(re.search(r"\bEXTERNAL\b", body, re.IGNORECASE))
+        body = re.sub(r"\bEXTERNAL\b", "", body, flags=re.IGNORECASE)
+        names = [n.strip() for n in body.split(",") if n.strip()]
+        if not names:
+            raise PolicyError("PRINCTYPE declaration without principal names")
+        for name in names:
+            schema.principal_types[name] = PrincipalType(name, external)
+        schema.annotation_count += 1
+        unique_signatures.add(("PRINCTYPE", external, tuple(sorted(names))))
+
+    # CREATE TABLE bodies.
+    for match in _CREATE_TABLE_RE.finditer(text):
+        table = match.group(1)
+        body = match.group(2)
+        clean_columns: list[str] = []
+        for raw_definition in _split_definitions(body):
+            definition = raw_definition.strip()
+            if not definition:
+                continue
+            speaks = _SPEAKS_FOR_RE.search(definition)
+            if speaks is not None:
+                predicate = speaks.group(5).strip() if speaks.group(5) else None
+                annotation = SpeaksForAnnotation(
+                    table=table,
+                    subject=speaks.group(1),
+                    subject_type=speaks.group(2),
+                    object_column=speaks.group(3),
+                    object_type=speaks.group(4),
+                    predicate=predicate,
+                )
+                schema.speaks_for.append(annotation)
+                schema.annotation_count += 1
+                unique_signatures.add(
+                    ("SPEAKS_FOR", annotation.subject_type, annotation.object_type)
+                )
+                if predicate:
+                    schema.annotation_count += 1
+                    unique_signatures.add(("PREDICATE", predicate.split("(")[0].strip()))
+                continue
+            enc = _ENC_FOR_RE.search(definition)
+            if enc is not None:
+                column_name = definition.split()[0]
+                annotation = EncForAnnotation(
+                    table=table,
+                    column=column_name,
+                    ref_column=enc.group(1),
+                    principal_type=enc.group(2),
+                )
+                schema.enc_for.append(annotation)
+                schema.annotation_count += 1
+                unique_signatures.add(("ENC_FOR", table, enc.group(2)))
+                definition = _ENC_FOR_RE.sub("", definition).strip().rstrip(",")
+            clean_columns.append(definition)
+        if not clean_columns:
+            raise PolicyError(f"table {table} has no columns after removing annotations")
+        schema.create_statements.append(
+            f"CREATE TABLE {table} ({', '.join(clean_columns)})"
+        )
+
+    schema.unique_annotation_count = len(unique_signatures)
+    _validate(schema)
+    return schema
+
+
+def _split_definitions(body: str) -> list[str]:
+    """Split a CREATE TABLE body on commas, respecting nested parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _validate(schema: AnnotatedSchema) -> None:
+    declared = set(schema.principal_types)
+    for annotation in schema.enc_for:
+        if annotation.principal_type not in declared:
+            raise PolicyError(
+                f"ENC FOR references undeclared principal type {annotation.principal_type}"
+            )
+    for annotation in schema.speaks_for:
+        for ptype in (annotation.subject_type, annotation.object_type):
+            if ptype not in declared:
+                raise PolicyError(
+                    f"SPEAKS FOR references undeclared principal type {ptype}"
+                )

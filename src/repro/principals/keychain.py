@@ -1,0 +1,312 @@
+"""Key chaining: principals, delegations, and the three key tables (§4.2).
+
+Every principal (an *instance* of a principal type, e.g. ``user 2`` or
+``msg 5``) owns a random symmetric key and an EC key pair.  Access control is
+a chain of wrapped keys:
+
+* ``access_keys`` -- if B speaks for A, A's key wrapped under B's symmetric
+  key (or under B's public key when B is offline).
+* ``public_keys`` -- each principal's public key, plus its private key
+  wrapped under its own symmetric key.
+* ``external_keys`` -- for external principals (physical users), the
+  principal key wrapped under a key derived from the user's password.
+
+All three tables live *in the DBMS* (they contain only ciphertext), so a
+server compromise reveals nothing about principals whose chains end in the
+password of a logged-out user.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.prf import derive_key
+from repro.crypto.primitives import random_bytes
+from repro.errors import AccessDeniedError
+from repro.principals import pubkey
+from repro.sql.engine import Database
+from repro.sql.types import BLOB, INT, VARCHAR, ColumnDef
+
+ACCESS_KEYS_TABLE = "cryptdb_access_keys"
+PUBLIC_KEYS_TABLE = "cryptdb_public_keys"
+EXTERNAL_KEYS_TABLE = "cryptdb_external_keys"
+
+_WRAP_SYMMETRIC = 0
+_WRAP_PUBLIC = 1
+
+
+@dataclass(frozen=True)
+class Principal:
+    """An instance of a principal type, e.g. ('user', '2') or ('msg', '5')."""
+
+    ptype: str
+    name: str
+
+    @classmethod
+    def of(cls, ptype: str, value: object) -> "Principal":
+        return cls(ptype, str(value))
+
+    def __str__(self) -> str:
+        return f"{self.ptype}={self.name}"
+
+
+class KeyChain:
+    """Manages principal keys and the wrapped-key tables stored in the DBMS."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._active_keys: dict[Principal, bytes] = {}
+        self._ensure_tables()
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+    def _ensure_tables(self) -> None:
+        if not self.db.has_table(ACCESS_KEYS_TABLE):
+            self.db.create_table(
+                ACCESS_KEYS_TABLE,
+                [
+                    ColumnDef("holder_type", VARCHAR(64)),
+                    ColumnDef("holder_name", VARCHAR(255)),
+                    ColumnDef("target_type", VARCHAR(64)),
+                    ColumnDef("target_name", VARCHAR(255)),
+                    ColumnDef("wrap_mode", INT()),
+                    ColumnDef("wrapped_key", BLOB()),
+                ],
+            )
+        if not self.db.has_table(PUBLIC_KEYS_TABLE):
+            self.db.create_table(
+                PUBLIC_KEYS_TABLE,
+                [
+                    ColumnDef("principal_type", VARCHAR(64)),
+                    ColumnDef("principal_name", VARCHAR(255)),
+                    ColumnDef("public_key", BLOB()),
+                    ColumnDef("wrapped_private_key", BLOB()),
+                ],
+            )
+        if not self.db.has_table(EXTERNAL_KEYS_TABLE):
+            self.db.create_table(
+                EXTERNAL_KEYS_TABLE,
+                [
+                    ColumnDef("username", VARCHAR(255)),
+                    ColumnDef("principal_type", VARCHAR(64)),
+                    ColumnDef("wrapped_key", BLOB()),
+                ],
+            )
+
+    def _access_rows(self) -> list[dict]:
+        return [row for _, row in self.db.table(ACCESS_KEYS_TABLE).scan()]
+
+    def _public_row(self, principal: Principal) -> Optional[dict]:
+        for _, row in self.db.table(PUBLIC_KEYS_TABLE).scan():
+            if (
+                row["principal_type"] == principal.ptype
+                and row["principal_name"] == principal.name
+            ):
+                return row
+        return None
+
+    # ------------------------------------------------------------------
+    # principal lifecycle
+    # ------------------------------------------------------------------
+    def create_principal(self, principal: Principal) -> bytes:
+        """Create a principal: random symmetric key + EC key pair.
+
+        The symmetric key is held in proxy memory (it is an "active" key until
+        delegations anchor it); the key pair is persisted with the private key
+        wrapped under the symmetric key.
+        """
+        if principal in self._active_keys:
+            return self._active_keys[principal]
+        symmetric = random_bytes(16)
+        pair = pubkey.KeyPair.generate()
+        self.db.insert_row(
+            PUBLIC_KEYS_TABLE,
+            {
+                "principal_type": principal.ptype,
+                "principal_name": principal.name,
+                "public_key": pair.public,
+                "wrapped_private_key": pubkey.symmetric_wrap(
+                    symmetric, pair.private.to_bytes(32, "big")
+                ),
+            },
+        )
+        self._active_keys[principal] = symmetric
+        return symmetric
+
+    def principal_exists(self, principal: Principal) -> bool:
+        return self._public_row(principal) is not None
+
+    # ------------------------------------------------------------------
+    # external principals (login / logout)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _password_key(username: str, password: str) -> bytes:
+        return derive_key(password.encode("utf-8"), "external-key", username, length=16)
+
+    def register_external(self, ptype: str, username: str, password: str) -> Principal:
+        """Create an external principal whose key is wrapped under the password."""
+        principal = Principal(ptype, username)
+        symmetric = self.create_principal(principal)
+        self.db.insert_row(
+            EXTERNAL_KEYS_TABLE,
+            {
+                "username": username,
+                "principal_type": ptype,
+                "wrapped_key": pubkey.symmetric_wrap(
+                    self._password_key(username, password), symmetric
+                ),
+            },
+        )
+        return principal
+
+    def login(self, ptype: str, username: str, password: str) -> Principal:
+        """Unlock an external principal's key with the user's password."""
+        principal = Principal(ptype, username)
+        for _, row in self.db.table(EXTERNAL_KEYS_TABLE).scan():
+            if row["username"] == username and row["principal_type"] == ptype:
+                symmetric = pubkey.symmetric_unwrap(
+                    self._password_key(username, password), row["wrapped_key"]
+                )
+                self._active_keys[principal] = symmetric
+                return principal
+        raise AccessDeniedError(f"unknown external principal {username}")
+
+    def logout(self, ptype: str, username: str) -> None:
+        """Forget the user's key and everything derived from it.
+
+        The paper keeps derived keys only as an optimisation; dropping the
+        whole in-memory set except other logged-in users is the conservative
+        equivalent.
+        """
+        self._active_keys.pop(Principal(ptype, username), None)
+
+    def forget_session_keys(self, keep: Optional[set[Principal]] = None) -> None:
+        """Drop in-memory keys except those of the given (logged-in) principals.
+
+        This models the steady state in which only logged-in users' chains are
+        available to an attacker who compromises the proxy (threat 2).
+        """
+        keep = keep or set()
+        self._active_keys = {
+            principal: key for principal, key in self._active_keys.items() if principal in keep
+        }
+
+    def active_principals(self) -> list[Principal]:
+        return list(self._active_keys)
+
+    # ------------------------------------------------------------------
+    # delegation (SPEAKS FOR)
+    # ------------------------------------------------------------------
+    def delegate(self, holder: Principal, target: Principal) -> None:
+        """Record that ``holder`` speaks for ``target`` (holder can get target's key).
+
+        Requires the target's key to be obtainable right now (§4.2: the proxy
+        must have access to the key being delegated); the holder's key may be
+        offline, in which case the wrap uses the holder's public key.
+        """
+        target_key = self.get_key(target)
+        holder_key = self._try_get_key(holder)
+        if holder_key is not None:
+            wrapped = pubkey.symmetric_wrap(holder_key, target_key)
+            mode = _WRAP_SYMMETRIC
+        else:
+            holder_row = self._public_row(holder)
+            if holder_row is None:
+                self.create_principal(holder)
+                holder_row = self._public_row(holder)
+            wrapped = pubkey.encrypt(holder_row["public_key"], target_key)
+            mode = _WRAP_PUBLIC
+        self.db.insert_row(
+            ACCESS_KEYS_TABLE,
+            {
+                "holder_type": holder.ptype,
+                "holder_name": holder.name,
+                "target_type": target.ptype,
+                "target_name": target.name,
+                "wrap_mode": mode,
+                "wrapped_key": wrapped,
+            },
+        )
+
+    def revoke(self, holder: Principal, target: Principal) -> int:
+        """Remove a delegation (SPEAKS FOR row deleted); returns rows removed."""
+        table = self.db.table(ACCESS_KEYS_TABLE)
+        removed = 0
+        for row_id, row in list(table.scan()):
+            if (
+                row["holder_type"] == holder.ptype
+                and row["holder_name"] == holder.name
+                and row["target_type"] == target.ptype
+                and row["target_name"] == target.name
+            ):
+                table.delete(row_id)
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # key resolution
+    # ------------------------------------------------------------------
+    def _private_key(self, principal: Principal, symmetric: bytes) -> Optional[int]:
+        row = self._public_row(principal)
+        if row is None:
+            return None
+        raw = pubkey.symmetric_unwrap(symmetric, row["wrapped_private_key"])
+        return int.from_bytes(raw, "big")
+
+    def _try_get_key(self, principal: Principal) -> Optional[bytes]:
+        try:
+            return self.get_key(principal)
+        except AccessDeniedError:
+            return None
+
+    def get_key(self, principal: Principal) -> bytes:
+        """Resolve a principal's symmetric key by following key chains.
+
+        Starts from all keys currently in proxy memory (logged-in users plus
+        keys created in this session) and walks ``access_keys`` edges,
+        unwrapping as it goes.  Raises :class:`AccessDeniedError` when no
+        chain reaches the principal -- which is precisely the guarantee that
+        protects logged-out users' data after a compromise.
+        """
+        if principal in self._active_keys:
+            return self._active_keys[principal]
+
+        rows = self._access_rows()
+        # BFS over the delegation graph starting from every active key.
+        frontier = deque(self._active_keys.items())
+        known: dict[Principal, bytes] = dict(self._active_keys)
+        while frontier:
+            holder, holder_key = frontier.popleft()
+            private_key = None
+            for row in rows:
+                if row["holder_type"] != holder.ptype or row["holder_name"] != holder.name:
+                    continue
+                target = Principal(row["target_type"], row["target_name"])
+                if target in known:
+                    continue
+                try:
+                    if row["wrap_mode"] == _WRAP_SYMMETRIC:
+                        target_key = pubkey.symmetric_unwrap(holder_key, row["wrapped_key"])
+                    else:
+                        if private_key is None:
+                            private_key = self._private_key(holder, holder_key)
+                        if private_key is None:
+                            continue
+                        target_key = pubkey.decrypt(private_key, row["wrapped_key"])
+                except Exception:
+                    continue
+                known[target] = target_key
+                self._active_keys[target] = target_key
+                if target == principal:
+                    return target_key
+                frontier.append((target, target_key))
+        raise AccessDeniedError(
+            f"no key chain from the active principals reaches {principal}"
+        )
+
+    def can_access(self, principal: Principal) -> bool:
+        """True when the current active keys can reach the principal's key."""
+        return self._try_get_key(principal) is not None

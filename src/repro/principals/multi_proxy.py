@@ -1,0 +1,422 @@
+"""The multi-principal CryptDB proxy (threat 2, §4).
+
+``MultiPrincipalProxy`` wraps the single-principal proxy: columns without
+annotations are protected exactly as before (onions under the master key),
+while columns annotated ``ENC FOR`` are encrypted under keys chained to the
+principals named by the annotation -- and ultimately to user passwords -- so
+that a complete compromise of the application, proxy and DBMS reveals only
+the data of users logged in at the time.
+
+The proxy:
+
+* parses the annotated schema (PRINCTYPE / ENC FOR / SPEAKS FOR);
+* intercepts INSERTs to maintain delegations (SPEAKS FOR rows) and to encrypt
+  annotated fields under the correct principal's key;
+* intercepts SELECTs to decrypt annotated fields, which succeeds only when a
+  key chain from a logged-in user reaches the row's principal;
+* intercepts ``cryptdb_active`` INSERT/DELETE as the login/logout signal the
+  paper describes (applications can also call :meth:`login` / :meth:`logout`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+from repro.core.proxy import CryptDBProxy
+from repro.crypto.keys import MasterKey
+from repro.crypto.prf import derive_key
+from repro.errors import AccessDeniedError, PolicyError, UnsupportedQueryError
+from repro.principals import pubkey
+from repro.principals.annotations import (
+    AnnotatedSchema,
+    EncForAnnotation,
+    SpeaksForAnnotation,
+    parse_annotated_schema,
+)
+from repro.principals.keychain import KeyChain, Principal
+from repro.sql import ast_nodes as ast
+from repro.sql.engine import Database
+from repro.sql.executor import ResultSet
+from repro.sql.expressions import RowContext, evaluate, is_truthy
+from repro.sql.functions import FunctionRegistry
+from repro.sql.parser import parse_expression, parse_sql
+
+ACTIVE_TABLE = "cryptdb_active"
+
+
+class MultiPrincipalProxy:
+    """CryptDB proxy enforcing developer annotations via key chaining."""
+
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        master_key: Optional[MasterKey] = None,
+        paillier_bits: int = 1024,
+    ):
+        self.db = db if db is not None else Database()
+        self.inner = CryptDBProxy(self.db, master_key=master_key, paillier_bits=paillier_bits)
+        self.keychain = KeyChain(self.db)
+        self.schema: Optional[AnnotatedSchema] = None
+        self.logged_in: dict[str, Principal] = {}
+        self._predicates: dict[str, Callable[..., bool]] = {}
+        self._predicate_functions = FunctionRegistry()
+        self.lines_of_code_changed = 0   # applications report their login/logout glue here
+
+    # ------------------------------------------------------------------
+    # schema
+    # ------------------------------------------------------------------
+    def load_schema(self, annotated_sql: str) -> AnnotatedSchema:
+        """Parse an annotated schema and create its tables on the inner proxy."""
+        schema = parse_annotated_schema(annotated_sql)
+        self.schema = schema
+        for create_sql in schema.create_statements:
+            statement = parse_sql(create_sql)
+            assert isinstance(statement, ast.CreateTable)
+            enc_columns = {a.column for a in schema.enc_for_on(statement.table)}
+            self.inner.create_table(
+                statement,
+                plaintext_columns=enc_columns,
+                sensitive_columns=enc_columns,
+            )
+        return schema
+
+    def register_predicate(self, name: str, func: Callable[..., bool]) -> None:
+        """Register a SQL-function predicate used in SPEAKS FOR (e.g. NoConflict)."""
+        self._predicates[name.upper()] = func
+
+    @property
+    def external_type(self) -> str:
+        if self.schema is None or not self.schema.external_types():
+            raise PolicyError("no EXTERNAL principal type declared")
+        return self.schema.external_types()[0]
+
+    # ------------------------------------------------------------------
+    # login / logout
+    # ------------------------------------------------------------------
+    def create_user(self, username: str, password: str) -> Principal:
+        """Register an external principal (a physical user) with a password."""
+        principal = self.keychain.register_external(self.external_type, username, password)
+        return principal
+
+    def login(self, username: str, password: str) -> Principal:
+        """Provide a user's password to the proxy (the §4.2 login hook)."""
+        if not self.keychain.principal_exists(Principal(self.external_type, username)):
+            principal = self.create_user(username, password)
+        else:
+            principal = self.keychain.login(self.external_type, username, password)
+        self.logged_in[username] = principal
+        return principal
+
+    def logout(self, username: str) -> None:
+        """Forget the user's keys (and everything only reachable through them)."""
+        self.logged_in.pop(username, None)
+        self.keychain.forget_session_keys(keep=set(self.logged_in.values()))
+
+    def end_session(self) -> None:
+        """Drop every in-memory key except those of logged-in users.
+
+        Models the steady state of a long-running proxy: only the chains
+        rooted at logged-in users' passwords are available to an attacker.
+        """
+        self.keychain.forget_session_keys(keep=set(self.logged_in.values()))
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def execute(self, sql_or_statement: Union[str, ast.Statement]) -> ResultSet:
+        statement = (
+            parse_sql(sql_or_statement)
+            if isinstance(sql_or_statement, str)
+            else sql_or_statement
+        )
+        if isinstance(statement, ast.Insert) and statement.table == ACTIVE_TABLE:
+            return self._handle_active_insert(statement)
+        if isinstance(statement, ast.Delete) and statement.table == ACTIVE_TABLE:
+            return self._handle_active_delete(statement)
+        if self.schema is None:
+            return self.inner.execute(statement)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        return self.inner.execute(statement)
+
+    # -- cryptdb_active ------------------------------------------------------
+    def _handle_active_insert(self, statement: ast.Insert) -> ResultSet:
+        columns = statement.columns or ["username", "password"]
+        for row in statement.rows:
+            values = {c: v.value for c, v in zip(columns, row) if isinstance(v, ast.Literal)}
+            self.login(str(values["username"]), str(values["password"]))
+        self.lines_of_code_changed += 1
+        return ResultSet([], [], len(statement.rows))
+
+    def _handle_active_delete(self, statement: ast.Delete) -> ResultSet:
+        # DELETE FROM cryptdb_active WHERE username = '...'
+        username = None
+        if isinstance(statement.where, ast.BinaryOp) and statement.where.op == "=":
+            right = statement.where.right
+            if isinstance(right, ast.Literal):
+                username = str(right.value)
+        if username is None:
+            raise PolicyError("logout requires DELETE ... WHERE username = '<name>'")
+        self.logout(username)
+        return ResultSet([], [], 1)
+
+    # -- INSERT ---------------------------------------------------------------
+    def _execute_insert(self, statement: ast.Insert) -> ResultSet:
+        assert self.schema is not None
+        enc_annotations = self.schema.enc_for_on(statement.table)
+        speaks = self.schema.speaks_for_on(statement.table)
+        if not enc_annotations and not speaks:
+            return self.inner.execute(statement)
+
+        table_meta = self.inner.schema.table(statement.table)
+        columns = statement.columns or table_meta.column_names()
+        new_rows = []
+        for row_exprs in statement.rows:
+            values = {}
+            for name, expr in zip(columns, row_exprs):
+                if not isinstance(expr, ast.Literal):
+                    raise UnsupportedQueryError("multi-principal INSERT values must be constants")
+                values[name] = expr.value
+            self._apply_speaks_for(speaks, values)
+            encrypted = dict(values)
+            for annotation in enc_annotations:
+                if annotation.column in encrypted and encrypted[annotation.column] is not None:
+                    encrypted[annotation.column] = self._encrypt_field(
+                        annotation, encrypted[annotation.column], values
+                    )
+            new_rows.append([ast.Literal(encrypted[c]) for c in columns])
+        return self.inner.execute(ast.Insert(statement.table, list(columns), new_rows))
+
+    def _apply_speaks_for(self, rules: list[SpeaksForAnnotation], row: dict[str, Any]) -> None:
+        for rule in rules:
+            target = Principal.of(rule.object_type, row[rule.object_column])
+            if not self.keychain.principal_exists(target):
+                self.keychain.create_principal(target)
+            for subject_value in self._subject_values(rule, row):
+                if not self._predicate_holds(rule, row, subject_value):
+                    continue
+                holder = Principal.of(rule.subject_type, subject_value)
+                if not self.keychain.principal_exists(holder):
+                    self.keychain.create_principal(holder)
+                self.keychain.delegate(holder, target)
+
+    def _subject_values(self, rule: SpeaksForAnnotation, row: dict[str, Any]) -> list[Any]:
+        if rule.subject_is_constant:
+            return [rule.subject.strip("'")]
+        if rule.subject_is_external_reference:
+            table, column = rule.subject.split(".", 1)
+            result = self.inner.execute(f"SELECT {column} FROM {table}")
+            return [r[0] for r in result.rows if r[0] is not None]
+        if rule.subject not in row:
+            raise PolicyError(f"SPEAKS FOR subject column {rule.subject} missing from INSERT")
+        return [row[rule.subject]]
+
+    def _predicate_holds(
+        self, rule: SpeaksForAnnotation, row: dict[str, Any], subject_value: Any
+    ) -> bool:
+        if rule.predicate is None:
+            return True
+        predicate = rule.predicate.strip()
+        name = predicate.split("(")[0].strip().upper()
+        if "(" in predicate and name in self._predicates:
+            arg_names = [
+                a.strip() for a in predicate[predicate.index("(") + 1 : predicate.rindex(")")].split(",")
+            ]
+            subject_column = rule.subject.split(".")[-1]
+            kwargs = {}
+            for arg in arg_names:
+                if arg in row:
+                    kwargs[arg] = row[arg]
+                elif arg == subject_column:
+                    kwargs[arg] = subject_value
+                else:
+                    kwargs[arg] = None
+            return bool(self._predicates[name](**kwargs))
+        # Plain SQL expression over the inserted row, e.g. "optionid=20".
+        expr = parse_expression(predicate)
+        context = RowContext({(None, k): v for k, v in row.items()})
+        return is_truthy(evaluate(expr, context, self._predicate_functions))
+
+    # -- field encryption -------------------------------------------------------
+    def _field_key(self, annotation: EncForAnnotation, principal_key: bytes) -> bytes:
+        return derive_key(principal_key, "enc-for", annotation.table, annotation.column, length=16)
+
+    @staticmethod
+    def _encode(value: Any) -> bytes:
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, int):
+            return b"i" + value.to_bytes(16, "big", signed=True)
+        if isinstance(value, bytes):
+            return b"b" + value
+        return b"s" + str(value).encode("utf-8")
+
+    @staticmethod
+    def _decode(data: bytes) -> Any:
+        marker, payload = data[:1], data[1:]
+        if marker == b"i":
+            return int.from_bytes(payload, "big", signed=True)
+        if marker == b"b":
+            return payload
+        return payload.decode("utf-8")
+
+    def _encrypt_field(
+        self, annotation: EncForAnnotation, value: Any, row: dict[str, Any]
+    ) -> bytes:
+        if annotation.ref_column not in row:
+            raise PolicyError(
+                f"INSERT into {annotation.table} must provide {annotation.ref_column} "
+                f"to encrypt {annotation.column}"
+            )
+        principal = Principal.of(annotation.principal_type, row[annotation.ref_column])
+        if not self.keychain.principal_exists(principal):
+            self.keychain.create_principal(principal)
+        principal_key = self.keychain.get_key(principal)
+        return pubkey.symmetric_wrap(self._field_key(annotation, principal_key), self._encode(value))
+
+    def _decrypt_field(self, annotation: EncForAnnotation, ciphertext: Any, ref_value: Any) -> Any:
+        if ciphertext is None:
+            return None
+        principal = Principal.of(annotation.principal_type, ref_value)
+        principal_key = self.keychain.get_key(principal)
+        return self._decode(
+            pubkey.symmetric_unwrap(self._field_key(annotation, principal_key), ciphertext)
+        )
+
+    # -- SELECT ---------------------------------------------------------------
+    def _execute_select(self, statement: ast.Select) -> ResultSet:
+        assert self.schema is not None
+        if not isinstance(statement.from_clause, ast.TableRef):
+            return self.inner.execute(statement)
+        table = statement.from_clause.name
+        annotations = {a.column: a for a in self.schema.enc_for_on(table)}
+        if not annotations:
+            return self.inner.execute(statement)
+
+        table_meta = self.inner.schema.table(table)
+        # Expand the projection and note which outputs are ENC FOR columns.
+        items: list[ast.SelectItem] = []
+        labels: list[str] = []
+        encrypted_outputs: dict[int, EncForAnnotation] = {}
+        for item in statement.items:
+            if isinstance(item.expr, ast.Star):
+                for name in table_meta.column_names():
+                    items.append(ast.SelectItem(ast.ColumnRef(name), None))
+                    labels.append(name)
+                    if name in annotations:
+                        encrypted_outputs[len(items) - 1] = annotations[name]
+                continue
+            items.append(item)
+            label = item.alias or (
+                item.expr.name if isinstance(item.expr, ast.ColumnRef) else item.expr.to_sql()
+            )
+            labels.append(label)
+            if isinstance(item.expr, ast.ColumnRef) and item.expr.name in annotations:
+                encrypted_outputs[len(items) - 1] = annotations[item.expr.name]
+
+        # Append the principal reference columns needed for decryption.
+        ref_positions: dict[str, int] = {}
+        for annotation in encrypted_outputs.values():
+            if annotation.ref_column not in ref_positions:
+                items.append(ast.SelectItem(ast.ColumnRef(annotation.ref_column), None))
+                ref_positions[annotation.ref_column] = len(items) - 1
+
+        rewritten = ast.Select(
+            items=items,
+            from_clause=statement.from_clause,
+            where=statement.where,
+            group_by=statement.group_by,
+            having=statement.having,
+            order_by=statement.order_by,
+            limit=statement.limit,
+            offset=statement.offset,
+            distinct=statement.distinct,
+        )
+        raw = self.inner.execute(rewritten)
+
+        rows = []
+        for row in raw.rows:
+            out = list(row[: len(labels)])
+            for index, annotation in encrypted_outputs.items():
+                ref_value = row[ref_positions[annotation.ref_column]]
+                out[index] = self._decrypt_field(annotation, row[index], ref_value)
+            rows.append(tuple(out))
+        return ResultSet(labels, rows, len(rows))
+
+    # -- UPDATE / DELETE --------------------------------------------------------
+    def _execute_update(self, statement: ast.Update) -> ResultSet:
+        assert self.schema is not None
+        annotations = {a.column: a for a in self.schema.enc_for_on(statement.table)}
+        touched = [name for name, _ in statement.assignments if name in annotations]
+        if touched:
+            raise UnsupportedQueryError(
+                "updating ENC FOR columns requires re-encryption via SELECT + INSERT "
+                f"(columns: {touched})"
+            )
+        return self.inner.execute(statement)
+
+    def _execute_delete(self, statement: ast.Delete) -> ResultSet:
+        assert self.schema is not None
+        rules = self.schema.speaks_for_on(statement.table)
+        if rules:
+            # Deleting a delegation row revokes the corresponding access (§4.2).
+            columns = {rule.subject for rule in rules if not rule.subject_is_external_reference}
+            columns |= {rule.object_column for rule in rules}
+            selectable = ", ".join(sorted(columns))
+            select = ast.Select(
+                items=[ast.SelectItem(ast.ColumnRef(c), None) for c in sorted(columns)],
+                from_clause=ast.TableRef(statement.table),
+                where=statement.where,
+            )
+            doomed = self.inner.execute(select)
+            for row in doomed.as_dicts():
+                for rule in rules:
+                    if rule.subject_is_external_reference or rule.subject_is_constant:
+                        continue
+                    holder = Principal.of(rule.subject_type, row[rule.subject])
+                    target = Principal.of(rule.object_type, row[rule.object_column])
+                    self.keychain.revoke(holder, target)
+        return self.inner.execute(statement)
+
+    # ------------------------------------------------------------------
+    # security evaluation helpers (§8.3)
+    # ------------------------------------------------------------------
+    def compromise_report(self, table: str, column: str) -> dict[str, int]:
+        """Simulate an attacker with full server + proxy memory access.
+
+        Returns how many rows of ``table.column`` the attacker can decrypt
+        using only the currently active key chains (i.e. logged-in users),
+        versus the total number of rows.
+        """
+        assert self.schema is not None
+        annotations = {a.column: a for a in self.schema.enc_for_on(table)}
+        if column not in annotations:
+            raise PolicyError(f"{table}.{column} carries no ENC FOR annotation")
+        annotation = annotations[column]
+        raw = self.inner.execute(
+            ast.Select(
+                items=[
+                    ast.SelectItem(ast.ColumnRef(column), None),
+                    ast.SelectItem(ast.ColumnRef(annotation.ref_column), None),
+                ],
+                from_clause=ast.TableRef(table),
+            )
+        )
+        readable = 0
+        total = 0
+        for ciphertext, ref_value in raw.rows:
+            if ciphertext is None:
+                continue
+            total += 1
+            try:
+                self._decrypt_field(annotation, ciphertext, ref_value)
+                readable += 1
+            except AccessDeniedError:
+                continue
+        return {"readable": readable, "total": total}

@@ -1,0 +1,89 @@
+"""Per-principal public-key encryption (EC ElGamal KEM).
+
+Each CryptDB principal owns a symmetric key *and* a public/private key pair
+(§4.2).  When the proxy must give principal A access to some key but A's
+symmetric key is not currently available (A is offline), it encrypts the key
+under A's public key; A recovers it at next login with its private key.
+
+We use a KEM over the same P-192 curve as JOIN-ADJ: an ephemeral scalar ``e``
+yields ``C1 = e*G`` and a shared point ``e*Q``; a KDF of the shared point
+keys a symmetric wrap of the payload.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto import ecc
+from repro.crypto.prf import derive_key, expand
+from repro.crypto.primitives import random_bytes, xor_bytes
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """An EC key pair for one principal."""
+
+    private: int
+    public: bytes  # serialised curve point
+
+    @classmethod
+    def generate(cls) -> "KeyPair":
+        private = secrets.randbelow(ecc.ORDER - 1) + 1
+        public = ecc.scalar_multiply(private, ecc.GENERATOR).serialize()
+        return cls(private, public)
+
+
+def _wrap_key(shared_point: bytes, length: int) -> bytes:
+    return expand(derive_key(shared_point, "kem-wrap", length=32), b"wrap", length)
+
+
+def encrypt(public_key: bytes, payload: bytes) -> bytes:
+    """Encrypt a payload to a principal's public key.
+
+    Output layout: ``C1 (49 bytes) || payload XOR keystream || MAC (16 bytes)``.
+    """
+    recipient = ecc.Point.deserialize(public_key)
+    ephemeral = secrets.randbelow(ecc.ORDER - 1) + 1
+    c1 = ecc.scalar_multiply(ephemeral, ecc.GENERATOR).serialize()
+    shared = ecc.scalar_multiply(ephemeral, recipient).serialize()
+    keystream = _wrap_key(shared, len(payload))
+    mac = expand(derive_key(shared, "kem-mac", length=32), payload, 16)
+    return c1 + xor_bytes(payload, keystream) + mac
+
+
+def decrypt(private_key: int, ciphertext: bytes) -> bytes:
+    """Invert :func:`encrypt` with the principal's private scalar."""
+    if len(ciphertext) < 49 + 16:
+        raise CryptoError("malformed KEM ciphertext")
+    c1 = ecc.Point.deserialize(ciphertext[:49])
+    body, mac = ciphertext[49:-16], ciphertext[-16:]
+    shared = ecc.scalar_multiply(private_key, c1).serialize()
+    keystream = _wrap_key(shared, len(body))
+    payload = xor_bytes(body, keystream)
+    expected = expand(derive_key(shared, "kem-mac", length=32), payload, 16)
+    if expected != mac:
+        raise CryptoError("KEM ciphertext failed authentication")
+    return payload
+
+
+def symmetric_wrap(key: bytes, payload: bytes) -> bytes:
+    """Wrap a payload under a symmetric key (used for online principals)."""
+    nonce = random_bytes(16)
+    keystream = expand(derive_key(key, "sym-wrap", nonce, length=32), b"stream", len(payload))
+    mac = expand(derive_key(key, "sym-mac", nonce, length=32), payload, 16)
+    return nonce + xor_bytes(payload, keystream) + mac
+
+
+def symmetric_unwrap(key: bytes, ciphertext: bytes) -> bytes:
+    """Invert :func:`symmetric_wrap`."""
+    if len(ciphertext) < 32:
+        raise CryptoError("malformed symmetric wrap")
+    nonce, body, mac = ciphertext[:16], ciphertext[16:-16], ciphertext[-16:]
+    keystream = expand(derive_key(key, "sym-wrap", nonce, length=32), b"stream", len(body))
+    payload = xor_bytes(body, keystream)
+    expected = expand(derive_key(key, "sym-mac", nonce, length=32), payload, 16)
+    if expected != mac:
+        raise CryptoError("symmetric wrap failed authentication")
+    return payload

@@ -1,0 +1,15 @@
+"""In-memory relational engine: the unmodified DBMS server substrate.
+
+CryptDB runs on top of an unmodified MySQL/Postgres server extended only with
+user-defined functions.  This package provides that substrate: a SQL lexer
+and parser, an expression evaluator with SQL three-valued logic, row storage
+with hash and ordered indexes, a query executor (selection, projection,
+joins, grouping, aggregation, ordering), simple transactions, and a UDF
+registry that CryptDB uses to install its server-side cryptographic helpers.
+"""
+
+from repro.sql.engine import Database, ResultSet
+from repro.sql.parser import parse_sql
+from repro.sql.types import ColumnDef, DataType
+
+__all__ = ["Database", "ResultSet", "parse_sql", "ColumnDef", "DataType"]

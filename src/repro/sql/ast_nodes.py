@@ -1,0 +1,406 @@
+"""Abstract syntax tree for the SQL dialect understood by the engine.
+
+The CryptDB proxy parses application queries into these nodes, rewrites them
+(anonymising identifiers, replacing constants with ciphertexts, swapping
+operators for UDF calls) and hands the rewritten tree to the DBMS engine.
+Every node can be serialised back to SQL text with :meth:`to_sql`, which is
+what the proxy logs and what the "resend as SQL text" mode uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from repro.sql.types import ColumnDef
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+class Expression:
+    """Base class for all expression nodes."""
+
+    def to_sql(self) -> str:  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, bytes):
+        return "X'%s'" % value.hex()
+    text = str(value).replace("'", "''")
+    return "'%s'" % text
+
+
+@dataclass
+class Literal(Expression):
+    """A constant value (number, string, blob, NULL)."""
+
+    value: Any
+
+    def to_sql(self) -> str:
+        return _format_value(self.value)
+
+
+@dataclass
+class ColumnRef(Expression):
+    """A reference to a column, optionally qualified by table name/alias."""
+
+    name: str
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.name}"
+        return self.name
+
+    @property
+    def key(self) -> tuple[Optional[str], str]:
+        return (self.table, self.name)
+
+
+@dataclass
+class Star(Expression):
+    """``*`` or ``table.*`` in a projection or in ``COUNT(*)``."""
+
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass
+class BinaryOp(Expression):
+    """Arithmetic, comparison or logical binary operator."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass
+class UnaryOp(Expression):
+    """``NOT expr`` or ``-expr``."""
+
+    op: str
+    operand: Expression
+
+    def to_sql(self) -> str:
+        return f"({self.op} {self.operand.to_sql()})"
+
+
+@dataclass
+class FunctionCall(Expression):
+    """A scalar function, aggregate, or CryptDB UDF call."""
+
+    name: str
+    args: list[Expression] = field(default_factory=list)
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        inner = ", ".join(a.to_sql() for a in self.args)
+        if self.distinct:
+            inner = "DISTINCT " + inner
+        return f"{self.name.upper()}({inner})"
+
+
+@dataclass
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    expr: Expression
+    items: list[Expression]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        return f"({self.expr.to_sql()} {op} ({', '.join(i.to_sql() for i in self.items)}))"
+
+
+@dataclass
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    expr: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.expr.to_sql()} {op} {self.low.to_sql()} AND {self.high.to_sql()})"
+
+
+@dataclass
+class Like(Expression):
+    """``expr [NOT] LIKE pattern``."""
+
+    expr: Expression
+    pattern: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.expr.to_sql()} {op} {self.pattern.to_sql()})"
+
+
+@dataclass
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.expr.to_sql()} {op})"
+
+
+# ---------------------------------------------------------------------------
+# Table references
+# ---------------------------------------------------------------------------
+@dataclass
+class TableRef:
+    """A base table in a FROM clause, with optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_name(self) -> str:
+        return self.alias or self.name
+
+    def to_sql(self) -> str:
+        if self.alias:
+            return f"{self.name} AS {self.alias}"
+        return self.name
+
+
+@dataclass
+class Join:
+    """``left JOIN right ON condition`` (inner or left outer)."""
+
+    left: "FromClause"
+    right: TableRef
+    condition: Optional[Expression] = None
+    join_type: str = "INNER"
+
+    def to_sql(self) -> str:
+        on = f" ON {self.condition.to_sql()}" if self.condition is not None else ""
+        return f"{self.left.to_sql()} {self.join_type} JOIN {self.right.to_sql()}{on}"
+
+
+FromClause = Union[TableRef, Join]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+class Statement:
+    """Base class for all statements."""
+
+    def to_sql(self) -> str:  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+
+@dataclass
+class SelectItem:
+    """One entry of a SELECT projection list."""
+
+    expr: Expression
+    alias: Optional[str] = None
+
+    def to_sql(self) -> str:
+        if self.alias:
+            return f"{self.expr.to_sql()} AS {self.alias}"
+        return self.expr.to_sql()
+
+
+@dataclass
+class OrderItem:
+    """One entry of an ORDER BY clause."""
+
+    expr: Expression
+    ascending: bool = True
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass
+class Select(Statement):
+    """A SELECT statement."""
+
+    items: list[SelectItem]
+    from_clause: Optional[FromClause] = None
+    where: Optional[Expression] = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(i.to_sql() for i in self.items))
+        if self.from_clause is not None:
+            parts.append("FROM " + self.from_clause.to_sql())
+        if self.where is not None:
+            parts.append("WHERE " + self.where.to_sql())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(g.to_sql() for g in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset is not None:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)
+
+
+@dataclass
+class Insert(Statement):
+    """An INSERT statement with one or more VALUES rows."""
+
+    table: str
+    columns: list[str]
+    rows: list[list[Expression]]
+
+    def to_sql(self) -> str:
+        cols = f" ({', '.join(self.columns)})" if self.columns else ""
+        values = ", ".join(
+            "(" + ", ".join(v.to_sql() for v in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {self.table}{cols} VALUES {values}"
+
+
+@dataclass
+class Update(Statement):
+    """An UPDATE statement."""
+
+    table: str
+    assignments: list[tuple[str, Expression]]
+    where: Optional[Expression] = None
+
+    def to_sql(self) -> str:
+        sets = ", ".join(f"{col} = {expr.to_sql()}" for col, expr in self.assignments)
+        where = f" WHERE {self.where.to_sql()}" if self.where is not None else ""
+        return f"UPDATE {self.table} SET {sets}{where}"
+
+
+@dataclass
+class Delete(Statement):
+    """A DELETE statement."""
+
+    table: str
+    where: Optional[Expression] = None
+
+    def to_sql(self) -> str:
+        where = f" WHERE {self.where.to_sql()}" if self.where is not None else ""
+        return f"DELETE FROM {self.table}{where}"
+
+
+@dataclass
+class CreateTable(Statement):
+    """A CREATE TABLE statement."""
+
+    table: str
+    columns: list[ColumnDef]
+    if_not_exists: bool = False
+
+    def to_sql(self) -> str:
+        exists = "IF NOT EXISTS " if self.if_not_exists else ""
+        cols = ", ".join(c.to_sql() for c in self.columns)
+        return f"CREATE TABLE {exists}{self.table} ({cols})"
+
+
+@dataclass
+class DropTable(Statement):
+    """A DROP TABLE statement."""
+
+    table: str
+    if_exists: bool = False
+
+    def to_sql(self) -> str:
+        exists = "IF EXISTS " if self.if_exists else ""
+        return f"DROP TABLE {exists}{self.table}"
+
+
+@dataclass
+class CreateIndex(Statement):
+    """A CREATE INDEX statement."""
+
+    name: str
+    table: str
+    columns: list[str]
+    unique: bool = False
+
+    def to_sql(self) -> str:
+        unique = "UNIQUE " if self.unique else ""
+        return f"CREATE {unique}INDEX {self.name} ON {self.table} ({', '.join(self.columns)})"
+
+
+@dataclass
+class Begin(Statement):
+    """BEGIN (start a transaction)."""
+
+    def to_sql(self) -> str:
+        return "BEGIN"
+
+
+@dataclass
+class Commit(Statement):
+    """COMMIT the current transaction."""
+
+    def to_sql(self) -> str:
+        return "COMMIT"
+
+
+@dataclass
+class Rollback(Statement):
+    """ROLLBACK the current transaction."""
+
+    def to_sql(self) -> str:
+        return "ROLLBACK"
+
+
+def walk_expression(expr: Optional[Expression]):
+    """Yield ``expr`` and all of its sub-expressions, depth-first."""
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, BinaryOp):
+        yield from walk_expression(expr.left)
+        yield from walk_expression(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expression(expr.operand)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from walk_expression(arg)
+    elif isinstance(expr, InList):
+        yield from walk_expression(expr.expr)
+        for item in expr.items:
+            yield from walk_expression(item)
+    elif isinstance(expr, Between):
+        yield from walk_expression(expr.expr)
+        yield from walk_expression(expr.low)
+        yield from walk_expression(expr.high)
+    elif isinstance(expr, Like):
+        yield from walk_expression(expr.expr)
+        yield from walk_expression(expr.pattern)
+    elif isinstance(expr, IsNull):
+        yield from walk_expression(expr.expr)

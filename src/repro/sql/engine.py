@@ -1,0 +1,123 @@
+"""The Database facade: the "unmodified DBMS server" of the paper.
+
+A :class:`Database` accepts SQL text or pre-parsed statements, executes them,
+and returns :class:`ResultSet` objects.  CryptDB's proxy talks to exactly
+this interface, installing its cryptographic UDFs through
+:meth:`register_scalar_udf` / :meth:`register_aggregate_udf` -- the same way
+the real system ships UDF shared objects to MySQL/Postgres.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+from repro.sql import ast_nodes as ast
+from repro.sql.executor import Executor, ResultSet
+from repro.sql.functions import FunctionRegistry
+from repro.sql.parser import parse_sql
+from repro.sql.storage import Catalog, Table
+from repro.sql.transactions import TransactionManager
+from repro.sql.types import ColumnDef
+
+StatementLike = Union[str, ast.Statement]
+
+
+class Database:
+    """An in-memory SQL database with UDF support."""
+
+    def __init__(self, name: str = "main"):
+        self.name = name
+        self.catalog = Catalog()
+        self.functions = FunctionRegistry()
+        self.transactions = TransactionManager(self.catalog)
+        self.executor = Executor(self.catalog, self.functions, self.transactions)
+        self._statements_executed = 0
+
+    # -- statement execution ----------------------------------------------
+    def execute(self, statement: StatementLike) -> ResultSet:
+        """Execute one statement (SQL text or a parsed AST node)."""
+        if isinstance(statement, str):
+            statement = parse_sql(statement)
+        self._statements_executed += 1
+        return self.executor.execute(statement)
+
+    def execute_script(self, script: str) -> list[ResultSet]:
+        """Execute several ';'-separated statements."""
+        results = []
+        for part in _split_statements(script):
+            results.append(self.execute(part))
+        return results
+
+    @property
+    def statements_executed(self) -> int:
+        """Total number of statements this server has processed."""
+        return self._statements_executed
+
+    # -- UDF registration ----------------------------------------------------
+    def register_scalar_udf(self, name: str, func: Callable[..., Any]) -> None:
+        """Install a scalar UDF callable from SQL expressions."""
+        self.functions.register_scalar(name, func)
+
+    def register_aggregate_udf(
+        self,
+        name: str,
+        initial: Callable[[], Any],
+        step: Callable[[Any, Any], Any],
+        finalize: Callable[[Any], Any],
+    ) -> None:
+        """Install an aggregate UDF (e.g. CryptDB's Paillier SUM)."""
+        self.functions.register_aggregate(name, initial, step, finalize)
+
+    # -- schema helpers --------------------------------------------------------
+    def create_table(self, name: str, columns: list[ColumnDef], if_not_exists: bool = False) -> Table:
+        """Create a table directly from column definitions."""
+        return self.catalog.create_table(name, columns, if_not_exists)
+
+    def table(self, name: str) -> Table:
+        """Access a table object (tests and analyses use this)."""
+        return self.catalog.table(name)
+
+    def has_table(self, name: str) -> bool:
+        return self.catalog.has_table(name)
+
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
+    def insert_row(self, table: str, values: dict[str, Any]) -> int:
+        """Insert a row bypassing the parser (used by data loaders)."""
+        row_id = self.catalog.table(table).insert(values)
+        self.transactions.record_insert(table, row_id)
+        return row_id
+
+    # -- statistics -------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Approximate total storage of all tables (section 8.4.3 analysis)."""
+        return sum(table.storage_bytes() for table in self.catalog.tables())
+
+    def row_counts(self) -> dict[str, int]:
+        return {name: self.catalog.table(name).row_count() for name in self.table_names()}
+
+
+def _split_statements(script: str) -> list[str]:
+    """Split a SQL script on ';' while respecting string literals."""
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    i = 0
+    while i < len(script):
+        ch = script[i]
+        if ch == "'":
+            in_string = not in_string
+            current.append(ch)
+        elif ch == ";" and not in_string:
+            text = "".join(current).strip()
+            if text:
+                statements.append(text)
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements

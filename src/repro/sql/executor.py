@@ -1,0 +1,580 @@
+"""Query execution: translate AST statements into operations on storage."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import SQLExecutionError
+from repro.sql import ast_nodes as ast
+from repro.sql.expressions import (
+    RowContext,
+    evaluate,
+    find_aggregates,
+    is_truthy,
+)
+from repro.sql.functions import FunctionRegistry
+from repro.sql.storage import Catalog, Table
+from repro.sql.transactions import TransactionManager
+
+
+class ResultSet:
+    """The outcome of a statement: column names, result rows and a rowcount."""
+
+    def __init__(self, columns: list[str], rows: list[tuple], rowcount: int = 0):
+        self.columns = columns
+        self.rows = rows
+        self.rowcount = rowcount if rowcount else len(rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """Return the single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SQLExecutionError("result is not a single scalar")
+        return self.rows[0][0]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries keyed by output column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"
+
+
+class Executor:
+    """Executes parsed statements against a catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        functions: FunctionRegistry,
+        transactions: TransactionManager,
+    ):
+        self.catalog = catalog
+        self.functions = functions
+        self.transactions = transactions
+
+    # -- dispatch -----------------------------------------------------------
+    def execute(self, statement: ast.Statement) -> ResultSet:
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.CreateTable):
+            self.catalog.create_table(statement.table, statement.columns, statement.if_not_exists)
+            return ResultSet([], [], 0)
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop_table(statement.table, statement.if_exists)
+            return ResultSet([], [], 0)
+        if isinstance(statement, ast.CreateIndex):
+            table = self.catalog.table(statement.table)
+            for column in statement.columns:
+                table.create_index(column)
+            return ResultSet([], [], 0)
+        if isinstance(statement, ast.Begin):
+            self.transactions.begin()
+            return ResultSet([], [], 0)
+        if isinstance(statement, ast.Commit):
+            self.transactions.commit()
+            return ResultSet([], [], 0)
+        if isinstance(statement, ast.Rollback):
+            self.transactions.rollback()
+            return ResultSet([], [], 0)
+        raise SQLExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+    # -- INSERT / UPDATE / DELETE --------------------------------------------
+    def _execute_insert(self, statement: ast.Insert) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        columns = statement.columns or table.column_names
+        count = 0
+        for row_exprs in statement.rows:
+            if len(row_exprs) != len(columns):
+                raise SQLExecutionError(
+                    f"INSERT into {statement.table} has {len(row_exprs)} values "
+                    f"for {len(columns)} columns"
+                )
+            values = {
+                column: evaluate(expr, None, self.functions)
+                for column, expr in zip(columns, row_exprs)
+            }
+            row_id = table.insert(values)
+            self.transactions.record_insert(table.name, row_id)
+            count += 1
+        return ResultSet([], [], count)
+
+    def _execute_update(self, statement: ast.Update) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        matching = self._matching_rows(table, statement.where)
+        count = 0
+        for row_id, row in matching:
+            context = RowContext.from_row(table.name, row)
+            changes = {
+                column: evaluate(expr, context, self.functions)
+                for column, expr in statement.assignments
+            }
+            previous = table.update(row_id, changes)
+            self.transactions.record_update(table.name, row_id, previous)
+            count += 1
+        return ResultSet([], [], count)
+
+    def _execute_delete(self, statement: ast.Delete) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        matching = self._matching_rows(table, statement.where)
+        count = 0
+        for row_id, row in matching:
+            removed = table.delete(row_id)
+            self.transactions.record_delete(table.name, row_id, removed)
+            count += 1
+        return ResultSet([], [], count)
+
+    def _matching_rows(
+        self, table: Table, where: Optional[ast.Expression]
+    ) -> list[tuple[int, dict[str, Any]]]:
+        candidates = self._candidate_rows(table, where)
+        if where is None:
+            return candidates
+        matched = []
+        for row_id, row in candidates:
+            context = RowContext.from_row(table.name, row)
+            if is_truthy(evaluate(where, context, self.functions)):
+                matched.append((row_id, row))
+        return matched
+
+    # -- index-aware row scans ------------------------------------------------
+    def _candidate_rows(
+        self, table: Table, where: Optional[ast.Expression]
+    ) -> list[tuple[int, dict[str, Any]]]:
+        """Use an index to narrow the scan when the WHERE clause allows it."""
+        row_ids = self._index_candidates(table, where)
+        if row_ids is None:
+            return list(table.scan())
+        return [(row_id, table.get(row_id)) for row_id in sorted(row_ids)]
+
+    def _index_candidates(
+        self, table: Table, where: Optional[ast.Expression]
+    ) -> Optional[set[int]]:
+        if where is None:
+            return None
+        for conjunct in _conjuncts(where):
+            candidate = self._index_for_predicate(table, conjunct)
+            if candidate is not None:
+                return candidate
+        return None
+
+    def _index_for_predicate(
+        self, table: Table, predicate: ast.Expression
+    ) -> Optional[set[int]]:
+        if isinstance(predicate, ast.BinaryOp) and predicate.op in ("=", "<", "<=", ">", ">="):
+            column, literal = _column_and_literal(predicate, table)
+            if column is None:
+                return None
+            value = literal.value
+            if predicate.op == "=":
+                return table.indexes.equality_lookup(column, value)
+            swapped = isinstance(predicate.right, ast.ColumnRef)
+            op = predicate.op
+            if swapped:
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+            if op in ("<", "<="):
+                return table.indexes.range_lookup(column, None, value, True, op == "<=")
+            return table.indexes.range_lookup(column, value, None, op == ">=", True)
+        if isinstance(predicate, ast.Between) and not predicate.negated:
+            if isinstance(predicate.expr, ast.ColumnRef) and isinstance(predicate.low, ast.Literal) \
+                    and isinstance(predicate.high, ast.Literal):
+                column = predicate.expr.name
+                if table.has_column(column):
+                    return table.indexes.range_lookup(
+                        column, predicate.low.value, predicate.high.value, True, True
+                    )
+        return None
+
+    # -- SELECT ---------------------------------------------------------------
+    def _execute_select(self, statement: ast.Select) -> ResultSet:
+        contexts = self._from_contexts(statement)
+
+        if statement.where is not None:
+            contexts = [
+                c for c in contexts
+                if is_truthy(evaluate(statement.where, c, self.functions))
+            ]
+
+        aggregates = self._collect_aggregates(statement)
+        if statement.group_by or aggregates:
+            rows, columns, order_keys = self._grouped_select(statement, contexts, aggregates)
+        else:
+            rows, columns, order_keys = self._plain_select(statement, contexts)
+
+        if statement.distinct:
+            seen = set()
+            unique_rows = []
+            unique_keys = []
+            for position, row in enumerate(rows):
+                key = tuple(_hashable(v) for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique_rows.append(row)
+                    if order_keys:
+                        unique_keys.append(order_keys[position])
+            rows, order_keys = unique_rows, unique_keys
+
+        if statement.order_by:
+            paired = sorted(zip(order_keys, rows), key=lambda pair: pair[0])
+            rows = [row for _, row in paired]
+
+        offset = statement.offset or 0
+        if offset:
+            rows = rows[offset:]
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+
+        return ResultSet(columns, rows)
+
+    def _collect_aggregates(self, statement: ast.Select) -> list[ast.FunctionCall]:
+        aggregates: list[ast.FunctionCall] = []
+        for item in statement.items:
+            aggregates.extend(find_aggregates(item.expr, self.functions))
+        aggregates.extend(find_aggregates(statement.having, self.functions))
+        for order in statement.order_by:
+            aggregates.extend(find_aggregates(order.expr, self.functions))
+        return aggregates
+
+    # -- FROM clause ------------------------------------------------------------
+    def _from_contexts(self, statement: ast.Select) -> list[RowContext]:
+        if statement.from_clause is None:
+            return [RowContext({})]
+        return self._clause_contexts(statement.from_clause, statement.where)
+
+    def _clause_contexts(
+        self, clause: ast.FromClause, where: Optional[ast.Expression]
+    ) -> list[RowContext]:
+        if isinstance(clause, ast.TableRef):
+            table = self.catalog.table(clause.name)
+            effective = clause.effective_name
+            rows = self._candidate_rows(table, where if _single_table(where, effective, table) else None)
+            return [RowContext.from_row(effective, row) for _, row in rows]
+        if isinstance(clause, ast.Join):
+            left_contexts = self._clause_contexts(clause.left, None)
+            right_table = self.catalog.table(clause.right.name)
+            right_name = clause.right.effective_name
+            right_rows = [
+                RowContext.from_row(right_name, row) for _, row in right_table.scan()
+            ]
+            return self._join(left_contexts, right_rows, clause)
+        raise SQLExecutionError(f"unsupported FROM clause {clause!r}")
+
+    def _join(
+        self,
+        left_contexts: list[RowContext],
+        right_contexts: list[RowContext],
+        clause: ast.Join,
+    ) -> list[RowContext]:
+        condition = clause.condition
+        equality = _equality_join_columns(condition)
+        joined: list[RowContext] = []
+
+        if equality is not None:
+            left_ref, right_ref = equality
+            # Build a hash table over the right side (equi-join fast path).
+            buckets: dict[Any, list[RowContext]] = {}
+            for context in right_contexts:
+                try:
+                    key = context.lookup(right_ref)
+                except SQLExecutionError:
+                    try:
+                        key = context.lookup(left_ref)
+                    except SQLExecutionError:
+                        key = None
+                if key is not None:
+                    buckets.setdefault(_hashable(key), []).append(context)
+            for left in left_contexts:
+                try:
+                    key = left.lookup(left_ref)
+                except SQLExecutionError:
+                    try:
+                        key = left.lookup(right_ref)
+                    except SQLExecutionError:
+                        key = None
+                matches = buckets.get(_hashable(key), []) if key is not None else []
+                if matches:
+                    joined.extend(left.merged_with(m) for m in matches)
+                elif clause.join_type == "LEFT":
+                    joined.append(left.merged_with(_null_context(right_contexts)))
+            return joined
+
+        # General nested-loop join.
+        for left in left_contexts:
+            matched = False
+            for right in right_contexts:
+                merged = left.merged_with(right)
+                if condition is None or is_truthy(evaluate(condition, merged, self.functions)):
+                    joined.append(merged)
+                    matched = True
+            if not matched and clause.join_type == "LEFT":
+                joined.append(left.merged_with(_null_context(right_contexts)))
+        return joined
+
+    # -- projection --------------------------------------------------------------
+    def _expand_items(
+        self, statement: ast.Select, sample: Optional[RowContext]
+    ) -> list[ast.SelectItem]:
+        items: list[ast.SelectItem] = []
+        for item in statement.items:
+            if isinstance(item.expr, ast.Star):
+                if sample is None:
+                    raise SQLExecutionError("SELECT * requires a FROM clause")
+                for table, column in sample.columns():
+                    if item.expr.table is None or item.expr.table == table:
+                        items.append(ast.SelectItem(ast.ColumnRef(column, table), None))
+            else:
+                items.append(item)
+        return items
+
+    def _output_name(self, item: ast.SelectItem) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ast.ColumnRef):
+            return item.expr.name
+        return item.expr.to_sql()
+
+    def _plain_select(
+        self, statement: ast.Select, contexts: list[RowContext]
+    ) -> tuple[list[tuple], list[str], list]:
+        sample = contexts[0] if contexts else self._sample_context(statement)
+        items = self._expand_items(statement, sample)
+        columns = [self._output_name(i) for i in items]
+        rows = []
+        order_keys = []
+        for context in contexts:
+            row = tuple(evaluate(i.expr, context, self.functions) for i in items)
+            rows.append(row)
+            if statement.order_by:
+                order_keys.append(
+                    self._order_keys(statement, row, columns, context, None)
+                )
+        return rows, columns, order_keys
+
+    def _sample_context(self, statement: ast.Select) -> Optional[RowContext]:
+        """A row context with NULLs for every column, used when no rows match."""
+        if statement.from_clause is None:
+            return None
+        values: dict[tuple[Optional[str], str], Any] = {}
+
+        def add_table(ref: ast.TableRef) -> None:
+            table = self.catalog.table(ref.name)
+            for column in table.column_names:
+                values[(ref.effective_name, column)] = None
+
+        clause = statement.from_clause
+        while isinstance(clause, ast.Join):
+            add_table(clause.right)
+            clause = clause.left
+        add_table(clause)
+        return RowContext(values)
+
+    # -- grouping / aggregation -----------------------------------------------
+    def _grouped_select(
+        self,
+        statement: ast.Select,
+        contexts: list[RowContext],
+        aggregates: list[ast.FunctionCall],
+    ) -> tuple[list[tuple], list[str], list]:
+        sample = contexts[0] if contexts else self._sample_context(statement)
+        items = self._expand_items(statement, sample)
+        columns = [self._output_name(i) for i in items]
+
+        groups: dict[tuple, list[RowContext]] = {}
+        if statement.group_by:
+            for context in contexts:
+                key = tuple(
+                    _hashable(evaluate(g, context, self.functions)) for g in statement.group_by
+                )
+                groups.setdefault(key, []).append(context)
+        else:
+            groups[()] = contexts
+
+        rows: list[tuple] = []
+        order_keys: list = []
+        for _, members in groups.items():
+            aggregate_values = self._compute_aggregates(aggregates, members)
+            representative = members[0] if members else sample
+            if statement.having is not None:
+                having_value = evaluate(
+                    statement.having, representative, self.functions, aggregate_values
+                )
+                if not is_truthy(having_value):
+                    continue
+            row = tuple(
+                evaluate(i.expr, representative, self.functions, aggregate_values)
+                for i in items
+            )
+            rows.append(row)
+            if statement.order_by:
+                order_keys.append(
+                    self._order_keys(statement, row, columns, representative, aggregate_values)
+                )
+        return rows, columns, order_keys
+
+    def _compute_aggregates(
+        self, aggregates: list[ast.FunctionCall], members: list[RowContext]
+    ) -> dict[int, Any]:
+        results: dict[int, Any] = {}
+        for call in aggregates:
+            spec = self.functions.aggregate(call.name)
+            state = spec.initial()
+            seen_distinct: set = set()
+            for context in members:
+                if call.args and not isinstance(call.args[0], ast.Star):
+                    value = evaluate(call.args[0], context, self.functions)
+                else:
+                    value = 1  # COUNT(*)
+                if value is None and spec.skip_nulls:
+                    continue
+                if call.distinct:
+                    key = _hashable(value)
+                    if key in seen_distinct:
+                        continue
+                    seen_distinct.add(key)
+                state = spec.step(state, value)
+            results[id(call)] = spec.finalize(state)
+        return results
+
+    # -- ordering ----------------------------------------------------------------
+    def _order_keys(
+        self,
+        statement: ast.Select,
+        row: tuple,
+        columns: list[str],
+        context: Optional[RowContext],
+        aggregate_values: Optional[dict[int, Any]],
+    ) -> list["_SortKey"]:
+        """Sort keys for one result row.
+
+        ORDER BY may reference an output column (alias or position), or any
+        column/expression of the underlying row -- including columns that are
+        not projected -- so we evaluate against the row's context when the
+        output row does not carry the value.
+        """
+        keys = []
+        for order in statement.order_by:
+            value = self._order_value(order.expr, row, columns, context, aggregate_values)
+            keys.append(_SortKey(value, order.ascending))
+        return keys
+
+    def _order_value(
+        self,
+        expr: ast.Expression,
+        row: tuple,
+        columns: list[str],
+        context: Optional[RowContext],
+        aggregate_values: Optional[dict[int, Any]],
+    ) -> Any:
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            position = expr.value - 1
+            if 0 <= position < len(row):
+                return row[position]
+        if context is not None:
+            try:
+                return evaluate(expr, context, self.functions, aggregate_values)
+            except SQLExecutionError:
+                pass
+        if isinstance(expr, ast.ColumnRef) and expr.name in columns:
+            return row[columns.index(expr.name)]
+        output_context = RowContext({(None, name): value for name, value in zip(columns, row)})
+        try:
+            return evaluate(expr, output_context, self.functions, aggregate_values)
+        except SQLExecutionError:
+            return None
+
+
+class _SortKey:
+    """Sort helper implementing NULLS FIRST and DESC ordering."""
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value: Any, ascending: bool):
+        self.value = value
+        self.ascending = ascending
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return self.ascending
+        if b is None:
+            return not self.ascending
+        try:
+            less = a < b
+        except TypeError:
+            less = str(a) < str(b)
+        return less if self.ascending else (not less and a != b)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return value
+
+
+def _conjuncts(expr: ast.Expression) -> list[ast.Expression]:
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _column_and_literal(
+    predicate: ast.BinaryOp, table: Table
+) -> tuple[Optional[str], ast.Literal]:
+    left, right = predicate.left, predicate.right
+    if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
+        if table.has_column(left.name):
+            return left.name, right
+    if isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
+        if table.has_column(right.name):
+            return right.name, left
+    return None, ast.Literal(None)
+
+
+def _single_table(
+    where: Optional[ast.Expression], table_name: str, table: Table
+) -> bool:
+    """True when the WHERE clause only references this table's columns."""
+    if where is None:
+        return True
+    for node in ast.walk_expression(where):
+        if isinstance(node, ast.ColumnRef):
+            if node.table is not None and node.table != table_name:
+                return False
+            if node.table is None and not table.has_column(node.name):
+                return False
+    return True
+
+
+def _equality_join_columns(
+    condition: Optional[ast.Expression],
+) -> Optional[tuple[ast.ColumnRef, ast.ColumnRef]]:
+    if (
+        isinstance(condition, ast.BinaryOp)
+        and condition.op == "="
+        and isinstance(condition.left, ast.ColumnRef)
+        and isinstance(condition.right, ast.ColumnRef)
+    ):
+        return condition.left, condition.right
+    return None
+
+
+def _null_context(right_contexts: list[RowContext]) -> RowContext:
+    if not right_contexts:
+        return RowContext({})
+    return RowContext({key: None for key in right_contexts[0].columns()})

@@ -1,0 +1,125 @@
+"""Built-in SQL functions, aggregates, and the UDF registry.
+
+CryptDB never modifies the DBMS itself: all server-side cryptographic
+operations (RND layer decryption, Paillier SUM, SEARCH matching, JOIN-ADJ key
+adjustment) are installed as user-defined functions.  The registry here is
+the engine-side mechanism that makes that possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SQLExecutionError
+
+
+@dataclass
+class AggregateSpec:
+    """An aggregate defined by init/step/finalize callables."""
+
+    initial: Callable[[], Any]
+    step: Callable[[Any, Any], Any]
+    finalize: Callable[[Any], Any]
+    skip_nulls: bool = True
+
+
+def _builtin_scalars() -> dict[str, Callable[..., Any]]:
+    def sql_substring(value: Any, start: int, length: Optional[int] = None) -> Any:
+        if value is None:
+            return None
+        text = str(value)
+        begin = max(start - 1, 0)
+        if length is None:
+            return text[begin:]
+        return text[begin : begin + length]
+
+    def sql_coalesce(*args: Any) -> Any:
+        for arg in args:
+            if arg is not None:
+                return arg
+        return None
+
+    def sql_ifnull(value: Any, fallback: Any) -> Any:
+        return fallback if value is None else value
+
+    def sql_concat(*args: Any) -> Any:
+        if any(a is None for a in args):
+            return None
+        return "".join(str(a) for a in args)
+
+    return {
+        "UPPER": lambda v: None if v is None else str(v).upper(),
+        "LOWER": lambda v: None if v is None else str(v).lower(),
+        "LENGTH": lambda v: None if v is None else len(v if isinstance(v, bytes) else str(v)),
+        "ABS": lambda v: None if v is None else abs(v),
+        "SUBSTRING": sql_substring,
+        "SUBSTR": sql_substring,
+        "COALESCE": sql_coalesce,
+        "IFNULL": sql_ifnull,
+        "CONCAT": sql_concat,
+        "ROUND": lambda v, digits=0: None if v is None else round(v, int(digits)),
+        "MOD": lambda a, b: None if a is None or b is None else a % b,
+    }
+
+
+def _builtin_aggregates() -> dict[str, AggregateSpec]:
+    def min_step(state: Any, value: Any) -> Any:
+        return value if state is None or value < state else state
+
+    def max_step(state: Any, value: Any) -> Any:
+        return value if state is None or value > state else state
+
+    def avg_step(state: tuple[float, int], value: Any) -> tuple[float, int]:
+        total, count = state
+        return total + value, count + 1
+
+    return {
+        "COUNT": AggregateSpec(lambda: 0, lambda s, v: s + 1, lambda s: s),
+        "SUM": AggregateSpec(lambda: None, lambda s, v: v if s is None else s + v, lambda s: s),
+        "MIN": AggregateSpec(lambda: None, min_step, lambda s: s),
+        "MAX": AggregateSpec(lambda: None, max_step, lambda s: s),
+        "AVG": AggregateSpec(
+            lambda: (0.0, 0),
+            avg_step,
+            lambda s: None if s[1] == 0 else s[0] / s[1],
+        ),
+    }
+
+
+@dataclass
+class FunctionRegistry:
+    """Scalar and aggregate functions available to the executor."""
+
+    scalars: dict[str, Callable[..., Any]] = field(default_factory=_builtin_scalars)
+    aggregates: dict[str, AggregateSpec] = field(default_factory=_builtin_aggregates)
+
+    def register_scalar(self, name: str, func: Callable[..., Any]) -> None:
+        """Install a scalar UDF (e.g. CryptDB's SEARCH match or JOIN adjust)."""
+        self.scalars[name.upper()] = func
+
+    def register_aggregate(
+        self,
+        name: str,
+        initial: Callable[[], Any],
+        step: Callable[[Any, Any], Any],
+        finalize: Callable[[Any], Any],
+        skip_nulls: bool = True,
+    ) -> None:
+        """Install an aggregate UDF (e.g. CryptDB's Paillier SUM)."""
+        self.aggregates[name.upper()] = AggregateSpec(initial, step, finalize, skip_nulls)
+
+    def is_aggregate(self, name: str) -> bool:
+        return name.upper() in self.aggregates
+
+    def call_scalar(self, name: str, args: list[Any]) -> Any:
+        func = self.scalars.get(name.upper())
+        if func is None:
+            raise SQLExecutionError(f"unknown function {name}")
+        return func(*args)
+
+    def aggregate(self, name: str) -> AggregateSpec:
+        spec = self.aggregates.get(name.upper())
+        if spec is None:
+            raise SQLExecutionError(f"unknown aggregate {name}")
+        return spec

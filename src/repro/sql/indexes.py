@@ -1,0 +1,148 @@
+"""Secondary indexes over table columns.
+
+The DBMS builds indexes on encrypted data exactly as it would on plaintext
+(section 3.3): a hash index over DET/JOIN ciphertexts supports equality
+look-ups, and an ordered index over OPE ciphertexts supports range scans,
+which is precisely why the strawman design (everything under RND) loses its
+indexes and collapses in Figure 11.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Optional
+
+
+class HashIndex:
+    """Equality index: value -> set of row ids."""
+
+    def __init__(self, column: str):
+        self.column = column
+        self._buckets: dict[Any, set[int]] = {}
+
+    def insert(self, value: Any, row_id: int) -> None:
+        if value is None:
+            return
+        self._buckets.setdefault(value, set()).add(row_id)
+
+    def remove(self, value: Any, row_id: int) -> None:
+        if value is None:
+            return
+        bucket = self._buckets.get(value)
+        if bucket is not None:
+            bucket.discard(row_id)
+            if not bucket:
+                del self._buckets[value]
+
+    def lookup(self, value: Any) -> set[int]:
+        if value is None:
+            return set()
+        return set(self._buckets.get(value, ()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class OrderedIndex:
+    """Ordered index supporting range scans (used over OPE ciphertexts)."""
+
+    def __init__(self, column: str):
+        self.column = column
+        self._entries: list[tuple[Any, int]] = []
+
+    def insert(self, value: Any, row_id: int) -> None:
+        if value is None:
+            return
+        bisect.insort(self._entries, (value, row_id))
+
+    def remove(self, value: Any, row_id: int) -> None:
+        if value is None:
+            return
+        position = bisect.bisect_left(self._entries, (value, row_id))
+        if position < len(self._entries) and self._entries[position] == (value, row_id):
+            self._entries.pop(position)
+
+    def lookup(self, value: Any) -> set[int]:
+        if value is None:
+            return set()
+        result = set()
+        position = bisect.bisect_left(self._entries, (value, -1))
+        while position < len(self._entries) and self._entries[position][0] == value:
+            result.add(self._entries[position][1])
+            position += 1
+        return result
+
+    def range(
+        self,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> set[int]:
+        """Row ids whose value falls in the given (possibly open) interval."""
+        result = set()
+        for value, row_id in self._entries:
+            if low is not None:
+                if value < low or (value == low and not include_low):
+                    continue
+            if high is not None:
+                if value > high:
+                    break
+                if value == high and not include_high:
+                    continue
+            result.add(row_id)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class IndexSet:
+    """All indexes attached to one table."""
+
+    def __init__(self) -> None:
+        self.hash_indexes: dict[str, HashIndex] = {}
+        self.ordered_indexes: dict[str, OrderedIndex] = {}
+
+    def columns(self) -> set[str]:
+        return set(self.hash_indexes) | set(self.ordered_indexes)
+
+    def add_hash(self, column: str) -> HashIndex:
+        index = self.hash_indexes.setdefault(column, HashIndex(column))
+        return index
+
+    def add_ordered(self, column: str) -> OrderedIndex:
+        index = self.ordered_indexes.setdefault(column, OrderedIndex(column))
+        return index
+
+    def insert_row(self, row: dict[str, Any], row_id: int) -> None:
+        for column, index in self.hash_indexes.items():
+            index.insert(row.get(column), row_id)
+        for column, index in self.ordered_indexes.items():
+            index.insert(row.get(column), row_id)
+
+    def remove_row(self, row: dict[str, Any], row_id: int) -> None:
+        for column, index in self.hash_indexes.items():
+            index.remove(row.get(column), row_id)
+        for column, index in self.ordered_indexes.items():
+            index.remove(row.get(column), row_id)
+
+    def equality_lookup(self, column: str, value: Any) -> Optional[set[int]]:
+        """Row ids matching an equality predicate, or None if no usable index."""
+        if column in self.hash_indexes:
+            return self.hash_indexes[column].lookup(value)
+        if column in self.ordered_indexes:
+            return self.ordered_indexes[column].lookup(value)
+        return None
+
+    def range_lookup(
+        self, column: str, low: Any, high: Any, include_low: bool, include_high: bool
+    ) -> Optional[set[int]]:
+        """Row ids matching a range predicate, or None if no usable index."""
+        if column in self.ordered_indexes:
+            return self.ordered_indexes[column].range(low, high, include_low, include_high)
+        return None
+
+    def populate(self, rows: Iterable[tuple[int, dict[str, Any]]]) -> None:
+        for row_id, row in rows:
+            self.insert_row(row, row_id)

@@ -1,0 +1,141 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "OFFSET", "ASC", "DESC", "DISTINCT", "AS", "AND", "OR", "NOT", "IN",
+    "BETWEEN", "LIKE", "IS", "NULL", "TRUE", "FALSE", "INSERT", "INTO",
+    "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "DROP", "TABLE", "INDEX",
+    "UNIQUE", "ON", "JOIN", "INNER", "LEFT", "OUTER", "PRIMARY", "KEY",
+    "IF", "EXISTS", "BEGIN", "COMMIT", "ROLLBACK", "START", "TRANSACTION",
+}
+
+
+class TokenType(Enum):
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+    BLOB = auto()
+    OPERATOR = auto()
+    PUNCTUATION = auto()
+    END = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: object
+    position: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+
+_OPERATORS = ["<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%"]
+_PUNCTUATION = "(),."
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a SQL string into a list of tokens ending with an END token."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < length and sql[i + 1] == "-":
+            # Line comment.
+            while i < length and sql[i] != "\n":
+                i += 1
+            continue
+        # Hex blob literal X'...'
+        if ch in ("X", "x") and i + 1 < length and sql[i + 1] == "'":
+            end = sql.find("'", i + 2)
+            if end == -1:
+                raise SQLSyntaxError("unterminated blob literal")
+            hex_text = sql[i + 2 : end]
+            try:
+                value = bytes.fromhex(hex_text)
+            except ValueError as exc:
+                raise SQLSyntaxError(f"invalid hex blob: {hex_text!r}") from exc
+            tokens.append(Token(TokenType.BLOB, value, i))
+            i = end + 1
+            continue
+        # String literal with '' escaping.
+        if ch == "'":
+            j = i + 1
+            pieces = []
+            while True:
+                if j >= length:
+                    raise SQLSyntaxError("unterminated string literal")
+                if sql[j] == "'":
+                    if j + 1 < length and sql[j + 1] == "'":
+                        pieces.append("'")
+                        j += 2
+                        continue
+                    break
+                pieces.append(sql[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(pieces), i))
+            i = j + 1
+            continue
+        # Quoted identifier (backticks or double quotes).
+        if ch in ('`', '"'):
+            end = sql.find(ch, i + 1)
+            if end == -1:
+                raise SQLSyntaxError("unterminated quoted identifier")
+            tokens.append(Token(TokenType.IDENTIFIER, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        # Number.
+        if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
+            j = i
+            has_dot = False
+            while j < length and (sql[j].isdigit() or (sql[j] == "." and not has_dot)):
+                if sql[j] == ".":
+                    has_dot = True
+                j += 1
+            text = sql[i:j]
+            value = float(text) if has_dot else int(text)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            i = j
+            continue
+        # Identifier or keyword.
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, i))
+            i = j
+            continue
+        # Operators.
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCTUATION or ch == ";":
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.END, None, length))
+    return tokens

@@ -1,0 +1,488 @@
+"""Recursive-descent SQL parser producing :mod:`repro.sql.ast_nodes` trees."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast_nodes as ast
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.types import ColumnDef, parse_type
+
+
+def parse_sql(sql: str) -> ast.Statement:
+    """Parse a single SQL statement."""
+    parser = Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.expect_end()
+    return statement
+
+
+def parse_expression(sql: str) -> ast.Expression:
+    """Parse a standalone expression (used by annotation predicates)."""
+    parser = Parser(tokenize(sql))
+    expr = parser.parse_expr()
+    parser.expect_end()
+    return expr
+
+
+class Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.END:
+            self._pos += 1
+        return token
+
+    def _check_keyword(self, *keywords: str) -> bool:
+        return self._peek().matches_keyword(*keywords)
+
+    def _accept_keyword(self, *keywords: str) -> bool:
+        if self._check_keyword(*keywords):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            raise SQLSyntaxError(
+                f"expected {keyword}, found {self._peek().value!r} at {self._peek().position}"
+            )
+
+    def _accept_punct(self, value: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> None:
+        if not self._accept_punct(value):
+            raise SQLSyntaxError(
+                f"expected {value!r}, found {self._peek().value!r} at {self._peek().position}"
+            )
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return str(token.value)
+        # Allow non-reserved keyword-looking identifiers such as KEY.
+        if token.type is TokenType.KEYWORD and token.value in ("KEY", "INDEX"):
+            self._advance()
+            return str(token.value)
+        raise SQLSyntaxError(f"expected identifier, found {token.value!r} at {token.position}")
+
+    def expect_end(self) -> None:
+        """Assert that all tokens (apart from a trailing ';') were consumed."""
+        self._accept_punct(";")
+        if self._peek().type is not TokenType.END:
+            token = self._peek()
+            raise SQLSyntaxError(f"unexpected trailing token {token.value!r} at {token.position}")
+
+    # -- statements -------------------------------------------------------
+    def parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.matches_keyword("SELECT"):
+            return self.parse_select()
+        if token.matches_keyword("INSERT"):
+            return self.parse_insert()
+        if token.matches_keyword("UPDATE"):
+            return self.parse_update()
+        if token.matches_keyword("DELETE"):
+            return self.parse_delete()
+        if token.matches_keyword("CREATE"):
+            return self.parse_create()
+        if token.matches_keyword("DROP"):
+            return self.parse_drop()
+        if token.matches_keyword("BEGIN"):
+            self._advance()
+            return ast.Begin()
+        if token.matches_keyword("START"):
+            self._advance()
+            self._expect_keyword("TRANSACTION")
+            return ast.Begin()
+        if token.matches_keyword("COMMIT"):
+            self._advance()
+            return ast.Commit()
+        if token.matches_keyword("ROLLBACK"):
+            self._advance()
+            return ast.Rollback()
+        raise SQLSyntaxError(f"unsupported statement starting with {token.value!r}")
+
+    def parse_select(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+
+        from_clause: Optional[ast.FromClause] = None
+        if self._accept_keyword("FROM"):
+            from_clause = self._parse_from()
+
+        where = self.parse_expr() if self._accept_keyword("WHERE") else None
+
+        group_by: list[ast.Expression] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self._accept_punct(","):
+                group_by.append(self.parse_expr())
+
+        having = self.parse_expr() if self._accept_keyword("HAVING") else None
+
+        order_by: list[ast.OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                order_by.append(self._parse_order_item())
+
+        limit = offset = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_integer()
+            if self._accept_punct(","):
+                # MySQL's LIMIT offset, count form.
+                offset, limit = limit, self._parse_integer()
+            elif self._accept_keyword("OFFSET"):
+                offset = self._parse_integer()
+
+        return ast.Select(
+            items=items,
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_integer(self) -> int:
+        token = self._peek()
+        if token.type is TokenType.NUMBER and isinstance(token.value, int):
+            self._advance()
+            return token.value
+        raise SQLSyntaxError(f"expected integer, found {token.value!r}")
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return ast.SelectItem(expr, alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return ast.OrderItem(expr, ascending)
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        name = self._expect_identifier()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return ast.TableRef(name, alias)
+
+    def _parse_from(self) -> ast.FromClause:
+        clause: ast.FromClause = self._parse_table_ref()
+        while True:
+            if self._accept_punct(","):
+                # Implicit cross join; the WHERE clause carries the predicate.
+                right = self._parse_table_ref()
+                clause = ast.Join(clause, right, None, "INNER")
+                continue
+            join_type = None
+            if self._check_keyword("JOIN"):
+                join_type = "INNER"
+                self._advance()
+            elif self._check_keyword("INNER"):
+                self._advance()
+                self._expect_keyword("JOIN")
+                join_type = "INNER"
+            elif self._check_keyword("LEFT"):
+                self._advance()
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                join_type = "LEFT"
+            if join_type is None:
+                break
+            right = self._parse_table_ref()
+            condition = None
+            if self._accept_keyword("ON"):
+                condition = self.parse_expr()
+            clause = ast.Join(clause, right, condition, join_type)
+        return clause
+
+    def parse_insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier()
+        columns: list[str] = []
+        if self._accept_punct("("):
+            columns.append(self._expect_identifier())
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier())
+            self._expect_punct(")")
+        self._expect_keyword("VALUES")
+        rows = [self._parse_value_row()]
+        while self._accept_punct(","):
+            rows.append(self._parse_value_row())
+        return ast.Insert(table, columns, rows)
+
+    def _parse_value_row(self) -> list[ast.Expression]:
+        self._expect_punct("(")
+        values = [self.parse_expr()]
+        while self._accept_punct(","):
+            values.append(self.parse_expr())
+        self._expect_punct(")")
+        return values
+
+    def parse_update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier()
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = self.parse_expr() if self._accept_keyword("WHERE") else None
+        return ast.Update(table, assignments, where)
+
+    def _parse_assignment(self) -> tuple[str, ast.Expression]:
+        column = self._expect_identifier()
+        token = self._peek()
+        if token.type is not TokenType.OPERATOR or token.value != "=":
+            raise SQLSyntaxError("expected = in SET assignment")
+        self._advance()
+        return column, self.parse_expr()
+
+    def parse_delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier()
+        where = self.parse_expr() if self._accept_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    def parse_create(self) -> ast.Statement:
+        self._expect_keyword("CREATE")
+        if self._accept_keyword("TABLE"):
+            if_not_exists = False
+            if self._accept_keyword("IF"):
+                self._expect_keyword("NOT")
+                self._expect_keyword("EXISTS")
+                if_not_exists = True
+            table = self._expect_identifier()
+            self._expect_punct("(")
+            columns = [self._parse_column_def()]
+            while self._accept_punct(","):
+                columns.append(self._parse_column_def())
+            self._expect_punct(")")
+            return ast.CreateTable(table, columns, if_not_exists)
+        unique = self._accept_keyword("UNIQUE")
+        if self._accept_keyword("INDEX"):
+            name = self._expect_identifier()
+            self._expect_keyword("ON")
+            table = self._expect_identifier()
+            self._expect_punct("(")
+            columns = [self._expect_identifier()]
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier())
+            self._expect_punct(")")
+            return ast.CreateIndex(name, table, columns, unique)
+        raise SQLSyntaxError("expected TABLE or INDEX after CREATE")
+
+    def _parse_column_def(self) -> ColumnDef:
+        name = self._expect_identifier()
+        type_token = self._peek()
+        if type_token.type is TokenType.IDENTIFIER:
+            type_name = self._expect_identifier()
+        elif type_token.type is TokenType.KEYWORD:
+            type_name = str(self._advance().value)
+        else:
+            raise SQLSyntaxError(f"expected column type for {name}")
+        length = None
+        if self._accept_punct("("):
+            length = self._parse_integer()
+            # Ignore a precision component such as DECIMAL(10, 2).
+            if self._accept_punct(","):
+                self._parse_integer()
+            self._expect_punct(")")
+        column = ColumnDef(name, parse_type(type_name, length))
+        while True:
+            if self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                column.primary_key = True
+                continue
+            if self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                column.nullable = False
+                continue
+            if self._accept_keyword("NULL"):
+                column.nullable = True
+                continue
+            break
+        return column
+
+    def parse_drop(self) -> ast.DropTable:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        table = self._expect_identifier()
+        return ast.DropTable(table, if_exists)
+
+    # -- expressions (precedence climbing) ---------------------------------
+    def parse_expr(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in ("=", "<", ">", "<=", ">=", "<>", "!="):
+            op = str(self._advance().value)
+            if op == "<>":
+                op = "!="
+            return ast.BinaryOp(op, left, self._parse_additive())
+        negated = False
+        if self._check_keyword("NOT") and self._peek(1).matches_keyword("IN", "BETWEEN", "LIKE"):
+            self._advance()
+            negated = True
+        if self._accept_keyword("IN"):
+            self._expect_punct("(")
+            items = [self.parse_expr()]
+            while self._accept_punct(","):
+                items.append(self.parse_expr())
+            self._expect_punct(")")
+            return ast.InList(left, items, negated)
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated)
+        if self._accept_keyword("LIKE"):
+            return ast.Like(left, self._parse_additive(), negated)
+        if self._accept_keyword("IS"):
+            is_negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return ast.IsNull(left, is_negated)
+        return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-"):
+                op = str(self._advance().value)
+                left = ast.BinaryOp(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/", "%"):
+                op = str(self._advance().value)
+                left = ast.BinaryOp(op, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            operand = self._parse_unary()
+            if isinstance(operand, ast.Literal) and isinstance(operand.value, (int, float)):
+                return ast.Literal(-operand.value)
+            return ast.UnaryOp("-", operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.BLOB:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.matches_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.matches_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.matches_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return ast.Star()
+        if self._accept_punct("("):
+            expr = self.parse_expr()
+            self._expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENTIFIER or token.matches_keyword("LEFT", "KEY"):
+            return self._parse_identifier_expression()
+        raise SQLSyntaxError(f"unexpected token {token.value!r} at {token.position}")
+
+    def _parse_identifier_expression(self) -> ast.Expression:
+        name = self._expect_identifier()
+        # Function call.
+        if self._accept_punct("("):
+            distinct = self._accept_keyword("DISTINCT")
+            args: list[ast.Expression] = []
+            if not self._accept_punct(")"):
+                args.append(self.parse_expr())
+                while self._accept_punct(","):
+                    args.append(self.parse_expr())
+                self._expect_punct(")")
+            return ast.FunctionCall(name, args, distinct)
+        # Qualified column reference or table.*.
+        if self._accept_punct("."):
+            if self._peek().type is TokenType.OPERATOR and self._peek().value == "*":
+                self._advance()
+                return ast.Star(table=name)
+            column = self._expect_identifier()
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)

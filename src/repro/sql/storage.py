@@ -1,0 +1,171 @@
+"""Row storage: tables, rows, and the catalog."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.errors import SchemaError, SQLExecutionError
+from repro.sql.indexes import IndexSet
+from repro.sql.types import ColumnDef
+
+
+class Table:
+    """An in-memory heap table with secondary indexes."""
+
+    def __init__(self, name: str, columns: list[ColumnDef]):
+        if not columns:
+            raise SchemaError(f"table {name} must have at least one column")
+        seen = set()
+        for column in columns:
+            if column.name in seen:
+                raise SchemaError(f"duplicate column {column.name} in table {name}")
+            seen.add(column.name)
+        self.name = name
+        self.columns = list(columns)
+        self._column_map = {c.name: c for c in columns}
+        self._rows: dict[int, dict[str, Any]] = {}
+        self._next_row_id = 1
+        self.indexes = IndexSet()
+        # Index primary keys by default, as a stock DBMS would.
+        for column in columns:
+            if column.primary_key:
+                self.indexes.add_hash(column.name)
+
+    # -- schema -----------------------------------------------------------
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> ColumnDef:
+        if name not in self._column_map:
+            raise SchemaError(f"table {self.name} has no column {name}")
+        return self._column_map[name]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._column_map
+
+    def add_column(self, column: ColumnDef, default: Any = None) -> None:
+        """ALTER TABLE ADD COLUMN (used when onions add IV columns)."""
+        if column.name in self._column_map:
+            raise SchemaError(f"column {column.name} already exists in {self.name}")
+        self.columns.append(column)
+        self._column_map[column.name] = column
+        for row in self._rows.values():
+            row[column.name] = default
+
+    # -- rows ---------------------------------------------------------------
+    def insert(self, values: dict[str, Any]) -> int:
+        """Insert one row given a column->value mapping; returns the row id."""
+        row: dict[str, Any] = {}
+        for column in self.columns:
+            if column.name in values:
+                row[column.name] = column.data_type.coerce(values[column.name])
+            else:
+                row[column.name] = column.default
+        unknown = set(values) - set(self._column_map)
+        if unknown:
+            raise SQLExecutionError(
+                f"unknown columns {sorted(unknown)} in INSERT into {self.name}"
+            )
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self._rows[row_id] = row
+        self.indexes.insert_row(row, row_id)
+        return row_id
+
+    def delete(self, row_id: int) -> dict[str, Any]:
+        """Delete a row by id, returning the removed row."""
+        row = self._rows.pop(row_id, None)
+        if row is None:
+            raise SQLExecutionError(f"row {row_id} not found in {self.name}")
+        self.indexes.remove_row(row, row_id)
+        return row
+
+    def update(self, row_id: int, changes: dict[str, Any]) -> dict[str, Any]:
+        """Apply column changes to a row, returning the previous values."""
+        row = self._rows.get(row_id)
+        if row is None:
+            raise SQLExecutionError(f"row {row_id} not found in {self.name}")
+        previous = dict(row)
+        self.indexes.remove_row(row, row_id)
+        for column, value in changes.items():
+            if column not in self._column_map:
+                raise SQLExecutionError(f"unknown column {column} in UPDATE of {self.name}")
+            row[column] = self._column_map[column].data_type.coerce(value)
+        self.indexes.insert_row(row, row_id)
+        return previous
+
+    def restore(self, row_id: int, row: dict[str, Any]) -> None:
+        """Re-insert a deleted row under its original id (transaction undo)."""
+        if row_id in self._rows:
+            raise SQLExecutionError(f"row {row_id} already present in {self.name}")
+        self._rows[row_id] = dict(row)
+        self.indexes.insert_row(row, row_id)
+        self._next_row_id = max(self._next_row_id, row_id + 1)
+
+    def get(self, row_id: int) -> dict[str, Any]:
+        row = self._rows.get(row_id)
+        if row is None:
+            raise SQLExecutionError(f"row {row_id} not found in {self.name}")
+        return row
+
+    def scan(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Yield (row_id, row) pairs in insertion order."""
+        yield from list(self._rows.items())
+
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    # -- index management ---------------------------------------------------
+    def create_index(self, column: str, ordered: bool = False) -> None:
+        """Create (and populate) a secondary index on a column."""
+        self.column(column)
+        index = self.indexes.add_ordered(column) if ordered else self.indexes.add_hash(column)
+        for row_id, row in self._rows.items():
+            index.insert(row.get(column), row_id)
+
+    # -- statistics ----------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Approximate storage footprint of the table's data."""
+        total = 0
+        for row in self._rows.values():
+            for column in self.columns:
+                total += column.data_type.storage_size(row.get(column.name))
+        return total
+
+
+class Catalog:
+    """The set of tables of one database."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: list[ColumnDef], if_not_exists: bool = False) -> Table:
+        if name in self._tables:
+            if if_not_exists:
+                return self._tables[name]
+            raise SchemaError(f"table {name} already exists")
+        table = Table(name, columns)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        if name not in self._tables:
+            if if_exists:
+                return
+            raise SchemaError(f"table {name} does not exist")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise SchemaError(f"table {name} does not exist")
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())

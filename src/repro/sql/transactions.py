@@ -1,0 +1,78 @@
+"""Minimal transaction support: an undo log over row mutations.
+
+CryptDB simply forwards BEGIN/COMMIT/ROLLBACK to the DBMS (section 3.3) and
+wraps each onion-layer adjustment in a transaction to avoid exposing clients
+to half-adjusted columns, so the substrate needs working (single-connection)
+transactions even though it does not need concurrency control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SQLExecutionError
+from repro.sql.storage import Catalog
+
+
+@dataclass
+class _UndoRecord:
+    kind: str  # "insert" | "delete" | "update"
+    table: str
+    row_id: int
+    row: dict[str, Any] | None = None
+
+
+@dataclass
+class TransactionManager:
+    """Records row-level changes while a transaction is open."""
+
+    catalog: Catalog
+    _active: bool = False
+    _undo_log: list[_UndoRecord] = field(default_factory=list)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._active
+
+    def begin(self) -> None:
+        if self._active:
+            raise SQLExecutionError("a transaction is already in progress")
+        self._active = True
+        self._undo_log.clear()
+
+    def commit(self) -> None:
+        if not self._active:
+            # Stock MySQL tolerates COMMIT outside a transaction; so do we.
+            return
+        self._active = False
+        self._undo_log.clear()
+
+    def rollback(self) -> None:
+        if not self._active:
+            return
+        for record in reversed(self._undo_log):
+            table = self.catalog.table(record.table)
+            if record.kind == "insert":
+                table.delete(record.row_id)
+            elif record.kind == "delete":
+                assert record.row is not None
+                table.restore(record.row_id, record.row)
+            elif record.kind == "update":
+                assert record.row is not None
+                table.update(record.row_id, record.row)
+        self._active = False
+        self._undo_log.clear()
+
+    # -- hooks called by the executor ---------------------------------------
+    def record_insert(self, table: str, row_id: int) -> None:
+        if self._active:
+            self._undo_log.append(_UndoRecord("insert", table, row_id))
+
+    def record_delete(self, table: str, row_id: int, row: dict[str, Any]) -> None:
+        if self._active:
+            self._undo_log.append(_UndoRecord("delete", table, row_id, dict(row)))
+
+    def record_update(self, table: str, row_id: int, previous: dict[str, Any]) -> None:
+        if self._active:
+            self._undo_log.append(_UndoRecord("update", table, row_id, dict(previous)))

@@ -1,0 +1,149 @@
+"""SQL data types and column definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A SQL column type.
+
+    The engine is dynamically typed like SQLite: the declared type guides
+    coercion and storage-size accounting but arbitrary Python values (for
+    example 2048-bit Paillier ciphertexts) can be stored in any column, which
+    is exactly what CryptDB's anonymised tables need.
+    """
+
+    name: str
+    length: int | None = None
+
+    def __str__(self) -> str:
+        if self.length is not None:
+            return f"{self.name}({self.length})"
+        return self.name
+
+    @property
+    def is_integer(self) -> bool:
+        return self.name in ("INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT")
+
+    @property
+    def is_text(self) -> bool:
+        return self.name in ("VARCHAR", "CHAR", "TEXT")
+
+    @property
+    def is_binary(self) -> bool:
+        return self.name in ("BLOB", "VARBINARY", "BINARY")
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.is_integer or self.name in ("FLOAT", "DOUBLE", "DECIMAL", "NUMERIC", "REAL")
+
+    def coerce(self, value: Any) -> Any:
+        """Best-effort coercion of a Python value to this type."""
+        if value is None:
+            return None
+        if self.is_integer:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, (int, float)):
+                return int(value)
+            if isinstance(value, str) and value.strip().lstrip("+-").isdigit():
+                return int(value)
+            return value
+        if self.name in ("FLOAT", "DOUBLE", "DECIMAL", "NUMERIC", "REAL"):
+            if isinstance(value, (int, float)):
+                return float(value)
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                return value
+        if self.is_text:
+            if isinstance(value, bytes):
+                return value
+            return str(value)
+        return value
+
+    def storage_size(self, value: Any) -> int:
+        """Approximate on-disk size in bytes of a stored value.
+
+        Used by the storage-overhead analysis of section 8.4.3.
+        """
+        if value is None:
+            return 1
+        if isinstance(value, bool):
+            return 1
+        if isinstance(value, int):
+            return max(4, (value.bit_length() + 7) // 8)
+        if isinstance(value, float):
+            return 8
+        if isinstance(value, bytes):
+            return len(value)
+        if isinstance(value, str):
+            return len(value.encode("utf-8"))
+        return 8
+
+
+# Common type constructors used throughout the code base.
+def INT() -> DataType:
+    return DataType("INT")
+
+
+def BIGINT() -> DataType:
+    return DataType("BIGINT")
+
+
+def VARCHAR(length: int = 255) -> DataType:
+    return DataType("VARCHAR", length)
+
+
+def TEXT() -> DataType:
+    return DataType("TEXT")
+
+
+def BLOB() -> DataType:
+    return DataType("BLOB")
+
+
+def DECIMAL() -> DataType:
+    return DataType("DECIMAL")
+
+
+def DATETIME() -> DataType:
+    return DataType("DATETIME")
+
+
+@dataclass
+class ColumnDef:
+    """A column of a CREATE TABLE statement."""
+
+    name: str
+    data_type: DataType = field(default_factory=INT)
+    nullable: bool = True
+    primary_key: bool = False
+    default: Any = None
+
+    def to_sql(self) -> str:
+        parts = [self.name, str(self.data_type)]
+        if self.primary_key:
+            parts.append("PRIMARY KEY")
+        if not self.nullable:
+            parts.append("NOT NULL")
+        return " ".join(parts)
+
+
+def parse_type(name: str, length: int | None = None) -> DataType:
+    """Normalise a type name from the parser into a :class:`DataType`."""
+    upper = name.upper()
+    known = {
+        "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT",
+        "VARCHAR", "CHAR", "TEXT", "BLOB", "VARBINARY", "BINARY",
+        "FLOAT", "DOUBLE", "DECIMAL", "NUMERIC", "REAL",
+        "DATETIME", "DATE", "TIMESTAMP", "BOOLEAN", "BOOL",
+    }
+    if upper not in known:
+        raise SchemaError(f"unknown column type: {name}")
+    return DataType(upper, length)

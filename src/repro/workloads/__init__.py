@@ -1,0 +1,29 @@
+"""Workloads used by the paper's evaluation (§8).
+
+* :mod:`repro.workloads.tpcc` -- the TPC-C query mix (single-principal,
+  all 92 columns encrypted).
+* :mod:`repro.workloads.phpbb` -- the phpBB web forum (multi-principal
+  private messages and posts, plus the throughput/latency request mix).
+* :mod:`repro.workloads.hotcrp` -- HotCRP conference reviews with the
+  PC-chair conflict policy of Figure 6.
+* :mod:`repro.workloads.gradapply` -- the MIT EECS admissions system.
+* :mod:`repro.workloads.openemr`, :mod:`mit602`, :mod:`phpcalendar` --
+  the additional applications of the functional/security evaluation.
+* :mod:`repro.workloads.trace` -- a synthetic stand-in for the
+  sql.mit.edu production trace (126 M queries, 128,840 columns).
+"""
+
+from repro.workloads.tpcc import TPCCWorkload
+from repro.workloads.phpbb import PhpBBApplication, PHPBB_ANNOTATED_SCHEMA
+from repro.workloads.hotcrp import HotCRPApplication, HOTCRP_ANNOTATED_SCHEMA
+from repro.workloads.gradapply import GradApplyApplication, GRADAPPLY_ANNOTATED_SCHEMA
+
+__all__ = [
+    "TPCCWorkload",
+    "PhpBBApplication",
+    "PHPBB_ANNOTATED_SCHEMA",
+    "HotCRPApplication",
+    "HOTCRP_ANNOTATED_SCHEMA",
+    "GradApplyApplication",
+    "GRADAPPLY_ANNOTATED_SCHEMA",
+]

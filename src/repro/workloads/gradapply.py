@@ -1,0 +1,89 @@
+"""grad-apply: the MIT EECS graduate-admissions workload (§5).
+
+Applicants may see their own folder except recommendation letters; any
+reviewer (faculty) may see everything.  The annotations mirror the paper's
+description: all reviewers speak for each candidate and each letter, and the
+applicant speaks for her own candidate principal but *not* for the letter
+principal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GRADAPPLY_ANNOTATED_SCHEMA = """
+PRINCTYPE physical_user EXTERNAL;
+PRINCTYPE applicant, reviewer, candidate, letter;
+
+CREATE TABLE reviewers (
+  reviewer_id int, email varchar(120),
+  (email physical_user) SPEAKS_FOR (reviewer_id reviewer) );
+
+CREATE TABLE applicants (
+  applicant_id int, email varchar(120),
+  (email physical_user) SPEAKS_FOR (applicant_id applicant) );
+
+CREATE TABLE candidates (
+  candidate_id int, applicant_id int,
+  gpa decimal(4,2) ENC_FOR (candidate_id candidate),
+  gre_score int ENC_FOR (candidate_id candidate),
+  statement text ENC_FOR (candidate_id candidate),
+  (applicant_id applicant) SPEAKS_FOR (candidate_id candidate),
+  (reviewers.reviewer_id reviewer) SPEAKS_FOR (candidate_id candidate) );
+
+CREATE TABLE letters (
+  letter_id int, candidate_id int, writer varchar(120),
+  letter_text text ENC_FOR (letter_id letter),
+  rating int ENC_FOR (letter_id letter),
+  (reviewers.reviewer_id reviewer) SPEAKS_FOR (letter_id letter) );
+
+CREATE TABLE reviews (
+  review_id int, candidate_id int, reviewer_id int,
+  score int ENC_FOR (review_id review_item),
+  comments text ENC_FOR (review_id review_item),
+  (reviewer_id reviewer) SPEAKS_FOR (review_id review_item) );
+
+PRINCTYPE review_item;
+"""
+
+#: The paper reports 103 sensitive fields for grad-apply (61 grades, 17
+#: scores, recommendations, reviews); our reduced schema models 7 of them.
+SENSITIVE_FIELD_COUNT_PAPER = 103
+
+
+@dataclass
+class GradApplyApplication:
+    """Sets up the grad-apply scenario on a multi-principal proxy."""
+
+    proxy: object
+
+    def install(self) -> None:
+        self.proxy.load_schema(GRADAPPLY_ANNOTATED_SCHEMA)
+
+    def add_reviewer(self, reviewer_id: int, email: str, password: str) -> None:
+        self.proxy.login(email, password)
+        self.proxy.execute(
+            f"INSERT INTO reviewers (reviewer_id, email) VALUES ({reviewer_id}, '{email}')"
+        )
+
+    def add_applicant(self, applicant_id: int, email: str, password: str) -> None:
+        self.proxy.login(email, password)
+        self.proxy.execute(
+            f"INSERT INTO applicants (applicant_id, email) VALUES ({applicant_id}, '{email}')"
+        )
+
+    def submit_application(
+        self, candidate_id: int, applicant_id: int, gpa: float, gre: int, statement: str
+    ) -> None:
+        self.proxy.execute(
+            "INSERT INTO candidates (candidate_id, applicant_id, gpa, gre_score, statement) "
+            f"VALUES ({candidate_id}, {applicant_id}, {gpa}, {gre}, '{statement}')"
+        )
+
+    def submit_letter(
+        self, letter_id: int, candidate_id: int, writer: str, text: str, rating: int
+    ) -> None:
+        self.proxy.execute(
+            "INSERT INTO letters (letter_id, candidate_id, writer, letter_text, rating) "
+            f"VALUES ({letter_id}, {candidate_id}, '{writer}', '{text}', {rating})"
+        )

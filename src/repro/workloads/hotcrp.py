@@ -1,0 +1,83 @@
+"""HotCRP conference-review workload (Figure 6, §5).
+
+The key policy: PC members must not learn who reviewed papers they are in
+conflict with -- including the PC chair, who in stock HotCRP could simply
+read the database.  The annotated schema delegates each paper's review key to
+PC members *except* those with a conflict, enforced by the ``NoConflict``
+predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HOTCRP_ANNOTATED_SCHEMA = """
+PRINCTYPE physical_user EXTERNAL;
+PRINCTYPE contact, review;
+
+CREATE TABLE ContactInfo (
+  contactId int, email varchar(120),
+  (email physical_user) SPEAKS_FOR (contactId contact) );
+
+CREATE TABLE PCMember ( contactId int, memberSince varchar(20) );
+
+CREATE TABLE PaperConflict ( conflictId int, paperId int, contactId int );
+
+CREATE TABLE Paper (
+  paperId int, title varchar(200),
+  abstract text ENC_FOR (paperId review) );
+
+CREATE TABLE PaperReview (
+  reviewId int, paperId int,
+  reviewerId int ENC_FOR (paperId review),
+  commentsToPC text ENC_FOR (paperId review),
+  (PCMember.contactId contact) SPEAKS_FOR (paperId review) IF NoConflict(paperId, contactId) );
+"""
+
+
+@dataclass
+class HotCRPApplication:
+    """Sets up the HotCRP scenario on a multi-principal proxy."""
+
+    proxy: object
+
+    def install(self) -> None:
+        """Load the annotated schema and register the NoConflict predicate."""
+        self.proxy.load_schema(HOTCRP_ANNOTATED_SCHEMA)
+        self.proxy.register_predicate("NoConflict", self._no_conflict)
+
+    def _no_conflict(self, paperId=None, contactId=None) -> bool:
+        """The SQL function of Figure 6: true when the PC member has no conflict."""
+        result = self.proxy.inner.execute(
+            "SELECT COUNT(*) FROM PaperConflict WHERE paperId = "
+            f"{int(paperId)} AND contactId = {int(contactId)}"
+        )
+        return result.scalar() == 0
+
+    # -- scenario helpers ---------------------------------------------------
+    def add_pc_member(self, contact_id: int, email: str, password: str) -> None:
+        self.proxy.login(email, password)
+        self.proxy.execute(
+            f"INSERT INTO ContactInfo (contactId, email) VALUES ({contact_id}, '{email}')"
+        )
+        self.proxy.execute(
+            f"INSERT INTO PCMember (contactId, memberSince) VALUES ({contact_id}, '2011-01-01')"
+        )
+
+    def declare_conflict(self, paper_id: int, contact_id: int) -> None:
+        self.proxy.execute(
+            "INSERT INTO PaperConflict (conflictId, paperId, contactId) VALUES "
+            f"({paper_id * 100 + contact_id}, {paper_id}, {contact_id})"
+        )
+
+    def submit_paper(self, paper_id: int, title: str, abstract: str) -> None:
+        self.proxy.execute(
+            "INSERT INTO Paper (paperId, title, abstract) VALUES "
+            f"({paper_id}, '{title}', '{abstract}')"
+        )
+
+    def submit_review(self, review_id: int, paper_id: int, reviewer_id: int, comments: str) -> None:
+        self.proxy.execute(
+            "INSERT INTO PaperReview (reviewId, paperId, reviewerId, commentsToPC) VALUES "
+            f"({review_id}, {paper_id}, {reviewer_id}, '{comments}')"
+        )

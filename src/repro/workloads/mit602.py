@@ -1,0 +1,31 @@
+"""MIT 6.02 class web application (grades database) -- §8's fifth application.
+
+Fifteen columns, thirteen of which are considered for encryption; grades are
+only inserted and fetched, user look-ups need equality, and assignment
+ordering needs OPE on two mildly sensitive columns.
+"""
+
+from __future__ import annotations
+
+MIT602_SCHEMA = [
+    "CREATE TABLE students (student_id INT, athena VARCHAR(20), name VARCHAR(60), "
+    "year INT, section INT)",
+    "CREATE TABLE grades (grade_id INT, student_id INT, assignment VARCHAR(30), "
+    "score DECIMAL(5,2), max_score DECIMAL(5,2), graded_on VARCHAR(20), comments TEXT)",
+    "CREATE TABLE staff (staff_id INT, athena VARCHAR(20), role VARCHAR(20))",
+]
+
+MIT602_SENSITIVE = {
+    "students": ["athena", "name"],
+    "grades": ["score", "comments"],
+}
+
+MIT602_QUERIES = [
+    "SELECT name, year, section FROM students WHERE athena = 'alice'",
+    "SELECT assignment, score, max_score, comments FROM grades WHERE student_id = 5",
+    "SELECT student_id FROM students WHERE section = 2",
+    "SELECT AVG(score) FROM grades WHERE assignment = 'ps1'",
+    "SELECT assignment FROM grades WHERE student_id = 5 ORDER BY graded_on DESC",
+    "SELECT COUNT(*) FROM grades WHERE assignment = 'ps1' AND score > 80",
+    "SELECT role FROM staff WHERE athena = 'bob'",
+]

@@ -1,0 +1,57 @@
+"""OpenEMR electronic-medical-records workload (functional/security evaluation).
+
+The paper analyses 566 sensitive OpenEMR columns; most hold medical history
+that is only inserted and fetched (so it stays at RND), a handful are used in
+key look-ups (DET), a few in date ordering (OPE), and seven perform string or
+date manipulation that CryptDB cannot evaluate over ciphertext ("needs
+plaintext").  We model a representative subset of the schema and a query set
+that reproduces those column classes proportionally.
+"""
+
+from __future__ import annotations
+
+OPENEMR_SCHEMA = [
+    "CREATE TABLE patient_data (pid INT, fname VARCHAR(60), lname VARCHAR(60), "
+    "dob VARCHAR(20), ss VARCHAR(11), street VARCHAR(60), city VARCHAR(30), "
+    "state VARCHAR(2), phone_home VARCHAR(20), email VARCHAR(60), "
+    "race VARCHAR(20), ethnicity VARCHAR(20), status VARCHAR(20), "
+    "genericname1 VARCHAR(60), genericval1 VARCHAR(60))",
+    "CREATE TABLE form_encounter (encounter INT, pid INT, date VARCHAR(20), "
+    "reason TEXT, facility VARCHAR(60), onset_date VARCHAR(20))",
+    "CREATE TABLE lists (id INT, pid INT, type VARCHAR(20), title VARCHAR(100), "
+    "begdate VARCHAR(20), enddate VARCHAR(20), diagnosis VARCHAR(60), comments TEXT)",
+    "CREATE TABLE prescriptions (id INT, patient_id INT, drug VARCHAR(150), "
+    "dosage VARCHAR(100), quantity INT, note TEXT, date_added VARCHAR(20))",
+    "CREATE TABLE billing (id INT, pid INT, code VARCHAR(20), fee DECIMAL(12,2), "
+    "bill_date VARCHAR(20), justify VARCHAR(255))",
+]
+
+#: Columns a clinician marks as definitely sensitive (medical content).
+OPENEMR_SENSITIVE = {
+    "patient_data": ["fname", "lname", "dob", "ss", "street", "phone_home", "email",
+                     "race", "ethnicity", "genericname1", "genericval1"],
+    "form_encounter": ["reason", "onset_date"],
+    "lists": ["title", "diagnosis", "comments"],
+    "prescriptions": ["drug", "dosage", "note"],
+    "billing": ["code", "justify"],
+}
+
+#: A representative query set.  Most sensitive fields are only inserted and
+#: fetched; pid/id key columns need equality; visit dates are ordered; two
+#: queries perform string/date manipulation that needs plaintext.
+OPENEMR_QUERIES = [
+    "SELECT fname, lname, dob, ss, street, phone_home, email FROM patient_data WHERE pid = 17",
+    "SELECT race, ethnicity, genericname1, genericval1 FROM patient_data WHERE pid = 17",
+    "SELECT reason, onset_date FROM form_encounter WHERE pid = 17 AND encounter = 3",
+    "SELECT title, diagnosis, comments FROM lists WHERE pid = 17 AND type = 'medical_problem'",
+    "SELECT drug, dosage, note FROM prescriptions WHERE patient_id = 17",
+    "SELECT code, fee, justify FROM billing WHERE pid = 17",
+    "SELECT encounter FROM form_encounter WHERE pid = 17 ORDER BY date DESC LIMIT 1",
+    "SELECT id FROM prescriptions WHERE patient_id = 17 ORDER BY date_added DESC LIMIT 5",
+    "SELECT pid FROM patient_data WHERE lname = 'Smith' AND fname = 'John'",
+    "SELECT COUNT(*) FROM lists WHERE pid = 17 AND type = 'allergy'",
+    "SELECT SUM(fee) FROM billing WHERE pid = 17",
+    # String/date manipulation CryptDB cannot evaluate over ciphertext:
+    "SELECT pid FROM patient_data WHERE LOWER(lname) = 'smith'",
+    "SELECT id FROM lists WHERE SUBSTRING(begdate, 1, 4) = '2011'",
+]

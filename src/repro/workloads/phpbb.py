@@ -1,0 +1,222 @@
+"""phpBB web forum workload (§5, §8.4.2).
+
+Includes the annotated schema of Figures 4 and 5 (private messages, posts,
+forums, groups) and an application simulator that issues, for each HTTP
+request type of Figure 15 (Login, Read post, Write post, Read message, Write
+message), the same kind of SQL batch the PHP application would.  The
+simulator can run against an unencrypted :class:`~repro.sql.engine.Database`,
+a :class:`~repro.core.passthrough.PassthroughProxy`, a single-principal
+:class:`~repro.core.proxy.CryptDBProxy` (Figure 14's configuration, with only
+the notably sensitive fields encrypted) or the multi-principal proxy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+PHPBB_ANNOTATED_SCHEMA = """
+PRINCTYPE physical_user EXTERNAL;
+PRINCTYPE user, group_p, msg, forum_post, forum_name;
+
+CREATE TABLE users (
+  userid int, username varchar(255), user_password varchar(255),
+  (username physical_user) SPEAKS_FOR (userid user) );
+
+CREATE TABLE usergroup (
+  userid int, groupid int,
+  (userid user) SPEAKS_FOR (groupid group_p) );
+
+CREATE TABLE aclgroups (
+  groupid int, forumid int, optionid int,
+  (groupid group_p) SPEAKS_FOR (forumid forum_post) IF optionid=20,
+  (groupid group_p) SPEAKS_FOR (forumid forum_name) IF optionid=14 );
+
+CREATE TABLE privmsgs (
+  msgid int, author_id int, created varchar(20),
+  subject varchar(255) ENC_FOR (msgid msg),
+  msgtext text ENC_FOR (msgid msg) );
+
+CREATE TABLE privmsgs_to (
+  msgid int, rcpt_id int, sender_id int,
+  (sender_id user) SPEAKS_FOR (msgid msg),
+  (rcpt_id user) SPEAKS_FOR (msgid msg) );
+
+CREATE TABLE posts (
+  postid int, forumid int, poster_id int, post_time varchar(20),
+  post_text text ENC_FOR (forumid forum_post) );
+
+CREATE TABLE forum (
+  forumid int,
+  name varchar(255) ENC_FOR (forumid forum_name) );
+"""
+
+#: Plain (un-annotated) schema used for the performance comparison, where
+#: only the notably sensitive fields are encrypted by the single-principal
+#: proxy (Figure 14's configuration).
+PHPBB_PLAIN_SCHEMA = [
+    "CREATE TABLE users (userid int, username varchar(255), user_password varchar(255))",
+    "CREATE TABLE usergroup (userid int, groupid int)",
+    "CREATE TABLE aclgroups (groupid int, forumid int, optionid int)",
+    "CREATE TABLE privmsgs (msgid int, author_id int, created varchar(20), "
+    "subject varchar(255), msgtext text)",
+    "CREATE TABLE privmsgs_to (msgid int, rcpt_id int, sender_id int)",
+    "CREATE TABLE posts (postid int, forumid int, poster_id int, post_time varchar(20), "
+    "post_text text)",
+    "CREATE TABLE forum (forumid int, name varchar(255))",
+]
+
+#: The 23 sensitive fields the paper secures in phpBB (we model the subset
+#: present in our reduced schema).
+PHPBB_SENSITIVE_FIELDS = {
+    "users": ["user_password"],
+    "privmsgs": ["subject", "msgtext"],
+    "posts": ["post_text"],
+    "forum": ["name"],
+}
+
+REQUEST_TYPES = ("Login", "R post", "W post", "R msg", "W msg")
+
+
+@dataclass
+class PhpBBApplication:
+    """Drives a phpBB-like SQL workload against any ``.execute`` target."""
+
+    target: object
+    users: int = 10
+    forums: int = 3
+    seed: int = 7
+    _rng: random.Random = field(init=False, repr=False)
+    _next_post: int = field(init=False, default=1)
+    _next_msg: int = field(init=False, default=1)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def create_schema(self) -> None:
+        for statement in PHPBB_PLAIN_SCHEMA:
+            self.target.execute(statement)
+
+    def load_initial_data(self, messages: int = 20, posts: int = 20) -> None:
+        """Pre-load forums, users, group ACLs, messages and posts."""
+        for forum_id in range(1, self.forums + 1):
+            self.target.execute(
+                f"INSERT INTO forum (forumid, name) VALUES ({forum_id}, 'Forum {forum_id}')"
+            )
+            self.target.execute(
+                "INSERT INTO aclgroups (groupid, forumid, optionid) VALUES "
+                f"(1, {forum_id}, 20), (1, {forum_id}, 14)"
+            )
+        for user_id in range(1, self.users + 1):
+            self.target.execute(
+                "INSERT INTO users (userid, username, user_password) VALUES "
+                f"({user_id}, 'user{user_id}', 'password{user_id}')"
+            )
+            self.target.execute(
+                f"INSERT INTO usergroup (userid, groupid) VALUES ({user_id}, 1)"
+            )
+        for _ in range(posts):
+            self.write_post()
+        for _ in range(messages):
+            self.write_message()
+
+    # ------------------------------------------------------------------
+    # the HTTP request types of Figure 15
+    # ------------------------------------------------------------------
+    def login(self) -> list[str]:
+        """SQL issued by a login request."""
+        user_id = self._rng.randint(1, self.users)
+        queries = [
+            f"SELECT userid, user_password FROM users WHERE username = 'user{user_id}'",
+            f"SELECT groupid FROM usergroup WHERE userid = {user_id}",
+            f"SELECT forumid FROM aclgroups WHERE groupid = 1 AND optionid = 14",
+        ]
+        for query in queries:
+            self.target.execute(query)
+        return queries
+
+    def read_post(self) -> list[str]:
+        forum_id = self._rng.randint(1, self.forums)
+        queries = [
+            f"SELECT name FROM forum WHERE forumid = {forum_id}",
+            f"SELECT postid, poster_id, post_text FROM posts WHERE forumid = {forum_id} "
+            "ORDER BY postid DESC LIMIT 10",
+            f"SELECT COUNT(*) FROM posts WHERE forumid = {forum_id}",
+        ]
+        for query in queries:
+            self.target.execute(query)
+        return queries
+
+    def write_post(self) -> list[str]:
+        post_id = self._next_post
+        self._next_post += 1
+        forum_id = self._rng.randint(1, self.forums)
+        user_id = self._rng.randint(1, self.users)
+        queries = [
+            f"SELECT name FROM forum WHERE forumid = {forum_id}",
+            "INSERT INTO posts (postid, forumid, poster_id, post_time, post_text) VALUES "
+            f"({post_id}, {forum_id}, {user_id}, '2011-10-0{1 + post_id % 9}', "
+            f"'forum post number {post_id} about systems security')",
+        ]
+        for query in queries:
+            self.target.execute(query)
+        return queries
+
+    def read_message(self) -> list[str]:
+        user_id = self._rng.randint(1, self.users)
+        queries = [
+            f"SELECT msgid FROM privmsgs_to WHERE rcpt_id = {user_id}",
+            "SELECT msgid, subject, msgtext FROM privmsgs "
+            f"WHERE author_id = {user_id} ORDER BY msgid DESC LIMIT 10",
+        ]
+        for query in queries:
+            self.target.execute(query)
+        return queries
+
+    def write_message(self) -> list[str]:
+        msg_id = self._next_msg
+        self._next_msg += 1
+        sender = self._rng.randint(1, self.users)
+        recipient = self._rng.randint(1, self.users)
+        queries = [
+            "INSERT INTO privmsgs (msgid, author_id, created, subject, msgtext) VALUES "
+            f"({msg_id}, {sender}, '2011-10-10', 'subject {msg_id}', "
+            f"'private message body {msg_id} with confidential text')",
+            "INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES "
+            f"({msg_id}, {recipient}, {sender})",
+        ]
+        for query in queries:
+            self.target.execute(query)
+        return queries
+
+    def request(self, request_type: str) -> list[str]:
+        """Issue one HTTP-request-equivalent SQL batch."""
+        handlers = {
+            "Login": self.login,
+            "R post": self.read_post,
+            "W post": self.write_post,
+            "R msg": self.read_message,
+            "W msg": self.write_message,
+        }
+        if request_type not in handlers:
+            raise ValueError(f"unknown phpBB request type {request_type}")
+        return handlers[request_type]()
+
+    def mixed_requests(self, count: int) -> list[str]:
+        """A browse-heavy request mix, as in the Figure 14 experiment."""
+        weights = {"Login": 1, "R post": 4, "W post": 2, "R msg": 2, "W msg": 1}
+        population = [t for t, w in weights.items() for _ in range(w)]
+        issued = []
+        for _ in range(count):
+            request_type = self._rng.choice(population)
+            self.request(request_type)
+            issued.append(request_type)
+        return issued
+
+
+def sensitive_field_count() -> int:
+    """Number of phpBB fields the paper's annotations protect (23)."""
+    return 23

@@ -1,0 +1,35 @@
+"""PHP-calendar workload -- §8's sixth application (people's schedules).
+
+Twelve of twenty-five columns are sensitive.  Two columns perform date
+manipulation in the WHERE clause that CryptDB cannot run over ciphertext
+(the paper's "needs plaintext" category for this application), and event
+descriptions are keyword-searched.
+"""
+
+from __future__ import annotations
+
+PHPCALENDAR_SCHEMA = [
+    "CREATE TABLE events (eid INT, cid INT, owner INT, subject VARCHAR(255), "
+    "description TEXT, startdate VARCHAR(20), enddate VARCHAR(20), starttime VARCHAR(8), "
+    "duration INT, typeofevent INT)",
+    "CREATE TABLE calendars (cid INT, title VARCHAR(100), owner INT, timezone VARCHAR(40))",
+    "CREATE TABLE occurrences (oid INT, eid INT, odate VARCHAR(20), otime VARCHAR(8))",
+]
+
+PHPCALENDAR_SENSITIVE = {
+    "events": ["subject", "description", "startdate", "starttime"],
+    "calendars": ["title"],
+}
+
+PHPCALENDAR_QUERIES = [
+    "SELECT subject, description FROM events WHERE eid = 9",
+    "SELECT eid, subject FROM events WHERE cid = 2 AND owner = 4",
+    "SELECT eid FROM events WHERE startdate >= '2011-10-01' AND startdate <= '2011-10-31'",
+    "SELECT title FROM calendars WHERE owner = 4",
+    "SELECT eid FROM events WHERE description LIKE '% standup %'",
+    "SELECT COUNT(*) FROM occurrences WHERE eid = 9",
+    "SELECT oid FROM occurrences WHERE eid = 9 ORDER BY odate",
+    # Date manipulation in WHERE: needs plaintext (as in the paper).
+    "SELECT eid FROM events WHERE SUBSTRING(startdate, 6, 2) = '10'",
+    "SELECT eid FROM events WHERE LOWER(subject) = 'meeting'",
+]

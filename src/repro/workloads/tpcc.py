@@ -1,0 +1,263 @@
+"""TPC-C workload: schema, data generator and the query mix of §8.4.1.
+
+The paper encrypts *all* columns of the TPC-C schema in single-principal mode
+(92 columns over 9 tables) and measures throughput/latency for the query
+types that dominate the mix: equality selects, equi-joins, range selects,
+SUM aggregates, deletes, inserts, and the two kinds of UPDATE (set to a
+constant, and increment).  This module produces the same schema, synthetic
+rows, and per-type query generators so the benchmarks can drive an
+unmodified :class:`~repro.sql.engine.Database`, the CryptDB proxy and the
+strawman identically through ``.execute(sql)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+TPCC_SCHEMA: dict[str, str] = {
+    "warehouse": (
+        "CREATE TABLE warehouse (w_id INT, w_name VARCHAR(10), w_street_1 VARCHAR(20), "
+        "w_street_2 VARCHAR(20), w_city VARCHAR(20), w_state VARCHAR(2), w_zip VARCHAR(9), "
+        "w_tax DECIMAL(4,4), w_ytd DECIMAL(12,2))"
+    ),
+    "district": (
+        "CREATE TABLE district (d_id INT, d_w_id INT, d_name VARCHAR(10), d_street_1 VARCHAR(20), "
+        "d_street_2 VARCHAR(20), d_city VARCHAR(20), d_state VARCHAR(2), d_zip VARCHAR(9), "
+        "d_tax DECIMAL(4,4), d_ytd DECIMAL(12,2), d_next_o_id INT)"
+    ),
+    "customer": (
+        "CREATE TABLE customer (c_id INT, c_d_id INT, c_w_id INT, c_first VARCHAR(16), "
+        "c_middle VARCHAR(2), c_last VARCHAR(16), c_street_1 VARCHAR(20), c_street_2 VARCHAR(20), "
+        "c_city VARCHAR(20), c_state VARCHAR(2), c_zip VARCHAR(9), c_phone VARCHAR(16), "
+        "c_since VARCHAR(20), c_credit VARCHAR(2), c_credit_lim DECIMAL(12,2), "
+        "c_discount DECIMAL(4,4), c_balance DECIMAL(12,2), c_ytd_payment DECIMAL(12,2), "
+        "c_payment_cnt INT, c_delivery_cnt INT, c_data VARCHAR(500))"
+    ),
+    "history": (
+        "CREATE TABLE history (h_c_id INT, h_c_d_id INT, h_c_w_id INT, h_d_id INT, h_w_id INT, "
+        "h_date VARCHAR(20), h_amount DECIMAL(6,2), h_data VARCHAR(24))"
+    ),
+    "orders": (
+        "CREATE TABLE orders (o_id INT, o_d_id INT, o_w_id INT, o_c_id INT, o_entry_d VARCHAR(20), "
+        "o_carrier_id INT, o_ol_cnt INT, o_all_local INT)"
+    ),
+    "new_orders": "CREATE TABLE new_orders (no_o_id INT, no_d_id INT, no_w_id INT)",
+    "order_line": (
+        "CREATE TABLE order_line (ol_o_id INT, ol_d_id INT, ol_w_id INT, ol_number INT, "
+        "ol_i_id INT, ol_supply_w_id INT, ol_delivery_d VARCHAR(20), ol_quantity INT, "
+        "ol_amount DECIMAL(6,2), ol_dist_info VARCHAR(24))"
+    ),
+    "item": (
+        "CREATE TABLE item (i_id INT, i_im_id INT, i_name VARCHAR(24), i_price DECIMAL(5,2), "
+        "i_data VARCHAR(50))"
+    ),
+    "stock": (
+        "CREATE TABLE stock (s_i_id INT, s_w_id INT, s_quantity INT, s_dist_01 VARCHAR(24), "
+        "s_dist_02 VARCHAR(24), s_ytd INT, s_order_cnt INT, s_remote_cnt INT, s_data VARCHAR(50))"
+    ),
+}
+
+#: Query types reported in Figures 11 and 12.
+QUERY_TYPES = (
+    "Equality", "Join", "Range", "Sum", "Delete", "Insert", "Upd. set", "Upd. inc",
+)
+
+_FIRST_NAMES = ["JAMES", "MARY", "JOHN", "LINDA", "ROBERT", "SUSAN", "DAVID", "KAREN"]
+_LAST_NAMES = ["BARBARBAR", "OUGHTPRES", "ABLEPRI", "PRICALLY", "ESEANTI", "CALLYCALLY"]
+
+
+def _quote(value: object) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+@dataclass
+class TPCCWorkload:
+    """Synthetic TPC-C data and query-mix generator.
+
+    The scale parameters are deliberately small so the pure-Python crypto
+    stays fast; they affect absolute numbers, not the shape of the figures.
+    """
+
+    warehouses: int = 1
+    districts_per_warehouse: int = 2
+    customers_per_district: int = 10
+    items: int = 20
+    orders_per_district: int = 10
+    seed: int = 42
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # schema / data loading
+    # ------------------------------------------------------------------
+    def schema_statements(self) -> list[str]:
+        """CREATE TABLE statements for the full 92-column TPC-C schema."""
+        return list(TPCC_SCHEMA.values())
+
+    def column_count(self) -> int:
+        """Number of columns across all tables (the paper's mix uses 92)."""
+        from repro.sql.parser import parse_sql
+
+        return sum(len(parse_sql(sql).columns) for sql in TPCC_SCHEMA.values())
+
+    def load_statements(self) -> list[str]:
+        """INSERT statements populating every table."""
+        rng = random.Random(self.seed)
+        statements: list[str] = []
+        for w_id in range(1, self.warehouses + 1):
+            statements.append(
+                "INSERT INTO warehouse (w_id, w_name, w_street_1, w_street_2, w_city, w_state, "
+                "w_zip, w_tax, w_ytd) VALUES "
+                f"({w_id}, 'W{w_id}', 'Street {w_id}', 'Suite 1', 'Cambridge', 'MA', "
+                f"'021390000', 0.05, 300000.0)"
+            )
+            for d_id in range(1, self.districts_per_warehouse + 1):
+                statements.append(
+                    "INSERT INTO district (d_id, d_w_id, d_name, d_street_1, d_street_2, d_city, "
+                    "d_state, d_zip, d_tax, d_ytd, d_next_o_id) VALUES "
+                    f"({d_id}, {w_id}, 'D{d_id}', 'Main St', 'Floor 2', 'Boston', 'MA', "
+                    f"'021420000', 0.08, 30000.0, {self.orders_per_district + 1})"
+                )
+                for c_id in range(1, self.customers_per_district + 1):
+                    first = rng.choice(_FIRST_NAMES)
+                    last = rng.choice(_LAST_NAMES)
+                    statements.append(
+                        "INSERT INTO customer (c_id, c_d_id, c_w_id, c_first, c_middle, c_last, "
+                        "c_street_1, c_street_2, c_city, c_state, c_zip, c_phone, c_since, "
+                        "c_credit, c_credit_lim, c_discount, c_balance, c_ytd_payment, "
+                        "c_payment_cnt, c_delivery_cnt, c_data) VALUES "
+                        f"({c_id}, {d_id}, {w_id}, '{first}', 'OE', '{last}', '1 Elm', '2 Oak', "
+                        f"'Cambridge', 'MA', '021390000', '555000{c_id:04d}', '2011-01-01', "
+                        f"'GC', 50000.0, 0.1, {rng.randint(-50, 500)}.0, 10.0, 1, 0, "
+                        f"'customer data {c_id}')"
+                    )
+                    statements.append(
+                        "INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date, "
+                        "h_amount, h_data) VALUES "
+                        f"({c_id}, {d_id}, {w_id}, {d_id}, {w_id}, '2011-01-02', 10.0, 'payment')"
+                    )
+                for o_id in range(1, self.orders_per_district + 1):
+                    c_id = rng.randint(1, self.customers_per_district)
+                    ol_cnt = rng.randint(2, 4)
+                    statements.append(
+                        "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d, o_carrier_id, "
+                        "o_ol_cnt, o_all_local) VALUES "
+                        f"({o_id}, {d_id}, {w_id}, {c_id}, '2011-02-0{1 + o_id % 9}', "
+                        f"{rng.randint(1, 10)}, {ol_cnt}, 1)"
+                    )
+                    if o_id > self.orders_per_district - 3:
+                        statements.append(
+                            "INSERT INTO new_orders (no_o_id, no_d_id, no_w_id) VALUES "
+                            f"({o_id}, {d_id}, {w_id})"
+                        )
+                    for number in range(1, ol_cnt + 1):
+                        i_id = rng.randint(1, self.items)
+                        statements.append(
+                            "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, "
+                            "ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, ol_dist_info) "
+                            "VALUES "
+                            f"({o_id}, {d_id}, {w_id}, {number}, {i_id}, {w_id}, '2011-02-10', "
+                            f"{rng.randint(1, 10)}, {rng.randint(1, 99)}.0, 'dist info')"
+                        )
+        for i_id in range(1, self.items + 1):
+            statements.append(
+                "INSERT INTO item (i_id, i_im_id, i_name, i_price, i_data) VALUES "
+                f"({i_id}, {i_id * 10}, 'item number {i_id}', {self._rng.randint(1, 100)}.0, "
+                f"'item data {i_id}')"
+            )
+            for w_id in range(1, self.warehouses + 1):
+                statements.append(
+                    "INSERT INTO stock (s_i_id, s_w_id, s_quantity, s_dist_01, s_dist_02, s_ytd, "
+                    "s_order_cnt, s_remote_cnt, s_data) VALUES "
+                    f"({i_id}, {w_id}, {self._rng.randint(10, 100)}, 'dist a', 'dist b', 0, 0, 0, "
+                    f"'stock data {i_id}')"
+                )
+        return statements
+
+    def load_into(self, target) -> int:
+        """Create the schema and load the data through any ``.execute`` target."""
+        count = 0
+        for statement in self.schema_statements():
+            target.execute(statement)
+            count += 1
+        for statement in self.load_statements():
+            target.execute(statement)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # query mix (Figures 11 and 12)
+    # ------------------------------------------------------------------
+    def query(self, query_type: str, rng: random.Random | None = None) -> str:
+        """One query of the given Figure-11 type with random parameters."""
+        rng = rng or self._rng
+        w_id = rng.randint(1, self.warehouses)
+        d_id = rng.randint(1, self.districts_per_warehouse)
+        c_id = rng.randint(1, self.customers_per_district)
+        o_id = rng.randint(1, self.orders_per_district)
+        i_id = rng.randint(1, self.items)
+        if query_type == "Equality":
+            return (
+                "SELECT c_first, c_last, c_balance FROM customer "
+                f"WHERE c_w_id = {w_id} AND c_d_id = {d_id} AND c_id = {c_id}"
+            )
+        if query_type == "Join":
+            return (
+                "SELECT c_last, o_id FROM customer JOIN orders ON c_id = o_c_id "
+                f"WHERE c_w_id = {w_id}"
+            )
+        if query_type == "Range":
+            return (
+                "SELECT o_id, o_carrier_id FROM orders "
+                f"WHERE o_d_id = {d_id} AND o_id < {o_id + 5} ORDER BY o_id DESC LIMIT 5"
+            )
+        if query_type == "Sum":
+            return (
+                "SELECT SUM(ol_amount) FROM order_line "
+                f"WHERE ol_o_id = {o_id} AND ol_d_id = {d_id}"
+            )
+        if query_type == "Delete":
+            return f"DELETE FROM new_orders WHERE no_o_id = {o_id} AND no_d_id = {d_id}"
+        if query_type == "Insert":
+            return (
+                "INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date, "
+                "h_amount, h_data) VALUES "
+                f"({c_id}, {d_id}, {w_id}, {d_id}, {w_id}, '2011-03-01', "
+                f"{rng.randint(1, 50)}.0, 'payment h')"
+            )
+        if query_type == "Upd. set":
+            return (
+                f"UPDATE customer SET c_credit = 'BC', c_data = 'updated data' "
+                f"WHERE c_w_id = {w_id} AND c_d_id = {d_id} AND c_id = {c_id}"
+            )
+        if query_type == "Upd. inc":
+            return (
+                f"UPDATE stock SET s_ytd = s_ytd + {rng.randint(1, 10)}, "
+                f"s_order_cnt = s_order_cnt + 1 WHERE s_i_id = {i_id} AND s_w_id = {w_id}"
+            )
+        raise ValueError(f"unknown TPC-C query type {query_type}")
+
+    def queries_of_type(self, query_type: str, count: int) -> list[str]:
+        rng = random.Random(self.seed + hash(query_type) % 1000)
+        return [self.query(query_type, rng) for _ in range(count)]
+
+    def mixed_queries(self, count: int) -> list[str]:
+        """A shuffled mix approximating the TPC-C transaction profile."""
+        weights = {
+            "Equality": 30, "Join": 8, "Range": 12, "Sum": 8,
+            "Delete": 6, "Insert": 14, "Upd. set": 10, "Upd. inc": 12,
+        }
+        rng = random.Random(self.seed)
+        population = [t for t, w in weights.items() for _ in range(w)]
+        return [self.query(rng.choice(population), rng) for _ in range(count)]
+
+    def training_queries(self) -> list[str]:
+        """One query of each type, used to pre-adjust onions (§3.5.2)."""
+        rng = random.Random(self.seed)
+        return [self.query(query_type, rng) for query_type in QUERY_TYPES]

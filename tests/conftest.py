@@ -1,0 +1,63 @@
+"""Shared fixtures: a session-wide Paillier key pair and proxy factories.
+
+Paillier key generation is the only expensive setup step, so a single
+512-bit key pair (fast, still exercising every code path) is shared by all
+tests; benchmarks use the paper's 1024-bit modulus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.proxy import CryptDBProxy
+from repro.crypto.keys import MasterKey
+from repro.crypto.paillier import PaillierKeyPair
+from repro.principals.multi_proxy import MultiPrincipalProxy
+from repro.sql.engine import Database
+
+
+@pytest.fixture(scope="session")
+def paillier_keypair() -> PaillierKeyPair:
+    return PaillierKeyPair.generate(512)
+
+
+@pytest.fixture()
+def database() -> Database:
+    return Database()
+
+
+@pytest.fixture()
+def make_proxy(paillier_keypair):
+    """Factory for CryptDB proxies sharing the session Paillier key pair."""
+
+    def factory(**kwargs) -> CryptDBProxy:
+        kwargs.setdefault("paillier", paillier_keypair)
+        kwargs.setdefault("master_key", MasterKey.from_passphrase("test-master-key"))
+        return CryptDBProxy(**kwargs)
+
+    return factory
+
+
+@pytest.fixture()
+def proxy(make_proxy) -> CryptDBProxy:
+    return make_proxy()
+
+
+@pytest.fixture()
+def multi_proxy(paillier_keypair) -> MultiPrincipalProxy:
+    mp = MultiPrincipalProxy.__new__(MultiPrincipalProxy)
+    # Build manually so the inner proxy reuses the session Paillier key pair.
+    from repro.principals.keychain import KeyChain
+
+    mp.db = Database()
+    mp.inner = CryptDBProxy(mp.db, master_key=MasterKey.from_passphrase("mp-test"),
+                            paillier=paillier_keypair)
+    mp.keychain = KeyChain(mp.db)
+    mp.schema = None
+    mp.logged_in = {}
+    mp._predicates = {}
+    from repro.sql.functions import FunctionRegistry
+
+    mp._predicate_functions = FunctionRegistry()
+    mp.lines_of_code_changed = 0
+    return mp

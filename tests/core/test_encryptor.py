@@ -1,0 +1,111 @@
+"""Value encoding and layered onion encryption."""
+
+import pytest
+
+from repro.core.encryptor import Encryptor
+from repro.core.joins import JoinManager
+from repro.core.onion import EncryptionScheme, Onion
+from repro.core.schema import ProxySchema
+from repro.crypto.keys import KeyManager, MasterKey
+from repro.crypto.rnd import RND
+from repro.errors import ProxyError
+from repro.sql.parser import parse_sql
+
+
+@pytest.fixture()
+def setup(paillier_keypair):
+    schema = ProxySchema()
+    create = parse_sql(
+        "CREATE TABLE t (n INT, s VARCHAR(50), txt TEXT, price DECIMAL(8,2))"
+    )
+    schema.add_table("t", create.columns)
+    master = MasterKey.from_passphrase("encryptor-test")
+    joins = JoinManager(master.material)
+    for name in ("n", "s", "txt", "price"):
+        joins.register_column("t", name)
+    encryptor = Encryptor(KeyManager(master), joins, paillier_keypair)
+    return schema, encryptor
+
+
+def test_row_encryption_produces_all_onions(setup):
+    schema, encryptor = setup
+    column = schema.column("t", "n")
+    cells = encryptor.encrypt_row_value(column, 42)
+    assert set(cells) == {"C1_Eq", "C1_Ord", "C1_Add", "C1_IV"}
+    assert isinstance(cells["C1_Eq"], bytes)
+    assert isinstance(cells["C1_Ord"], int)
+
+
+def test_row_encryption_null_passthrough(setup):
+    schema, encryptor = setup
+    cells = encryptor.encrypt_row_value(schema.column("t", "s"), None)
+    assert all(value is None for value in cells.values())
+
+
+def test_eq_onion_roundtrip_through_all_layers(setup):
+    schema, encryptor = setup
+    column = schema.column("t", "s")
+    iv = RND.generate_iv()
+    ciphertext = encryptor.encrypt_to_level(column, Onion.EQ, EncryptionScheme.RND, "hello", iv)
+    assert encryptor.decrypt_value(column, Onion.EQ, EncryptionScheme.RND, ciphertext, iv) == "hello"
+    det_ct = encryptor.encrypt_to_level(column, Onion.EQ, EncryptionScheme.DET, "hello", None)
+    assert encryptor.decrypt_value(column, Onion.EQ, EncryptionScheme.DET, det_ct) == "hello"
+    join_ct = encryptor.encrypt_to_level(column, Onion.EQ, EncryptionScheme.JOIN, "hello", None)
+    assert encryptor.decrypt_value(column, Onion.EQ, EncryptionScheme.JOIN, join_ct) == "hello"
+
+
+def test_det_constants_match_stored_values(setup):
+    schema, encryptor = setup
+    column = schema.column("t", "n")
+    stored = encryptor.encrypt_to_level(column, Onion.EQ, EncryptionScheme.DET, 7, None)
+    constant = encryptor.encrypt_constant(column, Onion.EQ, EncryptionScheme.DET, 7)
+    assert stored == constant
+    assert encryptor.encrypt_constant(column, Onion.EQ, EncryptionScheme.DET, 8) != constant
+
+
+def test_ord_onion_preserves_order(setup):
+    schema, encryptor = setup
+    column = schema.column("t", "n")
+    values = [-50, -1, 0, 3, 1000]
+    ciphertexts = [
+        encryptor.encrypt_constant(column, Onion.ORD, EncryptionScheme.OPE, v) for v in values
+    ]
+    assert ciphertexts == sorted(ciphertexts)
+    assert encryptor.decrypt_value(column, Onion.ORD, EncryptionScheme.OPE, ciphertexts[0]) == -50
+
+
+def test_decimal_encoding_roundtrip(setup):
+    schema, encryptor = setup
+    column = schema.column("t", "price")
+    iv = RND.generate_iv()
+    ciphertext = encryptor.encrypt_to_level(column, Onion.EQ, EncryptionScheme.RND, 19.99, iv)
+    assert encryptor.decrypt_value(column, Onion.EQ, EncryptionScheme.RND, ciphertext, iv) == 19.99
+    hom_ct = encryptor.encrypt_to_level(column, Onion.ADD, EncryptionScheme.HOM, 19.99)
+    assert encryptor.decrypt_value(column, Onion.ADD, EncryptionScheme.HOM, hom_ct) == 19.99
+
+
+def test_hom_handles_negative_values(setup):
+    schema, encryptor = setup
+    column = schema.column("t", "n")
+    ciphertext = encryptor.encrypt_to_level(column, Onion.ADD, EncryptionScheme.HOM, -25)
+    assert encryptor.decrypt_value(column, Onion.ADD, EncryptionScheme.HOM, ciphertext) == -25
+
+
+def test_search_tokens_match_search_onion(setup):
+    from repro.crypto.search import SEARCH, SearchCiphertext
+
+    schema, encryptor = setup
+    column = schema.column("t", "txt")
+    stored = encryptor.encrypt_to_level(
+        column, Onion.SEARCH, EncryptionScheme.SEARCH, "meeting notes about budget"
+    )
+    token = encryptor.search_token(column, "budget")
+    assert SEARCH.matches(SearchCiphertext.deserialize(stored), token)
+    assert not SEARCH.matches(SearchCiphertext.deserialize(stored), encryptor.search_token(column, "salary"))
+
+
+def test_constant_encryption_rejects_rnd_level(setup):
+    schema, encryptor = setup
+    column = schema.column("t", "n")
+    with pytest.raises(ProxyError):
+        encryptor.encrypt_constant(column, Onion.EQ, EncryptionScheme.RND, 5)

@@ -1,0 +1,81 @@
+"""JoinManager transitivity groups and the strawman baseline."""
+
+import pytest
+
+from repro.core.joins import JoinManager
+from repro.core.strawman import StrawmanProxy
+from repro.errors import UnsupportedQueryError
+
+
+def test_ensure_joinable_and_transitivity():
+    manager = JoinManager(b"join-test-master")
+    for column in [("a", "x"), ("b", "y"), ("c", "z"), ("d", "w")]:
+        manager.register_column(*column)
+    adjustments = manager.ensure_joinable(("a", "x"), ("b", "y"))
+    assert len(adjustments) == 1
+    assert manager.joinable(("a", "x"), ("b", "y"))
+    # Joining b-c merges c into the a/b group; a and c become joinable too (§3.4).
+    manager.ensure_joinable(("b", "y"), ("c", "z"))
+    assert manager.joinable(("a", "x"), ("c", "z"))
+    # d is in a different transitivity group.
+    assert not manager.joinable(("a", "x"), ("d", "w"))
+    assert len(manager.group_members("a", "x")) == 3
+
+
+def test_adjustment_count_bounded_by_n_squared():
+    manager = JoinManager(b"join-test-master")
+    columns = [("t", f"c{i}") for i in range(6)]
+    for column in columns:
+        manager.register_column(*column)
+    for left in columns:
+        for right in columns:
+            if left < right:
+                manager.ensure_joinable(left, right)
+    n = len(columns)
+    assert manager.adjustments_performed <= n * (n - 1) // 2
+    # After full merging, every pair is joinable with no further adjustments.
+    before = manager.adjustments_performed
+    manager.ensure_joinable(columns[0], columns[-1])
+    assert manager.adjustments_performed == before
+
+
+def test_repeated_joins_no_extra_adjustment():
+    manager = JoinManager(b"join-test-master")
+    manager.register_column("a", "x")
+    manager.register_column("b", "y")
+    manager.ensure_joinable(("a", "x"), ("b", "y"))
+    assert manager.ensure_joinable(("a", "x"), ("b", "y")) == []
+
+
+def test_strawman_basic_queries():
+    strawman = StrawmanProxy()
+    strawman.execute("CREATE TABLE t (a int, b varchar(10))")
+    strawman.execute("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y'), (3, 'x')")
+    assert strawman.execute("SELECT a FROM t WHERE b = 'x' ORDER BY a").rows == [(1,), (3,)]
+    assert strawman.execute("SELECT SUM(a) FROM t").scalar() == 6
+    assert strawman.execute("SELECT a, b FROM t WHERE a > 1 ORDER BY a").rows == [(2, "y"), (3, "x")]
+    strawman.execute("UPDATE t SET b = 'z' WHERE a = 1")
+    assert strawman.execute("SELECT b FROM t WHERE a = 1").rows == [("z",)]
+    strawman.execute("DELETE FROM t WHERE a = 2")
+    assert strawman.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+
+def test_strawman_stores_only_rnd_ciphertext():
+    strawman = StrawmanProxy()
+    strawman.execute("CREATE TABLE t (a int, b varchar(10))")
+    strawman.execute("INSERT INTO t (a, b) VALUES (1, 'secretvalue')")
+    table = strawman.db.table(strawman.schema.table("t").anon_name)
+    row = next(table.scan())[1]
+    ciphertexts = [v for v in row.values() if isinstance(v, bytes)]
+    assert ciphertexts and all(b"secretvalue" not in c for c in ciphertexts)
+    # Identical plaintexts produce different ciphertexts (probabilistic RND).
+    strawman.execute("INSERT INTO t (a, b) VALUES (1, 'secretvalue')")
+    rows = [r for _, r in table.scan()]
+    assert rows[0]["C2_data"] != rows[1]["C2_data"]
+
+
+def test_strawman_limits():
+    strawman = StrawmanProxy()
+    strawman.execute("CREATE TABLE t (a int)")
+    with pytest.raises(UnsupportedQueryError):
+        strawman.execute("UPDATE t SET a = a + 1")

@@ -1,0 +1,201 @@
+"""End-to-end behaviour of the single-principal CryptDB proxy."""
+
+import pytest
+
+from repro.core.onion import EncryptionScheme, Onion, SecurityLevel
+from repro.errors import UnsupportedQueryError
+
+
+@pytest.fixture()
+def loaded(make_proxy):
+    proxy = make_proxy()
+    proxy.execute("CREATE TABLE Employees (ID int, Name varchar(50), salary int, bio text)")
+    proxy.execute(
+        "INSERT INTO Employees (ID, Name, salary, bio) VALUES "
+        "(23, 'Alice', 70000, 'works on encrypted databases'), "
+        "(7, 'Bob', 50000, 'enjoys systems research'), "
+        "(9, 'Carol', 90000, 'writes compilers and databases')"
+    )
+    return proxy
+
+
+def test_equality_select(loaded):
+    assert loaded.execute("SELECT ID FROM Employees WHERE Name = 'Alice'").rows == [(23,)]
+    assert loaded.execute("SELECT COUNT(*) FROM Employees WHERE Name = 'Nobody'").scalar() == 0
+
+
+def test_range_and_order(loaded):
+    result = loaded.execute(
+        "SELECT Name FROM Employees WHERE salary > 60000 ORDER BY salary DESC"
+    )
+    assert result.rows == [("Carol",), ("Alice",)]
+    assert loaded.execute("SELECT MIN(salary), MAX(salary) FROM Employees").rows == [(50000, 90000)]
+
+
+def test_sum_and_avg_via_hom(loaded):
+    assert loaded.execute("SELECT SUM(salary) FROM Employees").scalar() == 210000
+    assert loaded.execute("SELECT AVG(salary) FROM Employees").scalar() == 70000
+
+
+def test_group_by_and_having(loaded):
+    loaded.execute("INSERT INTO Employees (ID, Name, salary, bio) VALUES (30, 'Alice', 10, 'x')")
+    result = loaded.execute(
+        "SELECT Name, COUNT(*) FROM Employees GROUP BY Name HAVING COUNT(*) > 1"
+    )
+    assert result.rows == [("Alice", 2)]
+
+
+def test_in_between_distinct(loaded):
+    assert loaded.execute("SELECT ID FROM Employees WHERE ID IN (7, 9) ORDER BY ID").rows == [(7,), (9,)]
+    assert loaded.execute(
+        "SELECT Name FROM Employees WHERE salary BETWEEN 60000 AND 80000"
+    ).rows == [("Alice",)]
+    assert len(loaded.execute("SELECT DISTINCT Name FROM Employees").rows) == 3
+
+
+def test_word_search_like(loaded):
+    result = loaded.execute("SELECT ID FROM Employees WHERE bio LIKE '% databases %'")
+    assert sorted(result.rows) == [(9,), (23,)]
+    result = loaded.execute("SELECT ID FROM Employees WHERE bio LIKE '%compilers%'")
+    assert result.rows == [(9,)]
+
+
+def test_update_set_and_increment(loaded):
+    loaded.execute("UPDATE Employees SET salary = 55000 WHERE Name = 'Bob'")
+    assert loaded.execute("SELECT salary FROM Employees WHERE Name = 'Bob'").rows == [(55000,)]
+    loaded.execute("UPDATE Employees SET salary = salary + 7 WHERE Name = 'Bob'")
+    assert loaded.execute("SELECT salary FROM Employees WHERE Name = 'Bob'").rows == [(55007,)]
+    assert loaded.execute("SELECT SUM(salary) FROM Employees").scalar() == 70000 + 55007 + 90000
+
+
+def test_delete_and_null_handling(loaded):
+    loaded.execute("INSERT INTO Employees (ID, Name, salary, bio) VALUES (40, 'Dan', NULL, NULL)")
+    assert loaded.execute("SELECT salary FROM Employees WHERE ID = 40").rows == [(None,)]
+    assert loaded.execute("SELECT ID FROM Employees WHERE salary IS NULL").rows == [(40,)]
+    loaded.execute("DELETE FROM Employees WHERE ID = 40")
+    assert loaded.execute("SELECT COUNT(*) FROM Employees").scalar() == 3
+
+
+def test_equi_join_with_adjustment(loaded):
+    loaded.execute("CREATE TABLE Dept (eid int, dname varchar(20))")
+    loaded.execute("INSERT INTO Dept (eid, dname) VALUES (23, 'sales'), (9, 'eng')")
+    before = loaded.joins.adjustments_performed
+    result = loaded.execute(
+        "SELECT Name, dname FROM Employees JOIN Dept ON ID = eid ORDER BY Name"
+    )
+    assert result.rows == [("Alice", "sales"), ("Carol", "eng")]
+    assert loaded.joins.adjustments_performed > before
+    # Second join between the same columns needs no further adjustment.
+    after = loaded.joins.adjustments_performed
+    loaded.execute("SELECT Name, dname FROM Employees JOIN Dept ON ID = eid")
+    assert loaded.joins.adjustments_performed == after
+
+
+def test_server_sees_only_anonymised_ciphertext(loaded):
+    assert loaded.db.table_names() == ["table1"]
+    table = loaded.db.table("table1")
+    column_names = [c.name for c in table.columns]
+    assert "Name" not in column_names and "salary" not in column_names
+    for _, row in table.scan():
+        for name, value in row.items():
+            if isinstance(value, bytes):
+                assert b"Alice" not in value and b"Carol" not in value
+
+
+def test_onion_levels_adjust_lazily(make_proxy):
+    proxy = make_proxy()
+    proxy.execute("CREATE TABLE t (a int, b int)")
+    proxy.execute("INSERT INTO t (a, b) VALUES (1, 2)")
+    assert proxy.onion_level("t", "a", Onion.EQ) == "RND"
+    proxy.execute("SELECT a FROM t WHERE a = 1")
+    assert proxy.onion_level("t", "a", Onion.EQ) == "DET"
+    assert proxy.onion_level("t", "b", Onion.EQ) == "RND"
+    proxy.execute("SELECT a FROM t WHERE b < 10")
+    assert proxy.onion_level("t", "b", Onion.ORD) == "OPE"
+    assert proxy.min_enc("t", "b") == SecurityLevel.OPE
+
+
+def test_minimum_layer_constraint_blocks_order_queries(make_proxy):
+    proxy = make_proxy()
+    proxy.create_table(
+        "CREATE TABLE cards (number varchar(20), holder varchar(50))",
+        minimum_levels={"number": SecurityLevel.DET},
+    )
+    proxy.execute("INSERT INTO cards (number, holder) VALUES ('4111111111111111', 'Alice')")
+    assert proxy.execute(
+        "SELECT holder FROM cards WHERE number = '4111111111111111'"
+    ).rows == [("Alice",)]
+    with pytest.raises(UnsupportedQueryError):
+        proxy.execute("SELECT holder FROM cards WHERE number < '5'")
+
+
+def test_plaintext_column_annotation(make_proxy):
+    proxy = make_proxy()
+    proxy.create_table(
+        "CREATE TABLE logs (id int, created varchar(20), details text)",
+        plaintext_columns=["created"],
+    )
+    proxy.execute("INSERT INTO logs (id, created, details) VALUES (1, '2011-10-01', 'x')")
+    table = proxy.db.table(proxy.schema.table("logs").anon_name)
+    row = next(table.scan())[1]
+    assert row["created"] == "2011-10-01"  # stored in plaintext by annotation
+    assert proxy.execute("SELECT details FROM logs WHERE created = '2011-10-01'").rows == [("x",)]
+
+
+def test_unsupported_queries_rejected(loaded):
+    with pytest.raises(UnsupportedQueryError):
+        loaded.execute("SELECT ID FROM Employees WHERE salary > ID * 2")
+    with pytest.raises(UnsupportedQueryError):
+        loaded.execute("SELECT ID FROM Employees WHERE LOWER(Name) = 'alice'")
+    with pytest.raises(UnsupportedQueryError):
+        loaded.execute("SELECT ID FROM Employees WHERE bio LIKE 'prefix%suffix%'")
+    assert loaded.stats.unsupported_queries >= 3
+
+
+def test_in_proxy_processing_keeps_ord_onion_at_rnd(make_proxy):
+    proxy = make_proxy(in_proxy_processing=True)
+    proxy.execute("CREATE TABLE t (a int, label varchar(10))")
+    proxy.execute("INSERT INTO t (a, label) VALUES (3, 'c'), (1, 'a'), (2, 'b')")
+    result = proxy.execute("SELECT a, label FROM t ORDER BY a")
+    assert [row[0] for row in result.rows] == [1, 2, 3]
+    # The Ord onion never left RND: sorting happened in the proxy (§3.5.1).
+    assert proxy.onion_level("t", "a", Onion.ORD) == "RND"
+
+
+def test_create_index_builds_onion_indexes(loaded):
+    loaded.execute("SELECT ID FROM Employees WHERE ID = 23")  # lower Eq to DET first
+    loaded.create_index("Employees", "ID")
+    anon_table = loaded.db.table("table1")
+    assert anon_table.indexes.columns()
+    assert loaded.execute("SELECT Name FROM Employees WHERE ID = 9").rows == [("Carol",)]
+
+
+def test_transactions_pass_through(loaded):
+    loaded.execute("BEGIN")
+    loaded.execute("DELETE FROM Employees WHERE Name = 'Bob'")
+    loaded.execute("ROLLBACK")
+    assert loaded.execute("SELECT COUNT(*) FROM Employees").scalar() == 3
+
+
+def test_training_mode_reports_levels_and_warnings(make_proxy):
+    proxy = make_proxy()
+    proxy.execute("CREATE TABLE visits (pid int, ts varchar(20), notes text)")
+    proxy.execute("INSERT INTO visits (pid, ts, notes) VALUES (1, '2011-01-01', 'checkup ok')")
+    report = proxy.train([
+        "SELECT notes FROM visits WHERE pid = 1",
+        "SELECT pid FROM visits ORDER BY ts",
+        "SELECT pid FROM visits WHERE LOWER(notes) = 'x'",
+    ])
+    assert report.column_report("visits", "pid").onion_levels["Eq"] == "DET"
+    assert report.column_report("visits", "ts").onion_levels["Ord"] == "OPE"
+    assert report.warnings  # the LOWER() query cannot run over ciphertext
+    # notes was only projected, so its weakest exposed onion is SEARCH.
+    assert report.column_report("visits", "notes").min_enc.name == "SEARCH"
+    assert report.summary()["DET"] >= 1
+
+
+def test_stats_and_storage(loaded):
+    assert loaded.stats.queries_processed > 0
+    assert loaded.storage_bytes() > 0
+    stats = loaded.cache.statistics()
+    assert stats.hom_precomputed_remaining >= 0

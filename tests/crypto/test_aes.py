@@ -1,0 +1,70 @@
+"""AES block cipher: FIPS-197 vectors, round trips, error handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES
+from repro.errors import CryptoError
+
+
+def test_fips197_aes128_vector():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    assert AES(key).encrypt_block(plaintext).hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+
+def test_fips197_aes192_vector():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    assert AES(key).encrypt_block(plaintext).hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+
+def test_fips197_aes256_vector():
+    key = bytes.fromhex(
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+    )
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    assert AES(key).encrypt_block(plaintext).hex() == "8ea2b7ca516745bfeafc49904b496089"
+
+
+def test_decrypt_inverts_encrypt():
+    cipher = AES(b"0123456789abcdef")
+    block = bytes(range(16))
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_rejects_bad_key_length():
+    with pytest.raises(CryptoError):
+        AES(b"short")
+
+
+def test_rejects_bad_block_length():
+    cipher = AES(b"0123456789abcdef")
+    with pytest.raises(CryptoError):
+        cipher.encrypt_block(b"too short")
+    with pytest.raises(CryptoError):
+        cipher.decrypt_block(b"x" * 17)
+
+
+def test_different_keys_give_different_ciphertexts():
+    block = b"A" * 16
+    assert AES(b"k" * 16).encrypt_block(block) != AES(b"j" * 16).encrypt_block(block)
+
+
+@settings(max_examples=30, deadline=None)
+@given(key=st.binary(min_size=16, max_size=16), block=st.binary(min_size=16, max_size=16))
+def test_roundtrip_property(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=20, deadline=None)
+@given(block=st.binary(min_size=16, max_size=16))
+def test_encryption_is_a_permutation(block):
+    cipher = AES(b"fixedfixedfixed!")
+    encrypted = cipher.encrypt_block(block)
+    assert len(encrypted) == 16
+    # A permutation never maps two distinct inputs to the same output; check
+    # the contrapositive on a perturbed block.
+    perturbed = bytes([block[0] ^ 1]) + block[1:]
+    assert cipher.encrypt_block(perturbed) != encrypted

@@ -1,0 +1,85 @@
+"""Elliptic-curve group and the JOIN / JOIN-ADJ adjustable join."""
+
+import pytest
+
+from repro.crypto import ecc
+from repro.crypto.join_adj import JOIN, JoinAdj, JoinCiphertext, adjust, derive_scalar
+from repro.errors import CryptoError
+
+MASTER = b"join-master-key!"
+
+
+def test_generator_is_on_curve():
+    assert ecc.is_on_curve(ecc.GENERATOR)
+
+
+def test_point_addition_and_doubling_stay_on_curve():
+    doubled = ecc.point_add(ecc.GENERATOR, ecc.GENERATOR)
+    tripled = ecc.point_add(doubled, ecc.GENERATOR)
+    assert ecc.is_on_curve(doubled) and ecc.is_on_curve(tripled)
+    assert doubled != tripled
+
+
+def test_scalar_multiplication_matches_repeated_addition():
+    by_addition = ecc.INFINITY
+    for _ in range(7):
+        by_addition = ecc.point_add(by_addition, ecc.GENERATOR)
+    assert ecc.scalar_multiply(7, ecc.GENERATOR) == by_addition
+
+
+def test_group_order():
+    assert ecc.scalar_multiply(ecc.ORDER, ecc.GENERATOR) == ecc.INFINITY
+    assert ecc.scalar_multiply(0, ecc.GENERATOR) == ecc.INFINITY
+
+
+def test_point_serialization_roundtrip():
+    point = ecc.scalar_multiply(123456789, ecc.GENERATOR)
+    assert ecc.Point.deserialize(point.serialize()) == point
+    with pytest.raises(CryptoError):
+        ecc.Point.deserialize(b"\x04" + b"\x00" * 48)
+
+
+def test_join_adj_deterministic_per_column():
+    adj = JoinAdj.for_column(MASTER, "t1", "a")
+    assert adj.hash_value(b"42") == adj.hash_value(b"42")
+    assert adj.hash_value(b"42") != adj.hash_value(b"43")
+
+
+def test_join_adj_columns_not_joinable_without_adjustment():
+    a = JoinAdj.for_column(MASTER, "t1", "a")
+    b = JoinAdj.for_column(MASTER, "t2", "b")
+    assert a.hash_value(b"42") != b.hash_value(b"42")
+
+
+def test_join_adjustment_aligns_columns():
+    a = JoinAdj.for_column(MASTER, "t1", "a")
+    b = JoinAdj.for_column(MASTER, "t2", "b")
+    delta = b.delta_to(a)
+    assert adjust(b.hash_value(b"42"), delta) == a.hash_value(b"42")
+    assert adjust(b.hash_value(b"other"), delta) == a.hash_value(b"other")
+    # Non-equal values still do not collide after adjustment.
+    assert adjust(b.hash_value(b"42"), delta) != a.hash_value(b"43")
+
+
+def test_join_adjustment_is_transitive():
+    a = JoinAdj.for_column(MASTER, "t1", "a")
+    b = JoinAdj.for_column(MASTER, "t2", "b")
+    c = JoinAdj.for_column(MASTER, "t3", "c")
+    to_a_from_b = b.delta_to(a)
+    to_a_from_c = c.delta_to(a)
+    assert adjust(b.hash_value(b"v"), to_a_from_b) == adjust(c.hash_value(b"v"), to_a_from_c)
+
+
+def test_full_join_scheme_roundtrip():
+    scheme = JOIN(MASTER, "t1", "a")
+    ciphertext = scheme.encrypt(b"hello")
+    assert scheme.decrypt(ciphertext) == b"hello"
+    restored = JoinCiphertext.deserialize(ciphertext.serialize())
+    assert restored == ciphertext
+    with pytest.raises(CryptoError):
+        JoinCiphertext.deserialize(b"short")
+
+
+def test_derive_scalar_in_group_range():
+    scalar = derive_scalar(MASTER, "t", "c")
+    assert 1 <= scalar < ecc.ORDER

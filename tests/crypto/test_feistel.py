@@ -1,0 +1,60 @@
+"""The 64-bit Feistel PRP standing in for Blowfish."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.feistel import FeistelPRP
+from repro.errors import CryptoError
+
+
+def test_roundtrip_bytes():
+    prp = FeistelPRP(b"key material")
+    block = b"8 bytes!"
+    assert prp.decrypt_block(prp.encrypt_block(block)) == block
+
+
+def test_roundtrip_int():
+    prp = FeistelPRP(b"key material")
+    for value in (0, 1, 2**32, 2**64 - 1):
+        assert prp.decrypt_int(prp.encrypt_int(value)) == value
+
+
+def test_is_deterministic():
+    prp = FeistelPRP(b"key material")
+    assert prp.encrypt_int(42) == prp.encrypt_int(42)
+
+
+def test_different_keys_differ():
+    assert FeistelPRP(b"key-a").encrypt_int(42) != FeistelPRP(b"key-b").encrypt_int(42)
+
+
+def test_is_injective_on_sample():
+    prp = FeistelPRP(b"key material")
+    outputs = {prp.encrypt_int(v) for v in range(500)}
+    assert len(outputs) == 500
+
+
+def test_configurable_block_size():
+    prp = FeistelPRP(b"key", block_size=16)
+    block = bytes(range(16))
+    assert prp.decrypt_block(prp.encrypt_block(block)) == block
+
+
+def test_rejects_invalid_parameters():
+    with pytest.raises(CryptoError):
+        FeistelPRP(b"")
+    with pytest.raises(CryptoError):
+        FeistelPRP(b"k", block_size=3)
+    with pytest.raises(CryptoError):
+        FeistelPRP(b"k", rounds=2)
+    with pytest.raises(CryptoError):
+        FeistelPRP(b"k").encrypt_int(2**64)
+    with pytest.raises(CryptoError):
+        FeistelPRP(b"k").encrypt_block(b"wrong size")
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=st.integers(min_value=0, max_value=2**64 - 1), key=st.binary(min_size=1, max_size=32))
+def test_roundtrip_property(value, key):
+    prp = FeistelPRP(key)
+    assert prp.decrypt_int(prp.encrypt_int(value)) == value

@@ -1,0 +1,65 @@
+"""Hypergeometric sampler: support bounds, determinism, degenerate cases."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hgd import hypergeometric_sample
+from repro.crypto.prf import DeterministicStream
+from repro.errors import CryptoError
+
+
+def _coins(label: bytes = b"x") -> DeterministicStream:
+    return DeterministicStream(b"hgd-test-key", label)
+
+
+def test_degenerate_cases():
+    assert hypergeometric_sample(0, 10, 10, _coins()) == 0
+    assert hypergeometric_sample(5, 0, 10, _coins()) == 0
+    assert hypergeometric_sample(10, 10, 0, _coins()) == 10
+    assert hypergeometric_sample(20, 10, 10, _coins()) == 10
+
+
+def test_determinism():
+    assert hypergeometric_sample(50, 30, 70, _coins(b"a")) == hypergeometric_sample(
+        50, 30, 70, _coins(b"a")
+    )
+
+
+def test_rejects_invalid_parameters():
+    with pytest.raises(CryptoError):
+        hypergeometric_sample(-1, 5, 5, _coins())
+    with pytest.raises(CryptoError):
+        hypergeometric_sample(30, 10, 10, _coins())
+
+
+def test_large_parameters_use_normal_approximation():
+    draws = 2**40
+    good = 2**20
+    bad = 2**41 - 2**20 - draws + 2**40  # keep total >= draws
+    value = hypergeometric_sample(draws, good, bad, _coins(b"large"))
+    assert max(0, draws - bad) <= value <= min(draws, good)
+
+
+def test_mean_is_plausible():
+    """The sample mean should sit near draws * good / total."""
+    draws, good, bad = 200, 100, 100
+    samples = [
+        hypergeometric_sample(draws, good, bad, _coins(str(i).encode())) for i in range(200)
+    ]
+    mean = sum(samples) / len(samples)
+    assert 90 < mean < 110
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    draws=st.integers(min_value=0, max_value=10_000),
+    good=st.integers(min_value=0, max_value=10_000),
+    bad=st.integers(min_value=0, max_value=10_000),
+    label=st.binary(min_size=1, max_size=8),
+)
+def test_support_bounds_property(draws, good, bad, label):
+    total = good + bad
+    if draws > total:
+        draws = total
+    value = hypergeometric_sample(draws, good, bad, _coins(label))
+    assert max(0, draws - bad) <= value <= min(draws, good)

@@ -1,0 +1,102 @@
+"""OPE: order preservation, round trips, determinism, caching."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ope import OPE
+from repro.errors import CryptoError
+
+KEY = b"ope-key-16-bytes"
+
+
+@pytest.fixture(scope="module")
+def small_ope():
+    return OPE(KEY, plaintext_bits=16, ciphertext_bits=32)
+
+
+def test_order_preservation_on_sorted_sample(small_ope):
+    values = [0, 1, 5, 17, 100, 1000, 30000, 65535]
+    ciphertexts = [small_ope.encrypt(v) for v in values]
+    assert ciphertexts == sorted(ciphertexts)
+    assert len(set(ciphertexts)) == len(ciphertexts)
+
+
+def test_roundtrip(small_ope):
+    for value in (0, 1, 12345, 65535):
+        assert small_ope.decrypt(small_ope.encrypt(value)) == value
+
+
+def test_determinism_across_instances():
+    a = OPE(KEY, plaintext_bits=16, ciphertext_bits=32)
+    b = OPE(KEY, plaintext_bits=16, ciphertext_bits=32)
+    assert [a.encrypt(v) for v in (3, 999, 40000)] == [b.encrypt(v) for v in (3, 999, 40000)]
+
+
+def test_different_keys_differ():
+    a = OPE(b"key-a" * 4, plaintext_bits=16, ciphertext_bits=32)
+    b = OPE(b"key-b" * 4, plaintext_bits=16, ciphertext_bits=32)
+    assert [a.encrypt(v) for v in range(10)] != [b.encrypt(v) for v in range(10)]
+
+
+def test_default_32_to_64_bit_parameters():
+    ope = OPE(KEY)
+    values = [0, 7, 2**16, 2**31, 2**32 - 1]
+    ciphertexts = [ope.encrypt(v) for v in values]
+    assert ciphertexts == sorted(ciphertexts)
+    assert all(ope.decrypt(c) == v for v, c in zip(values, ciphertexts))
+
+
+def test_cache_behaviour():
+    ope = OPE(KEY, plaintext_bits=16, ciphertext_bits=32, cache=True)
+    ope.encrypt(42)
+    assert ope.cache_size == 1
+    ope.encrypt(42)
+    assert ope.cache_size == 1
+    ope.clear_cache()
+    assert ope.cache_size == 0
+    uncached = OPE(KEY, plaintext_bits=16, ciphertext_bits=32, cache=False)
+    uncached.encrypt(42)
+    assert uncached.cache_size == 0
+
+
+def test_batch_encryption_preserves_order():
+    ope = OPE(KEY, plaintext_bits=16, ciphertext_bits=32)
+    values = list(range(0, 2000, 37))
+    assert ope.encrypt_batch(values) == sorted(ope.encrypt_batch(values))
+
+
+def test_rejects_out_of_range_inputs(small_ope):
+    with pytest.raises(CryptoError):
+        small_ope.encrypt(-1)
+    with pytest.raises(CryptoError):
+        small_ope.encrypt(1 << 16)
+    with pytest.raises(CryptoError):
+        small_ope.decrypt(1 << 32)
+    with pytest.raises(CryptoError):
+        OPE(KEY, plaintext_bits=32, ciphertext_bits=32)
+
+
+def test_invalid_ciphertext_detected(small_ope):
+    ciphertext = small_ope.encrypt(500)
+    # A ciphertext that is not the image of any plaintext should be rejected.
+    with pytest.raises(CryptoError):
+        for candidate in range(ciphertext + 1, ciphertext + 50):
+            fresh = OPE(KEY, plaintext_bits=16, ciphertext_bits=32)
+            fresh.decrypt(candidate)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=65535), min_size=2, max_size=20, unique=True))
+def test_order_preservation_property(values):
+    ope = OPE(KEY, plaintext_bits=16, ciphertext_bits=32)
+    ciphertexts = {v: ope.encrypt(v) for v in values}
+    ordered = sorted(values)
+    for smaller, larger in zip(ordered, ordered[1:]):
+        assert ciphertexts[smaller] < ciphertexts[larger]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=65535))
+def test_roundtrip_property(value):
+    ope = OPE(KEY, plaintext_bits=16, ciphertext_bits=32)
+    assert ope.decrypt(ope.encrypt(value)) == value

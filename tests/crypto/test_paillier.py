@@ -1,0 +1,84 @@
+"""Paillier (HOM): round trips, additive homomorphism, randomness pool."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.numbers import generate_prime, is_probable_prime, modinv
+from repro.crypto.paillier import Paillier, PaillierKeyPair
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return PaillierKeyPair.generate(512)
+
+
+def test_roundtrip(keypair):
+    for value in (0, 1, 12345, 2**40):
+        assert keypair.decrypt(keypair.encrypt(value)) == value
+
+
+def test_encryption_is_probabilistic(keypair):
+    assert keypair.encrypt(77) != keypair.encrypt(77)
+
+
+def test_homomorphic_addition(keypair):
+    hom = Paillier(keypair.public)
+    ciphertext = hom.add(keypair.encrypt(1234), keypair.encrypt(4321))
+    assert keypair.decrypt(ciphertext) == 5555
+
+
+def test_add_plain_constant(keypair):
+    hom = Paillier(keypair.public)
+    assert keypair.decrypt(hom.add_plain(keypair.encrypt(100), 23)) == 123
+
+
+def test_sum_aggregate(keypair):
+    hom = Paillier(keypair.public)
+    values = [3, 14, 159, 2653]
+    total = hom.sum([keypair.encrypt(v) for v in values])
+    assert keypair.decrypt(total) == sum(values)
+
+
+def test_sum_of_nothing_is_zero(keypair):
+    hom = Paillier(keypair.public)
+    assert keypair.decrypt(hom.sum([])) == 0
+
+
+def test_randomness_pool(keypair):
+    keypair.precompute_randomness(3)
+    assert keypair.randomness_pool_size >= 3
+    before = keypair.randomness_pool_size
+    keypair.encrypt(5)
+    assert keypair.randomness_pool_size == before - 1
+
+
+def test_rejects_out_of_range(keypair):
+    with pytest.raises(CryptoError):
+        keypair.encrypt(-1)
+    with pytest.raises(CryptoError):
+        keypair.encrypt(keypair.public.n)
+    with pytest.raises(CryptoError):
+        keypair.decrypt(keypair.public.n_squared)
+
+
+def test_key_generation_rejects_tiny_keys():
+    with pytest.raises(CryptoError):
+        PaillierKeyPair.generate(32)
+
+
+def test_number_theory_helpers():
+    assert is_probable_prime(2) and is_probable_prime(97) and not is_probable_prime(1)
+    assert not is_probable_prime(561)  # Carmichael number
+    prime = generate_prime(64)
+    assert prime.bit_length() == 64 and is_probable_prime(prime)
+    assert (modinv(3, 11) * 3) % 11 == 1
+    with pytest.raises(CryptoError):
+        modinv(6, 9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=st.integers(min_value=0, max_value=2**30), b=st.integers(min_value=0, max_value=2**30))
+def test_homomorphism_property(keypair, a, b):
+    hom = Paillier(keypair.public)
+    assert keypair.decrypt(hom.add(keypair.encrypt(a), keypair.encrypt(b))) == a + b

@@ -1,0 +1,73 @@
+"""SEARCH (Song-Wagner-Perrig word search)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.search import SEARCH, SearchCiphertext, extract_keywords
+from repro.errors import CryptoError
+
+KEY = b"search-key-bytes"
+
+
+def test_keyword_extraction():
+    assert extract_keywords("Hello, world! hello again.") == ["hello", "world", "hello", "again"]
+    assert extract_keywords("") == []
+
+
+def test_match_and_no_match():
+    scheme = SEARCH(KEY)
+    ciphertext = scheme.encrypt("the quick brown fox jumps")
+    assert SEARCH.matches(ciphertext, scheme.token("fox"))
+    assert SEARCH.matches(ciphertext, scheme.token("QUICK"))
+    assert not SEARCH.matches(ciphertext, scheme.token("dog"))
+
+
+def test_duplicates_removed_by_default():
+    scheme = SEARCH(KEY)
+    ciphertext = scheme.encrypt("spam spam spam eggs")
+    assert len(ciphertext.words) == 2
+
+
+def test_duplicates_kept_when_requested():
+    scheme = SEARCH(KEY, keep_duplicates=True)
+    ciphertext = scheme.encrypt("spam spam spam eggs")
+    assert len(ciphertext.words) == 4
+
+
+def test_word_ciphertexts_are_randomised():
+    scheme = SEARCH(KEY)
+    assert scheme.encrypt_word("alice") != scheme.encrypt_word("alice")
+    # ...yet both match the same token.
+    token = scheme.token("alice")
+    ciphertext = SearchCiphertext((scheme.encrypt_word("alice"), scheme.encrypt_word("bob")))
+    assert SEARCH.matches(ciphertext, token)
+
+
+def test_serialization_roundtrip():
+    scheme = SEARCH(KEY)
+    ciphertext = scheme.encrypt("confidential business plan")
+    restored = SearchCiphertext.deserialize(ciphertext.serialize())
+    assert SEARCH.matches(restored, scheme.token("business"))
+    with pytest.raises(CryptoError):
+        SearchCiphertext.deserialize(b"x" * 7)
+
+
+def test_tokens_are_key_specific():
+    ciphertext = SEARCH(KEY).encrypt("alpha beta gamma")
+    other = SEARCH(b"another-key-0000")
+    assert not SEARCH.matches(ciphertext, other.token("alpha"))
+
+
+def test_ciphertext_does_not_contain_plaintext():
+    scheme = SEARCH(KEY)
+    data = scheme.encrypt("topsecret keyword").serialize()
+    assert b"topsecret" not in data
+
+
+@settings(max_examples=25, deadline=None)
+@given(words=st.lists(st.text(alphabet="abcdefghij", min_size=1, max_size=8), min_size=1, max_size=8))
+def test_every_indexed_word_matches_property(words):
+    scheme = SEARCH(KEY)
+    ciphertext = scheme.encrypt(" ".join(words))
+    for word in words:
+        assert SEARCH.matches(ciphertext, scheme.token(word))

@@ -1,0 +1,80 @@
+"""The PRINCTYPE / ENC FOR / SPEAKS FOR annotation parser."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.principals.annotations import parse_annotated_schema
+from repro.workloads.gradapply import GRADAPPLY_ANNOTATED_SCHEMA
+from repro.workloads.hotcrp import HOTCRP_ANNOTATED_SCHEMA
+from repro.workloads.phpbb import PHPBB_ANNOTATED_SCHEMA
+
+
+def test_parse_phpbb_figure4_schema():
+    schema = parse_annotated_schema(PHPBB_ANNOTATED_SCHEMA)
+    assert schema.principal_types["physical_user"].external
+    assert not schema.principal_types["msg"].external
+    enc_columns = {(a.table, a.column) for a in schema.enc_for}
+    assert ("privmsgs", "msgtext") in enc_columns and ("posts", "post_text") in enc_columns
+    rules = schema.speaks_for_on("privmsgs_to")
+    assert {r.subject for r in rules} == {"sender_id", "rcpt_id"}
+    assert all(r.object_type == "msg" for r in rules)
+
+
+def test_conditional_speaks_for_predicates():
+    schema = parse_annotated_schema(PHPBB_ANNOTATED_SCHEMA)
+    acl_rules = schema.speaks_for_on("aclgroups")
+    predicates = {r.predicate for r in acl_rules}
+    assert "optionid=20" in predicates and "optionid=14" in predicates
+
+
+def test_hotcrp_external_table_reference_and_function_predicate():
+    schema = parse_annotated_schema(HOTCRP_ANNOTATED_SCHEMA)
+    review_rules = schema.speaks_for_on("PaperReview")
+    assert len(review_rules) == 1
+    rule = review_rules[0]
+    assert rule.subject == "PCMember.contactId" and rule.subject_is_external_reference
+    assert rule.predicate.startswith("NoConflict")
+
+
+def test_clean_sql_has_no_annotations():
+    schema = parse_annotated_schema(PHPBB_ANNOTATED_SCHEMA)
+    for create in schema.create_statements:
+        upper = create.upper()
+        assert "ENC" not in upper.replace("ENCRYPT", "") or "ENC_FOR" not in upper
+        assert "SPEAKS" not in upper
+        assert "PRINCTYPE" not in upper
+
+
+def test_annotation_counts_figure8_style():
+    for text, min_total, min_unique in [
+        (PHPBB_ANNOTATED_SCHEMA, 10, 8),
+        (HOTCRP_ANNOTATED_SCHEMA, 6, 5),
+        (GRADAPPLY_ANNOTATED_SCHEMA, 12, 9),
+    ]:
+        schema = parse_annotated_schema(text)
+        assert schema.annotation_count >= min_total
+        assert schema.unique_annotation_count >= min_unique
+        assert schema.unique_annotation_count <= schema.annotation_count
+
+
+def test_sensitive_fields_listed():
+    schema = parse_annotated_schema(GRADAPPLY_ANNOTATED_SCHEMA)
+    assert ("candidates", "gpa") in schema.sensitive_fields()
+    assert ("letters", "letter_text") in schema.sensitive_fields()
+
+
+def test_undeclared_principal_type_rejected():
+    with pytest.raises(PolicyError):
+        parse_annotated_schema(
+            "CREATE TABLE t (a int, b int ENC_FOR (a ghost));"
+        )
+
+
+def test_accepts_spaces_in_keywords():
+    schema = parse_annotated_schema(
+        "PRINCTYPE u EXTERNAL;\nPRINCTYPE box;\n"
+        "CREATE TABLE t (a int, secret text ENC FOR (a box), "
+        "(a u) SPEAKS FOR (a box));"
+    )
+    assert len(schema.enc_for) == 1
+    assert len(schema.speaks_for) == 1

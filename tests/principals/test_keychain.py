@@ -1,0 +1,111 @@
+"""Key chaining: principals, delegation, revocation, offline delivery."""
+
+import pytest
+
+from repro.errors import AccessDeniedError
+from repro.principals import pubkey
+from repro.principals.keychain import KeyChain, Principal
+from repro.sql.engine import Database
+
+
+@pytest.fixture()
+def chain():
+    return KeyChain(Database())
+
+
+def test_pubkey_kem_roundtrip_and_tamper_detection():
+    pair = pubkey.KeyPair.generate()
+    payload = b"principal key material"
+    ciphertext = pubkey.encrypt(pair.public, payload)
+    assert pubkey.decrypt(pair.private, ciphertext) == payload
+    tampered = ciphertext[:-1] + bytes([ciphertext[-1] ^ 1])
+    with pytest.raises(Exception):
+        pubkey.decrypt(pair.private, tampered)
+
+
+def test_symmetric_wrap_roundtrip():
+    wrapped = pubkey.symmetric_wrap(b"k" * 16, b"payload")
+    assert pubkey.symmetric_unwrap(b"k" * 16, wrapped) == b"payload"
+    with pytest.raises(Exception):
+        pubkey.symmetric_unwrap(b"j" * 16, wrapped)
+
+
+def test_external_principal_login_logout(chain):
+    chain.register_external("physical_user", "alice", "pw")
+    chain.forget_session_keys()
+    with pytest.raises(AccessDeniedError):
+        chain.get_key(Principal("physical_user", "alice"))
+    chain.login("physical_user", "alice", "pw")
+    assert chain.get_key(Principal("physical_user", "alice"))
+    chain.logout("physical_user", "alice")
+    with pytest.raises(AccessDeniedError):
+        chain.get_key(Principal("physical_user", "alice"))
+
+
+def test_wrong_password_fails(chain):
+    chain.register_external("physical_user", "alice", "pw")
+    chain.forget_session_keys()
+    with pytest.raises(Exception):
+        chain.login("physical_user", "alice", "wrong")
+
+
+def test_delegation_chain_across_levels(chain):
+    """user -> group -> forum key chain, resolved only from a logged-in user."""
+    chain.register_external("physical_user", "alice", "pw")
+    alice = Principal("physical_user", "alice")
+    user1 = Principal("user", "1")
+    group = Principal("group", "g")
+    forum = Principal("forum", "f")
+    for principal in (user1, group, forum):
+        chain.create_principal(principal)
+    chain.delegate(alice, user1)
+    chain.delegate(user1, group)
+    chain.delegate(group, forum)
+    forum_key = chain.get_key(forum)
+    chain.forget_session_keys()
+    with pytest.raises(AccessDeniedError):
+        chain.get_key(forum)
+    chain.login("physical_user", "alice", "pw")
+    assert chain.get_key(forum) == forum_key
+
+
+def test_delegation_to_offline_principal_uses_public_key(chain):
+    """Bob sends a message to Alice while Alice is offline (§4.2)."""
+    chain.register_external("physical_user", "alice", "alicepw")
+    chain.register_external("physical_user", "bob", "bobpw")
+    alice = Principal("physical_user", "alice")
+    message = Principal("msg", "5")
+    chain.forget_session_keys()
+    # Only Bob is online; the message key must still become accessible to Alice.
+    chain.login("physical_user", "bob", "bobpw")
+    chain.create_principal(message)
+    chain.delegate(alice, message)
+    message_key = chain.get_key(message)
+    chain.forget_session_keys()
+    chain.login("physical_user", "alice", "alicepw")
+    assert chain.get_key(message) == message_key
+
+
+def test_revocation_removes_access(chain):
+    chain.register_external("physical_user", "alice", "pw")
+    alice = Principal("physical_user", "alice")
+    doc = Principal("doc", "1")
+    chain.create_principal(doc)
+    chain.delegate(alice, doc)
+    assert chain.revoke(alice, doc) == 1
+    chain.forget_session_keys()
+    chain.login("physical_user", "alice", "pw")
+    assert not chain.can_access(doc)
+
+
+def test_keys_stored_in_dbms_are_wrapped(chain):
+    chain.register_external("physical_user", "alice", "pw")
+    doc = Principal("doc", "1")
+    chain.create_principal(doc)
+    doc_key = chain.get_key(doc)
+    chain.delegate(Principal("physical_user", "alice"), doc)
+    for table in ("cryptdb_access_keys", "cryptdb_external_keys", "cryptdb_public_keys"):
+        for _, row in chain.db.table(table).scan():
+            for value in row.values():
+                if isinstance(value, bytes):
+                    assert doc_key not in value

@@ -1,0 +1,112 @@
+"""Multi-principal proxy: phpBB private messages and the HotCRP policy."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, UnsupportedQueryError
+from repro.workloads.hotcrp import HotCRPApplication
+
+PRIVMSG_SCHEMA = """
+PRINCTYPE physical_user EXTERNAL;
+PRINCTYPE user, msg;
+CREATE TABLE privmsgs (
+  msgid int,
+  subject varchar(255) ENC_FOR (msgid msg),
+  msgtext text ENC_FOR (msgid msg) );
+CREATE TABLE privmsgs_to (
+  msgid int, rcpt_id int, sender_id int,
+  (sender_id user) SPEAKS_FOR (msgid msg),
+  (rcpt_id user) SPEAKS_FOR (msgid msg) );
+CREATE TABLE users (
+  userid int, username varchar(255),
+  (username physical_user) SPEAKS_FOR (userid user) );
+"""
+
+
+@pytest.fixture()
+def forum(multi_proxy):
+    proxy = multi_proxy
+    proxy.load_schema(PRIVMSG_SCHEMA)
+    proxy.login("alice", "alicepw")
+    proxy.login("bob", "bobpw")
+    proxy.execute("INSERT INTO users (userid, username) VALUES (1, 'alice'), (2, 'bob')")
+    proxy.execute(
+        "INSERT INTO privmsgs (msgid, subject, msgtext) VALUES "
+        "(5, 'hello', 'secret message for alice')"
+    )
+    proxy.execute("INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES (5, 1, 2)")
+    return proxy
+
+
+def test_recipient_and_sender_can_read(forum):
+    result = forum.execute("SELECT subject, msgtext FROM privmsgs WHERE msgid = 5")
+    assert result.rows == [("hello", "secret message for alice")]
+
+
+def test_data_encrypted_on_server(forum):
+    anon_table = forum.inner.schema.table("privmsgs").anon_name
+    for _, row in forum.db.table(anon_table).scan():
+        for value in row.values():
+            if isinstance(value, bytes):
+                assert b"secret message" not in value
+
+
+def test_logged_out_users_protected_after_compromise(forum):
+    forum.logout("alice")
+    forum.logout("bob")
+    forum.end_session()
+    report = forum.compromise_report("privmsgs", "msgtext")
+    assert report == {"readable": 0, "total": 1}
+    with pytest.raises(AccessDeniedError):
+        forum.execute("SELECT msgtext FROM privmsgs WHERE msgid = 5")
+
+
+def test_logged_in_user_data_exposed_during_compromise(forum):
+    forum.logout("bob")
+    forum.end_session()
+    # Alice is still logged in: her chain (and only hers) is available.
+    report = forum.compromise_report("privmsgs", "msgtext")
+    assert report == {"readable": 1, "total": 1}
+
+
+def test_login_via_cryptdb_active_table(multi_proxy):
+    proxy = multi_proxy
+    proxy.load_schema(PRIVMSG_SCHEMA)
+    proxy.execute("INSERT INTO cryptdb_active (username, password) VALUES ('carol', 'pw')")
+    assert "carol" in proxy.logged_in
+    proxy.execute("DELETE FROM cryptdb_active WHERE username = 'carol'")
+    assert "carol" not in proxy.logged_in
+
+
+def test_updating_enc_for_column_rejected(forum):
+    with pytest.raises(UnsupportedQueryError):
+        forum.execute("UPDATE privmsgs SET msgtext = 'new text' WHERE msgid = 5")
+
+
+def test_non_annotated_columns_still_queryable(forum):
+    assert forum.execute("SELECT rcpt_id FROM privmsgs_to WHERE msgid = 5").rows == [(1,)]
+
+
+def test_hotcrp_conflict_policy(multi_proxy):
+    """The Figure 6 policy: a conflicted PC chair cannot read reviewer identities."""
+    app = HotCRPApplication(multi_proxy)
+    app.install()
+    app.add_pc_member(1, 'chair@conf.org', 'chairpw')
+    app.add_pc_member(2, 'member@conf.org', 'memberpw')
+    # Paper 10 is authored by the chair: declare the conflict, then review it.
+    app.declare_conflict(10, 1)
+    app.submit_paper(10, 'Encrypted Query Processing', 'onions all the way down')
+    app.submit_review(100, 10, 2, 'strong accept, great systems work')
+    proxy = multi_proxy
+    # The non-conflicted member can read the review and reviewer identity.
+    proxy.logout('chair@conf.org')
+    proxy.end_session()
+    result = proxy.execute("SELECT reviewerId, commentsToPC FROM PaperReview WHERE paperId = 10")
+    assert result.rows == [(2, 'strong accept, great systems work')]
+    # The conflicted chair (alone) cannot.
+    proxy.logout('member@conf.org')
+    proxy.login('chair@conf.org', 'chairpw')
+    proxy.end_session()
+    with pytest.raises(AccessDeniedError):
+        proxy.execute("SELECT reviewerId FROM PaperReview WHERE paperId = 10")
+    report = proxy.compromise_report("PaperReview", "reviewerId")
+    assert report["readable"] == 0 and report["total"] == 1

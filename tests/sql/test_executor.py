@@ -1,0 +1,181 @@
+"""The query executor over the in-memory engine."""
+
+import pytest
+
+from repro.errors import SchemaError, SQLExecutionError
+from repro.sql.engine import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE emp (id INT PRIMARY KEY, name VARCHAR(50), dept VARCHAR(20), salary INT)"
+    )
+    database.execute(
+        "INSERT INTO emp (id, name, dept, salary) VALUES "
+        "(1, 'Alice', 'sales', 70000), (2, 'Bob', 'sales', 50000), "
+        "(3, 'Carol', 'eng', 90000), (4, 'Dan', 'eng', 65000), (5, 'Eve', 'hr', NULL)"
+    )
+    database.execute("CREATE TABLE dept (dname VARCHAR(20), head VARCHAR(40))")
+    database.execute("INSERT INTO dept (dname, head) VALUES ('sales', 'Zoe'), ('eng', 'Yan')")
+    return database
+
+
+def test_select_projection_and_star(db):
+    assert db.execute("SELECT name FROM emp WHERE id = 3").rows == [("Carol",)]
+    star = db.execute("SELECT * FROM emp WHERE id = 1")
+    assert star.columns == ["id", "name", "dept", "salary"]
+    assert star.rows == [(1, "Alice", "sales", 70000)]
+
+
+def test_where_and_or_not(db):
+    result = db.execute(
+        "SELECT id FROM emp WHERE dept = 'sales' OR (dept = 'eng' AND salary > 80000) ORDER BY id"
+    )
+    assert result.rows == [(1,), (2,), (3,)]
+    result = db.execute("SELECT id FROM emp WHERE NOT dept = 'sales' ORDER BY id")
+    assert result.rows == [(3,), (4,), (5,)]
+
+
+def test_null_handling_in_where(db):
+    assert db.execute("SELECT id FROM emp WHERE salary > 0").rows == [(1,), (2,), (3,), (4,)]
+    assert db.execute("SELECT id FROM emp WHERE salary IS NULL").rows == [(5,)]
+
+
+def test_order_by_limit_offset(db):
+    result = db.execute("SELECT name FROM emp ORDER BY salary DESC LIMIT 2")
+    assert result.rows == [("Carol",), ("Alice",)]
+    result = db.execute("SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 1")
+    assert result.rows == [("Alice",), ("Dan",)]
+    # NULL sorts first ascending.
+    result = db.execute("SELECT id FROM emp ORDER BY salary LIMIT 1")
+    assert result.rows == [(5,)]
+
+
+def test_order_by_column_not_in_projection(db):
+    result = db.execute("SELECT name FROM emp WHERE dept = 'eng' ORDER BY salary DESC")
+    assert result.rows == [("Carol",), ("Dan",)]
+
+
+def test_group_by_aggregates_and_having(db):
+    result = db.execute(
+        "SELECT dept, COUNT(*), SUM(salary), MIN(salary), MAX(salary), AVG(salary) "
+        "FROM emp GROUP BY dept ORDER BY dept"
+    )
+    as_dict = {row[0]: row[1:] for row in result.rows}
+    assert as_dict["sales"] == (2, 120000, 50000, 70000, 60000.0)
+    assert as_dict["eng"] == (2, 155000, 65000, 90000, 77500.0)
+    assert as_dict["hr"] == (1, None, None, None, None)
+    having = db.execute(
+        "SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept"
+    )
+    assert having.rows == [("eng",), ("sales",)]
+
+
+def test_count_distinct_and_global_aggregate(db):
+    assert db.execute("SELECT COUNT(DISTINCT dept) FROM emp").scalar() == 3
+    assert db.execute("SELECT COUNT(salary) FROM emp").scalar() == 4
+    assert db.execute("SELECT COUNT(*) FROM emp").scalar() == 5
+    assert db.execute("SELECT SUM(salary) FROM emp WHERE dept = 'hr'").scalar() is None
+
+
+def test_joins(db):
+    inner = db.execute(
+        "SELECT e.name, d.head FROM emp e JOIN dept d ON e.dept = d.dname "
+        "WHERE e.salary > 65000 ORDER BY e.name"
+    )
+    assert inner.rows == [("Alice", "Zoe"), ("Carol", "Yan")]
+    left = db.execute(
+        "SELECT e.name, d.head FROM emp e LEFT JOIN dept d ON e.dept = d.dname "
+        "WHERE e.id = 5"
+    )
+    assert left.rows == [("Eve", None)]
+    implicit = db.execute(
+        "SELECT e.name FROM emp e, dept d WHERE e.dept = d.dname AND d.head = 'Yan' ORDER BY e.name"
+    )
+    assert implicit.rows == [("Carol",), ("Dan",)]
+
+
+def test_distinct(db):
+    assert db.execute("SELECT DISTINCT dept FROM emp ORDER BY dept").rows == [
+        ("eng",), ("hr",), ("sales",)
+    ]
+
+
+def test_insert_update_delete_rowcounts(db):
+    assert db.execute("INSERT INTO emp (id, name, dept, salary) VALUES (6, 'Fay', 'hr', 30000)").rowcount == 1
+    assert db.execute("UPDATE emp SET salary = salary + 1000 WHERE dept = 'hr' AND salary IS NOT NULL").rowcount == 1
+    assert db.execute("SELECT salary FROM emp WHERE id = 6").scalar() == 31000
+    assert db.execute("DELETE FROM emp WHERE dept = 'hr'").rowcount == 2
+    assert db.execute("SELECT COUNT(*) FROM emp").scalar() == 4
+
+
+def test_update_expression_uses_row_context(db):
+    db.execute("UPDATE emp SET salary = salary * 2 WHERE id = 2")
+    assert db.execute("SELECT salary FROM emp WHERE id = 2").scalar() == 100000
+
+
+def test_transactions_rollback_and_commit(db):
+    db.execute("BEGIN")
+    db.execute("DELETE FROM emp WHERE dept = 'eng'")
+    db.execute("UPDATE emp SET salary = 1 WHERE id = 1")
+    db.execute("INSERT INTO emp (id, name, dept, salary) VALUES (9, 'Zed', 'ops', 10)")
+    db.execute("ROLLBACK")
+    assert db.execute("SELECT COUNT(*) FROM emp").scalar() == 5
+    assert db.execute("SELECT salary FROM emp WHERE id = 1").scalar() == 70000
+    db.execute("BEGIN")
+    db.execute("DELETE FROM emp WHERE id = 1")
+    db.execute("COMMIT")
+    assert db.execute("SELECT COUNT(*) FROM emp").scalar() == 4
+
+
+def test_indexes_used_for_lookups(db):
+    db.execute("CREATE INDEX idx_dept ON emp (dept)")
+    result = db.execute("SELECT id FROM emp WHERE dept = 'eng' ORDER BY id")
+    assert result.rows == [(3,), (4,)]
+    table = db.table("emp")
+    assert "dept" in table.indexes.columns()
+
+
+def test_udf_registration(db):
+    db.register_scalar_udf("TWICE", lambda v: None if v is None else v * 2)
+    assert db.execute("SELECT TWICE(salary) FROM emp WHERE id = 1").scalar() == 140000
+    db.register_aggregate_udf("PRODUCT", lambda: 1, lambda s, v: s * v, lambda s: s)
+    assert db.execute("SELECT PRODUCT(id) FROM emp WHERE id IN (1, 2, 3)").scalar() == 6
+
+
+def test_errors(db):
+    with pytest.raises(SchemaError):
+        db.execute("SELECT * FROM missing_table")
+    with pytest.raises(SQLExecutionError):
+        db.execute("SELECT missing_column FROM emp")
+    with pytest.raises(SQLExecutionError):
+        db.execute("INSERT INTO emp (id, name) VALUES (1)")
+    with pytest.raises(SchemaError):
+        db.execute("CREATE TABLE emp (id INT)")
+
+
+def test_create_drop_table(db):
+    db.execute("CREATE TABLE tmp (x INT)")
+    db.execute("CREATE TABLE IF NOT EXISTS tmp (x INT)")
+    db.execute("DROP TABLE tmp")
+    db.execute("DROP TABLE IF EXISTS tmp")
+    with pytest.raises(SchemaError):
+        db.execute("DROP TABLE tmp")
+
+
+def test_select_without_from(db):
+    assert db.execute("SELECT 1 + 1").scalar() == 2
+
+
+def test_execute_script(db):
+    results = db.execute_script(
+        "INSERT INTO dept (dname, head) VALUES ('hr', 'Hal'); SELECT COUNT(*) FROM dept;"
+    )
+    assert results[-1].scalar() == 3
+
+
+def test_storage_accounting(db):
+    assert db.storage_bytes() > 0
+    assert db.row_counts()["emp"] == 5

@@ -1,0 +1,93 @@
+"""Expression evaluation: SQL three-valued logic, LIKE, coercions."""
+
+import pytest
+
+from repro.errors import SQLExecutionError
+from repro.sql.expressions import RowContext, evaluate, is_truthy, like_to_regex
+from repro.sql.functions import FunctionRegistry
+from repro.sql.parser import parse_expression
+
+FUNCS = FunctionRegistry()
+
+
+def _eval(text, row=None):
+    context = RowContext({(None, k): v for k, v in (row or {}).items()})
+    return evaluate(parse_expression(text), context, FUNCS)
+
+
+def test_arithmetic_and_comparison():
+    assert _eval("1 + 2 * 3") == 7
+    assert _eval("(1 + 2) * 3") == 9
+    assert _eval("10 / 4") == 2.5
+    assert _eval("10 % 3") == 1
+    assert _eval("2 < 3") is True
+    assert _eval("2 >= 3") is False
+
+
+def test_null_propagation():
+    assert _eval("a + 1", {"a": None}) is None
+    assert _eval("a = 1", {"a": None}) is None
+    assert _eval("a IS NULL", {"a": None}) is True
+    assert _eval("a IS NOT NULL", {"a": None}) is False
+
+
+def test_kleene_logic():
+    assert _eval("a = 1 AND 1 = 1", {"a": None}) is None
+    assert _eval("a = 1 AND 1 = 2", {"a": None}) is False
+    assert _eval("a = 1 OR 1 = 1", {"a": None}) is True
+    assert _eval("a = 1 OR 1 = 2", {"a": None}) is None
+    assert _eval("NOT (a = 1)", {"a": None}) is None
+
+
+def test_in_and_between_with_nulls():
+    assert _eval("a IN (1, 2)", {"a": 2}) is True
+    assert _eval("a IN (1, 2)", {"a": 3}) is False
+    assert _eval("a IN (1, NULL)", {"a": 3}) is None
+    assert _eval("a NOT IN (1, 2)", {"a": 3}) is True
+    assert _eval("a BETWEEN 1 AND 5", {"a": 3}) is True
+    assert _eval("a NOT BETWEEN 1 AND 5", {"a": 9}) is True
+
+
+def test_like_patterns():
+    assert _eval("name LIKE 'al%'", {"name": "alice"}) is True
+    assert _eval("name LIKE '%ic%'", {"name": "alice"}) is True
+    assert _eval("name LIKE 'a_ice'", {"name": "alice"}) is True
+    assert _eval("name LIKE 'bob'", {"name": "alice"}) is False
+    assert like_to_regex("%.txt").match("file.txt")
+
+
+def test_string_number_coercion():
+    assert _eval("a = '5'", {"a": 5}) is True
+    assert _eval("a < '10'", {"a": 5}) is True
+
+
+def test_functions_and_unknown_function():
+    assert _eval("UPPER(name)", {"name": "bob"}) == "BOB"
+    assert _eval("LENGTH(name)", {"name": "bob"}) == 3
+    assert _eval("COALESCE(a, 7)", {"a": None}) == 7
+    with pytest.raises(SQLExecutionError):
+        _eval("NO_SUCH_FUNCTION(1)")
+
+
+def test_unknown_and_ambiguous_columns():
+    with pytest.raises(SQLExecutionError):
+        _eval("missing_column = 1", {"a": 1})
+    context = RowContext({("t1", "x"): 1, ("t2", "x"): 2})
+    with pytest.raises(SQLExecutionError):
+        evaluate(parse_expression("x = 1"), context, FUNCS)
+    assert evaluate(parse_expression("t1.x = 1"), context, FUNCS) is True
+
+
+def test_is_truthy():
+    assert is_truthy(True) and is_truthy(1) and is_truthy("x")
+    assert not is_truthy(None) and not is_truthy(0) and not is_truthy(False)
+
+
+def test_aggregate_outside_group_context_rejected():
+    with pytest.raises(SQLExecutionError):
+        _eval("SUM(a)", {"a": 3})
+
+
+def test_division_by_zero_yields_null():
+    assert _eval("1 / 0") is None
+    assert _eval("1 % 0") is None

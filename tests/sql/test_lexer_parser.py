@@ -1,0 +1,124 @@
+"""SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast_nodes as ast
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import parse_expression, parse_sql
+
+
+def test_tokenize_basic_select():
+    tokens = tokenize("SELECT a, b FROM t WHERE a = 'x''y' AND b >= 10.5")
+    kinds = [t.type for t in tokens]
+    assert kinds[0] is TokenType.KEYWORD
+    values = [t.value for t in tokens if t.type is TokenType.STRING]
+    assert values == ["x'y"]
+    numbers = [t.value for t in tokens if t.type is TokenType.NUMBER]
+    assert numbers == [10.5]
+
+
+def test_tokenize_blob_and_comments():
+    tokens = tokenize("SELECT X'0a0b' -- trailing comment\n, c")
+    blobs = [t.value for t in tokens if t.type is TokenType.BLOB]
+    assert blobs == [b"\x0a\x0b"]
+
+
+def test_tokenize_errors():
+    with pytest.raises(SQLSyntaxError):
+        tokenize("SELECT 'unterminated")
+    with pytest.raises(SQLSyntaxError):
+        tokenize("SELECT #")
+
+
+def test_parse_select_full_clause_set():
+    statement = parse_sql(
+        "SELECT DISTINCT a, COUNT(*) AS n FROM t1 JOIN t2 ON t1.x = t2.y "
+        "WHERE a > 5 AND b IN (1, 2, 3) GROUP BY a HAVING COUNT(*) > 1 "
+        "ORDER BY a DESC LIMIT 10 OFFSET 2"
+    )
+    assert isinstance(statement, ast.Select)
+    assert statement.distinct
+    assert statement.limit == 10 and statement.offset == 2
+    assert isinstance(statement.from_clause, ast.Join)
+    assert len(statement.group_by) == 1
+    assert not statement.order_by[0].ascending
+
+
+def test_parse_mysql_limit_offset_form():
+    statement = parse_sql("SELECT a FROM t LIMIT 5, 10")
+    assert statement.offset == 5 and statement.limit == 10
+
+
+def test_parse_insert_multi_row():
+    statement = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+    assert isinstance(statement, ast.Insert)
+    assert statement.columns == ["a", "b"]
+    assert len(statement.rows) == 2
+
+
+def test_parse_update_delete():
+    update = parse_sql("UPDATE t SET a = a + 1, b = 'z' WHERE id = 7")
+    assert isinstance(update, ast.Update)
+    assert len(update.assignments) == 2
+    delete = parse_sql("DELETE FROM t WHERE id BETWEEN 1 AND 5")
+    assert isinstance(delete, ast.Delete)
+    assert isinstance(delete.where, ast.Between)
+
+
+def test_parse_create_table_and_index():
+    create = parse_sql(
+        "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(100) NOT NULL, price DECIMAL(10,2))"
+    )
+    assert isinstance(create, ast.CreateTable)
+    assert create.columns[0].primary_key
+    assert not create.columns[1].nullable
+    index = parse_sql("CREATE UNIQUE INDEX idx ON t (name)")
+    assert isinstance(index, ast.CreateIndex) and index.unique
+
+
+def test_parse_transactions():
+    assert isinstance(parse_sql("BEGIN"), ast.Begin)
+    assert isinstance(parse_sql("START TRANSACTION"), ast.Begin)
+    assert isinstance(parse_sql("COMMIT"), ast.Commit)
+    assert isinstance(parse_sql("ROLLBACK"), ast.Rollback)
+
+
+def test_parse_errors():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT FROM")
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("EXPLAIN SELECT 1")
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT 1 extra tokens here ,,")
+
+
+def test_expression_precedence():
+    expr = parse_expression("a + b * 2 > 5 AND NOT c = 1 OR d < 3")
+    assert isinstance(expr, ast.BinaryOp) and expr.op == "OR"
+    left = expr.left
+    assert isinstance(left, ast.BinaryOp) and left.op == "AND"
+
+
+def test_to_sql_roundtrip():
+    original = (
+        "SELECT a, SUM(b) FROM t WHERE (a = 'x') AND (b BETWEEN 1 AND 9) "
+        "GROUP BY a ORDER BY a ASC LIMIT 3"
+    )
+    statement = parse_sql(original)
+    reparsed = parse_sql(statement.to_sql())
+    assert reparsed.to_sql() == statement.to_sql()
+
+
+def test_like_and_null_predicates():
+    statement = parse_sql("SELECT a FROM t WHERE a LIKE '%word%' AND b IS NOT NULL")
+    like = statement.where.left
+    assert isinstance(like, ast.Like)
+    isnull = statement.where.right
+    assert isinstance(isnull, ast.IsNull) and isnull.negated
+
+
+def test_negative_literals_folded():
+    statement = parse_sql("SELECT -5 FROM t WHERE a = -3")
+    assert statement.items[0].expr.value == -5
+    assert statement.where.right.value == -3

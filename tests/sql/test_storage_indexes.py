@@ -1,0 +1,106 @@
+"""Storage layer: tables, secondary indexes, transactions at the API level."""
+
+import pytest
+
+from repro.errors import SchemaError, SQLExecutionError
+from repro.sql.indexes import HashIndex, OrderedIndex
+from repro.sql.storage import Catalog, Table
+from repro.sql.types import INT, VARCHAR, ColumnDef
+
+
+def _table() -> Table:
+    return Table("t", [ColumnDef("id", INT(), primary_key=True), ColumnDef("name", VARCHAR(20))])
+
+
+def test_insert_get_update_delete():
+    table = _table()
+    row_id = table.insert({"id": 1, "name": "a"})
+    assert table.get(row_id)["name"] == "a"
+    previous = table.update(row_id, {"name": "b"})
+    assert previous["name"] == "a"
+    assert table.get(row_id)["name"] == "b"
+    removed = table.delete(row_id)
+    assert removed["name"] == "b"
+    with pytest.raises(SQLExecutionError):
+        table.get(row_id)
+
+
+def test_restore_after_delete_preserves_row_id():
+    table = _table()
+    row_id = table.insert({"id": 1, "name": "a"})
+    row = table.delete(row_id)
+    table.restore(row_id, row)
+    assert table.get(row_id)["id"] == 1
+    with pytest.raises(SQLExecutionError):
+        table.restore(row_id, row)
+
+
+def test_duplicate_and_unknown_columns_rejected():
+    with pytest.raises(SchemaError):
+        Table("bad", [ColumnDef("x", INT()), ColumnDef("x", INT())])
+    table = _table()
+    with pytest.raises(SQLExecutionError):
+        table.insert({"id": 1, "nope": 2})
+
+
+def test_primary_key_indexed_by_default():
+    table = _table()
+    table.insert({"id": 5, "name": "x"})
+    assert table.indexes.equality_lookup("id", 5)
+
+
+def test_hash_index_add_remove():
+    index = HashIndex("c")
+    index.insert("v", 1)
+    index.insert("v", 2)
+    index.insert(None, 3)
+    assert index.lookup("v") == {1, 2}
+    assert index.lookup(None) == set()
+    index.remove("v", 1)
+    assert index.lookup("v") == {2}
+    assert len(index) == 1
+
+
+def test_ordered_index_range_queries():
+    index = OrderedIndex("c")
+    for value, row_id in [(5, 1), (10, 2), (15, 3), (20, 4)]:
+        index.insert(value, row_id)
+    assert index.range(low=10, high=15) == {2, 3}
+    assert index.range(low=10, high=15, include_low=False) == {3}
+    assert index.range(high=10) == {1, 2}
+    assert index.range(low=16) == {4}
+    assert index.lookup(15) == {3}
+    index.remove(15, 3)
+    assert index.lookup(15) == set()
+
+
+def test_create_index_populates_existing_rows():
+    table = _table()
+    for i in range(10):
+        table.insert({"id": i, "name": f"n{i % 3}"})
+    table.create_index("name")
+    assert len(table.indexes.equality_lookup("name", "n0")) == 4
+    table.create_index("id", ordered=True)
+    assert len(table.indexes.range_lookup("id", 2, 5, True, True)) == 4
+
+
+def test_add_column_backfills_default():
+    table = _table()
+    table.insert({"id": 1, "name": "a"})
+    table.add_column(ColumnDef("extra", INT()), default=7)
+    assert table.get(1)["extra"] == 7
+    with pytest.raises(SchemaError):
+        table.add_column(ColumnDef("extra", INT()))
+
+
+def test_catalog():
+    catalog = Catalog()
+    catalog.create_table("a", [ColumnDef("x", INT())])
+    assert catalog.has_table("a")
+    catalog.create_table("a", [ColumnDef("x", INT())], if_not_exists=True)
+    with pytest.raises(SchemaError):
+        catalog.create_table("a", [ColumnDef("x", INT())])
+    assert catalog.table_names() == ["a"]
+    catalog.drop_table("a")
+    with pytest.raises(SchemaError):
+        catalog.table("a")
