@@ -7,14 +7,18 @@ strawman far slower than CryptDB on selective queries because RND destroys
 the use of indexes.  Figure 12 splits proxy vs server latency and shows the
 ciphertext pre-computation/caching optimisation ("Proxy" vs "Proxy*") hiding
 most of the OPE/HOM encryption cost.
+
+All systems are driven through the DB-API layer; CryptDB additionally runs
+parameterized, so per-type latency includes plan-cache effects exactly as an
+application using prepared statements would see them.
 """
 
 import time
 
 import pytest
 
+import repro
 from repro.core.strawman import StrawmanProxy
-from repro.sql.engine import Database
 from repro.workloads.tpcc import QUERY_TYPES, TPCCWorkload
 
 from conftest import print_table
@@ -30,27 +34,26 @@ def _workload() -> TPCCWorkload:
     return TPCCWorkload(**_SCALE)
 
 
-def _run_type(target, workload, query_type, count=_QUERIES_PER_TYPE) -> float:
-    queries = workload.queries_of_type(query_type, count)
+def _run_type(connection, workload, query_type, count=_QUERIES_PER_TYPE) -> float:
+    cursor = connection.cursor()
+    query_params = workload.query_params_of_type(query_type, count)
     start = time.perf_counter()
-    for query in queries:
-        target.execute(query)
+    for sql, params in query_params:
+        cursor.execute(sql, params)
     return (time.perf_counter() - start) / count
 
 
 @pytest.fixture(scope="module")
 def systems(small_paillier):
-    from repro.core.proxy import CryptDBProxy
-
-    plain = Database()
+    plain = repro.connect(encrypted=False)
     _workload().load_into(plain)
 
-    cryptdb = CryptDBProxy(paillier=small_paillier)
+    cryptdb = repro.connect(paillier=small_paillier)
     _workload().load_into(cryptdb)
-    cryptdb.train(_workload().training_queries())
+    cryptdb.proxy.train(_workload().training_queries())
 
-    strawman = StrawmanProxy()
-    _workload().load_into(strawman)
+    strawman = repro.Connection(StrawmanProxy())
+    _workload().load_into(strawman.target)
     return plain, cryptdb, strawman
 
 
@@ -83,7 +86,8 @@ def test_fig11_throughput_by_query_type(benchmark, systems):
     assert max(slowdowns.values()) == pytest.approx(
         max(slowdowns["Sum"], slowdowns["Upd. inc"], slowdowns["Insert"]), rel=1.0
     )
-    benchmark(lambda: cryptdb.execute(_workload().query("Equality")))
+    cursor = cryptdb.cursor()
+    benchmark(lambda: cursor.execute(*_workload().query_params("Equality")))
 
 
 def test_fig11_strawman_loses_to_cryptdb_on_selective_queries(benchmark, systems):
@@ -102,9 +106,10 @@ def test_fig11_strawman_loses_to_cryptdb_on_selective_queries(benchmark, systems
 
     plain_latency = _run_type(plain, workload, "Equality")
     strawman_latency = _run_type(strawman, workload, "Equality")
-    before_server = cryptdb.stats.server_time_seconds
+    proxy_stats = cryptdb.proxy.stats
+    before_server = proxy_stats.server_time_seconds
     _run_type(cryptdb, workload, "Equality")
-    cryptdb_server_latency = (cryptdb.stats.server_time_seconds - before_server) / _QUERIES_PER_TYPE
+    cryptdb_server_latency = (proxy_stats.server_time_seconds - before_server) / _QUERIES_PER_TYPE
 
     # Per-row UDF decryption makes the strawman's server far slower than plain
     # MySQL on the same data...
@@ -112,39 +117,53 @@ def test_fig11_strawman_loses_to_cryptdb_on_selective_queries(benchmark, systems
     # ...and slower than CryptDB's server-side share, which runs plain SQL
     # operators over DET ciphertexts.
     assert strawman_latency > cryptdb_server_latency
-    benchmark(lambda: strawman.execute(workload.query("Equality")))
+    cursor = strawman.cursor()
+    benchmark(lambda: cursor.execute(*workload.query_params("Equality")))
 
 
 def test_fig12_proxy_vs_server_latency(benchmark, systems, small_paillier):
-    from repro.core.proxy import CryptDBProxy
-
     _, cryptdb, _ = systems
+    proxy = cryptdb.proxy
     rows = []
     for query_type in QUERY_TYPES:
-        before_proxy = cryptdb.stats.proxy_time_seconds
-        before_server = cryptdb.stats.server_time_seconds
-        queries = _workload().queries_of_type(query_type, _QUERIES_PER_TYPE)
-        for query in queries:
-            cryptdb.execute(query)
+        before_proxy = proxy.stats.proxy_time_seconds
+        before_server = proxy.stats.server_time_seconds
+        cursor = cryptdb.cursor()
+        query_params = _workload().query_params_of_type(query_type, _QUERIES_PER_TYPE)
+        for sql, params in query_params:
+            cursor.execute(sql, params)
         rows.append({
             "query type": query_type,
-            "proxy ms": round((cryptdb.stats.proxy_time_seconds - before_proxy) * 1000 / len(queries), 3),
-            "server ms": round((cryptdb.stats.server_time_seconds - before_server) * 1000 / len(queries), 3),
+            "proxy ms": round((proxy.stats.proxy_time_seconds - before_proxy) * 1000 / len(query_params), 3),
+            "server ms": round((proxy.stats.server_time_seconds - before_server) * 1000 / len(query_params), 3),
         })
     print_table("Figure 12: per-query proxy and server latency (with caching)", rows)
 
+    # Per-statement-type wall times recorded by the proxy across the whole
+    # module (SELECT/INSERT/UPDATE/DELETE), for EXPERIMENTS.md.
+    summary_rows = [
+        {"statement": kind, "count": int(entry["count"]),
+         "mean ms": round(entry["mean_ms"], 3)}
+        for kind, entry in proxy.stats.query_type_summary().items()
+    ]
+    print_table("Per-statement-type latency (proxy stats)", summary_rows)
+
     # Proxy* ablation: disable the ciphertext cache / HOM pre-computation and
     # observe the OPE/HOM query types getting slower at the proxy.
-    no_cache = CryptDBProxy(paillier=small_paillier, use_ciphertext_cache=False, hom_precompute=0)
+    no_cache = repro.connect(
+        paillier=small_paillier, use_ciphertext_cache=False, hom_precompute=0
+    )
     workload = _workload()
     workload.load_into(no_cache)
-    no_cache.train(workload.training_queries())
+    no_cache.proxy.train(workload.training_queries())
 
-    def proxy_time(proxy, query_type):
-        before = proxy.stats.proxy_time_seconds
-        for query in _workload().queries_of_type(query_type, 4):
-            proxy.execute(query)
-        return (proxy.stats.proxy_time_seconds - before) / 4
+    def proxy_time(connection, query_type):
+        stats = connection.proxy.stats
+        before = stats.proxy_time_seconds
+        cursor = connection.cursor()
+        for sql, params in _workload().query_params_of_type(query_type, 4):
+            cursor.execute(sql, params)
+        return (stats.proxy_time_seconds - before) / 4
 
     cached_range = proxy_time(cryptdb, "Range")
     uncached_range = proxy_time(no_cache, "Range")
@@ -157,11 +176,12 @@ def test_fig12_proxy_vs_server_latency(benchmark, systems, small_paillier):
     # cache entries while the ablated proxy could not.
     assert uncached_range >= cached_range * 0.8
     cached_entries = sum(
-        ope.cache_size for ope in cryptdb.encryptor._ope.values()
+        ope.cache_size for ope in proxy.encryptor._ope.values()
     )
     uncached_entries = sum(
-        ope.cache_size for ope in no_cache.encryptor._ope.values()
+        ope.cache_size for ope in no_cache.proxy.encryptor._ope.values()
     )
     print(f"OPE cache entries: cached proxy={cached_entries}, Proxy*={uncached_entries}")
     assert cached_entries > 0 and uncached_entries == 0
-    benchmark(lambda: cryptdb.execute(_workload().query("Range")))
+    cursor = cryptdb.cursor()
+    benchmark(lambda: cursor.execute(*_workload().query_params("Range")))

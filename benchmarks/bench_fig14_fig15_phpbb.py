@@ -11,8 +11,8 @@ import time
 
 import pytest
 
+import repro
 from repro.core.passthrough import PassthroughProxy
-from repro.sql.engine import Database
 from repro.workloads.phpbb import PHPBB_SENSITIVE_FIELDS, PhpBBApplication, REQUEST_TYPES
 
 from conftest import print_table
@@ -31,10 +31,8 @@ def _make_app(target) -> PhpBBApplication:
 
 
 def _encrypted_app(paillier) -> PhpBBApplication:
-    from repro.core.proxy import CryptDBProxy
-
-    proxy = CryptDBProxy(paillier=paillier)
-    app = PhpBBApplication(proxy, users=_USERS, forums=_FORUMS)
+    conn = repro.connect(paillier=paillier)
+    app = PhpBBApplication(conn, users=_USERS, forums=_FORUMS)
     # Only the notably sensitive fields are encrypted (Figure 14's setup):
     # the proxy still intercepts everything, but non-sensitive columns are
     # stored in plaintext via the §3.5.2 annotation.
@@ -45,7 +43,9 @@ def _encrypted_app(paillier) -> PhpBBApplication:
         parsed = parse_sql(statement)
         sensitive = set(PHPBB_SENSITIVE_FIELDS.get(parsed.table, ()))
         plaintext = [c.name for c in parsed.columns if c.name not in sensitive]
-        proxy.create_table(parsed, plaintext_columns=plaintext, sensitive_columns=sensitive)
+        conn.proxy.create_table(
+            parsed, plaintext_columns=plaintext, sensitive_columns=sensitive
+        )
     app.load_initial_data(**_PRELOAD)
     return app
 
@@ -53,8 +53,8 @@ def _encrypted_app(paillier) -> PhpBBApplication:
 @pytest.fixture(scope="module")
 def apps(small_paillier):
     return {
-        "MySQL": _make_app(Database()),
-        "MySQL+proxy": _make_app(PassthroughProxy(Database())),
+        "MySQL": _make_app(repro.connect(encrypted=False)),
+        "MySQL+proxy": _make_app(repro.Connection(PassthroughProxy())),
         "CryptDB": _encrypted_app(small_paillier),
     }
 
@@ -77,6 +77,10 @@ def test_fig14_phpbb_throughput(benchmark, apps):
          "loss %": round(100 * (1 - cryptdb / baseline), 1), "paper loss %": 14.5},
     ]
     print_table("Figure 14: phpBB throughput", rows)
+    stats = apps["CryptDB"].target.proxy.stats
+    print(f"CryptDB plan cache: {stats.plan_cache_hits} hits / "
+          f"{stats.plan_cache_misses} misses "
+          f"(each request kind is one prepared shape)")
     # Shape: MySQL >= MySQL+proxy >= CryptDB.  The paper's 8.3% / 14.5% losses
     # rely on MySQL's C engine and CryptDB's C++ crypto being comparable; with
     # a pure-Python engine and pure-Python crypto the absolute gap is larger,

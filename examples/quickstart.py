@@ -1,49 +1,72 @@
-"""Quickstart: encrypted query processing with the CryptDB proxy.
+"""Quickstart: encrypted query processing through the DB-API interface.
 
 Run with:  python examples/quickstart.py
 
-The application talks normal SQL to the proxy; the DBMS server only ever
-sees anonymised tables, ciphertexts, and CryptDB's UDFs.
+The application talks normal SQL (with ``?`` parameters) to a connection;
+behind it the CryptDB proxy rewrites every statement and the DBMS server
+only ever sees anonymised tables, ciphertexts, and CryptDB's UDFs.
+Parameterized shapes are rewritten once and cached, so repeated queries
+only pay for encrypting their bound parameters.
 """
 
-from repro import CryptDBProxy
+import repro
 
 
 def main() -> None:
-    proxy = CryptDBProxy(paillier_bits=512)
+    conn = repro.connect(paillier_bits=512)
+    cur = conn.cursor()
 
-    proxy.execute("CREATE TABLE Employees (ID int, Name varchar(50), salary int, bio text)")
-    proxy.execute(
-        "INSERT INTO Employees (ID, Name, salary, bio) VALUES "
-        "(23, 'Alice', 70000, 'works on encrypted databases'), "
-        "(7, 'Bob', 50000, 'enjoys distributed systems'), "
-        "(9, 'Carol', 90000, 'writes compilers and databases')"
+    cur.execute("CREATE TABLE Employees (ID int, Name varchar(50), salary int, bio text)")
+    with conn:  # transaction: committed on success, rolled back on error
+        cur.executemany(
+            "INSERT INTO Employees (ID, Name, salary, bio) VALUES (?, ?, ?, ?)",
+            [
+                (23, "Alice", 70000, "works on encrypted databases"),
+                (7, "Bob", 50000, "enjoys distributed systems"),
+                (9, "Carol", 90000, "writes compilers and databases"),
+            ],
+        )
+
+    cur.execute("SELECT ID FROM Employees WHERE Name = ?", ("Alice",))
+    print("Equality (DET):", cur.fetchall())
+    cur.execute(
+        "SELECT Name FROM Employees WHERE salary > ? ORDER BY salary DESC", (60000,)
     )
+    print("Range + ORDER BY (OPE):", cur.fetchall())
+    cur.execute("SELECT SUM(salary) FROM Employees")
+    print("SUM over Paillier (HOM):", cur.fetchone()[0])
+    cur.execute("SELECT Name FROM Employees WHERE bio LIKE '% databases %'")
+    print("Keyword search (SEARCH):", cur.fetchall())
 
-    print("Equality (DET):",
-          proxy.execute("SELECT ID FROM Employees WHERE Name = 'Alice'").rows)
-    print("Range + ORDER BY (OPE):",
-          proxy.execute("SELECT Name FROM Employees WHERE salary > 60000 ORDER BY salary DESC").rows)
-    print("SUM over Paillier (HOM):",
-          proxy.execute("SELECT SUM(salary) FROM Employees").scalar())
-    print("Keyword search (SEARCH):",
-          proxy.execute("SELECT Name FROM Employees WHERE bio LIKE '% databases %'").rows)
+    cur.execute("UPDATE Employees SET salary = salary + ? WHERE Name = ?", (1000, "Bob"))
+    cur.execute("SELECT salary FROM Employees WHERE Name = ?", ("Bob",))
+    print("After homomorphic increment:", cur.fetchall())
 
-    proxy.execute("UPDATE Employees SET salary = salary + 1000 WHERE Name = 'Bob'")
-    print("After homomorphic increment:",
-          proxy.execute("SELECT salary FROM Employees WHERE Name = 'Bob'").rows)
+    # One shape, many executions: rewritten once, then only the bound
+    # parameter is encrypted per call.
+    for name in ("Alice", "Bob", "Carol"):
+        cur.execute("SELECT salary FROM Employees WHERE Name = ?", (name,))
+        print(f"  salary({name}) =", cur.fetchone()[0])
+    stats = conn.proxy.stats
+    print(f"\nPlan cache: {stats.plan_cache_hits} hits, "
+          f"{stats.plan_cache_misses} misses, "
+          f"{stats.plan_cache_invalidations} invalidations")
 
     # What the DBMS server actually stores:
-    server_table = proxy.db.table("table1")
-    print("\nServer-side (anonymised) columns:", [c.name for c in server_table.columns])
+    server_table = conn.backend.table("table1")
+    print("Server-side (anonymised) columns:", [c.name for c in server_table.columns])
     sample_row = next(server_table.scan())[1]
     print("Sample ciphertext row keys:", {k: type(v).__name__ for k, v in sample_row.items()})
 
-    report = proxy.report()
+    report = conn.proxy.report()
     for column in ("Name", "salary", "bio"):
         info = report.column_report("Employees", column)
         print(f"Steady-state onion levels for {column}: {info.onion_levels} "
               f"(MinEnc = {info.min_enc.name})")
+
+    # The legacy entry point still works for un-migrated callers:
+    legacy_rows = conn.proxy.execute("SELECT ID FROM Employees WHERE Name = 'Alice'").rows
+    print("Legacy CryptDBProxy.execute shim:", legacy_rows)
 
 
 if __name__ == "__main__":

@@ -15,21 +15,44 @@ The package is organised as:
 * :mod:`repro.analysis` -- functional, security and storage analyses used to
   regenerate the evaluation tables.
 
-The three most commonly used entry points are re-exported lazily here:
-``CryptDBProxy`` (single-principal proxy), ``MultiPrincipalProxy``
+The preferred entry point is the PEP 249-style API of :mod:`repro.api`:
+``repro.connect()`` returns a :class:`~repro.api.connection.Connection`
+whose cursors support ``?`` parameter binding, ``executemany`` batching and
+prepared-statement plan caching.  The historical entry points remain:
+``CryptDBProxy`` (single-principal proxy, whose ``execute(sql)`` is now a
+thin shim over the prepared-statement machinery), ``MultiPrincipalProxy``
 (key chaining to user passwords) and ``Database`` (the DBMS substrate).
+All are re-exported lazily to keep ``import repro`` cheap.
 """
 
 from __future__ import annotations
 
 __version__ = "1.0.0"
 
-__all__ = ["CryptDBProxy", "MultiPrincipalProxy", "Database", "__version__"]
+__all__ = [
+    "CryptDBProxy",
+    "MultiPrincipalProxy",
+    "Database",
+    "connect",
+    "Connection",
+    "Cursor",
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "__version__",
+]
+
+apilevel = "2.0"
+threadsafety = 1
+paramstyle = "qmark"
 
 _LAZY_EXPORTS = {
     "CryptDBProxy": ("repro.core.proxy", "CryptDBProxy"),
     "MultiPrincipalProxy": ("repro.principals.multi_proxy", "MultiPrincipalProxy"),
     "Database": ("repro.sql.engine", "Database"),
+    "connect": ("repro.api.connection", "connect"),
+    "Connection": ("repro.api.connection", "Connection"),
+    "Cursor": ("repro.api.cursor", "Cursor"),
 }
 
 

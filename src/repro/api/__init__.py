@@ -1,0 +1,65 @@
+"""PEP 249-flavored public API for the CryptDB reproduction.
+
+Quickstart::
+
+    import repro
+
+    conn = repro.connect()          # in-memory DBMS behind a CryptDB proxy
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE emp (id int, name varchar(50), salary int)")
+    cur.executemany(
+        "INSERT INTO emp (id, name, salary) VALUES (?, ?, ?)",
+        [(1, "Alice", 70000), (2, "Bob", 50000)],
+    )
+    cur.execute("SELECT name FROM emp WHERE salary > ?", (60000,))
+    print(cur.fetchall())
+
+Parameterized statements are prepared once (parsed, analysed against the
+onion schema, anonymised) and cached by shape; re-executions only encrypt
+the bound parameters.  See :mod:`repro.core.plan_cache`.
+"""
+
+from __future__ import annotations
+
+from repro.api.backends import BackendAdapter, InMemoryBackend, resolve_backend
+from repro.api.connection import Connection, connect
+from repro.api.cursor import Cursor
+from repro.api.exceptions import (
+    DatabaseError,
+    DataError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    Warning,
+)
+
+#: PEP 249 module globals.
+apilevel = "2.0"
+threadsafety = 1  # threads may share the module, not connections
+paramstyle = "qmark"
+
+__all__ = [
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "connect",
+    "Connection",
+    "Cursor",
+    "BackendAdapter",
+    "InMemoryBackend",
+    "resolve_backend",
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+]

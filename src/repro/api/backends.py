@@ -1,0 +1,110 @@
+"""Backend adapters: what a :class:`~repro.api.connection.Connection` fronts.
+
+The CryptDB proxy is backend-agnostic: it needs a DBMS that can execute
+(rewritten) statements, create tables and indexes, register the CryptDB UDFs
+and report storage.  :class:`BackendAdapter` captures that contract as a
+runtime-checkable protocol; :class:`InMemoryBackend` implements it over the
+bundled pure-Python :class:`~repro.sql.engine.Database`.  An adapter for an
+external DBMS (MySQL/Postgres with the UDF shared objects of §5) only has to
+satisfy the same protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Protocol, Union, runtime_checkable
+
+from repro.sql import ast_nodes as ast
+from repro.sql.engine import Database
+from repro.sql.executor import ResultSet
+
+StatementLike = Union[str, ast.Statement]
+
+
+@runtime_checkable
+class BackendAdapter(Protocol):
+    """The DBMS-side interface the proxy and connections rely on."""
+
+    def execute(self, statement: StatementLike) -> ResultSet:
+        """Execute one statement (SQL text or a parsed AST node)."""
+        ...
+
+    def table(self, name: str) -> Any:
+        """Access a table's storage (index creation, analyses)."""
+        ...
+
+    def has_table(self, name: str) -> bool:
+        ...
+
+    def table_names(self) -> list[str]:
+        ...
+
+    def register_scalar_udf(self, name: str, func: Callable[..., Any]) -> None:
+        ...
+
+    def register_aggregate_udf(
+        self,
+        name: str,
+        initial: Callable[[], Any],
+        step: Callable[[Any, Any], Any],
+        finalize: Callable[[Any], Any],
+    ) -> None:
+        ...
+
+    def storage_bytes(self) -> int:
+        ...
+
+    @property
+    def transactions(self) -> Any:
+        """Transaction manager exposing ``in_transaction``."""
+        ...
+
+
+class InMemoryBackend:
+    """Adapter over the bundled in-memory :class:`Database` engine."""
+
+    def __init__(self, database: Optional[Database] = None):
+        self.database = database if database is not None else Database()
+
+    # -- BackendAdapter protocol ------------------------------------------
+    def execute(self, statement: StatementLike) -> ResultSet:
+        return self.database.execute(statement)
+
+    def table(self, name: str):
+        return self.database.table(name)
+
+    def has_table(self, name: str) -> bool:
+        return self.database.has_table(name)
+
+    def table_names(self) -> list[str]:
+        return self.database.table_names()
+
+    def register_scalar_udf(self, name: str, func: Callable[..., Any]) -> None:
+        self.database.register_scalar_udf(name, func)
+
+    def register_aggregate_udf(self, name, initial, step, finalize) -> None:
+        self.database.register_aggregate_udf(name, initial, step, finalize)
+
+    def storage_bytes(self) -> int:
+        return self.database.storage_bytes()
+
+    @property
+    def transactions(self):
+        return self.database.transactions
+
+    # -- convenience -------------------------------------------------------
+    def __getattr__(self, item: str):
+        # Anything beyond the protocol (row_counts, execute_script, ...)
+        # falls through to the wrapped engine.
+        return getattr(self.database, item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"InMemoryBackend({self.database.name!r})"
+
+
+def resolve_backend(target: Any = None) -> Any:
+    """Coerce ``None`` / a :class:`Database` / an adapter into a backend."""
+    if target is None:
+        return InMemoryBackend()
+    if isinstance(target, Database):
+        return InMemoryBackend(target)
+    return target

@@ -1,0 +1,169 @@
+"""Connections: the PEP 249 entry point to encrypted query processing.
+
+:func:`connect` builds the usual stack -- a backend adapter playing the
+unmodified DBMS, fronted by a :class:`~repro.core.proxy.CryptDBProxy` holding
+the keys -- and hands back a :class:`Connection`.  A connection can also wrap
+an existing proxy (``Connection(proxy)``) or run unencrypted against a bare
+backend (``connect(encrypted=False)``), which is how the evaluation
+benchmarks drive their "MySQL" baselines through the same API.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.api import exceptions
+from repro.api.backends import BackendAdapter, InMemoryBackend, resolve_backend
+from repro.api.cursor import Cursor
+from repro.api.exceptions import InterfaceError, translate_errors
+from repro.core.proxy import CryptDBProxy
+
+
+class Connection:
+    """A DB-API connection over the CryptDB proxy or a plain backend."""
+
+    # PEP 249 suggests exposing the exception classes on the connection so
+    # code holding only a connection can catch them.
+    Warning = exceptions.Warning
+    Error = exceptions.Error
+    InterfaceError = exceptions.InterfaceError
+    DatabaseError = exceptions.DatabaseError
+    DataError = exceptions.DataError
+    OperationalError = exceptions.OperationalError
+    IntegrityError = exceptions.IntegrityError
+    InternalError = exceptions.InternalError
+    ProgrammingError = exceptions.ProgrammingError
+    NotSupportedError = exceptions.NotSupportedError
+
+    def __init__(self, target: Any):
+        """Wrap an execution target: a CryptDB proxy, backend, or Database."""
+        if isinstance(target, CryptDBProxy):
+            self.proxy: Optional[CryptDBProxy] = target
+            self.target: Any = target
+            self.backend = target.db
+        else:
+            self.proxy = None
+            self.target = resolve_backend(target)
+            self.backend = self.target
+        self._closed = False
+        # One entry per active `with conn:` scope; True when that scope
+        # opened the transaction (and therefore closes it).
+        self._txn_scopes: list[bool] = []
+
+    # ------------------------------------------------------------------
+    # cursors and convenience execution
+    # ------------------------------------------------------------------
+    def cursor(self) -> Cursor:
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> Cursor:
+        """Shortcut: run one statement on a fresh cursor (sqlite3-style)."""
+        return self.cursor().execute(sql, params)
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]]) -> Cursor:
+        return self.cursor().executemany(sql, seq_of_params)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def _in_transaction(self) -> bool:
+        transactions = getattr(self.backend, "transactions", None)
+        return bool(transactions is not None and transactions.in_transaction)
+
+    def begin(self) -> None:
+        """Open a transaction (no-op when one is already active)."""
+        self._check_open()
+        if not self._in_transaction():
+            with translate_errors():
+                self.target.execute("BEGIN")
+
+    def commit(self) -> None:
+        self._check_open()
+        if self._in_transaction():
+            with translate_errors():
+                self.target.execute("COMMIT")
+
+    def rollback(self) -> None:
+        self._check_open()
+        if self._in_transaction():
+            with translate_errors():
+                self.target.execute("ROLLBACK")
+
+    def __enter__(self) -> "Connection":
+        """Open a transaction scope: commit on success, roll back on error.
+
+        Scopes nest: only the outermost `with conn:` (the one that issued
+        BEGIN) commits or rolls back; inner scopes are no-ops.
+        """
+        self._check_open()
+        owns = not self._in_transaction()
+        if owns:
+            self.begin()
+        self._txn_scopes.append(owns)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        owns = self._txn_scopes.pop() if self._txn_scopes else False
+        if not owns:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection, rolling back any open transaction."""
+        if self._closed:
+            return
+        if self._in_transaction():
+            self.rollback()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        mode = "encrypted" if self.proxy is not None else "plain"
+        return f"<repro.api.Connection {mode} closed={self._closed}>"
+
+
+def connect(
+    database: Any = None,
+    *,
+    encrypted: bool = True,
+    backend: Optional[BackendAdapter] = None,
+    **proxy_kwargs: Any,
+) -> Connection:
+    """Open a connection, the PEP 249 module-level entry point.
+
+    ``database`` may be an existing :class:`~repro.sql.engine.Database`, a
+    backend adapter, or None for a fresh in-memory backend.  With
+    ``encrypted=True`` (the default) a :class:`CryptDBProxy` holding a fresh
+    master key is placed in front of the backend; keyword arguments
+    (``master_key``, ``paillier``, ``paillier_bits``, ``anonymize_names``,
+    ``plan_cache_size``, ...) are forwarded to the proxy.  With
+    ``encrypted=False`` the connection drives the backend directly --
+    the "MySQL without CryptDB" baseline of the evaluation.
+    """
+    resolved = resolve_backend(backend if backend is not None else database)
+    with translate_errors():
+        if encrypted:
+            proxy = CryptDBProxy(db=resolved, **proxy_kwargs)
+            return Connection(proxy)
+        if proxy_kwargs:
+            raise InterfaceError(
+                f"proxy options {sorted(proxy_kwargs)} require encrypted=True"
+            )
+        return Connection(resolved)
+
+
+__all__ = ["Connection", "connect", "InMemoryBackend", "BackendAdapter"]

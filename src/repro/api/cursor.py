@@ -1,0 +1,150 @@
+"""PEP 249 cursors over the CryptDB proxy (or a plain backend).
+
+``Cursor.execute`` accepts ``?`` (qmark) placeholders.  Against an encrypted
+connection the statement shape is prepared once by the proxy's rewrite-plan
+cache and re-executions only encrypt the bound parameters;
+``Cursor.executemany`` makes that explicit by preparing the shape a single
+time and binding every parameter tuple against it.  Against an unencrypted
+backend, parameters are spliced in as safely escaped literals before the
+engine parses the text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.api.exceptions import InterfaceError, ProgrammingError, translate_errors
+from repro.sql.executor import ResultSet
+from repro.sql.parameters import inline_parameters
+
+#: PEP 249 description entries are 7-tuples; only ``name`` is meaningful for
+#: this engine (types are erased by onion encryption anyway).
+_DESCRIPTION_PADDING = (None, None, None, None, None, None)
+
+
+class Cursor:
+    """A database cursor, created via :meth:`Connection.cursor`."""
+
+    def __init__(self, connection):
+        self._connection = connection
+        self._closed = False
+        self._rows: list[tuple] = []
+        self._index = 0
+        self.description: Optional[list[tuple]] = None
+        self.rowcount: int = -1
+        self.arraysize: int = 1
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> "Cursor":
+        """Execute one statement, binding ``?`` placeholders from ``params``."""
+        self._check_open()
+        proxy = self._connection.proxy
+        with translate_errors():
+            if proxy is not None:
+                result = proxy.execute(sql, params)
+            else:
+                text = inline_parameters(sql, params) if params else sql
+                result = self._connection.target.execute(text)
+        self._load(result)
+        return self
+
+    def executemany(
+        self, sql: str, seq_of_params: Iterable[Sequence[Any]]
+    ) -> "Cursor":
+        """Execute one statement shape once per parameter tuple.
+
+        On an encrypted connection the shape is rewritten exactly once; each
+        execution only encrypts its parameters (the prepare/execute split of
+        the paper's §3.5.2 optimisation discussion).
+        """
+        self._check_open()
+        proxy = self._connection.proxy
+        total = 0
+        with translate_errors():
+            if proxy is not None:
+                total = proxy.executemany(sql, seq_of_params)
+            else:
+                for params in seq_of_params:
+                    total += self._connection.target.execute(
+                        inline_parameters(sql, params)
+                    ).rowcount
+        self._rows = []
+        self._index = 0
+        self.description = None
+        self.rowcount = total
+        return self
+
+    def _load(self, result: ResultSet) -> None:
+        self._rows = list(result.rows)
+        self._index = 0
+        if result.columns:
+            self.description = [
+                (name,) + _DESCRIPTION_PADDING for name in result.columns
+            ]
+        else:
+            self.description = None
+        self.rowcount = result.rowcount
+
+    # ------------------------------------------------------------------
+    # fetching
+    # ------------------------------------------------------------------
+    def fetchone(self) -> Optional[tuple]:
+        self._check_open()
+        if self._index >= len(self._rows):
+            return None
+        row = self._rows[self._index]
+        self._index += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> list[tuple]:
+        self._check_open()
+        count = self.arraysize if size is None else size
+        if count < 0:
+            raise ProgrammingError("fetchmany size cannot be negative")
+        chunk = self._rows[self._index : self._index + count]
+        self._index += len(chunk)
+        return chunk
+
+    def fetchall(self) -> list[tuple]:
+        self._check_open()
+        remaining = self._rows[self._index :]
+        self._index = len(self._rows)
+        return remaining
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # ------------------------------------------------------------------
+    # lifecycle / PEP 249 no-ops
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+        self._rows = []
+        self.description = None
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def setinputsizes(self, sizes) -> None:  # pragma: no cover - PEP 249 no-op
+        pass
+
+    def setoutputsize(self, size, column=None) -> None:  # pragma: no cover
+        pass
+
+    @property
+    def connection(self):
+        return self._connection
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self._connection._check_open()

@@ -1,0 +1,136 @@
+"""Prepared statements and the rewrite-plan cache.
+
+Rewriting dominates the proxy's per-query cost (§8.4, Figures 9-10): every
+statement is parsed, analysed against the onion schema, anonymised, and its
+constants onion-encrypted.  For parameterized queries that work is identical
+across executions, so the proxy rewrites each *shape* once and keeps the
+result as a :class:`PreparedStatement`:
+
+* the cache key is the statement's normalized text (whitespace/keyword-case
+  insensitive, literals re-escaped), computed with a single tokenizer pass;
+* entries record the :class:`~repro.core.schema.ProxySchema` version they
+  were rewritten under.  Any onion adjustment, JOIN-ADJ re-keying, CREATE or
+  DROP bumps that version, so stale plans -- whose baked ciphertext levels no
+  longer match the server's columns -- are discarded on the next lookup;
+* executing a cached plan only *binds* parameters: each ``?`` value is
+  encrypted for exactly the onion/layer recorded in its
+  :class:`~repro.core.rewriter.ParamSlot` and written into the rewritten
+  statement's literal nodes in place.
+
+Plans whose rewritten text embeds fresh per-execution randomness (RND IVs of
+literal INSERT/UPDATE values, literal HOM increment ciphertexts) are marked
+non-cacheable by the rewriter and always re-rewritten.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.core.encryptor import Encryptor
+from repro.core.rewriter import RewritePlan
+from repro.errors import ProxyError
+from repro.sql import ast_nodes as ast
+
+#: Statement kinds used for per-type statistics and cache bookkeeping.
+_KIND_BY_TYPE = {
+    ast.Select: "SELECT",
+    ast.Insert: "INSERT",
+    ast.Update: "UPDATE",
+    ast.Delete: "DELETE",
+    ast.CreateTable: "CREATE TABLE",
+    ast.CreateIndex: "CREATE INDEX",
+    ast.DropTable: "DROP TABLE",
+    ast.Begin: "BEGIN",
+    ast.Commit: "COMMIT",
+    ast.Rollback: "ROLLBACK",
+}
+
+
+def statement_kind(statement: ast.Statement) -> str:
+    return _KIND_BY_TYPE.get(type(statement), type(statement).__name__.upper())
+
+
+@dataclass
+class PreparedStatement:
+    """One rewritten statement shape, executable many times with parameters."""
+
+    statement: ast.Statement           # the original (application) statement
+    plan: Optional[RewritePlan]        # None for DDL handled by the proxy itself
+    param_count: int
+    schema_version: int
+    kind: str
+    sql_key: Optional[str] = None      # normalized text; None when prepared from an AST
+
+    @property
+    def is_ddl(self) -> bool:
+        return self.plan is None
+
+
+def bind_parameters(
+    plan: RewritePlan, params: Sequence[Any], encryptor: Encryptor
+) -> None:
+    """Encrypt bound values into the plan's literal slots, in place."""
+    row_values: dict[int, dict[str, Any]] = {}
+    for slot in plan.param_slots:
+        value = params[slot.index]
+        if slot.kind == "plain":
+            slot.target.value = value
+        elif slot.kind == "constant":
+            slot.target.value = encryptor.encrypt_constant(
+                slot.column, slot.onion, slot.level, value
+            )
+        elif slot.kind == "row_value":
+            if slot.index not in row_values:
+                row_values[slot.index] = encryptor.encrypt_row_value(slot.column, value)
+            slot.target.value = row_values[slot.index].get(slot.part)
+        elif slot.kind == "hom_delta":
+            if not isinstance(value, (int, float)):
+                raise ProxyError(
+                    f"parameter {slot.index} feeds a homomorphic increment and "
+                    f"must be numeric, got {type(value).__name__}"
+                )
+            slot.target.value = encryptor.hom_delta(slot.column, slot.sign * value)
+        else:  # pragma: no cover - slots are only created with known kinds
+            raise ProxyError(f"unknown parameter slot kind {slot.kind}")
+
+
+class PlanCache:
+    """LRU cache of :class:`PreparedStatement` keyed on normalized SQL text."""
+
+    def __init__(self, max_entries: int = 256):
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, PreparedStatement] = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str, schema_version: int, stats) -> Optional[PreparedStatement]:
+        """A valid cached plan, or None (counting the hit/miss/invalidation)."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.schema_version != schema_version:
+            del self._entries[key]
+            stats.plan_cache_invalidations += 1
+            entry = None
+        if entry is None:
+            stats.plan_cache_misses += 1
+            return None
+        self._entries.move_to_end(key)
+        stats.plan_cache_hits += 1
+        return entry
+
+    def put(self, prepared: PreparedStatement) -> None:
+        if not self.enabled or prepared.sql_key is None:
+            return
+        self._entries[prepared.sql_key] = prepared
+        self._entries.move_to_end(prepared.sql_key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -12,13 +12,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Union
+from typing import Any, Iterable, Optional, Sequence, Union
 
 from repro.core import udfs
 from repro.core.cache import CiphertextCache
 from repro.core.encryptor import Encryptor
 from repro.core.joins import JoinManager
 from repro.core.onion import Onion, SecurityLevel
+from repro.core.plan_cache import (
+    PlanCache,
+    PreparedStatement,
+    bind_parameters,
+    statement_kind,
+)
 from repro.core.rewriter import RewritePlan, Rewriter
 from repro.core.results import decrypt_results
 from repro.core.schema import ProxySchema
@@ -29,6 +35,7 @@ from repro.errors import ProxyError, UnsupportedQueryError
 from repro.sql import ast_nodes as ast
 from repro.sql.engine import Database
 from repro.sql.executor import ResultSet
+from repro.sql.parameters import normalize_statement_text
 from repro.sql.parser import parse_sql
 
 # A modest default keeps pure-Python Paillier fast; the paper uses 1024-bit
@@ -46,7 +53,36 @@ class ProxyStatistics:
     unsupported_queries: int = 0
     proxy_time_seconds: float = 0.0
     server_time_seconds: float = 0.0
+    #: Time spent parsing + rewriting statement shapes (the prepare phase);
+    #: plan-cache hits skip this entirely.
+    prepare_time_seconds: float = 0.0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_invalidations: int = 0
+    #: End-to-end per-statement wall times, keyed by statement kind
+    #: ("SELECT", "INSERT", ...), populated by every execute() call.
     per_query_type_seconds: dict[str, list] = field(default_factory=dict)
+
+    def record_query_type(self, kind: str, seconds: float) -> None:
+        self.per_query_type_seconds.setdefault(kind, []).append(seconds)
+
+    def query_type_summary(self) -> dict[str, dict[str, float]]:
+        """Per-statement-type count/total/mean, for the benchmark reports."""
+        summary: dict[str, dict[str, float]] = {}
+        for kind, samples in sorted(self.per_query_type_seconds.items()):
+            total = sum(samples)
+            summary[kind] = {
+                "count": len(samples),
+                "total_seconds": total,
+                "mean_ms": (total / len(samples)) * 1000 if samples else 0.0,
+            }
+        return summary
+
+    def reset(self) -> None:
+        """Zero every counter (timing series included); keys are kept out."""
+        fresh = ProxyStatistics()
+        for name, value in vars(fresh).items():
+            setattr(self, name, value)
 
 
 class CryptDBProxy:
@@ -62,6 +98,7 @@ class CryptDBProxy:
         in_proxy_processing: bool = False,
         use_ciphertext_cache: bool = True,
         hom_precompute: int = 256,
+        plan_cache_size: int = 256,
     ):
         self.db = db if db is not None else Database()
         self.master_key = master_key if master_key is not None else MasterKey.generate()
@@ -79,6 +116,9 @@ class CryptDBProxy:
         if use_ciphertext_cache and hom_precompute:
             self.cache.precompute_hom(hom_precompute)
         self.stats = ProxyStatistics()
+        self.plan_cache = PlanCache(plan_cache_size)
+        self._onion_snapshot: Optional[tuple] = None
+        self._computation_log: dict[tuple[str, str], set] = {}
         self._unsupported_log: list[str] = []
         self._training = False
         udfs.install_udfs(self.db, self.paillier.public)
@@ -163,30 +203,72 @@ class CryptDBProxy:
     # ------------------------------------------------------------------
     # query execution
     # ------------------------------------------------------------------
-    def execute(self, sql_or_statement: Union[str, ast.Statement]) -> ResultSet:
-        """Execute one application statement over encrypted data."""
-        statement = (
-            parse_sql(sql_or_statement)
-            if isinstance(sql_or_statement, str)
-            else sql_or_statement
+    def execute(
+        self,
+        sql_or_statement: Union[str, ast.Statement],
+        params: Optional[Sequence[Any]] = None,
+    ) -> ResultSet:
+        """Execute one application statement over encrypted data.
+
+        ``params`` binds ``?`` placeholders (DB-API *qmark* style).  SQL text
+        goes through the rewrite-plan cache, so repeated executions of the
+        same parameterized shape skip re-parsing and re-rewriting and only
+        pay for encrypting the bound parameters.
+        """
+        if isinstance(sql_or_statement, str):
+            prepared = self.prepare(sql_or_statement)
+        else:
+            prepared = self._prepare_statement(sql_or_statement, cache_key=None)
+        return self.execute_prepared(prepared, params)
+
+    def executemany(
+        self, sql: str, seq_of_params: Iterable[Sequence[Any]]
+    ) -> int:
+        """Execute one statement shape for every parameter tuple.
+
+        A fully parameterized shape is prepared (rewritten) exactly once;
+        each execution only encrypts its bound parameters.  Shapes that bake
+        per-execution randomness into the plan (literal values written to
+        encrypted columns) are re-rewritten per row so RND IVs and HOM
+        ciphertexts are never replayed.  Returns the total affected rowcount.
+        """
+        prepared = self.prepare(sql)
+        reusable = (
+            prepared.is_ddl or prepared.plan.passthrough or prepared.plan.cacheable
         )
-        self.stats.queries_processed += 1
+        total = 0
+        for params in seq_of_params:
+            total += self.execute_prepared(prepared, params).rowcount
+            if not reusable:
+                prepared = self.prepare(sql)
+        return total
 
-        if isinstance(statement, ast.CreateTable):
-            self.create_table(statement)
-            return ResultSet([], [], 0)
-        if isinstance(statement, ast.CreateIndex):
-            for column in statement.columns:
-                self.create_index(statement.table, column)
-            return ResultSet([], [], 0)
-        if isinstance(statement, ast.DropTable):
-            if self.schema.has_table(statement.table):
-                anon = self.schema.table(statement.table).anon_name
-                self.schema.tables.pop(statement.table)
-                return self.db.execute(ast.DropTable(anon, statement.if_exists))
-            return self.db.execute(statement)
+    #: Statement heads that never produce a cacheable rewrite plan; prepare()
+    #: skips the cache for them so hit/miss counters reflect only real plans.
+    _UNCACHED_HEADS = frozenset({"CREATE", "DROP", "BEGIN", "COMMIT", "ROLLBACK", "START"})
 
-        proxy_start = time.perf_counter()
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse + rewrite a statement shape once, via the plan cache."""
+        key = normalize_statement_text(sql)
+        if key.split(" ", 1)[0] in self._UNCACHED_HEADS:
+            return self._prepare_statement(parse_sql(sql), cache_key=None)
+        cached = self.plan_cache.get(key, self.schema.version, self.stats)
+        if cached is not None:
+            return cached
+        return self._prepare_statement(parse_sql(sql), cache_key=key)
+
+    def _prepare_statement(
+        self, statement: ast.Statement, cache_key: Optional[str]
+    ) -> PreparedStatement:
+        """Rewrite a parsed statement, run its onion adjustments, maybe cache."""
+        kind = statement_kind(statement)
+        param_count = ast.count_placeholders(statement)
+        if isinstance(statement, (ast.CreateTable, ast.CreateIndex, ast.DropTable)):
+            if param_count:
+                raise ProxyError("DDL statements cannot take ? parameters")
+            return PreparedStatement(statement, None, 0, self.schema.version, kind)
+
+        prepare_start = time.perf_counter()
         try:
             plan = self.rewriter.rewrite(statement)
         except UnsupportedQueryError as exc:
@@ -196,11 +278,20 @@ class CryptDBProxy:
         self.stats.queries_rewritten += 1
         self.stats.onion_adjustments = self.rewriter.onion_adjustments
         self.record_computations(plan)
-        rewrite_time = time.perf_counter() - proxy_start
+        if not plan.passthrough:
+            bound_indices = {slot.index for slot in plan.param_slots}
+            if bound_indices != set(range(param_count)):
+                raise UnsupportedQueryError(
+                    "a ? placeholder appears in a position that cannot be bound "
+                    "over encrypted data"
+                )
+        rewrite_time = time.perf_counter() - prepare_start
+        self.stats.proxy_time_seconds += rewrite_time
+        self.stats.prepare_time_seconds += rewrite_time
 
-        server_time = 0.0
         # Onion adjustments run inside a transaction so concurrent readers
-        # never observe a half-adjusted column (§3.2).
+        # never observe a half-adjusted column (§3.2).  They run once, here at
+        # prepare time; the stored plan is adjustment-free afterwards.
         if plan.adjustments:
             adjust_start = time.perf_counter()
             own_transaction = not self.db.transactions.in_transaction
@@ -210,22 +301,101 @@ class CryptDBProxy:
                 self.db.execute(adjustment)
             if own_transaction:
                 self.db.execute(ast.Commit())
-            server_time += time.perf_counter() - adjust_start
+            plan.adjustments = []
+            self.stats.server_time_seconds += time.perf_counter() - adjust_start
 
-        execute_start = time.perf_counter()
-        server_result = self.db.execute(plan.statement)
-        server_time += time.perf_counter() - execute_start
+        prepared = PreparedStatement(
+            statement, plan, param_count, self.schema.version, kind, sql_key=cache_key
+        )
+        if plan.cacheable and not plan.passthrough:
+            self.plan_cache.put(prepared)
+        return prepared
 
-        decrypt_start = time.perf_counter()
-        if isinstance(statement, ast.Select):
-            result = decrypt_results(plan, server_result, self.encryptor)
-        else:
-            result = ResultSet([], [], server_result.rowcount)
-        decrypt_time = time.perf_counter() - decrypt_start
+    def execute_prepared(
+        self, prepared: PreparedStatement, params: Optional[Sequence[Any]] = None
+    ) -> ResultSet:
+        """Execute a prepared statement with the given parameter values."""
+        params = tuple(params) if params is not None else ()
+        self.stats.queries_processed += 1
+        total_start = time.perf_counter()
+        try:
+            if prepared.is_ddl:
+                return self._execute_ddl(prepared.statement)
 
-        self.stats.proxy_time_seconds += rewrite_time + decrypt_time
-        self.stats.server_time_seconds += server_time
+            plan = prepared.plan
+            if plan.passthrough:
+                return self._execute_transaction_control(plan.statement)
+
+            if len(params) != prepared.param_count:
+                raise ProxyError(
+                    f"statement expects {prepared.param_count} parameters, "
+                    f"got {len(params)}"
+                )
+            bind_start = time.perf_counter()
+            if params:
+                bind_parameters(plan, params, self.encryptor)
+            bind_time = time.perf_counter() - bind_start
+
+            server_start = time.perf_counter()
+            server_result = self.db.execute(plan.statement)
+            server_time = time.perf_counter() - server_start
+
+            decrypt_start = time.perf_counter()
+            if isinstance(prepared.statement, ast.Select):
+                result = decrypt_results(plan, server_result, self.encryptor)
+            else:
+                result = ResultSet([], [], server_result.rowcount)
+            decrypt_time = time.perf_counter() - decrypt_start
+
+            self.stats.proxy_time_seconds += bind_time + decrypt_time
+            self.stats.server_time_seconds += server_time
+            return result
+        finally:
+            self.stats.record_query_type(
+                prepared.kind, time.perf_counter() - total_start
+            )
+
+    def _execute_transaction_control(self, statement: ast.Statement) -> ResultSet:
+        """BEGIN/COMMIT/ROLLBACK, keeping onion metadata transactional too.
+
+        Onion-adjustment UPDATEs issued while an application transaction is
+        open are rolled back with it, so the proxy snapshots every onion
+        level at BEGIN and rewinds its schema metadata (invalidating cached
+        plans) when the transaction aborts.
+        """
+        if isinstance(statement, ast.Begin) and not self.db.transactions.in_transaction:
+            self._onion_snapshot = (
+                self.schema.snapshot_levels(),
+                self.joins.snapshot(),
+            )
+        result = self.db.execute(statement)
+        if isinstance(statement, ast.Commit):
+            self._onion_snapshot = None
+        elif isinstance(statement, ast.Rollback):
+            if self._onion_snapshot is not None:
+                levels, join_state = self._onion_snapshot
+                self.schema.restore_levels(levels)
+                if self.joins.restore(join_state):
+                    # Cached plans with baked JOIN-ADJ constants are stale.
+                    self.schema.bump_version()
+            self._onion_snapshot = None
         return result
+
+    def _execute_ddl(self, statement: ast.Statement) -> ResultSet:
+        """CREATE/DROP statements the proxy handles outside the rewriter."""
+        if isinstance(statement, ast.CreateTable):
+            self.create_table(statement)
+            return ResultSet([], [], 0)
+        if isinstance(statement, ast.CreateIndex):
+            for column in statement.columns:
+                self.create_index(statement.table, column)
+            return ResultSet([], [], 0)
+        if isinstance(statement, ast.DropTable):
+            if self.schema.has_table(statement.table):
+                meta = self.schema.drop_table(statement.table)
+                return self.db.execute(ast.DropTable(meta.anon_name, statement.if_exists))
+            return self.db.execute(statement)
+        raise ProxyError(f"unexpected DDL statement {type(statement).__name__}")
 
     # ------------------------------------------------------------------
     # training mode (§3.5.1) and reporting
@@ -249,24 +419,14 @@ class CryptDBProxy:
 
     def report(self) -> TrainingReport:
         """The current steady-state onion levels of every managed column."""
-        computations: dict = {}
-        # Accumulate per-column computations observed across all rewrites.
-        for (table, column), classes in self._accumulated_computations.items():
-            computations[(table, column)] = classes
+        # The rewriter records computations per plan; the proxy accumulates
+        # them into _computation_log as each plan is prepared.
+        computations = dict(self._computation_log)
         return build_report(self.schema, computations, self._unsupported_log)
-
-    @property
-    def _accumulated_computations(self):
-        # The rewriter records computations per plan; the proxy aggregates them
-        # lazily by re-walking plans is expensive, so the rewriter exposes a
-        # cumulative map instead.
-        if not hasattr(self, "_computation_log"):
-            self._computation_log = {}
-        return self._computation_log
 
     def record_computations(self, plan: RewritePlan) -> None:
         for key, classes in plan.computations.items():
-            self._accumulated_computations.setdefault(key, set()).update(classes)
+            self._computation_log.setdefault(key, set()).update(classes)
 
     # ------------------------------------------------------------------
     # storage / security statistics used by the evaluation

@@ -16,7 +16,7 @@ For every incoming statement the rewriter:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional, Union
 
 from repro.core import udfs
 from repro.core.encryptor import Encryptor
@@ -48,6 +48,26 @@ class OutputSpec:
 
 
 @dataclass
+class ParamSlot:
+    """How one bound parameter occurrence is encrypted at execution time.
+
+    The rewriter leaves a mutable :class:`~repro.sql.ast_nodes.Literal` node
+    (``target``) in the rewritten statement for every place a ``?`` value must
+    appear; binding fills those nodes in, so prepare-once/execute-many only
+    pays for parameter encryption, never for re-parsing or re-rewriting.
+    """
+
+    index: int                     # zero-based parameter position
+    kind: str                      # plain | constant | row_value | hom_delta
+    target: ast.Literal            # literal node in the rewritten statement
+    column: Optional[ColumnMeta] = None
+    onion: Optional[Onion] = None
+    level: Optional[EncryptionScheme] = None
+    part: Optional[str] = None     # row_value: which anonymised column
+    sign: int = 1                  # hom_delta: +1 for ``c + ?``, -1 for ``c - ?``
+
+
+@dataclass
 class RewritePlan:
     """Everything the proxy needs to execute one application statement."""
 
@@ -57,6 +77,11 @@ class RewritePlan:
     computations: dict[tuple[str, str], set[ComputationClass]] = field(default_factory=dict)
     proxy_order: list[tuple[int, bool]] = field(default_factory=list)
     passthrough: bool = False
+    param_slots: list[ParamSlot] = field(default_factory=list)
+    # A plan is cacheable unless fresh per-execution randomness (RND IVs, HOM
+    # ciphertexts) was baked into the rewritten statement itself; replaying
+    # such a plan would silently reuse randomness and leak equality.
+    cacheable: bool = True
 
 
 class _Scope:
@@ -234,6 +259,66 @@ class Rewriter:
                 ast.Update(table_meta.anon_name, [(state.anon_name, call)], None)
             )
             self.onion_adjustments += 1
+            # JOIN-ADJ key changes invalidate plans with baked JOIN constants.
+            self.schema.bump_version()
+
+    # ==================================================================
+    # constants and parameter placeholders
+    # ==================================================================
+    @staticmethod
+    def _bindable(expr: ast.Expression) -> bool:
+        """Literal constants and ``?`` placeholders are both bindable."""
+        return isinstance(expr, (ast.Literal, ast.Placeholder))
+
+    def _encrypted_constant(
+        self,
+        plan: RewritePlan,
+        expr: ast.Expression,
+        column: ColumnMeta,
+        onion: Onion,
+        level: EncryptionScheme,
+    ) -> ast.Literal:
+        """An encrypted literal, or a deferred slot for a placeholder."""
+        if isinstance(expr, ast.Placeholder):
+            target = ast.Literal(None)
+            plan.param_slots.append(
+                ParamSlot(expr.index, "constant", target, column, onion, level)
+            )
+            return target
+        return ast.Literal(self.encryptor.encrypt_constant(column, onion, level, expr.value))
+
+    def _plain_constant(self, plan: RewritePlan, expr: ast.Expression) -> ast.Expression:
+        """A plaintext-column constant, deferred when it is a placeholder."""
+        if isinstance(expr, ast.Placeholder):
+            target = ast.Literal(None)
+            plan.param_slots.append(ParamSlot(expr.index, "plain", target))
+            return target
+        return expr
+
+    def _row_value_slots(
+        self, plan: RewritePlan, placeholder: ast.Placeholder, column: ColumnMeta
+    ) -> list[tuple[str, ast.Literal]]:
+        """Deferred onion encryptions of one placeholder-valued row cell."""
+        if column.plaintext:
+            target = ast.Literal(None)
+            plan.param_slots.append(ParamSlot(placeholder.index, "plain", target))
+            return [(column.name, target)]
+        pairs: list[tuple[str, ast.Literal]] = []
+        for part in self._anon_parts(column):
+            target = ast.Literal(None)
+            plan.param_slots.append(
+                ParamSlot(placeholder.index, "row_value", target, column, part=part)
+            )
+            pairs.append((part, target))
+        return pairs
+
+    @staticmethod
+    def _anon_parts(column: ColumnMeta) -> list[str]:
+        """Anonymised DBMS columns storing one application column's value."""
+        parts = [state.anon_name for state in column.onions.values()]
+        if column.iv_column:
+            parts.append(column.iv_column)
+        return parts
 
     # ==================================================================
     # expression rewriting (predicates)
@@ -317,27 +402,31 @@ class Rewriter:
                     f"predicate {expr.to_sql()} requires computation on an encrypted "
                     "column and cannot run on the DBMS server"
                 )
+            if any(isinstance(node, ast.Placeholder) for node in ast.walk_expression(expr)):
+                raise UnsupportedQueryError(
+                    f"predicate {expr.to_sql()}: a ? placeholder must be compared "
+                    "against a column"
+                )
             # constant vs constant: leave untouched.
             return expr
         column, qualifier = column_side
         constant_expr = expr.right if left_col is not None else expr.left
-        if not isinstance(constant_expr, ast.Literal):
+        if not self._bindable(constant_expr):
             raise UnsupportedQueryError(
                 f"predicate {expr.to_sql()} mixes computation and comparison on a column"
             )
         if column.plaintext:
             new_ref = ast.ColumnRef(column.name, qualifier)
+            constant = self._plain_constant(plan, constant_expr)
             if left_col is not None:
-                return ast.BinaryOp(expr.op, new_ref, constant_expr)
-            return ast.BinaryOp(expr.op, constant_expr, new_ref)
+                return ast.BinaryOp(expr.op, new_ref, constant)
+            return ast.BinaryOp(expr.op, constant, new_ref)
 
         if expr.op in ("=", "!="):
             onion, level = self._require(plan, column, ComputationClass.EQUALITY)
         else:
             onion, level = self._require(plan, column, ComputationClass.ORDER)
-        encrypted = ast.Literal(
-            self.encryptor.encrypt_constant(column, onion, level, constant_expr.value)
-        )
+        encrypted = self._encrypted_constant(plan, constant_expr, column, onion, level)
         new_ref = ast.ColumnRef(column.onion_state(onion).anon_name, qualifier)
         if left_col is not None:
             return ast.BinaryOp(expr.op, new_ref, encrypted)
@@ -376,15 +465,14 @@ class Rewriter:
             raise UnsupportedQueryError("IN requires a plain column on its left side")
         column, qualifier = resolved
         if column.plaintext:
-            return ast.InList(ast.ColumnRef(column.name, qualifier), expr.items, expr.negated)
+            items = [self._plain_constant(plan, item) for item in expr.items]
+            return ast.InList(ast.ColumnRef(column.name, qualifier), items, expr.negated)
         onion, level = self._require(plan, column, ComputationClass.EQUALITY)
         items = []
         for item in expr.items:
-            if not isinstance(item, ast.Literal):
+            if not self._bindable(item):
                 raise UnsupportedQueryError("IN list items must be constants")
-            items.append(
-                ast.Literal(self.encryptor.encrypt_constant(column, onion, level, item.value))
-            )
+            items.append(self._encrypted_constant(plan, item, column, onion, level))
         return ast.InList(
             ast.ColumnRef(column.onion_state(onion).anon_name, qualifier), items, expr.negated
         )
@@ -395,14 +483,19 @@ class Rewriter:
             raise UnsupportedQueryError("BETWEEN requires a plain column")
         column, qualifier = resolved
         if column.plaintext:
-            return ast.Between(ast.ColumnRef(column.name, qualifier), expr.low, expr.high, expr.negated)
-        if not isinstance(expr.low, ast.Literal) or not isinstance(expr.high, ast.Literal):
+            return ast.Between(
+                ast.ColumnRef(column.name, qualifier),
+                self._plain_constant(plan, expr.low),
+                self._plain_constant(plan, expr.high),
+                expr.negated,
+            )
+        if not self._bindable(expr.low) or not self._bindable(expr.high):
             raise UnsupportedQueryError("BETWEEN bounds must be constants")
         onion, level = self._require(plan, column, ComputationClass.ORDER)
         return ast.Between(
             ast.ColumnRef(column.onion_state(onion).anon_name, qualifier),
-            ast.Literal(self.encryptor.encrypt_constant(column, onion, level, expr.low.value)),
-            ast.Literal(self.encryptor.encrypt_constant(column, onion, level, expr.high.value)),
+            self._encrypted_constant(plan, expr.low, column, onion, level),
+            self._encrypted_constant(plan, expr.high, column, onion, level),
             expr.negated,
         )
 
@@ -410,6 +503,11 @@ class Rewriter:
         resolved = self._resolve_or_none(expr.expr, scope)
         if resolved is None:
             raise UnsupportedQueryError("LIKE requires a plain column")
+        if isinstance(expr.pattern, ast.Placeholder):
+            raise UnsupportedQueryError(
+                "LIKE patterns cannot be ? parameters: the SEARCH rewrite depends "
+                "on the pattern's wildcard shape, so the pattern must be a literal"
+            )
         if not isinstance(expr.pattern, ast.Literal) or not isinstance(expr.pattern.value, str):
             raise UnsupportedQueryError(
                 "LIKE with a non-constant pattern cannot run over encrypted data"
@@ -750,24 +848,37 @@ class Rewriter:
         table_meta = self.schema.table(statement.table)
         columns = statement.columns or table_meta.column_names()
 
+        # Deterministic anonymised layout, independent of the row values.
+        layout: list[tuple[ColumnMeta, list[str]]] = []
         anon_columns: list[str] = []
+        for column_name in columns:
+            column = table_meta.column(column_name)
+            parts = [column.name] if column.plaintext else self._anon_parts(column)
+            layout.append((column, parts))
+            anon_columns.extend(parts)
+
         rows: list[list[ast.Expression]] = []
         for row_exprs in statement.rows:
             if len(row_exprs) != len(columns):
                 raise ProxyError("INSERT row length does not match the column list")
-            values: dict[str, Any] = {}
-            for column_name, expr in zip(columns, row_exprs):
-                if not isinstance(expr, ast.Literal):
-                    raise UnsupportedQueryError("INSERT values must be constants")
-                column = table_meta.column(column_name)
+            row: list[ast.Expression] = []
+            for (column, parts), expr in zip(layout, row_exprs):
                 self._record(plan, column, ComputationClass.NONE)
+                if isinstance(expr, ast.Placeholder):
+                    row.extend(target for _, target in self._row_value_slots(plan, expr, column))
+                    continue
+                if not isinstance(expr, ast.Literal):
+                    raise UnsupportedQueryError(
+                        "INSERT values must be constants or ? placeholders"
+                    )
                 if column.plaintext:
-                    values[column.name] = expr.value
-                else:
-                    values.update(self.encryptor.encrypt_row_value(column, expr.value))
-            if not anon_columns:
-                anon_columns = list(values.keys())
-            rows.append([ast.Literal(values[c]) for c in anon_columns])
+                    row.append(ast.Literal(expr.value))
+                    continue
+                # A fresh IV (and HOM randomness) is baked into the plan.
+                plan.cacheable = False
+                encrypted = self.encryptor.encrypt_row_value(column, expr.value)
+                row.extend(ast.Literal(encrypted.get(part)) for part in parts)
+            rows.append(row)
         plan.statement = ast.Insert(table_meta.anon_name, anon_columns, rows)
         return plan
 
@@ -781,26 +892,48 @@ class Rewriter:
         for column_name, expr in statement.assignments:
             column = table_meta.column(column_name)
             if column.plaintext:
-                if not isinstance(expr, ast.Literal):
+                if not self._bindable(expr):
                     raise UnsupportedQueryError("updates to plaintext columns must be constants")
-                assignments.append((column.name, expr))
+                assignments.append((column.name, self._plain_constant(plan, expr)))
+                continue
+            if isinstance(expr, ast.Placeholder):
+                self._record(plan, column, ComputationClass.NONE)
+                assignments.extend(self._row_value_slots(plan, expr, column))
                 continue
             if isinstance(expr, ast.Literal):
                 self._record(plan, column, ComputationClass.NONE)
+                # A fresh IV is baked into the plan; do not cache it.
+                plan.cacheable = False
                 encrypted = self.encryptor.encrypt_row_value(column, expr.value)
                 assignments.extend((name, ast.Literal(value)) for name, value in encrypted.items())
                 continue
             increment = _match_increment(expr, column_name)
             if increment is not None:
+                value_expr, sign = increment
                 self._record(plan, column, ComputationClass.ADDITION)
                 self._require(plan, column, ComputationClass.ADDITION)
                 state = column.onion_state(Onion.ADD)
-                delta_ct = self.encryptor.hom_delta(column, increment)
+                if isinstance(value_expr, ast.Placeholder):
+                    delta_node = ast.Literal(None)
+                    plan.param_slots.append(
+                        ParamSlot(value_expr.index, "hom_delta", delta_node, column, sign=sign)
+                    )
+                else:
+                    # HOM encryption is probabilistic; baking the ciphertext
+                    # into a reusable plan would replay its randomness.
+                    plan.cacheable = False
+                    delta_node = ast.Literal(
+                        self.encryptor.hom_delta(column, sign * value_expr.value)
+                    )
                 call = ast.FunctionCall(
-                    udfs.HOM_ADD, [ast.ColumnRef(state.anon_name), ast.Literal(delta_ct)]
+                    udfs.HOM_ADD, [ast.ColumnRef(state.anon_name), delta_node]
                 )
                 assignments.append((state.anon_name, call))
-                column.hom_stale_others = True
+                if not column.hom_stale_others:
+                    # Projections of this column must switch to the Add onion
+                    # (§3.3); cached SELECT plans reading Eq are now stale.
+                    column.hom_stale_others = True
+                    self.schema.bump_version()
                 continue
             self._record(plan, column, ComputationClass.PLAINTEXT)
             raise UnsupportedQueryError(
@@ -830,25 +963,36 @@ class Rewriter:
         return plan
 
 
-def _match_increment(expr: ast.Expression, column_name: str) -> Optional[int]:
-    """Detect ``col + k`` / ``col - k`` patterns in an UPDATE assignment."""
+def _match_increment(
+    expr: ast.Expression, column_name: str
+) -> Optional[tuple[Union[ast.Literal, ast.Placeholder], int]]:
+    """Detect ``col + k`` / ``col - k`` patterns in an UPDATE assignment.
+
+    Returns the delta expression (a literal or a ``?`` placeholder bound at
+    execution time) and the sign to apply to it.
+    """
     if not isinstance(expr, ast.BinaryOp) or expr.op not in ("+", "-"):
         return None
     left, right = expr.left, expr.right
-    if isinstance(left, ast.ColumnRef) and left.name == column_name and isinstance(right, ast.Literal):
-        value = right.value
+    bindable = (ast.Literal, ast.Placeholder)
+    if (
+        isinstance(left, ast.ColumnRef)
+        and left.name == column_name
+        and isinstance(right, bindable)
+    ):
+        value_expr = right
     elif (
         expr.op == "+"
         and isinstance(right, ast.ColumnRef)
         and right.name == column_name
-        and isinstance(left, ast.Literal)
+        and isinstance(left, bindable)
     ):
-        value = left.value
+        value_expr = left
     else:
         return None
-    if not isinstance(value, (int, float)):
+    if isinstance(value_expr, ast.Literal) and not isinstance(value_expr.value, (int, float)):
         return None
-    return -value if expr.op == "-" else value
+    return value_expr, (-1 if expr.op == "-" else 1)
 
 
 def _find_output(specs: list[OutputSpec], column: ColumnMeta) -> Optional[int]:

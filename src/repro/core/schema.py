@@ -128,6 +128,13 @@ class ProxySchema:
         self.anonymize_names = anonymize_names
         self.tables: dict[str, TableMeta] = {}
         self._table_counter = 0
+        #: Monotonic counter bumped on every schema or onion-state change;
+        #: the proxy's rewrite-plan cache keys its validity on it.
+        self.version = 0
+
+    def bump_version(self) -> None:
+        """Invalidate cached rewrite plans after a schema/onion change."""
+        self.version += 1
 
     # -- construction -------------------------------------------------------
     def add_table(
@@ -169,6 +176,15 @@ class ProxySchema:
                 col_meta.iv_column = f"{prefix}_IV"
             meta.columns[column.name] = col_meta
         self.tables[name] = meta
+        self.bump_version()
+        return meta
+
+    def drop_table(self, name: str) -> TableMeta:
+        """Forget an application table (its anonymised twin is dropped too)."""
+        if name not in self.tables:
+            raise SchemaError(f"table {name} is not managed by the proxy")
+        meta = self.tables.pop(name)
+        self.bump_version()
         return meta
 
     # -- lookups --------------------------------------------------------------
@@ -186,6 +202,43 @@ class ProxySchema:
     def table_names(self) -> list[str]:
         return list(self.tables)
 
+    # -- onion state snapshots (transaction support) ---------------------------
+    def snapshot_levels(self) -> dict:
+        """Capture every onion level (and HOM staleness) for later restore.
+
+        Onion-adjustment UPDATEs issued inside an application transaction are
+        rolled back with it, so the proxy must be able to rewind its metadata
+        to match the server's ciphertexts.
+        """
+        levels = {}
+        for table_name, table in self.tables.items():
+            for column_name, column in table.columns.items():
+                key = (table_name, column_name)
+                levels[key] = (
+                    {onion: state.level for onion, state in column.onions.items()},
+                    column.hom_stale_others,
+                )
+        return levels
+
+    def restore_levels(self, snapshot: dict) -> None:
+        """Rewind onion levels to a snapshot (after a transaction rollback)."""
+        changed = False
+        for (table_name, column_name), (levels, hom_stale) in snapshot.items():
+            table = self.tables.get(table_name)
+            if table is None or column_name not in table.columns:
+                continue  # table dropped since the snapshot
+            column = table.columns[column_name]
+            for onion, level in levels.items():
+                state = column.onions.get(onion)
+                if state is not None and state.level is not level:
+                    state.level = level
+                    changed = True
+            if column.hom_stale_others != hom_stale:
+                column.hom_stale_others = hom_stale
+                changed = True
+        if changed:
+            self.bump_version()
+
     # -- onion state updates ----------------------------------------------------
     def lower_onion(self, table: str, column: str, onion: Onion, target: EncryptionScheme) -> list[EncryptionScheme]:
         """Record that an onion has been peeled down to ``target``.
@@ -202,4 +255,5 @@ class ProxySchema:
             return []
         removed = layers[current_idx:target_idx]
         state.level = target
+        self.bump_version()
         return removed

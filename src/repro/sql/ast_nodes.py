@@ -49,6 +49,21 @@ class Literal(Expression):
 
 
 @dataclass
+class Placeholder(Expression):
+    """A ``?`` parameter placeholder (DB-API *qmark* style).
+
+    Placeholders are assigned zero-based indices in lexical order by the
+    parser; values are bound at execution time, so the same parsed (and
+    rewritten) statement can be re-executed with different parameters.
+    """
+
+    index: int
+
+    def to_sql(self) -> str:
+        return "?"
+
+
+@dataclass
 class ColumnRef(Expression):
     """A reference to a column, optionally qualified by table name/alias."""
 
@@ -376,6 +391,46 @@ class Rollback(Statement):
 
     def to_sql(self) -> str:
         return "ROLLBACK"
+
+
+def statement_expressions(statement: Statement):
+    """Yield the top-level expressions of a statement (not sub-expressions)."""
+    if isinstance(statement, Select):
+        for item in statement.items:
+            yield item.expr
+        clause = statement.from_clause
+        while isinstance(clause, Join):
+            if clause.condition is not None:
+                yield clause.condition
+            clause = clause.left
+        if statement.where is not None:
+            yield statement.where
+        yield from statement.group_by
+        if statement.having is not None:
+            yield statement.having
+        for order in statement.order_by:
+            yield order.expr
+    elif isinstance(statement, Insert):
+        for row in statement.rows:
+            yield from row
+    elif isinstance(statement, Update):
+        for _, expr in statement.assignments:
+            yield expr
+        if statement.where is not None:
+            yield statement.where
+    elif isinstance(statement, Delete):
+        if statement.where is not None:
+            yield statement.where
+
+
+def count_placeholders(statement: Statement) -> int:
+    """Number of ``?`` placeholders appearing anywhere in a statement."""
+    return sum(
+        1
+        for top in statement_expressions(statement)
+        for node in walk_expression(top)
+        if isinstance(node, Placeholder)
+    )
 
 
 def walk_expression(expr: Optional[Expression]):

@@ -25,6 +25,7 @@ class TokenType(Enum):
     BLOB = auto()
     OPERATOR = auto()
     PUNCTUATION = auto()
+    PLACEHOLDER = auto()
     END = auto()
 
 
@@ -134,6 +135,11 @@ def tokenize(sql: str) -> list[Token]:
             continue
         if ch in _PUNCTUATION or ch == ";":
             tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        # DB-API qmark parameter placeholder.
+        if ch == "?":
+            tokens.append(Token(TokenType.PLACEHOLDER, "?", i))
             i += 1
             continue
         raise SQLSyntaxError(f"unexpected character {ch!r} at position {i}")

@@ -1,0 +1,69 @@
+"""SQL-text utilities for ``?`` (qmark) parameter handling.
+
+Two text-level operations back the prepared-statement machinery:
+
+* :func:`normalize_statement_text` canonicalises a statement's *shape* --
+  keywords uppercased, whitespace collapsed, literals re-escaped -- so the
+  proxy's rewrite-plan cache can key on it cheaply (one tokenizer pass, no
+  parse).  Two textual spellings of the same statement share one cache slot.
+* :func:`inline_parameters` safely splices bound values into SQL text for
+  backends that do not understand placeholders (the plain, unencrypted
+  :class:`~repro.sql.engine.Database` path).  Values go through the same
+  escaping as :meth:`Literal.to_sql`, so quotes, ``?`` characters and unicode
+  inside a *value* can never alter the statement's structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast_nodes import _format_value
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def _render_token(token: Token, params: Optional[Sequence[Any]], counter: list[int]) -> str:
+    if token.type is TokenType.KEYWORD:
+        return str(token.value)
+    if token.type is TokenType.IDENTIFIER:
+        text = str(token.value)
+        if text.isidentifier():
+            return text
+        return '"%s"' % text
+    if token.type in (TokenType.NUMBER, TokenType.STRING, TokenType.BLOB):
+        return _format_value(token.value)
+    if token.type is TokenType.PLACEHOLDER:
+        if params is None:
+            return "?"
+        index = counter[0]
+        counter[0] += 1
+        if index >= len(params):
+            raise SQLSyntaxError(
+                f"statement has more placeholders than the {len(params)} bound parameters"
+            )
+        return _format_value(params[index])
+    return str(token.value)
+
+
+def _render(sql: str, params: Optional[Sequence[Any]]) -> str:
+    counter = [0]
+    pieces = [
+        _render_token(token, params, counter)
+        for token in tokenize(sql)
+        if token.type is not TokenType.END
+    ]
+    if params is not None and counter[0] != len(params):
+        raise SQLSyntaxError(
+            f"statement has {counter[0]} placeholders but {len(params)} parameters were bound"
+        )
+    return " ".join(pieces)
+
+
+def normalize_statement_text(sql: str) -> str:
+    """Canonical text of a statement, used as the rewrite-plan cache key."""
+    return _render(sql, None)
+
+
+def inline_parameters(sql: str, params: Sequence[Any]) -> str:
+    """Substitute ``?`` placeholders with safely escaped literal values."""
+    return _render(sql, params)

@@ -32,6 +32,7 @@ class Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._pos = 0
+        self._param_index = 0  # next ? placeholder index, assigned lexically
 
     # -- token helpers ----------------------------------------------------
     def _peek(self, offset: int = 0) -> Token:
@@ -455,6 +456,11 @@ class Parser:
         if token.matches_keyword("FALSE"):
             self._advance()
             return ast.Literal(False)
+        if token.type is TokenType.PLACEHOLDER:
+            self._advance()
+            placeholder = ast.Placeholder(self._param_index)
+            self._param_index += 1
+            return placeholder
         if token.type is TokenType.OPERATOR and token.value == "*":
             self._advance()
             return ast.Star()

@@ -15,6 +15,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.sql.parameters import inline_parameters
+
 PHPBB_ANNOTATED_SCHEMA = """
 PRINCTYPE physical_user EXTERNAL;
 PRINCTYPE user, group_p, msg, forum_post, forum_name;
@@ -80,7 +82,14 @@ REQUEST_TYPES = ("Login", "R post", "W post", "R msg", "W msg")
 
 @dataclass
 class PhpBBApplication:
-    """Drives a phpBB-like SQL workload against any ``.execute`` target."""
+    """Drives a phpBB-like SQL workload against any execution target.
+
+    ``target`` is either a DB-API connection (anything with ``cursor()``),
+    in which case every request runs parameterized through a cursor -- so
+    the CryptDB proxy's rewrite-plan cache sees one shape per request kind
+    and batch preloads go through ``executemany`` -- or a bare
+    ``.execute(sql)`` object fed interpolated SQL text.
+    """
 
     target: object
     users: int = 10
@@ -92,32 +101,63 @@ class PhpBBApplication:
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        self._cursor = self.target.cursor() if hasattr(self.target, "cursor") else None
+
+    # ------------------------------------------------------------------
+    # execution plumbing
+    # ------------------------------------------------------------------
+    def _run(self, pairs: list[tuple[str, tuple]]) -> list[str]:
+        """Execute a request's SQL batch; returns the issued statements."""
+        issued = []
+        for sql, params in pairs:
+            if self._cursor is not None:
+                self._cursor.execute(sql, params or None)
+                issued.append(sql)
+            else:
+                text = inline_parameters(sql, params) if params else sql
+                self.target.execute(text)
+                issued.append(text)
+        return issued
+
+    def _run_batch(self, sql: str, rows: list[tuple]) -> None:
+        """Bulk-insert rows: one prepared shape via executemany, or a loop."""
+        if self._cursor is not None:
+            self._cursor.executemany(sql, rows)
+            return
+        for row in rows:
+            self.target.execute(inline_parameters(sql, row))
 
     # ------------------------------------------------------------------
     # setup
     # ------------------------------------------------------------------
     def create_schema(self) -> None:
         for statement in PHPBB_PLAIN_SCHEMA:
-            self.target.execute(statement)
+            if self._cursor is not None:
+                self._cursor.execute(statement)
+            else:
+                self.target.execute(statement)
 
     def load_initial_data(self, messages: int = 20, posts: int = 20) -> None:
         """Pre-load forums, users, group ACLs, messages and posts."""
-        for forum_id in range(1, self.forums + 1):
-            self.target.execute(
-                f"INSERT INTO forum (forumid, name) VALUES ({forum_id}, 'Forum {forum_id}')"
-            )
-            self.target.execute(
-                "INSERT INTO aclgroups (groupid, forumid, optionid) VALUES "
-                f"(1, {forum_id}, 20), (1, {forum_id}, 14)"
-            )
-        for user_id in range(1, self.users + 1):
-            self.target.execute(
-                "INSERT INTO users (userid, username, user_password) VALUES "
-                f"({user_id}, 'user{user_id}', 'password{user_id}')"
-            )
-            self.target.execute(
-                f"INSERT INTO usergroup (userid, groupid) VALUES ({user_id}, 1)"
-            )
+        self._run_batch(
+            "INSERT INTO forum (forumid, name) VALUES (?, ?)",
+            [(forum_id, f"Forum {forum_id}") for forum_id in range(1, self.forums + 1)],
+        )
+        self._run_batch(
+            "INSERT INTO aclgroups (groupid, forumid, optionid) VALUES (?, ?, ?)",
+            [(1, forum_id, option)
+             for forum_id in range(1, self.forums + 1)
+             for option in (20, 14)],
+        )
+        self._run_batch(
+            "INSERT INTO users (userid, username, user_password) VALUES (?, ?, ?)",
+            [(user_id, f"user{user_id}", f"password{user_id}")
+             for user_id in range(1, self.users + 1)],
+        )
+        self._run_batch(
+            "INSERT INTO usergroup (userid, groupid) VALUES (?, ?)",
+            [(user_id, 1) for user_id in range(1, self.users + 1)],
+        )
         for _ in range(posts):
             self.write_post()
         for _ in range(messages):
@@ -129,68 +169,56 @@ class PhpBBApplication:
     def login(self) -> list[str]:
         """SQL issued by a login request."""
         user_id = self._rng.randint(1, self.users)
-        queries = [
-            f"SELECT userid, user_password FROM users WHERE username = 'user{user_id}'",
-            f"SELECT groupid FROM usergroup WHERE userid = {user_id}",
-            f"SELECT forumid FROM aclgroups WHERE groupid = 1 AND optionid = 14",
-        ]
-        for query in queries:
-            self.target.execute(query)
-        return queries
+        return self._run([
+            ("SELECT userid, user_password FROM users WHERE username = ?",
+             (f"user{user_id}",)),
+            ("SELECT groupid FROM usergroup WHERE userid = ?", (user_id,)),
+            ("SELECT forumid FROM aclgroups WHERE groupid = 1 AND optionid = 14", ()),
+        ])
 
     def read_post(self) -> list[str]:
         forum_id = self._rng.randint(1, self.forums)
-        queries = [
-            f"SELECT name FROM forum WHERE forumid = {forum_id}",
-            f"SELECT postid, poster_id, post_text FROM posts WHERE forumid = {forum_id} "
-            "ORDER BY postid DESC LIMIT 10",
-            f"SELECT COUNT(*) FROM posts WHERE forumid = {forum_id}",
-        ]
-        for query in queries:
-            self.target.execute(query)
-        return queries
+        return self._run([
+            ("SELECT name FROM forum WHERE forumid = ?", (forum_id,)),
+            ("SELECT postid, poster_id, post_text FROM posts WHERE forumid = ? "
+             "ORDER BY postid DESC LIMIT 10", (forum_id,)),
+            ("SELECT COUNT(*) FROM posts WHERE forumid = ?", (forum_id,)),
+        ])
 
     def write_post(self) -> list[str]:
         post_id = self._next_post
         self._next_post += 1
         forum_id = self._rng.randint(1, self.forums)
         user_id = self._rng.randint(1, self.users)
-        queries = [
-            f"SELECT name FROM forum WHERE forumid = {forum_id}",
-            "INSERT INTO posts (postid, forumid, poster_id, post_time, post_text) VALUES "
-            f"({post_id}, {forum_id}, {user_id}, '2011-10-0{1 + post_id % 9}', "
-            f"'forum post number {post_id} about systems security')",
-        ]
-        for query in queries:
-            self.target.execute(query)
-        return queries
+        return self._run([
+            ("SELECT name FROM forum WHERE forumid = ?", (forum_id,)),
+            ("INSERT INTO posts (postid, forumid, poster_id, post_time, post_text) "
+             "VALUES (?, ?, ?, ?, ?)",
+             (post_id, forum_id, user_id, f"2011-10-0{1 + post_id % 9}",
+              f"forum post number {post_id} about systems security")),
+        ])
 
     def read_message(self) -> list[str]:
         user_id = self._rng.randint(1, self.users)
-        queries = [
-            f"SELECT msgid FROM privmsgs_to WHERE rcpt_id = {user_id}",
-            "SELECT msgid, subject, msgtext FROM privmsgs "
-            f"WHERE author_id = {user_id} ORDER BY msgid DESC LIMIT 10",
-        ]
-        for query in queries:
-            self.target.execute(query)
-        return queries
+        return self._run([
+            ("SELECT msgid FROM privmsgs_to WHERE rcpt_id = ?", (user_id,)),
+            ("SELECT msgid, subject, msgtext FROM privmsgs "
+             "WHERE author_id = ? ORDER BY msgid DESC LIMIT 10", (user_id,)),
+        ])
 
     def write_message(self) -> list[str]:
         msg_id = self._next_msg
         self._next_msg += 1
         sender = self._rng.randint(1, self.users)
         recipient = self._rng.randint(1, self.users)
-        queries = [
-            "INSERT INTO privmsgs (msgid, author_id, created, subject, msgtext) VALUES "
-            f"({msg_id}, {sender}, '2011-10-10', 'subject {msg_id}', "
-            f"'private message body {msg_id} with confidential text')",
-            "INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES "
-            f"({msg_id}, {recipient}, {sender})",
-        ]
-        for query in queries:
-            self.target.execute(query)
-        return queries
+        return self._run([
+            ("INSERT INTO privmsgs (msgid, author_id, created, subject, msgtext) "
+             "VALUES (?, ?, ?, ?, ?)",
+             (msg_id, sender, "2011-10-10", f"subject {msg_id}",
+              f"private message body {msg_id} with confidential text")),
+            ("INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES (?, ?, ?)",
+             (msg_id, recipient, sender)),
+        ])
 
     def request(self, request_type: str) -> list[str]:
         """Issue one HTTP-request-equivalent SQL batch."""

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import ClassVar
+
+from repro.sql.parameters import inline_parameters
 
 TPCC_SCHEMA: dict[str, str] = {
     "warehouse": (
@@ -106,83 +108,128 @@ class TPCCWorkload:
 
         return sum(len(parse_sql(sql).columns) for sql in TPCC_SCHEMA.values())
 
-    def load_statements(self) -> list[str]:
-        """INSERT statements populating every table."""
+    #: Column lists of the generated INSERT batches, per table.
+    LOAD_COLUMNS: ClassVar[dict[str, tuple[str, ...]]] = {
+        "warehouse": ("w_id", "w_name", "w_street_1", "w_street_2", "w_city",
+                      "w_state", "w_zip", "w_tax", "w_ytd"),
+        "district": ("d_id", "d_w_id", "d_name", "d_street_1", "d_street_2",
+                     "d_city", "d_state", "d_zip", "d_tax", "d_ytd", "d_next_o_id"),
+        "customer": ("c_id", "c_d_id", "c_w_id", "c_first", "c_middle", "c_last",
+                     "c_street_1", "c_street_2", "c_city", "c_state", "c_zip",
+                     "c_phone", "c_since", "c_credit", "c_credit_lim", "c_discount",
+                     "c_balance", "c_ytd_payment", "c_payment_cnt",
+                     "c_delivery_cnt", "c_data"),
+        "history": ("h_c_id", "h_c_d_id", "h_c_w_id", "h_d_id", "h_w_id",
+                    "h_date", "h_amount", "h_data"),
+        "orders": ("o_id", "o_d_id", "o_w_id", "o_c_id", "o_entry_d",
+                   "o_carrier_id", "o_ol_cnt", "o_all_local"),
+        "new_orders": ("no_o_id", "no_d_id", "no_w_id"),
+        "order_line": ("ol_o_id", "ol_d_id", "ol_w_id", "ol_number", "ol_i_id",
+                       "ol_supply_w_id", "ol_delivery_d", "ol_quantity",
+                       "ol_amount", "ol_dist_info"),
+        "item": ("i_id", "i_im_id", "i_name", "i_price", "i_data"),
+        "stock": ("s_i_id", "s_w_id", "s_quantity", "s_dist_01", "s_dist_02",
+                  "s_ytd", "s_order_cnt", "s_remote_cnt", "s_data"),
+    }
+
+    def load_rows(self) -> list[tuple[str, tuple[str, ...], list[tuple]]]:
+        """The initial data as ``(table, columns, rows)`` batches.
+
+        This is the single source of truth for the TPC-C data: the
+        string-based :meth:`load_statements` formats these rows into SQL, and
+        :meth:`load_into` feeds them to ``executemany`` when given a DB-API
+        connection.
+        """
         rng = random.Random(self.seed)
-        statements: list[str] = []
+        batches: dict[str, list[tuple]] = {name: [] for name in self.LOAD_COLUMNS}
         for w_id in range(1, self.warehouses + 1):
-            statements.append(
-                "INSERT INTO warehouse (w_id, w_name, w_street_1, w_street_2, w_city, w_state, "
-                "w_zip, w_tax, w_ytd) VALUES "
-                f"({w_id}, 'W{w_id}', 'Street {w_id}', 'Suite 1', 'Cambridge', 'MA', "
-                f"'021390000', 0.05, 300000.0)"
+            batches["warehouse"].append(
+                (w_id, f"W{w_id}", f"Street {w_id}", "Suite 1", "Cambridge", "MA",
+                 "021390000", 0.05, 300000.0)
             )
             for d_id in range(1, self.districts_per_warehouse + 1):
-                statements.append(
-                    "INSERT INTO district (d_id, d_w_id, d_name, d_street_1, d_street_2, d_city, "
-                    "d_state, d_zip, d_tax, d_ytd, d_next_o_id) VALUES "
-                    f"({d_id}, {w_id}, 'D{d_id}', 'Main St', 'Floor 2', 'Boston', 'MA', "
-                    f"'021420000', 0.08, 30000.0, {self.orders_per_district + 1})"
+                batches["district"].append(
+                    (d_id, w_id, f"D{d_id}", "Main St", "Floor 2", "Boston", "MA",
+                     "021420000", 0.08, 30000.0, self.orders_per_district + 1)
                 )
                 for c_id in range(1, self.customers_per_district + 1):
                     first = rng.choice(_FIRST_NAMES)
                     last = rng.choice(_LAST_NAMES)
-                    statements.append(
-                        "INSERT INTO customer (c_id, c_d_id, c_w_id, c_first, c_middle, c_last, "
-                        "c_street_1, c_street_2, c_city, c_state, c_zip, c_phone, c_since, "
-                        "c_credit, c_credit_lim, c_discount, c_balance, c_ytd_payment, "
-                        "c_payment_cnt, c_delivery_cnt, c_data) VALUES "
-                        f"({c_id}, {d_id}, {w_id}, '{first}', 'OE', '{last}', '1 Elm', '2 Oak', "
-                        f"'Cambridge', 'MA', '021390000', '555000{c_id:04d}', '2011-01-01', "
-                        f"'GC', 50000.0, 0.1, {rng.randint(-50, 500)}.0, 10.0, 1, 0, "
-                        f"'customer data {c_id}')"
+                    batches["customer"].append(
+                        (c_id, d_id, w_id, first, "OE", last, "1 Elm", "2 Oak",
+                         "Cambridge", "MA", "021390000", f"555000{c_id:04d}", "2011-01-01",
+                         "GC", 50000.0, 0.1, float(rng.randint(-50, 500)), 10.0, 1, 0,
+                         f"customer data {c_id}")
                     )
-                    statements.append(
-                        "INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date, "
-                        "h_amount, h_data) VALUES "
-                        f"({c_id}, {d_id}, {w_id}, {d_id}, {w_id}, '2011-01-02', 10.0, 'payment')"
+                    batches["history"].append(
+                        (c_id, d_id, w_id, d_id, w_id, "2011-01-02", 10.0, "payment")
                     )
                 for o_id in range(1, self.orders_per_district + 1):
                     c_id = rng.randint(1, self.customers_per_district)
                     ol_cnt = rng.randint(2, 4)
-                    statements.append(
-                        "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d, o_carrier_id, "
-                        "o_ol_cnt, o_all_local) VALUES "
-                        f"({o_id}, {d_id}, {w_id}, {c_id}, '2011-02-0{1 + o_id % 9}', "
-                        f"{rng.randint(1, 10)}, {ol_cnt}, 1)"
+                    batches["orders"].append(
+                        (o_id, d_id, w_id, c_id, f"2011-02-0{1 + o_id % 9}",
+                         rng.randint(1, 10), ol_cnt, 1)
                     )
                     if o_id > self.orders_per_district - 3:
-                        statements.append(
-                            "INSERT INTO new_orders (no_o_id, no_d_id, no_w_id) VALUES "
-                            f"({o_id}, {d_id}, {w_id})"
-                        )
+                        batches["new_orders"].append((o_id, d_id, w_id))
                     for number in range(1, ol_cnt + 1):
                         i_id = rng.randint(1, self.items)
-                        statements.append(
-                            "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, "
-                            "ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, ol_dist_info) "
-                            "VALUES "
-                            f"({o_id}, {d_id}, {w_id}, {number}, {i_id}, {w_id}, '2011-02-10', "
-                            f"{rng.randint(1, 10)}, {rng.randint(1, 99)}.0, 'dist info')"
+                        batches["order_line"].append(
+                            (o_id, d_id, w_id, number, i_id, w_id, "2011-02-10",
+                             rng.randint(1, 10), float(rng.randint(1, 99)), "dist info")
                         )
         for i_id in range(1, self.items + 1):
-            statements.append(
-                "INSERT INTO item (i_id, i_im_id, i_name, i_price, i_data) VALUES "
-                f"({i_id}, {i_id * 10}, 'item number {i_id}', {self._rng.randint(1, 100)}.0, "
-                f"'item data {i_id}')"
+            batches["item"].append(
+                (i_id, i_id * 10, f"item number {i_id}",
+                 float(self._rng.randint(1, 100)), f"item data {i_id}")
             )
             for w_id in range(1, self.warehouses + 1):
+                batches["stock"].append(
+                    (i_id, w_id, self._rng.randint(10, 100), "dist a", "dist b",
+                     0, 0, 0, f"stock data {i_id}")
+                )
+        return [
+            (table, self.LOAD_COLUMNS[table], rows)
+            for table, rows in batches.items()
+            if rows
+        ]
+
+    def insert_statement(self, table: str) -> str:
+        """The parameterized INSERT shape for one table."""
+        columns = self.LOAD_COLUMNS[table]
+        values = ", ".join("?" for _ in columns)
+        return f"INSERT INTO {table} ({', '.join(columns)}) VALUES ({values})"
+
+    def load_statements(self) -> list[str]:
+        """INSERT statements populating every table (string-interpolated)."""
+        statements: list[str] = []
+        for table, columns, rows in self.load_rows():
+            for row in rows:
+                values = ", ".join(_quote(value) for value in row)
                 statements.append(
-                    "INSERT INTO stock (s_i_id, s_w_id, s_quantity, s_dist_01, s_dist_02, s_ytd, "
-                    "s_order_cnt, s_remote_cnt, s_data) VALUES "
-                    f"({i_id}, {w_id}, {self._rng.randint(10, 100)}, 'dist a', 'dist b', 0, 0, 0, "
-                    f"'stock data {i_id}')"
+                    f"INSERT INTO {table} ({', '.join(columns)}) VALUES ({values})"
                 )
         return statements
 
     def load_into(self, target) -> int:
-        """Create the schema and load the data through any ``.execute`` target."""
+        """Create the schema and load the data.
+
+        ``target`` is either a DB-API connection (anything with ``cursor()``),
+        in which case each table is bulk-loaded through ``executemany`` over
+        one prepared INSERT shape, or a bare ``.execute(sql)`` object fed
+        interpolated statements one by one.
+        """
         count = 0
+        if hasattr(target, "cursor"):
+            cursor = target.cursor()
+            for statement in self.schema_statements():
+                cursor.execute(statement)
+                count += 1
+            for table, _columns, rows in self.load_rows():
+                cursor.executemany(self.insert_statement(table), rows)
+                count += len(rows)
+            return count
         for statement in self.schema_statements():
             target.execute(statement)
             count += 1
@@ -194,8 +241,16 @@ class TPCCWorkload:
     # ------------------------------------------------------------------
     # query mix (Figures 11 and 12)
     # ------------------------------------------------------------------
-    def query(self, query_type: str, rng: random.Random | None = None) -> str:
-        """One query of the given Figure-11 type with random parameters."""
+    def query_params(
+        self, query_type: str, rng: random.Random | None = None
+    ) -> tuple[str, tuple]:
+        """One query of the given Figure-11 type as ``(sql_shape, params)``.
+
+        The SQL shape is constant per query type (``?`` placeholders), so
+        driving these through the DB-API cursor reuses one cached rewrite
+        plan per type; :meth:`query` inlines the parameters for targets that
+        only accept SQL text.
+        """
         rng = rng or self._rng
         w_id = rng.randint(1, self.warehouses)
         d_id = rng.randint(1, self.districts_per_warehouse)
@@ -205,57 +260,87 @@ class TPCCWorkload:
         if query_type == "Equality":
             return (
                 "SELECT c_first, c_last, c_balance FROM customer "
-                f"WHERE c_w_id = {w_id} AND c_d_id = {d_id} AND c_id = {c_id}"
+                "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                (w_id, d_id, c_id),
             )
         if query_type == "Join":
             return (
                 "SELECT c_last, o_id FROM customer JOIN orders ON c_id = o_c_id "
-                f"WHERE c_w_id = {w_id}"
+                "WHERE c_w_id = ?",
+                (w_id,),
             )
         if query_type == "Range":
             return (
                 "SELECT o_id, o_carrier_id FROM orders "
-                f"WHERE o_d_id = {d_id} AND o_id < {o_id + 5} ORDER BY o_id DESC LIMIT 5"
+                "WHERE o_d_id = ? AND o_id < ? ORDER BY o_id DESC LIMIT 5",
+                (d_id, o_id + 5),
             )
         if query_type == "Sum":
             return (
-                "SELECT SUM(ol_amount) FROM order_line "
-                f"WHERE ol_o_id = {o_id} AND ol_d_id = {d_id}"
+                "SELECT SUM(ol_amount) FROM order_line WHERE ol_o_id = ? AND ol_d_id = ?",
+                (o_id, d_id),
             )
         if query_type == "Delete":
-            return f"DELETE FROM new_orders WHERE no_o_id = {o_id} AND no_d_id = {d_id}"
+            return (
+                "DELETE FROM new_orders WHERE no_o_id = ? AND no_d_id = ?",
+                (o_id, d_id),
+            )
         if query_type == "Insert":
             return (
-                "INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date, "
-                "h_amount, h_data) VALUES "
-                f"({c_id}, {d_id}, {w_id}, {d_id}, {w_id}, '2011-03-01', "
-                f"{rng.randint(1, 50)}.0, 'payment h')"
+                "INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, "
+                "h_date, h_amount, h_data) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (c_id, d_id, w_id, d_id, w_id, "2011-03-01",
+                 float(rng.randint(1, 50)), "payment h"),
             )
         if query_type == "Upd. set":
             return (
-                f"UPDATE customer SET c_credit = 'BC', c_data = 'updated data' "
-                f"WHERE c_w_id = {w_id} AND c_d_id = {d_id} AND c_id = {c_id}"
+                "UPDATE customer SET c_credit = ?, c_data = ? "
+                "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                ("BC", "updated data", w_id, d_id, c_id),
             )
         if query_type == "Upd. inc":
             return (
-                f"UPDATE stock SET s_ytd = s_ytd + {rng.randint(1, 10)}, "
-                f"s_order_cnt = s_order_cnt + 1 WHERE s_i_id = {i_id} AND s_w_id = {w_id}"
+                "UPDATE stock SET s_ytd = s_ytd + ?, s_order_cnt = s_order_cnt + 1 "
+                "WHERE s_i_id = ? AND s_w_id = ?",
+                (rng.randint(1, 10), i_id, w_id),
             )
         raise ValueError(f"unknown TPC-C query type {query_type}")
+
+    def query(self, query_type: str, rng: random.Random | None = None) -> str:
+        """One query of the given Figure-11 type with parameters inlined."""
+        sql, params = self.query_params(query_type, rng)
+        return inline_parameters(sql, params)
 
     def queries_of_type(self, query_type: str, count: int) -> list[str]:
         rng = random.Random(self.seed + hash(query_type) % 1000)
         return [self.query(query_type, rng) for _ in range(count)]
 
+    def query_params_of_type(
+        self, query_type: str, count: int
+    ) -> list[tuple[str, tuple]]:
+        """Parameterized form of :meth:`queries_of_type` (same RNG stream)."""
+        rng = random.Random(self.seed + hash(query_type) % 1000)
+        return [self.query_params(query_type, rng) for _ in range(count)]
+
     def mixed_queries(self, count: int) -> list[str]:
         """A shuffled mix approximating the TPC-C transaction profile."""
+        rng = random.Random(self.seed)
+        population = self._mix_population()
+        return [self.query(rng.choice(population), rng) for _ in range(count)]
+
+    def mixed_query_params(self, count: int) -> list[tuple[str, tuple]]:
+        """Parameterized form of :meth:`mixed_queries` (same RNG stream)."""
+        rng = random.Random(self.seed)
+        population = self._mix_population()
+        return [self.query_params(rng.choice(population), rng) for _ in range(count)]
+
+    @staticmethod
+    def _mix_population() -> list[str]:
         weights = {
             "Equality": 30, "Join": 8, "Range": 12, "Sum": 8,
             "Delete": 6, "Insert": 14, "Upd. set": 10, "Upd. inc": 12,
         }
-        rng = random.Random(self.seed)
-        population = [t for t, w in weights.items() for _ in range(w)]
-        return [self.query(rng.choice(population), rng) for _ in range(count)]
+        return [t for t, w in weights.items() for _ in range(w)]
 
     def training_queries(self) -> list[str]:
         """One query of each type, used to pre-adjust onions (§3.5.2)."""
