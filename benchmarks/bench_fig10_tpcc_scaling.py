@@ -20,7 +20,7 @@ import pytest
 import repro
 from repro.workloads.tpcc import TPCCWorkload
 
-from conftest import print_table
+from conftest import print_table, record_bench
 
 _SCALE = dict(
     warehouses=1, districts_per_warehouse=1, customers_per_district=5,
@@ -72,6 +72,15 @@ def test_fig10_tpcc_throughput_scaling(benchmark, loaded_systems):
     print(f"Plan cache: {stats.plan_cache_hits} hits / "
           f"{stats.plan_cache_misses} misses / "
           f"{stats.plan_cache_invalidations} invalidations")
+    record_bench("fig10_tpcc_scaling", {
+        "rows": rows,
+        "overhead_spread": round(max(overheads) - min(overheads), 4),
+        "plan_cache": {
+            "hits": stats.plan_cache_hits,
+            "misses": stats.plan_cache_misses,
+            "invalidations": stats.plan_cache_invalidations,
+        },
+    })
     # Shape: the relative loss is roughly flat across core counts (no growing
     # divergence), which is the paper's main point for this figure.
     spread = max(overheads) - min(overheads)

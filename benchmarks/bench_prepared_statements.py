@@ -23,7 +23,7 @@ import pytest
 
 import repro
 
-from conftest import print_table
+from conftest import print_table, record_bench
 
 _ROWS = 40
 _QUERIES = 60
@@ -94,6 +94,12 @@ def test_prepared_vs_unprepared_select_latency(benchmark, loaded_conn):
         for kind, entry in summary.items()
     ])
 
+    record_bench("prepared_statements", {
+        "unprepared_ms": round(unprepared * 1000, 4),
+        "prepared_ms": round(prepared_mean * 1000, 4),
+        "one_time_prepare_ms": round(prepare_time * 1000, 4),
+        "speedup": round(unprepared / prepared_mean, 2),
+    })
     # Acceptance: repeated execution of the same shape skipped re-rewriting...
     assert stats.plan_cache_hits > hits_before
     # ...and the prepared path is measurably faster per query than paying

@@ -9,10 +9,32 @@ rows so EXPERIMENTS.md can record paper-vs-measured values.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.crypto.keys import MasterKey
 from repro.crypto.paillier import PaillierKeyPair
+
+#: Set BENCH_QUICK=1 for the CI smoke mode: tiny scales, relaxed asserts.
+BENCH_QUICK = os.environ.get("BENCH_QUICK") == "1"
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def record_bench(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root (the perf trajectory).
+
+    Every benchmark records its headline numbers machine-readably so
+    regressions show up as diffs, not just as prose in a terminal capture.
+    """
+    payload = dict(payload, quick_mode=BENCH_QUICK)
+    path = _REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -38,7 +38,12 @@ class BackendAdapter(Protocol):
     def table_names(self) -> list[str]:
         ...
 
-    def register_scalar_udf(self, name: str, func: Callable[..., Any]) -> None:
+    def register_scalar_udf(
+        self,
+        name: str,
+        func: Callable[..., Any],
+        batch: Optional[Callable[..., list]] = None,
+    ) -> None:
         ...
 
     def register_aggregate_udf(
@@ -78,8 +83,13 @@ class InMemoryBackend:
     def table_names(self) -> list[str]:
         return self.database.table_names()
 
-    def register_scalar_udf(self, name: str, func: Callable[..., Any]) -> None:
-        self.database.register_scalar_udf(name, func)
+    def register_scalar_udf(
+        self,
+        name: str,
+        func: Callable[..., Any],
+        batch: Optional[Callable[..., list]] = None,
+    ) -> None:
+        self.database.register_scalar_udf(name, func, batch=batch)
 
     def register_aggregate_udf(self, name, initial, step, finalize) -> None:
         self.database.register_aggregate_udf(name, initial, step, finalize)

@@ -55,9 +55,14 @@ class Cursor:
     ) -> "Cursor":
         """Execute one statement shape once per parameter tuple.
 
-        On an encrypted connection the shape is rewritten exactly once; each
-        execution only encrypts its parameters (the prepare/execute split of
-        the paper's §3.5.2 optimisation discussion).
+        On an encrypted connection the shape is rewritten exactly once and
+        executed through the proxy's **columnar batch pipeline**: every
+        parameter row is validated up front, all rows are encrypted
+        column-at-a-time (deduplicating the deterministic DET/JOIN/OPE
+        layers through the ciphertext cache, §3.5.2), and a single-row
+        INSERT shape reaches the DBMS as one multi-row INSERT.  A row with
+        the wrong parameter count therefore fails the whole batch before
+        any row is written.
         """
         self._check_open()
         proxy = self._connection.proxy

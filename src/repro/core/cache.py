@@ -1,64 +1,177 @@
-"""Ciphertext pre-computing and caching (§3.5.2).
+"""The unified ciphertext cache subsystem (§3.5.2).
 
-The proxy spends most of its CPU time in OPE and HOM encryption.  Two
-optimisations hide that cost:
+The proxy spends most of its CPU time in deterministic crypto (DET, the
+JOIN-ADJ elliptic-curve hash, OPE's lazy function sampling, the SEARCH word
+cores) and in Paillier's ``r^n mod n^2`` randomness.  Because DET/OPE/SEARCH
+ciphertexts are pure functions of (column key, plaintext), they can be
+memoised; HOM randomness can be pre-computed while the proxy is idle.  The
+paper sizes the OPE cache at about 3 MB for 30,000 values and reports the
+proxy* ablation (Figure 12) with all of this switched off.
 
-* OPE ciphertexts of frequently used constants are cached (the OPE objects
-  already memoise plaintext/ciphertext pairs; this module tracks and reports
-  the cache the way the paper sizes it -- about 3 MB for 30,000 values).
-* HOM (Paillier) encryption is probabilistic so ciphertexts cannot be
-  reused, but the expensive ``r^n mod n^2`` randomness can be pre-computed
-  while the proxy is idle, taking HOM encryption off the critical path.
+:class:`CryptoCache` is the one place all of those caches live:
 
-``CiphertextCache`` bundles both so the Figure 12 "Proxy" vs "Proxy*"
-ablation can switch them on and off with one flag.
+* the per-column **Eq memos** map plaintext bytes to their JOIN/DET-layer
+  ciphertexts (and back), collapsing the expensive deterministic part of the
+  Eq onion to one dictionary lookup for repeated values.  Encrypt memos are
+  invalidated when a JOIN-ADJ re-keying changes the ciphertexts a column
+  stores; decrypt memos are pure functions of the ciphertext bytes and stay
+  valid forever;
+* the OPE and SEARCH scheme objects created by the encryptor are registered
+  here so their cache sizes and hit/miss counters aggregate into one report;
+* the Paillier randomness pool is filled through :meth:`precompute_hom` and
+  its hit/miss counters are reported alongside.
+
+``proxy.stats`` exposes :meth:`statistics`, and ``proxy.stats.reset()``
+clears the counters (never the cached entries themselves).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.crypto.paillier import PaillierKeyPair
 
 
 @dataclass
 class CacheStatistics:
-    """Counters reported by the benchmarks."""
+    """Aggregated cache counters reported by the proxy and the benchmarks."""
 
-    ope_cached_values: int = 0
-    hom_precomputed_remaining: int = 0
+    det_entries: int = 0
+    det_hits: int = 0
+    det_misses: int = 0
+    ope_entries: int = 0
+    ope_hits: int = 0
+    ope_misses: int = 0
+    search_entries: int = 0
+    search_hits: int = 0
+    search_misses: int = 0
+    hom_pool_remaining: int = 0
+    hom_pool_hits: int = 0
+    hom_pool_misses: int = 0
     estimated_bytes: int = 0
 
+    # Legacy field names kept for callers of the pre-unification cache.
+    @property
+    def ope_cached_values(self) -> int:
+        return self.ope_entries
 
-class CiphertextCache:
-    """Controls the §3.5.2 pre-computation/caching optimisations."""
+    @property
+    def hom_precomputed_remaining(self) -> int:
+        return self.hom_pool_remaining
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+
+class CryptoCache:
+    """All §3.5.2 ciphertext caches and pre-computation pools of one proxy."""
 
     #: rough per-entry sizes used for the memory estimate (§8.4.1 reports
     #: ~3 MB for 30,000 OPE entries and ~10 MB for 30,000 HOM factors).
+    DET_ENTRY_BYTES = 160
     OPE_ENTRY_BYTES = 100
+    SEARCH_ENTRY_BYTES = 48
     HOM_ENTRY_BYTES = 340
 
     def __init__(self, paillier: PaillierKeyPair, enabled: bool = True):
         self.paillier = paillier
         self.enabled = enabled
-        self._ope_schemes = []
+        self._ope_schemes: list = []
+        self._search_schemes: list = []
+        self._eq_encrypt_memos: dict[tuple[str, str], dict] = {}
+        self._eq_decrypt_memos: dict[tuple[str, str], dict] = {}
+        self.det_hits = 0
+        self.det_misses = 0
 
-    def track_ope(self, ope_scheme) -> None:
-        """Register an OPE object so its cache size shows up in statistics."""
-        self._ope_schemes.append(ope_scheme)
+    # -- scheme registration (done by the encryptor as it creates them) ----
+    def register_ope(self, scheme) -> None:
+        self._ope_schemes.append(scheme)
 
+    def register_search(self, scheme) -> None:
+        self._search_schemes.append(scheme)
+
+    # -- Eq-onion memos ----------------------------------------------------
+    def eq_encrypt_memo(self, table: str, column: str) -> dict | None:
+        """Plaintext-bytes -> (join_ct, det_ct) memo, or None when disabled."""
+        if not self.enabled:
+            return None
+        memo = self._eq_encrypt_memos.get((table, column))
+        if memo is None:
+            memo = self._eq_encrypt_memos[(table, column)] = {}
+        return memo
+
+    def eq_decrypt_memo(self, table: str, column: str) -> dict | None:
+        """Ciphertext -> decoded-value memo, or None when disabled."""
+        if not self.enabled:
+            return None
+        memo = self._eq_decrypt_memos.get((table, column))
+        if memo is None:
+            memo = self._eq_decrypt_memos[(table, column)] = {}
+        return memo
+
+    def invalidate_eq(self, table: str | None = None, column: str | None = None) -> None:
+        """Drop Eq encrypt memos after a JOIN-ADJ re-keying.
+
+        Re-keying rescales the JOIN-ADJ component baked into every stored
+        Eq ciphertext, so memoised encryptions no longer match the server's
+        data.  Decrypt memos are keyed on the ciphertext bytes themselves
+        and remain correct.  With no arguments every column is invalidated
+        (used after a transaction rollback rewinds join keys wholesale).
+        """
+        if table is None:
+            self._eq_encrypt_memos.clear()
+            return
+        self._eq_encrypt_memos.pop((table, column), None)
+
+    # -- HOM pre-computation (§3.5.2) --------------------------------------
     def precompute_hom(self, count: int) -> None:
         """Pre-compute Paillier randomness while the proxy is idle."""
         if self.enabled:
             self.paillier.precompute_randomness(count)
 
+    # -- reporting ---------------------------------------------------------
     def statistics(self) -> CacheStatistics:
-        ope_values = sum(s.cache_size for s in self._ope_schemes)
+        det_entries = sum(len(m) for m in self._eq_encrypt_memos.values())
+        det_entries += sum(len(m) for m in self._eq_decrypt_memos.values())
+        ope_entries = sum(s.cache_size for s in self._ope_schemes)
+        search_entries = sum(s.cache_size for s in self._search_schemes)
         hom_remaining = self.paillier.randomness_pool_size
         return CacheStatistics(
-            ope_cached_values=ope_values,
-            hom_precomputed_remaining=hom_remaining,
+            det_entries=det_entries,
+            det_hits=self.det_hits,
+            det_misses=self.det_misses,
+            ope_entries=ope_entries,
+            ope_hits=sum(s.cache_hits for s in self._ope_schemes),
+            ope_misses=sum(s.cache_misses for s in self._ope_schemes),
+            search_entries=search_entries,
+            search_hits=sum(s.cache_hits for s in self._search_schemes),
+            search_misses=sum(s.cache_misses for s in self._search_schemes),
+            hom_pool_remaining=hom_remaining,
+            hom_pool_hits=self.paillier.pool_hits,
+            hom_pool_misses=self.paillier.pool_misses,
             estimated_bytes=(
-                ope_values * self.OPE_ENTRY_BYTES + hom_remaining * self.HOM_ENTRY_BYTES
+                det_entries * self.DET_ENTRY_BYTES
+                + ope_entries * self.OPE_ENTRY_BYTES
+                + search_entries * self.SEARCH_ENTRY_BYTES
+                + hom_remaining * self.HOM_ENTRY_BYTES
             ),
         )
+
+    def reset_counters(self) -> None:
+        """Zero every hit/miss counter (entries and pools are kept)."""
+        self.det_hits = 0
+        self.det_misses = 0
+        for scheme in self._ope_schemes:
+            scheme.reset_counters()
+        for scheme in self._search_schemes:
+            scheme.reset_counters()
+        self.paillier.reset_counters()
+
+    def clear(self) -> None:
+        """Drop every cached entry (counters are kept; use reset_counters)."""
+        self._eq_encrypt_memos.clear()
+        self._eq_decrypt_memos.clear()
+        for scheme in self._ope_schemes:
+            scheme.clear_cache()
+        for scheme in self._search_schemes:
+            scheme.clear_cache()

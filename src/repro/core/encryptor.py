@@ -15,8 +15,9 @@ manager implementing Equation (1), and implements the value encodings:
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
+from repro.core.cache import CryptoCache
 from repro.core.joins import JoinManager
 from repro.core.onion import EncryptionScheme, Onion
 from repro.core.schema import ColumnMeta
@@ -35,7 +36,15 @@ _DECIMAL_SCALE = 10_000
 
 
 class Encryptor:
-    """Performs all onion-layer encryption and decryption for the proxy."""
+    """Performs all onion-layer encryption and decryption for the proxy.
+
+    Scalar entry points (``encrypt_row_value``, ``encrypt_constant``,
+    ``decrypt_value``) serve single-statement traffic; the column-batch
+    entry points (``encrypt_column_values``, ``encrypt_constants_many``,
+    ``decrypt_column``) serve ``executemany`` and bulk result decryption,
+    computing each distinct value's deterministic layers once through the
+    :class:`~repro.core.cache.CryptoCache` memos (§3.5.2).
+    """
 
     def __init__(
         self,
@@ -43,11 +52,13 @@ class Encryptor:
         joins: JoinManager,
         paillier: PaillierKeyPair,
         use_ope_cache: bool = True,
+        cache: Optional[CryptoCache] = None,
     ):
         self.keys = keys
         self.joins = joins
         self.paillier = paillier
         self.hom = Paillier(paillier.public)
+        self.cache = cache if cache is not None else CryptoCache(paillier, enabled=use_ope_cache)
         self.use_ope_cache = use_ope_cache
         self._rnd: dict[tuple, RND] = {}
         self._det: dict[tuple, DET] = {}
@@ -87,14 +98,18 @@ class Encryptor:
                 )
             else:
                 key = self.keys.key_for(column.table, column.name, Onion.ORD.value, "OPE")
-            self._ope[cache_key] = OPE(key, cache=self.use_ope_cache)
+            ope = OPE(key, cache=self.use_ope_cache)
+            self._ope[cache_key] = ope
+            self.cache.register_ope(ope)
         return self._ope[cache_key]
 
     def _search_for(self, column: ColumnMeta) -> SEARCH:
         cache_key = (column.table, column.name)
         if cache_key not in self._search:
             key = self.keys.key_for(column.table, column.name, Onion.SEARCH.value, "SEARCH")
-            self._search[cache_key] = SEARCH(key)
+            search = SEARCH(key, cache=self.cache.enabled)
+            self._search[cache_key] = search
+            self.cache.register_search(search)
         return self._search[cache_key]
 
     # ------------------------------------------------------------------
@@ -242,6 +257,156 @@ class Encryptor:
         raise ProxyError(f"invalid Ord onion level {level}")
 
     # ------------------------------------------------------------------
+    # Column-batch encryption (executemany / bulk-load path)
+    # ------------------------------------------------------------------
+    def _eq_deterministic_many(
+        self, column: ColumnMeta, values: Sequence[Any], level: EncryptionScheme
+    ) -> list:
+        """The deterministic part of the Eq onion for a column of values.
+
+        Returns JOIN-layer ciphertexts when ``level`` is JOIN, DET-layer
+        ciphertexts otherwise (the RND layer, being probabilistic, is applied
+        by the caller).  Each distinct plaintext is computed once; the memo
+        persists across batches via the cache subsystem.
+        """
+        memo = self.cache.eq_encrypt_memo(column.table, column.name)
+        counted = memo is not None  # the Proxy* ablation reports no activity
+        local = memo if memo is not None else {}
+        det_join = self._det_join_for(column)
+        det = self._det_for(column)
+        adj = self.joins.join_adj_for(column.table, column.name)
+        want_join = level is EncryptionScheme.JOIN
+        out = []
+        for value in values:
+            plaintext = self._to_bytes(column, value)
+            entry = local.get(plaintext)
+            if entry is None:
+                if counted:
+                    self.cache.det_misses += 1
+                join_ct = JoinCiphertext(
+                    adj.hash_value(plaintext), det_join.encrypt_bytes(plaintext)
+                ).serialize()
+                # The DET layer is computed lazily: a JOIN-level column never
+                # needs it (matching the scalar path's early return), but the
+                # memo entry can be upgraded if the level is ever restored.
+                entry = local[plaintext] = [join_ct, None]
+            elif counted:
+                self.cache.det_hits += 1
+            if want_join:
+                out.append(entry[0])
+            else:
+                if entry[1] is None:
+                    entry[1] = det.encrypt_bytes(entry[0])
+                out.append(entry[1])
+        return out
+
+    def encrypt_column_values(
+        self, column: ColumnMeta, values: Sequence[Any]
+    ) -> dict[str, list]:
+        """Encrypt one application column of a row batch into its onion parts.
+
+        The columnar equivalent of calling :meth:`encrypt_row_value` once per
+        row: returns ``{anon_column_name: [cell, ...]}`` with one list entry
+        per input value (NULLs stay NULL in every part).  Deterministic
+        layers are deduplicated; RND and HOM randomness stays fresh per row.
+        """
+        result: dict[str, list] = {}
+        if column.plaintext:
+            return result
+        count = len(values)
+        non_null = [i for i, v in enumerate(values) if v is not None]
+        ivs: list = [None] * count
+        if column.iv_column:
+            for i, iv in zip(non_null, RND.generate_ivs(len(non_null))):
+                ivs[i] = iv
+            result[column.iv_column] = ivs
+        dense = [values[i] for i in non_null]
+        for onion, state in column.onions.items():
+            cells = self._encrypt_onion_column(
+                column, onion, state.level, dense, [ivs[i] for i in non_null]
+            )
+            sparse: list = [None] * count
+            for i, cell in zip(non_null, cells):
+                sparse[i] = cell
+            result[state.anon_name] = sparse
+        return result
+
+    def _encrypt_onion_column(
+        self,
+        column: ColumnMeta,
+        onion: Onion,
+        level: EncryptionScheme,
+        values: Sequence[Any],
+        ivs: Sequence[Optional[bytes]],
+    ) -> list:
+        """Encrypt a (NULL-free) column of values for one onion at ``level``."""
+        if onion is Onion.EQ:
+            dets = self._eq_deterministic_many(column, values, level)
+            if level is EncryptionScheme.RND:
+                if any(iv is None for iv in ivs):
+                    raise CryptoError("RND encryption requires an IV")
+                return self._rnd_for(column, Onion.EQ).encrypt_bytes_many(dets, ivs)
+            if level in (EncryptionScheme.DET, EncryptionScheme.JOIN):
+                return dets
+            raise ProxyError(f"invalid Eq onion level {level}")
+        if onion is Onion.ORD:
+            ope = self._ope_for(column)
+            ope_cts = ope.encrypt_many([self._to_ope_int(column, v) for v in values])
+            if level in (EncryptionScheme.OPE, EncryptionScheme.OPE_JOIN):
+                return ope_cts
+            if level is EncryptionScheme.RND:
+                if any(iv is None for iv in ivs):
+                    raise CryptoError("RND encryption requires an IV")
+                return self._rnd_for(column, Onion.ORD).encrypt_int_many(ope_cts, ivs)
+            raise ProxyError(f"invalid Ord onion level {level}")
+        if onion is Onion.ADD:
+            return self.paillier.encrypt_many(
+                [self._to_hom_int(v, column) for v in values]
+            )
+        if onion is Onion.SEARCH:
+            texts = [v if isinstance(v, str) else str(v) for v in values]
+            return [
+                ct.serialize() for ct in self._search_for(column).encrypt_many(texts)
+            ]
+        raise ProxyError(f"unknown onion {onion}")
+
+    def encrypt_constants_many(
+        self,
+        column: ColumnMeta,
+        onion: Onion,
+        level: EncryptionScheme,
+        values: Sequence[Any],
+    ) -> list:
+        """Batch form of :meth:`encrypt_constant` (one constant per row)."""
+        count = len(values)
+        non_null = [i for i, v in enumerate(values) if v is not None]
+        dense = [values[i] for i in non_null]
+        if onion is Onion.EQ:
+            if level not in (EncryptionScheme.DET, EncryptionScheme.JOIN):
+                raise ProxyError("equality constants require the DET or JOIN layer")
+            cells = self._eq_deterministic_many(column, dense, level)
+        elif onion is Onion.ORD:
+            cells = self._ope_for(column).encrypt_many(
+                [self._to_ope_int(column, v) for v in dense]
+            )
+        elif onion is Onion.ADD:
+            cells = self.paillier.encrypt_many(
+                [self._to_hom_int(v, column) for v in dense]
+            )
+        else:
+            raise ProxyError(f"constants cannot be encrypted for onion {onion}")
+        sparse: list = [None] * count
+        for i, cell in zip(non_null, cells):
+            sparse[i] = cell
+        return sparse
+
+    def hom_delta_many(self, column: ColumnMeta, deltas: Sequence[Any]) -> list:
+        """Batch form of :meth:`hom_delta`."""
+        return self.paillier.encrypt_many(
+            [self._to_hom_int(d, column) for d in deltas]
+        )
+
+    # ------------------------------------------------------------------
     # Constant encryption (query rewrite path)
     # ------------------------------------------------------------------
     def encrypt_constant(
@@ -315,6 +480,82 @@ class Encryptor:
         if ciphertext is None:
             return None
         return self._from_hom_int(self.paillier.decrypt(ciphertext), column)
+
+    # ------------------------------------------------------------------
+    # Column-batch decryption (bulk result path)
+    # ------------------------------------------------------------------
+    def decrypt_column(
+        self,
+        column: ColumnMeta,
+        onion: Onion,
+        level: EncryptionScheme,
+        ciphertexts: Sequence[Any],
+        ivs: Optional[Sequence[Optional[bytes]]] = None,
+    ) -> list:
+        """Decrypt one result column; the batch form of :meth:`decrypt_value`.
+
+        The probabilistic RND layer is stripped per row; the remaining
+        deterministic layers are decrypted once per distinct ciphertext
+        through the cache subsystem's decrypt memos (always safe: decryption
+        is a pure function of the ciphertext bytes).
+        """
+        count = len(ciphertexts)
+        if ivs is None:
+            ivs = [None] * count
+        non_null = [i for i, ct in enumerate(ciphertexts) if ct is not None]
+        dense = [ciphertexts[i] for i in non_null]
+        dense_ivs = [ivs[i] for i in non_null]
+        if onion is Onion.EQ:
+            if level is EncryptionScheme.RND:
+                if any(iv is None for iv in dense_ivs):
+                    raise CryptoError("decrypting the RND layer requires the row IV")
+                dense = self._rnd_for(column, Onion.EQ).decrypt_bytes_many(dense, dense_ivs)
+                level = EncryptionScheme.DET
+            memo = self.cache.eq_decrypt_memo(column.table, column.name)
+            counted = memo is not None
+            local = memo if memo is not None else {}
+            det = self._det_for(column)
+            det_join = self._det_join_for(column)
+            plains = []
+            for data in dense:
+                hit = local.get(data)
+                if hit is None:
+                    if counted:
+                        self.cache.det_misses += 1
+                    inner = det.decrypt_bytes(data) if level is EncryptionScheme.DET else data
+                    join_ct = JoinCiphertext.deserialize(inner)
+                    plaintext = det_join.decrypt_bytes(join_ct.det)
+                    hit = local[data] = (self._from_bytes(column, plaintext),)
+                elif counted:
+                    self.cache.det_hits += 1
+                plains.append(hit[0])
+        elif onion is Onion.ORD:
+            if level is EncryptionScheme.RND:
+                if any(iv is None for iv in dense_ivs):
+                    raise CryptoError("decrypting the RND layer requires the row IV")
+                dense = self._rnd_for(column, Onion.ORD).decrypt_int_many(dense, dense_ivs)
+            decrypted = self._ope_for(column).decrypt_many(dense)
+            plains = [self._from_ope_int(column, v) for v in decrypted]
+        elif onion is Onion.ADD:
+            plains = [
+                self._from_hom_int(v, column)
+                for v in self.paillier.decrypt_many(dense)
+            ]
+        elif onion is Onion.SEARCH:
+            raise ProxyError("SEARCH ciphertexts cannot be decrypted to plaintext")
+        else:
+            raise ProxyError(f"unknown onion {onion}")
+        sparse: list = [None] * count
+        for i, value in zip(non_null, plains):
+            sparse[i] = value
+        return sparse
+
+    def decrypt_hom_sums(self, column: ColumnMeta, ciphertexts: Sequence[Any]) -> list:
+        """Batch form of :meth:`decrypt_hom_sum`."""
+        return [
+            None if ct is None else self._from_hom_int(self.paillier.decrypt(ct), column)
+            for ct in ciphertexts
+        ]
 
     # ------------------------------------------------------------------
     # Server-side layer keys (handed out during onion adjustment)

@@ -96,6 +96,56 @@ def bind_parameters(
             raise ProxyError(f"unknown parameter slot kind {slot.kind}")
 
 
+def bind_parameters_batch(
+    plan: RewritePlan, rows: Sequence[Sequence[Any]], encryptor: Encryptor
+) -> list[list[Any]]:
+    """Encrypt many parameter rows column-wise through the deferred slots.
+
+    The batched equivalent of calling :func:`bind_parameters` once per row:
+    for every :class:`~repro.core.rewriter.ParamSlot` the values of all rows
+    are gathered into one column and encrypted in a single batch call, so
+    the deterministic layers of repeated values are computed once.  Returns
+    one list per row, aligned with ``plan.param_slots``; the caller writes
+    each row's values into the slot targets just before executing it.
+    """
+    slots = plan.param_slots
+    slot_columns: list[list[Any]] = []
+    row_value_parts: dict[int, dict[str, list]] = {}
+    for slot in slots:
+        values = [row[slot.index] for row in rows]
+        if slot.kind == "plain":
+            slot_columns.append(values)
+        elif slot.kind == "constant":
+            slot_columns.append(
+                encryptor.encrypt_constants_many(
+                    slot.column, slot.onion, slot.level, values
+                )
+            )
+        elif slot.kind == "row_value":
+            parts = row_value_parts.get(slot.index)
+            if parts is None:
+                parts = row_value_parts[slot.index] = encryptor.encrypt_column_values(
+                    slot.column, values
+                )
+            slot_columns.append(parts.get(slot.part) or [None] * len(rows))
+        elif slot.kind == "hom_delta":
+            for index, value in enumerate(values):
+                if not isinstance(value, (int, float)):
+                    raise ProxyError(
+                        f"parameter {slot.index} feeds a homomorphic increment and "
+                        f"must be numeric, got {type(value).__name__} (row {index})"
+                    )
+            slot_columns.append(
+                encryptor.hom_delta_many(slot.column, [slot.sign * v for v in values])
+            )
+        else:  # pragma: no cover - slots are only created with known kinds
+            raise ProxyError(f"unknown parameter slot kind {slot.kind}")
+    return [
+        [column[row_index] for column in slot_columns]
+        for row_index in range(len(rows))
+    ]
+
+
 class PlanCache:
     """LRU cache of :class:`PreparedStatement` keyed on normalized SQL text."""
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence, Union
 
 from repro.core import udfs
-from repro.core.cache import CiphertextCache
+from repro.core.cache import CacheStatistics, CryptoCache
 from repro.core.encryptor import Encryptor
 from repro.core.joins import JoinManager
 from repro.core.onion import Onion, SecurityLevel
@@ -23,6 +23,7 @@ from repro.core.plan_cache import (
     PlanCache,
     PreparedStatement,
     bind_parameters,
+    bind_parameters_batch,
     statement_kind,
 )
 from repro.core.rewriter import RewritePlan, Rewriter
@@ -59,12 +60,37 @@ class ProxyStatistics:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     plan_cache_invalidations: int = 0
+    #: Statements executed through the batched executemany pipeline, and how
+    #: many parameter rows they covered.
+    batched_statements: int = 0
+    batched_rows: int = 0
     #: End-to-end per-statement wall times, keyed by statement kind
     #: ("SELECT", "INSERT", ...), populated by every execute() call.
     per_query_type_seconds: dict[str, list] = field(default_factory=dict)
+    #: The proxy's unified ciphertext cache (DET/OPE/SEARCH memos, HOM pool);
+    #: set by the proxy, excluded from reset()'s zeroing.
+    cache: Optional[CryptoCache] = None
+
+    def cache_stats(self) -> CacheStatistics:
+        """DET/OPE/SEARCH memo hit/miss counters and the HOM pool state."""
+        if self.cache is None:
+            return CacheStatistics()
+        return self.cache.statistics()
 
     def record_query_type(self, kind: str, seconds: float) -> None:
         self.per_query_type_seconds.setdefault(kind, []).append(seconds)
+
+    def record_query_type_batch(self, kind: str, seconds: float, rows: int) -> None:
+        """Record a batch as per-row samples so means stay per-statement.
+
+        An N-row executemany contributes N samples of ``seconds / N`` --
+        count and total line up with the scalar path's bookkeeping instead
+        of one N-row sample inflating the mean.
+        """
+        rows = max(rows, 1)
+        self.per_query_type_seconds.setdefault(kind, []).extend(
+            [seconds / rows] * rows
+        )
 
     def query_type_summary(self) -> dict[str, dict[str, float]]:
         """Per-statement-type count/total/mean, for the benchmark reports."""
@@ -79,10 +105,18 @@ class ProxyStatistics:
         return summary
 
     def reset(self) -> None:
-        """Zero every counter (timing series included); keys are kept out."""
+        """Zero every counter (timing series and cache hit/miss included).
+
+        Cached ciphertext entries and the HOM pool survive a reset -- only
+        the counters are cleared.
+        """
         fresh = ProxyStatistics()
         for name, value in vars(fresh).items():
+            if name == "cache":
+                continue
             setattr(self, name, value)
+        if self.cache is not None:
+            self.cache.reset_counters()
 
 
 class CryptDBProxy:
@@ -105,17 +139,21 @@ class CryptDBProxy:
         self.keys = KeyManager(self.master_key)
         self.paillier = paillier if paillier is not None else PaillierKeyPair.generate(paillier_bits)
         self.joins = JoinManager(self.master_key.material)
+        self.cache = CryptoCache(self.paillier, enabled=use_ciphertext_cache)
         self.encryptor = Encryptor(
-            self.keys, self.joins, self.paillier, use_ope_cache=use_ciphertext_cache
+            self.keys,
+            self.joins,
+            self.paillier,
+            use_ope_cache=use_ciphertext_cache,
+            cache=self.cache,
         )
         self.schema = ProxySchema(anonymize_names=anonymize_names)
         self.rewriter = Rewriter(
             self.schema, self.encryptor, self.joins, in_proxy_processing=in_proxy_processing
         )
-        self.cache = CiphertextCache(self.paillier, enabled=use_ciphertext_cache)
         if use_ciphertext_cache and hom_precompute:
             self.cache.precompute_hom(hom_precompute)
-        self.stats = ProxyStatistics()
+        self.stats = ProxyStatistics(cache=self.cache)
         self.plan_cache = PlanCache(plan_cache_size)
         self._onion_snapshot: Optional[tuple] = None
         self._computation_log: dict[tuple[str, str], set] = {}
@@ -226,22 +264,97 @@ class CryptDBProxy:
     ) -> int:
         """Execute one statement shape for every parameter tuple.
 
-        A fully parameterized shape is prepared (rewritten) exactly once;
-        each execution only encrypts its bound parameters.  Shapes that bake
-        per-execution randomness into the plan (literal values written to
-        encrypted columns) are re-rewritten per row so RND IVs and HOM
-        ciphertexts are never replayed.  Returns the total affected rowcount.
+        A fully parameterized shape is prepared (rewritten) exactly once and
+        then executed through the **batched pipeline**: all parameter rows
+        are encrypted column-at-a-time through the plan's deferred slots
+        (deterministic layers deduplicated via the ciphertext cache), and a
+        single-row INSERT shape is forwarded to the DBMS as one multi-row
+        INSERT.  Shapes that bake per-execution randomness into the plan
+        (literal values written to encrypted columns) fall back to per-row
+        re-rewriting so RND IVs and HOM ciphertexts are never replayed.
+        Returns the total affected rowcount.
         """
+        rows = [tuple(params) for params in seq_of_params]
+        if not rows:
+            self.prepare(sql)  # still validate the statement shape
+            return 0
         prepared = self.prepare(sql)
+        plan = prepared.plan
+        # A row with the wrong parameter count fails the whole batch before
+        # any row is written -- on the per-row fallback path too.
+        for index, params in enumerate(rows):
+            if len(params) != prepared.param_count:
+                raise ProxyError(
+                    f"statement expects {prepared.param_count} parameters, "
+                    f"got {len(params)} (row {index})"
+                )
+        batchable = (
+            not prepared.is_ddl
+            and not plan.passthrough
+            and plan.cacheable
+            and prepared.param_count > 0
+        )
+        if batchable:
+            return self._execute_prepared_batch(prepared, rows)
         reusable = (
-            prepared.is_ddl or prepared.plan.passthrough or prepared.plan.cacheable
+            prepared.is_ddl or plan.passthrough or plan.cacheable
         )
         total = 0
-        for params in seq_of_params:
+        for params in rows:
             total += self.execute_prepared(prepared, params).rowcount
             if not reusable:
                 prepared = self.prepare(sql)
         return total
+
+    def _execute_prepared_batch(
+        self, prepared: PreparedStatement, rows: list[tuple]
+    ) -> int:
+        """Run one cacheable statement shape over a batch of parameter rows."""
+        plan = prepared.plan
+        total_start = time.perf_counter()
+        self.stats.queries_processed += len(rows)
+        try:
+            bind_start = time.perf_counter()
+            bound_rows = bind_parameters_batch(plan, rows, self.encryptor)
+            bind_time = time.perf_counter() - bind_start
+
+            statement = plan.statement
+            slots = plan.param_slots
+            server_start = time.perf_counter()
+            if (
+                isinstance(statement, ast.Insert)
+                and len(statement.rows) == 1
+                and all(isinstance(expr, ast.Literal) for expr in statement.rows[0])
+            ):
+                # One multi-row INSERT: bind each row into the template and
+                # snapshot the literals, so the server executes a single
+                # statement for the whole batch.
+                template = statement.rows[0]
+                insert_rows = []
+                for bound in bound_rows:
+                    for slot, value in zip(slots, bound):
+                        slot.target.value = value
+                    insert_rows.append([ast.Literal(expr.value) for expr in template])
+                total = self.db.execute(
+                    ast.Insert(statement.table, statement.columns, insert_rows)
+                ).rowcount
+            else:
+                total = 0
+                for bound in bound_rows:
+                    for slot, value in zip(slots, bound):
+                        slot.target.value = value
+                    total += self.db.execute(statement).rowcount
+            server_time = time.perf_counter() - server_start
+
+            self.stats.proxy_time_seconds += bind_time
+            self.stats.server_time_seconds += server_time
+            self.stats.batched_statements += 1
+            self.stats.batched_rows += len(rows)
+            return total
+        finally:
+            self.stats.record_query_type_batch(
+                prepared.kind, time.perf_counter() - total_start, len(rows)
+            )
 
     #: Statement heads that never produce a cacheable rewrite plan; prepare()
     #: skips the cache for them so hit/miss counters reflect only real plans.
@@ -376,8 +489,10 @@ class CryptDBProxy:
                 levels, join_state = self._onion_snapshot
                 self.schema.restore_levels(levels)
                 if self.joins.restore(join_state):
-                    # Cached plans with baked JOIN-ADJ constants are stale.
+                    # Cached plans with baked JOIN-ADJ constants are stale,
+                    # and so are memoised Eq encryptions.
                     self.schema.bump_version()
+                    self.cache.invalidate_eq()
             self._onion_snapshot = None
         return result
 

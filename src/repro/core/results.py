@@ -1,11 +1,14 @@
 """Result-set decryption: step 4 of CryptDB's query processing.
 
 The DBMS returns encrypted rows; the proxy walks the rewrite plan's output
-specifications, decrypts each value with the corresponding onion keys
-(requesting the per-row IV columns the rewriter appended when the Eq onion
-was still at RND), recombines AVG from its SUM and COUNT components, applies
-any in-proxy ordering, and returns plaintext rows under the application's
-original column names.
+specifications and decrypts the result **column-at-a-time** through the
+encryptor's batch API: for each output spec the ciphertext column (plus the
+per-row IV column the rewriter appended when the Eq onion was still at RND)
+is sliced out of the server rows, decrypted in one call -- deduplicating
+repeated ciphertexts through the cache subsystem -- and the plaintext
+columns are zipped back into rows under the application's original column
+names.  AVG is recombined from its SUM and COUNT components and any
+in-proxy ordering (§3.5.1) is applied at the end.
 """
 
 from __future__ import annotations
@@ -25,10 +28,11 @@ def decrypt_results(
         return ResultSet([], [], server_result.rowcount)
 
     columns = [spec.name for spec in plan.output]
-    rows: list[tuple] = []
-    for server_row in server_result.rows:
-        row = tuple(_decrypt_cell(spec, server_row, encryptor) for spec in plan.output)
-        rows.append(row)
+    server_rows = server_result.rows
+    decrypted_columns = [
+        _decrypt_column(spec, server_rows, encryptor) for spec in plan.output
+    ]
+    rows = [tuple(col[i] for col in decrypted_columns) for i in range(len(server_rows))]
 
     if plan.proxy_order:
         rows = _proxy_sort(rows, plan.proxy_order)
@@ -36,23 +40,31 @@ def decrypt_results(
     return ResultSet(columns, rows, len(rows))
 
 
-def _decrypt_cell(spec: OutputSpec, server_row: tuple, encryptor: Encryptor) -> Any:
-    value = server_row[spec.source_index]
+def _decrypt_column(
+    spec: OutputSpec, server_rows: list[tuple], encryptor: Encryptor
+) -> list[Any]:
+    """Decrypt one output column of the whole result set."""
+    values = [row[spec.source_index] for row in server_rows]
     if spec.kind == "plain":
-        return value
+        return values
     if spec.kind == "column":
-        iv = server_row[spec.iv_index] if spec.iv_index is not None else None
-        return encryptor.decrypt_value(spec.column, spec.onion, spec.level, value, iv)
+        ivs = (
+            [row[spec.iv_index] for row in server_rows]
+            if spec.iv_index is not None
+            else None
+        )
+        return encryptor.decrypt_column(spec.column, spec.onion, spec.level, values, ivs)
     if spec.kind == "hom_sum":
-        return encryptor.decrypt_hom_sum(spec.column, value)
+        return encryptor.decrypt_hom_sums(spec.column, values)
     if spec.kind == "avg":
-        total = encryptor.decrypt_hom_sum(spec.column, value)
-        count = server_row[spec.extra_index]
-        if not count:
-            return None
-        return total / count
+        totals = encryptor.decrypt_hom_sums(spec.column, values)
+        counts = [row[spec.extra_index] for row in server_rows]
+        return [
+            None if not count else total / count
+            for total, count in zip(totals, counts)
+        ]
     if spec.kind == "ope_agg":
-        return encryptor.decrypt_value(spec.column, spec.onion, spec.level, value, None)
+        return encryptor.decrypt_column(spec.column, spec.onion, spec.level, values, None)
     raise ValueError(f"unknown output spec kind {spec.kind}")
 
 

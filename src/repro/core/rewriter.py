@@ -250,6 +250,9 @@ class Rewriter:
             column = self.schema.column(adjustment.table, adjustment.column)
             table_meta = self.schema.table(adjustment.table)
             state = column.onion_state(Onion.EQ)
+            # The re-keying changes the JOIN-ADJ component of every stored
+            # Eq ciphertext, so memoised encryptions for the column are stale.
+            self.encryptor.cache.invalidate_eq(adjustment.table, adjustment.column)
             delta_bytes = adjustment.delta.to_bytes(32, "big")
             call = ast.FunctionCall(
                 udfs.JOIN_ADJUST,

@@ -67,6 +67,71 @@ def _adj_part(ciphertext: Optional[bytes]) -> Any:
     return ciphertext[: join_adj.ADJ_SIZE]
 
 
+def _group_by_key(keys: list, ciphertexts: list) -> dict[bytes, list[int]]:
+    """Row positions of the non-NULL ciphertexts, grouped by their key."""
+    groups: dict[bytes, list[int]] = {}
+    for index, (key, ciphertext) in enumerate(zip(keys, ciphertexts)):
+        if ciphertext is not None:
+            groups.setdefault(key, []).append(index)
+    return groups
+
+
+def _decrypt_rnd_eq_many(keys: list, ciphertexts: list, ivs: list) -> list:
+    """Batch variant of the RND-Eq strip: one key schedule per column."""
+    out: list = [None] * len(ciphertexts)
+    for key, positions in _group_by_key(keys, ciphertexts).items():
+        stripped = RND(key).decrypt_bytes_many(
+            [ciphertexts[i] for i in positions], [ivs[i] for i in positions]
+        )
+        for position, plaintext in zip(positions, stripped):
+            out[position] = plaintext
+    return out
+
+
+def _decrypt_rnd_ord_many(keys: list, ciphertexts: list, ivs: list) -> list:
+    """Batch variant of the RND-Ord strip: one key schedule per column."""
+    out: list = [None] * len(ciphertexts)
+    for key, positions in _group_by_key(keys, ciphertexts).items():
+        stripped = RND(key).decrypt_int_many(
+            [ciphertexts[i] for i in positions], [ivs[i] for i in positions]
+        )
+        for position, value in zip(positions, stripped):
+            out[position] = value
+    return out
+
+
+def _decrypt_det_eq_many(keys: list, ciphertexts: list) -> list:
+    """Batch variant of the DET-Eq strip.
+
+    One key schedule per column, and -- because DET is deterministic, so
+    equal plaintexts stored equal ciphertexts -- each distinct ciphertext is
+    decrypted once via :meth:`DET.decrypt_bytes_many`.
+    """
+    out: list = [None] * len(ciphertexts)
+    for key, positions in _group_by_key(keys, ciphertexts).items():
+        stripped = DET(key).decrypt_bytes_many([ciphertexts[i] for i in positions])
+        for position, plaintext in zip(positions, stripped):
+            out[position] = plaintext
+    return out
+
+
+def _join_adjust_many(ciphertexts: list, deltas: list) -> list:
+    """Batch variant of the JOIN-ADJ re-keying, parsing each delta once."""
+    parsed_deltas: dict[bytes, int] = {}
+    out = []
+    for ciphertext, delta_bytes in zip(ciphertexts, deltas):
+        if ciphertext is None:
+            out.append(None)
+            continue
+        delta = parsed_deltas.get(delta_bytes)
+        if delta is None:
+            delta = parsed_deltas[delta_bytes] = int.from_bytes(delta_bytes, "big")
+        parsed = join_adj.JoinCiphertext.deserialize(ciphertext)
+        adjusted = join_adj.adjust(parsed.adj, delta)
+        out.append(join_adj.JoinCiphertext(adjusted, parsed.det).serialize())
+    return out
+
+
 def _search_match(
     ciphertext: Optional[bytes],
     token_left: Optional[bytes],
@@ -89,10 +154,21 @@ def install_udfs(db: Database, public_key: PaillierPublicKey) -> None:
             return None
         return (a * b) % n_squared
 
-    db.register_scalar_udf(DECRYPT_RND_EQ, _decrypt_rnd_eq)
-    db.register_scalar_udf(DECRYPT_RND_ORD, _decrypt_rnd_ord)
-    db.register_scalar_udf(DECRYPT_DET_EQ, _decrypt_det_eq)
-    db.register_scalar_udf(JOIN_ADJUST, _join_adjust)
+    def register(name, func, batch=None):
+        if batch is None:
+            db.register_scalar_udf(name, func)
+            return
+        try:
+            db.register_scalar_udf(name, func, batch=batch)
+        except TypeError:
+            # Backend adapters predating vectorized UDFs take no batch
+            # argument; the scalar variant alone keeps them correct.
+            db.register_scalar_udf(name, func)
+
+    register(DECRYPT_RND_EQ, _decrypt_rnd_eq, _decrypt_rnd_eq_many)
+    register(DECRYPT_RND_ORD, _decrypt_rnd_ord, _decrypt_rnd_ord_many)
+    register(DECRYPT_DET_EQ, _decrypt_det_eq, _decrypt_det_eq_many)
+    register(JOIN_ADJUST, _join_adjust, _join_adjust_many)
     db.register_scalar_udf(ADJ_PART, _adj_part)
     db.register_scalar_udf(SEARCH_MATCH, _search_match)
     db.register_scalar_udf(HOM_ADD, hom_add)

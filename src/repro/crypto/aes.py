@@ -76,6 +76,16 @@ _RCON = [0x01]
 while len(_RCON) < 14:
     _RCON.append(_xtime(_RCON[-1]))
 
+# Pre-computed GF(2^8) multiplication tables for the (inverse) MixColumns
+# constants, so the hot per-block loops are pure table lookups instead of
+# bit-by-bit field multiplications.
+_MUL2 = [_gf_mul(x, 2) for x in range(256)]
+_MUL3 = [_gf_mul(x, 3) for x in range(256)]
+_MUL9 = [_gf_mul(x, 9) for x in range(256)]
+_MUL11 = [_gf_mul(x, 11) for x in range(256)]
+_MUL13 = [_gf_mul(x, 13) for x in range(256)]
+_MUL14 = [_gf_mul(x, 14) for x in range(256)]
+
 
 class AES:
     """AES block cipher for a fixed key.
@@ -154,29 +164,23 @@ class AES:
 
     @staticmethod
     def _mix_columns(state: list[int]) -> None:
-        for col in range(4):
-            a = state[4 * col : 4 * col + 4]
-            state[4 * col + 0] = _gf_mul(a[0], 2) ^ _gf_mul(a[1], 3) ^ a[2] ^ a[3]
-            state[4 * col + 1] = a[0] ^ _gf_mul(a[1], 2) ^ _gf_mul(a[2], 3) ^ a[3]
-            state[4 * col + 2] = a[0] ^ a[1] ^ _gf_mul(a[2], 2) ^ _gf_mul(a[3], 3)
-            state[4 * col + 3] = _gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ _gf_mul(a[3], 2)
+        mul2, mul3 = _MUL2, _MUL3
+        for col in range(0, 16, 4):
+            a0, a1, a2, a3 = state[col : col + 4]
+            state[col + 0] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3
+            state[col + 1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3
+            state[col + 2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3]
+            state[col + 3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3]
 
     @staticmethod
     def _inv_mix_columns(state: list[int]) -> None:
-        for col in range(4):
-            a = state[4 * col : 4 * col + 4]
-            state[4 * col + 0] = (
-                _gf_mul(a[0], 14) ^ _gf_mul(a[1], 11) ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9)
-            )
-            state[4 * col + 1] = (
-                _gf_mul(a[0], 9) ^ _gf_mul(a[1], 14) ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13)
-            )
-            state[4 * col + 2] = (
-                _gf_mul(a[0], 13) ^ _gf_mul(a[1], 9) ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11)
-            )
-            state[4 * col + 3] = (
-                _gf_mul(a[0], 11) ^ _gf_mul(a[1], 13) ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14)
-            )
+        mul9, mul11, mul13, mul14 = _MUL9, _MUL11, _MUL13, _MUL14
+        for col in range(0, 16, 4):
+            a0, a1, a2, a3 = state[col : col + 4]
+            state[col + 0] = mul14[a0] ^ mul11[a1] ^ mul13[a2] ^ mul9[a3]
+            state[col + 1] = mul9[a0] ^ mul14[a1] ^ mul11[a2] ^ mul13[a3]
+            state[col + 2] = mul13[a0] ^ mul9[a1] ^ mul14[a2] ^ mul11[a3]
+            state[col + 3] = mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3]
 
     # -- public API -------------------------------------------------------
     def encrypt_block(self, block: bytes) -> bytes:

@@ -83,33 +83,49 @@ def _normal_approximation(
 def _exact_inverse_transform(
     draws: int, good: int, total: int, low: int, high: int, coins: DeterministicStream
 ) -> int:
-    """Mode-centred inverse transform over the exact hypergeometric pmf."""
+    """Mode-centred inverse transform over the exact hypergeometric pmf.
+
+    Expands outwards from the mode, accumulating probability mass until the
+    cumulative mass exceeds the target quantile.  Visiting values in a fixed
+    (deterministic) order keeps encryption and decryption consistent.  The
+    mass of each neighbour follows from the previous one via the pmf
+    recurrence, so only the mode pays the log-gamma evaluation.
+    """
     target = coins.uniform_float()
+    bad = total - good
     mode = int((draws + 1) * (good + 1) / (total + 2))
     mode = min(max(mode, low), high)
 
-    # Expand outwards from the mode, accumulating probability mass until the
-    # cumulative mass exceeds the target quantile.  Visiting values in a fixed
-    # (deterministic) order keeps encryption and decryption consistent.
-    values = [mode]
-    step = 1
-    while True:
-        added = False
-        if mode - step >= low:
-            values.append(mode - step)
-            added = True
-        if mode + step <= high:
-            values.append(mode + step)
-            added = True
-        if not added:
-            break
-        step += 1
-
-    cumulative = 0.0
-    chosen = values[-1]
-    for value in values:
-        cumulative += math.exp(_log_pmf(value, draws, good, total))
-        if cumulative >= target:
-            chosen = value
-            break
+    p_mode = math.exp(_log_pmf(mode, draws, good, total))
+    cumulative = p_mode
+    if cumulative >= target:
+        return mode
+    # P(k-1) = P(k) * k (bad - draws + k) / ((good - k + 1) (draws - k + 1))
+    # P(k+1) = P(k) * (good - k) (draws - k) / ((k + 1) (bad - draws + k + 1))
+    p_down = p_up = p_mode
+    k_down = k_up = mode
+    chosen = mode
+    while k_down > low or k_up < high:
+        if k_down > low:
+            p_down *= (
+                k_down * (bad - draws + k_down)
+                / ((good - k_down + 1) * (draws - k_down + 1))
+            )
+            k_down -= 1
+            chosen = k_down
+            cumulative += p_down
+            if cumulative >= target:
+                return k_down
+        if k_up < high:
+            p_up *= (
+                (good - k_up) * (draws - k_up)
+                / ((k_up + 1) * (bad - draws + k_up + 1))
+            )
+            k_up += 1
+            chosen = k_up
+            cumulative += p_up
+            if cumulative >= target:
+                return k_up
+    # Floating-point residue kept the cumulative mass below 1: fall back to
+    # the last value visited, exactly like the pre-recurrence implementation.
     return chosen

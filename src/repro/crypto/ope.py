@@ -69,6 +69,8 @@ class OPE:
         self._cache_enabled = cache
         self._encrypt_cache: dict[int, int] = {}
         self._decrypt_cache: dict[int, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- public API -------------------------------------------------------
     def encrypt(self, plaintext: int) -> int:
@@ -77,8 +79,11 @@ class OPE:
             raise CryptoError(
                 "OPE plaintext %d outside [0, %d)" % (plaintext, self.domain_size)
             )
-        if self._cache_enabled and plaintext in self._encrypt_cache:
-            return self._encrypt_cache[plaintext]
+        if self._cache_enabled:
+            if plaintext in self._encrypt_cache:
+                self.cache_hits += 1
+                return self._encrypt_cache[plaintext]
+            self.cache_misses += 1
         ciphertext = self._encrypt_recursive(plaintext, self._root())
         if self._cache_enabled:
             self._encrypt_cache[plaintext] = ciphertext
@@ -91,8 +96,11 @@ class OPE:
             raise CryptoError(
                 "OPE ciphertext %d outside [0, %d)" % (ciphertext, self.range_size)
             )
-        if self._cache_enabled and ciphertext in self._decrypt_cache:
-            return self._decrypt_cache[ciphertext]
+        if self._cache_enabled:
+            if ciphertext in self._decrypt_cache:
+                self.cache_hits += 1
+                return self._decrypt_cache[ciphertext]
+            self.cache_misses += 1
         plaintext = self._decrypt_recursive(ciphertext, self._root())
         if self._cache_enabled:
             self._encrypt_cache[plaintext] = ciphertext
@@ -101,7 +109,37 @@ class OPE:
 
     def encrypt_batch(self, plaintexts: list[int]) -> list[int]:
         """Encrypt many values, exploiting the cache (the paper's batch mode)."""
-        return [self.encrypt(p) for p in plaintexts]
+        return self.encrypt_many(plaintexts)
+
+    def encrypt_many(self, plaintexts: list[int]) -> list[int]:
+        """Encrypt a column of values, computing each distinct value once.
+
+        With the instance cache enabled the memo persists across batches;
+        otherwise deduplication is local to this call.
+        """
+        if self._cache_enabled:
+            return [self.encrypt(p) for p in plaintexts]
+        local: dict[int, int] = {}
+        out = []
+        for plaintext in plaintexts:
+            cached = local.get(plaintext)
+            if cached is None:
+                cached = local[plaintext] = self.encrypt(plaintext)
+            out.append(cached)
+        return out
+
+    def decrypt_many(self, ciphertexts: list[int]) -> list[int]:
+        """Decrypt a column of values, computing each distinct value once."""
+        if self._cache_enabled:
+            return [self.decrypt(c) for c in ciphertexts]
+        local: dict[int, int] = {}
+        out = []
+        for ciphertext in ciphertexts:
+            cached = local.get(ciphertext)
+            if cached is None:
+                cached = local[ciphertext] = self.decrypt(ciphertext)
+            out.append(cached)
+        return out
 
     @property
     def cache_size(self) -> int:
@@ -112,6 +150,10 @@ class OPE:
         """Drop all cached encryptions."""
         self._encrypt_cache.clear()
         self._decrypt_cache.clear()
+
+    def reset_counters(self) -> None:
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- recursion --------------------------------------------------------
     def _root(self) -> _Node:

@@ -54,6 +54,9 @@ class PaillierKeyPair:
     public: PaillierPublicKey
     private: PaillierPrivateKey
     _randomness_pool: list = field(default_factory=list, repr=False)
+    #: encryptions served from the pre-computed pool vs. paying ``r^n`` inline.
+    pool_hits: int = 0
+    pool_misses: int = 0
 
     @classmethod
     def generate(cls, bits: int = DEFAULT_KEY_BITS) -> "PaillierKeyPair":
@@ -93,10 +96,16 @@ class PaillierKeyPair:
 
     def _next_randomness(self) -> int:
         if self._randomness_pool:
+            self.pool_hits += 1
             return self._randomness_pool.pop()
+        self.pool_misses += 1
         n = self.public.n
         r = secrets.randbelow(n - 2) + 1
         return pow(r, n, self.public.n_squared)
+
+    def reset_counters(self) -> None:
+        self.pool_hits = 0
+        self.pool_misses = 0
 
     # -- encryption / decryption ------------------------------------------
     def encrypt(self, plaintext: int) -> int:
@@ -113,6 +122,16 @@ class PaillierKeyPair:
         g_m = (1 + n * plaintext) % n_sq
         return (g_m * self._next_randomness()) % n_sq
 
+    def encrypt_many(self, plaintexts: list[int]) -> list[int]:
+        """Encrypt a column of integers.
+
+        HOM is probabilistic, so unlike DET/OPE there is nothing to memoise;
+        the batch form exists so column encryption drains the pre-computed
+        randomness pool in one pass (and so callers have one API shape for
+        every scheme).
+        """
+        return [None if p is None else self.encrypt(p) for p in plaintexts]
+
     def decrypt(self, ciphertext: int) -> int:
         """Invert :meth:`encrypt`."""
         n = self.public.n
@@ -122,6 +141,10 @@ class PaillierKeyPair:
         u = pow(ciphertext, self.private.lam, n_sq)
         l_value = (u - 1) // n
         return (l_value * self.private.mu) % n
+
+    def decrypt_many(self, ciphertexts: list[int]) -> list[int]:
+        """Invert :meth:`encrypt_many`."""
+        return [None if c is None else self.decrypt(c) for c in ciphertexts]
 
 
 class Paillier:

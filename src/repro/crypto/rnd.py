@@ -37,6 +37,12 @@ class RND:
         """Draw a fresh random IV."""
         return random_bytes(RND.IV_SIZE)
 
+    @staticmethod
+    def generate_ivs(count: int) -> list[bytes]:
+        """Draw ``count`` fresh IVs with a single entropy request."""
+        pool = random_bytes(RND.IV_SIZE * count)
+        return [pool[i : i + RND.IV_SIZE] for i in range(0, len(pool), RND.IV_SIZE)]
+
     # -- byte strings -----------------------------------------------------
     def encrypt_bytes(self, plaintext: bytes, iv: bytes) -> bytes:
         """Encrypt an arbitrary byte string under the given IV."""
@@ -50,7 +56,47 @@ class RND:
             raise CryptoError("RND IV must be %d bytes" % self.IV_SIZE)
         return modes.cbc_decrypt(self._aes, iv, ciphertext)
 
+    def encrypt_bytes_many(
+        self, plaintexts: list[bytes], ivs: list[bytes]
+    ) -> list[bytes]:
+        """Encrypt a column of byte strings, one fresh IV per value."""
+        encrypt = modes.cbc_encrypt
+        aes = self._aes
+        return [
+            None if plaintext is None else encrypt(aes, iv, plaintext)
+            for plaintext, iv in zip(plaintexts, ivs)
+        ]
+
+    def decrypt_bytes_many(
+        self, ciphertexts: list[bytes], ivs: list[bytes]
+    ) -> list[bytes]:
+        """Invert :meth:`encrypt_bytes_many`."""
+        decrypt = modes.cbc_decrypt
+        aes = self._aes
+        return [
+            None if ciphertext is None else decrypt(aes, iv, ciphertext)
+            for ciphertext, iv in zip(ciphertexts, ivs)
+        ]
+
     # -- integers ---------------------------------------------------------
+    def encrypt_int_many(self, values: list[int], ivs: list[bytes]) -> list[int]:
+        """Encrypt a column of 64-bit integers, one fresh IV per value."""
+        prp = self._prp64
+        return [
+            None if value is None
+            else prp.encrypt_int(value ^ int.from_bytes(iv[:8], "big"))
+            for value, iv in zip(values, ivs)
+        ]
+
+    def decrypt_int_many(self, ciphertexts: list[int], ivs: list[bytes]) -> list[int]:
+        """Invert :meth:`encrypt_int_many`."""
+        prp = self._prp64
+        return [
+            None if ciphertext is None
+            else prp.decrypt_int(ciphertext) ^ int.from_bytes(iv[:8], "big")
+            for ciphertext, iv in zip(ciphertexts, ivs)
+        ]
+
     def encrypt_int(self, value: int, iv: bytes) -> int:
         """Encrypt a 64-bit unsigned integer; the ciphertext is also 64 bits.
 

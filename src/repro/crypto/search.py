@@ -72,13 +72,20 @@ def extract_keywords(text: str) -> list[str]:
 class SEARCH:
     """Word-search encryption under a fixed column key."""
 
-    def __init__(self, key: bytes, keep_duplicates: bool = False):
+    def __init__(self, key: bytes, keep_duplicates: bool = False, cache: bool = False):
         if not key:
             raise CryptoError("SEARCH key must be non-empty")
         self.key = key
         self.keep_duplicates = keep_duplicates
         self._det = DET(derive_key(key, "search-det", length=16))
         self._prf_key = derive_key(key, "search-prf", length=16)
+        #: memo of the deterministic (DET) word cores; the per-word randomness
+        #: S stays fresh on every encryption, so memoising the core leaks
+        #: nothing beyond what a single encryption already computes.
+        self._cache_enabled = cache
+        self._core_cache: dict[str, tuple[bytes, bytes]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- encryption -------------------------------------------------------
     def _pad_word(self, word: str) -> bytes:
@@ -109,6 +116,56 @@ class SEARCH:
         if not self.keep_duplicates:
             ciphertexts.sort()
         return SearchCiphertext(tuple(ciphertexts))
+
+    # -- memoised batch API (column-at-a-time paths) ----------------------
+    def _word_core_cached(self, word: str) -> tuple[bytes, bytes]:
+        if not self._cache_enabled:
+            return self._word_core(word)
+        core = self._core_cache.get(word)
+        if core is None:
+            self.cache_misses += 1
+            core = self._core_cache[word] = self._word_core(word)
+        else:
+            self.cache_hits += 1
+        return core
+
+    def _encrypt_word_cached(self, word: str) -> bytes:
+        left, right = self._word_core_cached(word)
+        s = random_bytes(_SPLIT)
+        t = expand(self._prf_key, s, WORD_SIZE - _SPLIT)
+        return xor_bytes(left, s) + xor_bytes(right, t) + s
+
+    def encrypt_many(self, texts: list[str]) -> list[SearchCiphertext]:
+        """Encrypt a column of text values, memoising the DET word cores.
+
+        Every word ciphertext still carries fresh randomness; only the
+        deterministic inner DET encryption of each keyword is reused.
+        """
+        out = []
+        for text in texts:
+            if text is None:
+                out.append(None)
+                continue
+            words = extract_keywords(text)
+            if not self.keep_duplicates:
+                words = list(dict.fromkeys(words))
+            ciphertexts = [self._encrypt_word_cached(w) for w in words]
+            if not self.keep_duplicates:
+                ciphertexts.sort()
+            out.append(SearchCiphertext(tuple(ciphertexts)))
+        return out
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoised keyword cores."""
+        return len(self._core_cache)
+
+    def clear_cache(self) -> None:
+        self._core_cache.clear()
+
+    def reset_counters(self) -> None:
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- tokens and matching ----------------------------------------------
     def token(self, word: str) -> SearchToken:

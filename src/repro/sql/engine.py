@@ -54,9 +54,18 @@ class Database:
         return self._statements_executed
 
     # -- UDF registration ----------------------------------------------------
-    def register_scalar_udf(self, name: str, func: Callable[..., Any]) -> None:
-        """Install a scalar UDF callable from SQL expressions."""
-        self.functions.register_scalar(name, func)
+    def register_scalar_udf(
+        self,
+        name: str,
+        func: Callable[..., Any],
+        batch: Optional[Callable[..., list]] = None,
+    ) -> None:
+        """Install a scalar UDF callable from SQL expressions.
+
+        ``batch``, when given, is a vectorized variant (one list per
+        argument, returning the result list) used for full-column UPDATEs.
+        """
+        self.functions.register_scalar(name, func, batch=batch)
 
     def register_aggregate_udf(
         self,

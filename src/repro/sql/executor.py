@@ -113,17 +113,65 @@ class Executor:
     def _execute_update(self, statement: ast.Update) -> ResultSet:
         table = self.catalog.table(statement.table)
         matching = self._matching_rows(table, statement.where)
+        # Assignments that call a UDF with a registered batch variant (the
+        # shape of CryptDB's onion-adjustment UPDATEs) are evaluated
+        # column-at-a-time, so per-row setup such as key schedules happens
+        # once per column instead of once per cell.
+        batch_values = self._batch_assignment_columns(statement, table, matching)
         count = 0
-        for row_id, row in matching:
-            context = RowContext.from_row(table.name, row)
-            changes = {
-                column: evaluate(expr, context, self.functions)
-                for column, expr in statement.assignments
-            }
+        for row_index, (row_id, row) in enumerate(matching):
+            context = None
+            changes = {}
+            for position, (column, expr) in enumerate(statement.assignments):
+                if position in batch_values:
+                    changes[column] = batch_values[position][row_index]
+                    continue
+                if context is None:
+                    context = RowContext.from_row(table.name, row)
+                changes[column] = evaluate(expr, context, self.functions)
             previous = table.update(row_id, changes)
             self.transactions.record_update(table.name, row_id, previous)
             count += 1
         return ResultSet([], [], count)
+
+    def _batch_assignment_columns(
+        self,
+        statement: ast.Update,
+        table: Table,
+        matching: list[tuple[int, dict[str, Any]]],
+    ) -> dict[int, list]:
+        """Evaluate batchable UDF assignments column-wise.
+
+        Returns per-assignment-position result columns for assignments of
+        the form ``col = UDF(literal-or-column, ...)`` where the UDF has a
+        vectorized variant registered; everything else stays on the per-row
+        path.
+        """
+        results: dict[int, list] = {}
+        if not matching:
+            return results
+        for position, (_column, expr) in enumerate(statement.assignments):
+            if not isinstance(expr, ast.FunctionCall):
+                continue
+            batch = self.functions.batch_scalar(expr.name)
+            if batch is None or not expr.args:
+                continue
+            arg_columns: list[list] = []
+            for arg in expr.args:
+                if isinstance(arg, ast.Literal):
+                    arg_columns.append([arg.value] * len(matching))
+                elif (
+                    isinstance(arg, ast.ColumnRef)
+                    and (arg.table is None or arg.table == table.name)
+                    and table.has_column(arg.name)
+                ):
+                    arg_columns.append([row[arg.name] for _, row in matching])
+                else:
+                    arg_columns = []
+                    break
+            else:
+                results[position] = batch(*arg_columns)
+        return results
 
     def _execute_delete(self, statement: ast.Delete) -> ResultSet:
         table = self.catalog.table(statement.table)
@@ -276,40 +324,87 @@ class Executor:
         right_contexts: list[RowContext],
         clause: ast.Join,
     ) -> list[RowContext]:
-        condition = clause.condition
-        equality = _equality_join_columns(condition)
+        """Join two context sets, hash-joining on any equality conjunct.
+
+        Equality terms may be plain column references or single-column UDF
+        calls -- in particular the ``ADJ_PART(C_Eq) = ADJ_PART(C_Eq)``
+        comparisons CryptDB's rewriter emits for equi-joins over DET-JOIN
+        ciphertexts, which previously fell through to the nested loop and
+        paid two UDF evaluations per candidate *pair*.  The hash join
+        evaluates each side's key expression once per row; remaining
+        conjuncts are applied as a residual filter.  Non-equi conditions
+        fall back to the nested loop.
+        """
+        for terms in _hash_join_candidates(clause.condition):
+            joined = self._try_hash_join(left_contexts, right_contexts, clause, terms)
+            if joined is not None:
+                return joined
+        return self._nested_loop_join(left_contexts, right_contexts, clause)
+
+    def _try_hash_join(
+        self,
+        left_contexts: list[RowContext],
+        right_contexts: list[RowContext],
+        clause: ast.Join,
+        terms: tuple[tuple[ast.Expression, ast.Expression], Optional[ast.Expression]],
+    ) -> Optional[list[RowContext]]:
+        """Hash-join on one equality term, or None if it cannot key a side.
+
+        A key expression that is not evaluable against one side alone (e.g.
+        it mixes columns of both tables) would silently drop rows, so the
+        caller falls through to the next candidate term -- and ultimately to
+        the nested loop.
+        """
+        (left_expr, right_expr), residual = terms
+        buckets: dict[Any, list[RowContext]] = {}
+        for context in right_contexts:
+            key = self._join_key(right_expr, left_expr, context)
+            if key is _UNRESOLVED:
+                return None
+            if key is not None:
+                buckets.setdefault(key, []).append(context)
         joined: list[RowContext] = []
+        for left in left_contexts:
+            key = self._join_key(left_expr, right_expr, left)
+            if key is _UNRESOLVED:
+                return None
+            matched = False
+            if key is not None:
+                for right in buckets.get(key, ()):
+                    merged = left.merged_with(right)
+                    if residual is None or is_truthy(
+                        evaluate(residual, merged, self.functions)
+                    ):
+                        joined.append(merged)
+                        matched = True
+            if not matched and clause.join_type == "LEFT":
+                joined.append(left.merged_with(_null_context(right_contexts)))
+        return joined
 
-        if equality is not None:
-            left_ref, right_ref = equality
-            # Build a hash table over the right side (equi-join fast path).
-            buckets: dict[Any, list[RowContext]] = {}
-            for context in right_contexts:
-                try:
-                    key = context.lookup(right_ref)
-                except SQLExecutionError:
-                    try:
-                        key = context.lookup(left_ref)
-                    except SQLExecutionError:
-                        key = None
-                if key is not None:
-                    buckets.setdefault(_hashable(key), []).append(context)
-            for left in left_contexts:
-                try:
-                    key = left.lookup(left_ref)
-                except SQLExecutionError:
-                    try:
-                        key = left.lookup(right_ref)
-                    except SQLExecutionError:
-                        key = None
-                matches = buckets.get(_hashable(key), []) if key is not None else []
-                if matches:
-                    joined.extend(left.merged_with(m) for m in matches)
-                elif clause.join_type == "LEFT":
-                    joined.append(left.merged_with(_null_context(right_contexts)))
-            return joined
+    def _join_key(
+        self, primary: ast.Expression, fallback: ast.Expression, context: RowContext
+    ) -> Any:
+        """Evaluate a row's join key, trying the term bound to its side first.
 
-        # General nested-loop join.
+        Returns ``_UNRESOLVED`` when neither term can be evaluated against
+        this context, and None for a genuine NULL key (which joins nothing).
+        """
+        for expr in (primary, fallback):
+            try:
+                value = evaluate(expr, context, self.functions)
+            except SQLExecutionError:
+                continue
+            return None if value is None else _hashable(value)
+        return _UNRESOLVED
+
+    def _nested_loop_join(
+        self,
+        left_contexts: list[RowContext],
+        right_contexts: list[RowContext],
+        clause: ast.Join,
+    ) -> list[RowContext]:
+        condition = clause.condition
+        joined: list[RowContext] = []
         for left in left_contexts:
             matched = False
             for right in right_contexts:
@@ -521,6 +616,10 @@ class _SortKey:
         return isinstance(other, _SortKey) and self.value == other.value
 
 
+#: Sentinel for join keys that could not be evaluated against one side.
+_UNRESOLVED = object()
+
+
 def _hashable(value: Any) -> Any:
     if isinstance(value, (list, dict, set)):
         return repr(value)
@@ -561,17 +660,55 @@ def _single_table(
     return True
 
 
-def _equality_join_columns(
+def _is_join_key_expression(expr: ast.Expression) -> bool:
+    """True for expressions usable as one side of a hash-join key.
+
+    A plain column reference, or a scalar function call over column
+    references and literals (at least one column) -- the shape the CryptDB
+    rewriter produces for DET-JOIN equality (``ADJ_PART(C_Eq)``).
+    """
+    if isinstance(expr, ast.ColumnRef):
+        return True
+    if isinstance(expr, ast.FunctionCall) and expr.args:
+        has_column = False
+        for arg in expr.args:
+            if isinstance(arg, ast.ColumnRef):
+                has_column = True
+            elif not isinstance(arg, ast.Literal):
+                return False
+        return has_column
+    return False
+
+
+def _hash_join_candidates(
     condition: Optional[ast.Expression],
-) -> Optional[tuple[ast.ColumnRef, ast.ColumnRef]]:
-    if (
-        isinstance(condition, ast.BinaryOp)
-        and condition.op == "="
-        and isinstance(condition.left, ast.ColumnRef)
-        and isinstance(condition.right, ast.ColumnRef)
-    ):
-        return condition.left, condition.right
-    return None
+) -> list[tuple[tuple[ast.Expression, ast.Expression], Optional[ast.Expression]]]:
+    """Split a join condition into hashable equalities and residual filters.
+
+    Returns one ``((left_term, right_term), residual)`` entry per
+    ``expr = expr`` conjunct whose sides are both join-key expressions, with
+    the remaining conjuncts folded back into one residual predicate (or
+    None).  The executor tries each candidate in turn, since an equality
+    whose sides both live in one table cannot key a hash join even though it
+    is shaped like one.
+    """
+    if condition is None:
+        return []
+    conjuncts = _conjuncts(condition)
+    candidates = []
+    for position, conjunct in enumerate(conjuncts):
+        if (
+            isinstance(conjunct, ast.BinaryOp)
+            and conjunct.op == "="
+            and _is_join_key_expression(conjunct.left)
+            and _is_join_key_expression(conjunct.right)
+        ):
+            rest = conjuncts[:position] + conjuncts[position + 1 :]
+            residual = None
+            for other in rest:
+                residual = other if residual is None else ast.BinaryOp("AND", residual, other)
+            candidates.append(((conjunct.left, conjunct.right), residual))
+    return candidates
 
 
 def _null_context(right_contexts: list[RowContext]) -> RowContext:

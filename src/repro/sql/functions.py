@@ -93,10 +93,27 @@ class FunctionRegistry:
 
     scalars: dict[str, Callable[..., Any]] = field(default_factory=_builtin_scalars)
     aggregates: dict[str, AggregateSpec] = field(default_factory=_builtin_aggregates)
+    #: Optional vectorized variants of scalar UDFs.  A batch variant takes
+    #: one list per argument (each holding that argument's value for every
+    #: row) and returns the list of results; the executor uses it to apply
+    #: full-column UPDATEs (CryptDB's onion-adjustment statements) without
+    #: re-doing per-row setup such as key schedules.
+    batch_scalars: dict[str, Callable[..., list]] = field(default_factory=dict)
 
-    def register_scalar(self, name: str, func: Callable[..., Any]) -> None:
+    def register_scalar(
+        self,
+        name: str,
+        func: Callable[..., Any],
+        batch: Optional[Callable[..., list]] = None,
+    ) -> None:
         """Install a scalar UDF (e.g. CryptDB's SEARCH match or JOIN adjust)."""
         self.scalars[name.upper()] = func
+        if batch is not None:
+            self.batch_scalars[name.upper()] = batch
+
+    def batch_scalar(self, name: str) -> Optional[Callable[..., list]]:
+        """The vectorized variant of a scalar function, if one is registered."""
+        return self.batch_scalars.get(name.upper())
 
     def register_aggregate(
         self,

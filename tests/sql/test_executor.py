@@ -97,6 +97,42 @@ def test_joins(db):
     assert implicit.rows == [("Carol",), ("Dan",)]
 
 
+def test_join_with_residual_and_same_side_equality(db):
+    # The cross-table equality hash-joins; the extra conjuncts apply as a
+    # residual filter on each matched pair.
+    result = db.execute(
+        "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.dname AND e.salary > 60000 "
+        "ORDER BY e.name"
+    )
+    assert result.rows == [("Alice",), ("Carol",), ("Dan",)]
+    # A same-side equality conjunct (e.name = e.name) is shaped like a join
+    # key but cannot key a hash join; the cross-table conjunct after it must
+    # still be used (not a silent fall-through to an empty result).
+    result = db.execute(
+        "SELECT e.name FROM emp e JOIN dept d ON e.name = e.name AND e.dept = d.dname "
+        "WHERE d.head = 'Yan' ORDER BY e.name"
+    )
+    assert result.rows == [("Carol",), ("Dan",)]
+    # LEFT join with a residual: unmatched-after-residual rows null-extend.
+    left = db.execute(
+        "SELECT e.name, d.head FROM emp e LEFT JOIN dept d "
+        "ON e.dept = d.dname AND e.salary > 60000 ORDER BY e.name"
+    )
+    assert left.rows == [
+        ("Alice", "Zoe"), ("Bob", None), ("Carol", "Yan"), ("Dan", "Yan"), ("Eve", None),
+    ]
+
+
+def test_join_on_function_of_column(db):
+    # Hash-joinable key expressions include single-column function calls
+    # (the shape the CryptDB rewriter emits for DET-JOIN equality).
+    result = db.execute(
+        "SELECT e.name FROM emp e JOIN dept d ON UPPER(e.dept) = UPPER(d.dname) "
+        "WHERE d.head = 'Zoe' ORDER BY e.name"
+    )
+    assert result.rows == [("Alice",), ("Bob",)]
+
+
 def test_distinct(db):
     assert db.execute("SELECT DISTINCT dept FROM emp ORDER BY dept").rows == [
         ("eng",), ("hr",), ("sales",)

@@ -1,0 +1,153 @@
+"""Regression tests: secondary indexes stay consistent under mutation.
+
+The executor narrows scans through ``HashIndex``/``OrderedIndex`` whenever a
+predicate allows it, so a stale index silently drops (or resurrects) rows.
+These tests mutate tables through UPDATE/DELETE/ROLLBACK and assert both the
+index structures themselves and the equivalence of index-narrowed scans with
+full scans.
+"""
+
+import pytest
+
+from repro.sql.engine import Database
+from repro.sql.indexes import HashIndex, OrderedIndex
+
+
+# ---------------------------------------------------------------------------
+# Index structures in isolation
+# ---------------------------------------------------------------------------
+def test_ordered_index_remove_with_duplicate_keys():
+    index = OrderedIndex("c")
+    index.insert(5, 1)
+    index.insert(5, 2)
+    index.insert(5, 3)
+    index.insert(7, 4)
+    index.remove(5, 2)
+    assert index.lookup(5) == {1, 3}
+    assert index.range(5, 7) == {1, 3, 4}
+    assert len(index) == 3
+    # Removing a (value, row) pair that is not present is a no-op.
+    index.remove(5, 99)
+    index.remove(6, 1)
+    assert index.lookup(5) == {1, 3}
+
+
+def test_hash_index_remove_with_duplicate_keys():
+    index = HashIndex("c")
+    index.insert("x", 1)
+    index.insert("x", 2)
+    index.remove("x", 1)
+    assert index.lookup("x") == {2}
+    index.remove("x", 2)
+    assert index.lookup("x") == set()
+    assert len(index) == 0
+
+
+def test_indexes_ignore_nulls():
+    ordered = OrderedIndex("c")
+    hashed = HashIndex("c")
+    ordered.insert(None, 1)
+    hashed.insert(None, 1)
+    assert len(ordered) == 0 and len(hashed) == 0
+    ordered.remove(None, 1)
+    hashed.remove(None, 1)
+    assert ordered.lookup(None) == set() and hashed.lookup(None) == set()
+
+
+# ---------------------------------------------------------------------------
+# Index maintenance through the engine
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id int, grp int, score int)")
+    table = database.table("t")
+    table.create_index("grp")                 # hash
+    table.create_index("score", ordered=True)  # ordered
+    for i in range(1, 11):
+        database.execute(
+            f"INSERT INTO t (id, grp, score) VALUES ({i}, {i % 3}, {i * 10})"
+        )
+    return database
+
+
+def _assert_index_consistent(database):
+    """Every index entry matches the heap, and vice versa."""
+    table = database.table("t")
+    rows = dict(table.scan())
+    for column, index in {
+        **table.indexes.hash_indexes,
+        **table.indexes.ordered_indexes,
+    }.items():
+        indexed_pairs = set()
+        for row_id, row in rows.items():
+            value = row.get(column)
+            if value is None:
+                continue
+            assert row_id in index.lookup(value), (
+                f"row {row_id} missing from {column} index for value {value!r}"
+            )
+            indexed_pairs.add((value, row_id))
+        assert len(index) == len(indexed_pairs), (
+            f"{column} index holds stale entries"
+        )
+
+
+def _indexed_equals_full_scan(database):
+    """Index-narrowed queries return the same rows as predicate-only scans."""
+    unindexed = Database()
+    unindexed.execute("CREATE TABLE t (id int, grp int, score int)")
+    for _, row in database.table("t").scan():
+        unindexed.insert_row("t", dict(row))
+    queries = [
+        "SELECT id FROM t WHERE grp = 1 ORDER BY id",
+        "SELECT id FROM t WHERE score >= 40 ORDER BY id",
+        "SELECT id FROM t WHERE score BETWEEN 20 AND 70 ORDER BY id",
+        "SELECT id FROM t WHERE score < 35 AND grp = 2 ORDER BY id",
+    ]
+    for query in queries:
+        assert database.execute(query).rows == unindexed.execute(query).rows, query
+
+
+def test_update_moves_index_entries(db):
+    db.execute("UPDATE t SET score = 15 WHERE id = 8")
+    db.execute("UPDATE t SET grp = 9 WHERE grp = 0")
+    _assert_index_consistent(db)
+    _indexed_equals_full_scan(db)
+    assert db.execute("SELECT id FROM t WHERE score = 15").rows == [(8,)]
+    assert db.execute("SELECT id FROM t WHERE score = 80").rows == []
+    assert db.execute("SELECT COUNT(*) FROM t WHERE grp = 9").scalar() == 3
+
+
+def test_delete_removes_index_entries(db):
+    db.execute("DELETE FROM t WHERE grp = 1")
+    _assert_index_consistent(db)
+    _indexed_equals_full_scan(db)
+    assert db.execute("SELECT id FROM t WHERE grp = 1").rows == []
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 6
+
+
+def test_rollback_restores_index_entries(db):
+    before = sorted(db.execute("SELECT id, grp, score FROM t").rows)
+    db.execute("BEGIN")
+    db.execute("INSERT INTO t (id, grp, score) VALUES (99, 7, 990)")
+    db.execute("UPDATE t SET score = score + 1000 WHERE grp = 2")
+    db.execute("DELETE FROM t WHERE id <= 3")
+    _assert_index_consistent(db)
+    db.execute("ROLLBACK")
+    _assert_index_consistent(db)
+    _indexed_equals_full_scan(db)
+    assert sorted(db.execute("SELECT id, grp, score FROM t").rows) == before
+    # The rolled-back insert must not be reachable through any index.
+    assert db.execute("SELECT id FROM t WHERE grp = 7").rows == []
+    assert db.execute("SELECT id FROM t WHERE score > 900").rows == []
+    # And the rolled-back update/delete must be reachable again.
+    assert db.execute("SELECT id FROM t WHERE score = 20").rows == [(2,)]
+
+
+def test_commit_keeps_index_entries(db):
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET score = 12345 WHERE id = 1")
+    db.execute("COMMIT")
+    _assert_index_consistent(db)
+    assert db.execute("SELECT id FROM t WHERE score = 12345").rows == [(1,)]
