@@ -11,7 +11,7 @@ evaluating the UDF pair per candidate row pair.
 This benchmark drives both paths with the Figure-10 TPC-C generators:
 
 * bulk load: per-row ``execute`` loop vs one ``executemany`` per table,
-  asserting the batched path is >= 3x faster (full mode) and that the two
+  asserting the batched path is >= 1.5x faster (full mode) and that the two
   databases are indistinguishable to the application (identical decrypted
   results under the same master key);
 * equi-join: the hash join vs the nested loop (ablated by disabling the
@@ -43,7 +43,13 @@ else:
     _SCALE = dict(warehouses=1, districts_per_warehouse=2,
                   customers_per_district=24, items=14, orders_per_district=8)
     _HOM_POOL = 3400
-    _MIN_LOAD_SPEEDUP = 3.0
+    # The batched path must stay comfortably ahead of the scalar loop.  The
+    # floor was 3.0x when per-value crypto dominated the scalar path; the
+    # primitive overhaul (Jacobian ECC, T-table AES, CRT Paillier) made the
+    # scalar path itself ~8x faster, so batching's *relative* edge shrank
+    # while both absolute rates improved ~5-8x (see BENCH_batch_pipeline.json
+    # history).
+    _MIN_LOAD_SPEEDUP = 1.5
     _MIN_JOIN_SPEEDUP = 1.2
 
 _RESULTS: dict = {}

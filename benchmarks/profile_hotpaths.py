@@ -1,0 +1,134 @@
+"""Profile the crypto hot paths: top-N cumulative time per scheme.
+
+The tentpole optimisations of the crypto layer (Jacobian ECC, T-table AES,
+CRT Paillier) came out of exactly this kind of profile, so the harness is
+kept in-tree: run it before (and after) any perf PR so the next optimisation
+starts from data, not guesses.
+
+Usage::
+
+    python benchmarks/profile_hotpaths.py                 # all schemes
+    python benchmarks/profile_hotpaths.py --scheme ecc    # one scheme
+    python benchmarks/profile_hotpaths.py --top 20        # more rows
+    python benchmarks/profile_hotpaths.py --scheme tpcc   # the full TPC-C mix
+
+Each scheme runs a representative micro-workload under :mod:`cProfile` and
+prints the top-N functions by cumulative time; ``tpcc`` drives the whole
+proxy with the Figure-10 query mix instead, which is what end-to-end
+throughput actually pays for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+MASTER = b"profile-master!!"
+
+
+def _workload_ecc() -> None:
+    from repro.crypto.join_adj import JoinAdj, adjust, adjust_many
+
+    a = JoinAdj.for_column(MASTER, "t1", "a")
+    b = JoinAdj.for_column(MASTER, "t2", "b")
+    values = [str(i).encode() for i in range(150)]
+    hashes = [a.hash_value(value) for value in values[:50]]
+    hashes += a.hash_values(values[50:])
+    delta = a.delta_to(b)
+    for ciphertext in hashes[:25]:
+        adjust(ciphertext, delta)
+    adjust_many(hashes, delta)
+
+
+def _workload_aes() -> None:
+    from repro.crypto.det import DET
+    from repro.crypto.rnd import RND
+
+    det = DET(b"0123456789abcdef")
+    rnd = RND(b"fedcba9876543210")
+    for i in range(300):
+        value = (f"customer-record-{i}" * 3).encode()
+        det.decrypt_bytes(det.encrypt_bytes(value))
+        iv = i.to_bytes(16, "big")
+        rnd.decrypt_bytes(rnd.encrypt_bytes(value, iv), iv)
+
+
+def _workload_ope() -> None:
+    from repro.crypto.ope import OPE
+
+    ope = OPE(b"ope-key-16-bytes", plaintext_bits=32, ciphertext_bits=64)
+    for i in range(120):
+        ope.decrypt(ope.encrypt(i * 7919 % (1 << 32)))
+
+
+def _workload_paillier() -> None:
+    from repro.crypto.paillier import Paillier, PaillierKeyPair
+
+    keypair = PaillierKeyPair.generate(512)
+    keypair.precompute_randomness(60)
+    hom = Paillier(keypair.public)
+    total = hom.identity()
+    for i in range(120):
+        ciphertext = keypair.encrypt(i)
+        total = hom.add(total, ciphertext)
+        keypair.decrypt(ciphertext)
+    keypair.decrypt(total)
+
+
+def _workload_tpcc() -> None:
+    import repro
+    from repro.crypto.paillier import PaillierKeyPair
+    from repro.workloads.tpcc import TPCCWorkload
+
+    scale = dict(warehouses=1, districts_per_warehouse=1,
+                 customers_per_district=5, items=6, orders_per_district=5)
+    connection = repro.connect(paillier=PaillierKeyPair.generate(512))
+    workload = TPCCWorkload(**scale)
+    workload.load_into(connection)
+    connection.proxy.train(workload.training_queries())
+    cursor = connection.cursor()
+    for sql, params in workload.mixed_query_params(96):
+        cursor.execute(sql, params)
+
+
+SCHEMES = {
+    "ecc": _workload_ecc,
+    "aes": _workload_aes,
+    "ope": _workload_ope,
+    "paillier": _workload_paillier,
+    "tpcc": _workload_tpcc,
+}
+
+
+def profile_scheme(name: str, top: int) -> pstats.Stats:
+    workload = SCHEMES[name]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    print(f"\n=== {name}: top {top} by cumulative time ===")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(r"repro|hmac|hashlib", top)
+    return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scheme", choices=sorted(SCHEMES), default=None,
+                        help="profile one scheme (default: all crypto schemes)")
+    parser.add_argument("--top", type=int, default=12,
+                        help="rows to print per scheme (default 12)")
+    args = parser.parse_args(argv)
+    schemes = [args.scheme] if args.scheme else ["ecc", "aes", "ope", "paillier"]
+    for name in schemes:
+        profile_scheme(name, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

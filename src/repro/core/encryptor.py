@@ -276,22 +276,35 @@ class Encryptor:
         det = self._det_for(column)
         adj = self.joins.join_adj_for(column.table, column.name)
         want_join = level is EncryptionScheme.JOIN
-        out = []
-        for value in values:
-            plaintext = self._to_bytes(column, value)
-            entry = local.get(plaintext)
-            if entry is None:
-                if counted:
-                    self.cache.det_misses += 1
-                join_ct = JoinCiphertext(
-                    adj.hash_value(plaintext), det_join.encrypt_bytes(plaintext)
-                ).serialize()
+        plaintexts = [self._to_bytes(column, value) for value in values]
+        # JOIN-ADJ hashes for memo-missing plaintexts are computed as one
+        # batch so the whole column shares a single curve-point inversion.
+        # Dedup against a local set rather than reserving memo slots, so an
+        # exception mid-batch cannot leave half-built entries in the shared
+        # memo.
+        missing: list[bytes] = []
+        seen: set[bytes] = set()
+        for plaintext in plaintexts:
+            if plaintext not in local and plaintext not in seen:
+                seen.add(plaintext)
+                missing.append(plaintext)
+        if missing:
+            for plaintext, adj_hash in zip(missing, adj.hash_values(missing)):
                 # The DET layer is computed lazily: a JOIN-level column never
                 # needs it (matching the scalar path's early return), but the
                 # memo entry can be upgraded if the level is ever restored.
-                entry = local[plaintext] = [join_ct, None]
-            elif counted:
-                self.cache.det_hits += 1
+                local[plaintext] = [
+                    JoinCiphertext(
+                        adj_hash, det_join.encrypt_bytes(plaintext)
+                    ).serialize(),
+                    None,
+                ]
+        if counted:
+            self.cache.det_misses += len(missing)
+            self.cache.det_hits += len(plaintexts) - len(missing)
+        out = []
+        for plaintext in plaintexts:
+            entry = local[plaintext]
             if want_join:
                 out.append(entry[0])
             else:

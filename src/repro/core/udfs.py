@@ -116,19 +116,26 @@ def _decrypt_det_eq_many(keys: list, ciphertexts: list) -> list:
 
 
 def _join_adjust_many(ciphertexts: list, deltas: list) -> list:
-    """Batch variant of the JOIN-ADJ re-keying, parsing each delta once."""
-    parsed_deltas: dict[bytes, int] = {}
-    out = []
-    for ciphertext, delta_bytes in zip(ciphertexts, deltas):
-        if ciphertext is None:
-            out.append(None)
-            continue
-        delta = parsed_deltas.get(delta_bytes)
-        if delta is None:
-            delta = parsed_deltas[delta_bytes] = int.from_bytes(delta_bytes, "big")
-        parsed = join_adj.JoinCiphertext.deserialize(ciphertext)
-        adjusted = join_adj.adjust(parsed.adj, delta)
-        out.append(join_adj.JoinCiphertext(adjusted, parsed.det).serialize())
+    """Batch variant of the JOIN-ADJ re-keying.
+
+    Rows are grouped per delta (in practice one delta per UPDATE) and handed
+    to :func:`join_adj.adjust_many`, which shares the scalar's wNAF expansion
+    across the column and converts every re-scaled point back to affine form
+    with batched inversions.
+    """
+    out: list = [None] * len(ciphertexts)
+    by_delta: dict[bytes, list[int]] = {}
+    for index, (ciphertext, delta_bytes) in enumerate(zip(ciphertexts, deltas)):
+        if ciphertext is not None:
+            by_delta.setdefault(delta_bytes, []).append(index)
+    for delta_bytes, positions in by_delta.items():
+        delta = int.from_bytes(delta_bytes, "big")
+        parsed = [
+            join_adj.JoinCiphertext.deserialize(ciphertexts[i]) for i in positions
+        ]
+        adjusted = join_adj.adjust_many([c.adj for c in parsed], delta)
+        for position, cipher, adj in zip(positions, parsed, adjusted):
+            out[position] = join_adj.JoinCiphertext(adj, cipher.det).serialize()
     return out
 
 

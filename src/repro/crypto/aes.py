@@ -1,10 +1,15 @@
 """Pure-Python AES block cipher (FIPS-197).
 
 CryptDB uses AES as the workhorse block cipher for the RND and DET layers on
-128-bit (and larger) values, and as the PRP underlying key derivation.  This
-is a straightforward, table-driven implementation of the forward and inverse
-ciphers for 128/192/256-bit keys operating on single 16-byte blocks; the
-block modes (CBC, CMC, CTR) live in :mod:`repro.crypto.modes`.
+128-bit (and larger) values, and as the PRP underlying key derivation.  The
+per-round work dominated proxy profiles, so both directions run as full
+T-table ciphers: SubBytes, ShiftRows and MixColumns are fused into four
+256-entry 32-bit tables per direction (generated at import time from the
+algebraic S-box, like the S-box itself), and the state is four word-packed
+columns instead of sixteen bytes.  Decryption uses the equivalent inverse
+cipher of FIPS-197 §5.3.5, with InvMixColumns folded into the decryption key
+schedule so the inverse rounds are pure table lookups too.  The block modes
+(CBC, CMC, CTR) live in :mod:`repro.crypto.modes`.
 """
 
 from __future__ import annotations
@@ -77,14 +82,67 @@ while len(_RCON) < 14:
     _RCON.append(_xtime(_RCON[-1]))
 
 # Pre-computed GF(2^8) multiplication tables for the (inverse) MixColumns
-# constants, so the hot per-block loops are pure table lookups instead of
-# bit-by-bit field multiplications.
+# constants, used to build the T-tables and the decryption key schedule.
 _MUL2 = [_gf_mul(x, 2) for x in range(256)]
 _MUL3 = [_gf_mul(x, 3) for x in range(256)]
 _MUL9 = [_gf_mul(x, 9) for x in range(256)]
 _MUL11 = [_gf_mul(x, 11) for x in range(256)]
 _MUL13 = [_gf_mul(x, 13) for x in range(256)]
 _MUL14 = [_gf_mul(x, 14) for x in range(256)]
+
+
+def _ror8(word: int) -> int:
+    return ((word >> 8) | (word << 24)) & 0xFFFFFFFF
+
+
+def _build_t_tables() -> tuple[tuple[int, ...], ...]:
+    """Fused SubBytes+MixColumns tables for both cipher directions.
+
+    ``T0[x]`` packs the MixColumns image of a row-0 substituted byte into one
+    big-endian column word; ``T1..T3`` are its byte rotations (the images of
+    rows 1..3).  ``IT0..IT3`` are the same construction over the inverse
+    S-box and InvMixColumns matrix.
+    """
+    t0, it0 = [], []
+    for x in range(256):
+        s = _SBOX[x]
+        t0.append((_MUL2[s] << 24) | (s << 16) | (s << 8) | _MUL3[s])
+        s = _INV_SBOX[x]
+        it0.append((_MUL14[s] << 24) | (_MUL9[s] << 16) | (_MUL13[s] << 8) | _MUL11[s])
+    tables = [tuple(t0)]
+    for _ in range(3):
+        tables.append(tuple(_ror8(t) for t in tables[-1]))
+    inverse_tables = [tuple(it0)]
+    for _ in range(3):
+        inverse_tables.append(tuple(_ror8(t) for t in inverse_tables[-1]))
+    return (*tables, *inverse_tables)
+
+
+_T0, _T1, _T2, _T3, _IT0, _IT1, _IT2, _IT3 = _build_t_tables()
+
+
+def _sub_word(word: int) -> int:
+    sbox = _SBOX
+    return (
+        (sbox[(word >> 24) & 0xFF] << 24)
+        | (sbox[(word >> 16) & 0xFF] << 16)
+        | (sbox[(word >> 8) & 0xFF] << 8)
+        | sbox[word & 0xFF]
+    )
+
+
+def _inv_mix_word(word: int) -> int:
+    """InvMixColumns on one packed column (decryption key schedule only)."""
+    a0 = (word >> 24) & 0xFF
+    a1 = (word >> 16) & 0xFF
+    a2 = (word >> 8) & 0xFF
+    a3 = word & 0xFF
+    return (
+        ((_MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]) << 24)
+        | ((_MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]) << 16)
+        | ((_MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]) << 8)
+        | (_MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3])
+    )
 
 
 class AES:
@@ -102,115 +160,114 @@ class AES:
         self.key = key
         self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
         self._round_keys = self._expand_key(key)
+        self._inverse_round_keys = self._inverse_key_schedule(self._round_keys)
 
     # -- key schedule -----------------------------------------------------
-    def _expand_key(self, key: bytes) -> list[list[int]]:
+    def _expand_key(self, key: bytes) -> list[tuple[int, int, int, int]]:
+        """Round keys as four packed column words each (FIPS-197 §5.2)."""
         nk = len(key) // 4
         nr = self._rounds
-        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        words = [int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(nk)]
         for i in range(nk, 4 * (nr + 1)):
-            temp = list(words[i - 1])
+            temp = words[i - 1]
             if i % nk == 0:
-                temp = temp[1:] + temp[:1]
-                temp = [_SBOX[b] for b in temp]
-                temp[0] ^= _RCON[i // nk - 1]
+                temp = _sub_word(((temp << 8) | (temp >> 24)) & 0xFFFFFFFF)
+                temp ^= _RCON[i // nk - 1] << 24
             elif nk > 6 and i % nk == 4:
-                temp = [_SBOX[b] for b in temp]
-            words.append([w ^ t for w, t in zip(words[i - nk], temp)])
-        # Group into 16-byte round keys laid out column-major like the state.
-        round_keys = []
-        for r in range(nr + 1):
-            rk = []
-            for c in range(4):
-                rk.extend(words[4 * r + c])
-            round_keys.append(rk)
-        return round_keys
-
-    # -- state helpers ----------------------------------------------------
-    @staticmethod
-    def _bytes_to_state(block: bytes) -> list[int]:
-        return list(block)
+                temp = _sub_word(temp)
+            words.append(words[i - nk] ^ temp)
+        return [tuple(words[4 * r : 4 * r + 4]) for r in range(nr + 1)]
 
     @staticmethod
-    def _state_to_bytes(state: list[int]) -> bytes:
-        return bytes(state)
-
-    @staticmethod
-    def _add_round_key(state: list[int], round_key: list[int]) -> None:
-        for i in range(16):
-            state[i] ^= round_key[i]
-
-    @staticmethod
-    def _sub_bytes(state: list[int], box: list[int]) -> None:
-        for i in range(16):
-            state[i] = box[state[i]]
-
-    @staticmethod
-    def _shift_rows(state: list[int]) -> None:
-        # state[i] holds column i//4, row i%4 (column-major like FIPS-197).
-        for row in range(1, 4):
-            column_values = [state[row + 4 * col] for col in range(4)]
-            shifted = column_values[row:] + column_values[:row]
-            for col in range(4):
-                state[row + 4 * col] = shifted[col]
-
-    @staticmethod
-    def _inv_shift_rows(state: list[int]) -> None:
-        for row in range(1, 4):
-            column_values = [state[row + 4 * col] for col in range(4)]
-            shifted = column_values[-row:] + column_values[:-row]
-            for col in range(4):
-                state[row + 4 * col] = shifted[col]
-
-    @staticmethod
-    def _mix_columns(state: list[int]) -> None:
-        mul2, mul3 = _MUL2, _MUL3
-        for col in range(0, 16, 4):
-            a0, a1, a2, a3 = state[col : col + 4]
-            state[col + 0] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3
-            state[col + 1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3
-            state[col + 2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3]
-            state[col + 3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3]
-
-    @staticmethod
-    def _inv_mix_columns(state: list[int]) -> None:
-        mul9, mul11, mul13, mul14 = _MUL9, _MUL11, _MUL13, _MUL14
-        for col in range(0, 16, 4):
-            a0, a1, a2, a3 = state[col : col + 4]
-            state[col + 0] = mul14[a0] ^ mul11[a1] ^ mul13[a2] ^ mul9[a3]
-            state[col + 1] = mul9[a0] ^ mul14[a1] ^ mul11[a2] ^ mul13[a3]
-            state[col + 2] = mul13[a0] ^ mul9[a1] ^ mul14[a2] ^ mul11[a3]
-            state[col + 3] = mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3]
+    def _inverse_key_schedule(
+        round_keys: list[tuple[int, int, int, int]]
+    ) -> list[tuple[int, int, int, int]]:
+        """Equivalent-inverse-cipher schedule: reversed, InvMixColumns inside."""
+        inverse = [round_keys[-1]]
+        for rk in round_keys[-2:0:-1]:
+            inverse.append(tuple(_inv_mix_word(w) for w in rk))
+        inverse.append(round_keys[0])
+        return inverse
 
     # -- public API -------------------------------------------------------
     def encrypt_block(self, block: bytes) -> bytes:
         """Encrypt a single 16-byte block."""
         if len(block) != BLOCK_SIZE:
             raise CryptoError("AES operates on 16-byte blocks")
-        state = self._bytes_to_state(block)
-        self._add_round_key(state, self._round_keys[0])
+        round_keys = self._round_keys
+        k0, k1, k2, k3 = round_keys[0]
+        s0 = int.from_bytes(block[0:4], "big") ^ k0
+        s1 = int.from_bytes(block[4:8], "big") ^ k1
+        s2 = int.from_bytes(block[8:12], "big") ^ k2
+        s3 = int.from_bytes(block[12:16], "big") ^ k3
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
         for r in range(1, self._rounds):
-            self._sub_bytes(state, _SBOX)
-            self._shift_rows(state)
-            self._mix_columns(state)
-            self._add_round_key(state, self._round_keys[r])
-        self._sub_bytes(state, _SBOX)
-        self._shift_rows(state)
-        self._add_round_key(state, self._round_keys[self._rounds])
-        return self._state_to_bytes(state)
+            k0, k1, k2, k3 = round_keys[r]
+            u0 = t0[s0 >> 24] ^ t1[(s1 >> 16) & 0xFF] ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ k0
+            u1 = t0[s1 >> 24] ^ t1[(s2 >> 16) & 0xFF] ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ k1
+            u2 = t0[s2 >> 24] ^ t1[(s3 >> 16) & 0xFF] ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ k2
+            u3 = t0[s3 >> 24] ^ t1[(s0 >> 16) & 0xFF] ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ k3
+            s0, s1, s2, s3 = u0, u1, u2, u3
+        sbox = _SBOX
+        k0, k1, k2, k3 = round_keys[self._rounds]
+        out0 = (
+            (sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+            | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]
+        ) ^ k0
+        out1 = (
+            (sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+            | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]
+        ) ^ k1
+        out2 = (
+            (sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+            | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]
+        ) ^ k2
+        out3 = (
+            (sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+            | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]
+        ) ^ k3
+        return (
+            out0.to_bytes(4, "big") + out1.to_bytes(4, "big")
+            + out2.to_bytes(4, "big") + out3.to_bytes(4, "big")
+        )
 
     def decrypt_block(self, block: bytes) -> bytes:
-        """Decrypt a single 16-byte block."""
+        """Decrypt a single 16-byte block (equivalent inverse cipher)."""
         if len(block) != BLOCK_SIZE:
             raise CryptoError("AES operates on 16-byte blocks")
-        state = self._bytes_to_state(block)
-        self._add_round_key(state, self._round_keys[self._rounds])
-        for r in range(self._rounds - 1, 0, -1):
-            self._inv_shift_rows(state)
-            self._sub_bytes(state, _INV_SBOX)
-            self._add_round_key(state, self._round_keys[r])
-            self._inv_mix_columns(state)
-        self._inv_shift_rows(state)
-        self._sub_bytes(state, _INV_SBOX)
-        self._add_round_key(state, self._round_keys[0])
-        return self._state_to_bytes(state)
+        round_keys = self._inverse_round_keys
+        k0, k1, k2, k3 = round_keys[0]
+        s0 = int.from_bytes(block[0:4], "big") ^ k0
+        s1 = int.from_bytes(block[4:8], "big") ^ k1
+        s2 = int.from_bytes(block[8:12], "big") ^ k2
+        s3 = int.from_bytes(block[12:16], "big") ^ k3
+        t0, t1, t2, t3 = _IT0, _IT1, _IT2, _IT3
+        for r in range(1, self._rounds):
+            k0, k1, k2, k3 = round_keys[r]
+            u0 = t0[s0 >> 24] ^ t1[(s3 >> 16) & 0xFF] ^ t2[(s2 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ k0
+            u1 = t0[s1 >> 24] ^ t1[(s0 >> 16) & 0xFF] ^ t2[(s3 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ k1
+            u2 = t0[s2 >> 24] ^ t1[(s1 >> 16) & 0xFF] ^ t2[(s0 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ k2
+            u3 = t0[s3 >> 24] ^ t1[(s2 >> 16) & 0xFF] ^ t2[(s1 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ k3
+            s0, s1, s2, s3 = u0, u1, u2, u3
+        sbox = _INV_SBOX
+        k0, k1, k2, k3 = round_keys[self._rounds]
+        out0 = (
+            (sbox[s0 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+            | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]
+        ) ^ k0
+        out1 = (
+            (sbox[s1 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+            | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]
+        ) ^ k1
+        out2 = (
+            (sbox[s2 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+            | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]
+        ) ^ k2
+        out3 = (
+            (sbox[s3 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+            | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]
+        ) ^ k3
+        return (
+            out0.to_bytes(4, "big") + out1.to_bytes(4, "big")
+            + out2.to_bytes(4, "big") + out3.to_bytes(4, "big")
+        )

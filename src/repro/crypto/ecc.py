@@ -1,10 +1,25 @@
 """Prime-field elliptic-curve group used by the adjustable join (JOIN-ADJ).
 
 The paper implements JOIN-ADJ with a NIST-approved curve via NTL; we provide
-a self-contained implementation of the NIST P-192 curve: point addition,
-doubling, scalar multiplication (double-and-add) and point serialisation.
-Security of JOIN-ADJ rests on the Elliptic-Curve Decisional Diffie-Hellman
-assumption in this group.
+a self-contained implementation of the NIST P-192 curve.  Security of
+JOIN-ADJ rests on the Elliptic-Curve Decisional Diffie-Hellman assumption in
+this group.
+
+Profiling the TPC-C mix showed the affine textbook arithmetic (one modular
+inversion per point addition) dominating proxy time, so the hot paths use:
+
+* **Jacobian projective coordinates** -- additions and doublings are
+  inversion-free; a point is converted back to affine with a single inversion
+  at the very end of a scalar multiplication.
+* **Windowed NAF (w=5) scalar multiplication** for arbitrary points (the
+  server-side JOIN-ADJ re-keying), with the eight odd multiples normalised to
+  affine via one batched inversion so the main loop uses cheap mixed adds.
+* **A precomputed fixed-base comb table for ``GENERATOR``** -- every
+  ``JoinAdj.hash_value`` multiplies the fixed base, and the comb turns each
+  hash into at most 48 inversion-free mixed additions with no doublings.
+* **Montgomery batch inversion** (:func:`batch_modinv`) so whole columns of
+  points (the batched re-key UDF) share one inversion when they return to
+  affine form.
 """
 
 from __future__ import annotations
@@ -67,8 +82,243 @@ def is_on_curve(point: Point) -> bool:
     return (point.y * point.y - (point.x ** 3 + A * point.x + B)) % P == 0
 
 
+def batch_modinv(values: list[int], modulus: int) -> list[int]:
+    """Invert every value with one modular inversion (Montgomery's trick)."""
+    if not values:
+        return []
+    prefix = []
+    acc = 1
+    for value in values:
+        if value % modulus == 0:
+            raise CryptoError("value has no modular inverse")
+        acc = acc * value % modulus
+        prefix.append(acc)
+    inverse = modinv(acc, modulus)
+    out = [0] * len(values)
+    for i in range(len(values) - 1, 0, -1):
+        out[i] = inverse * prefix[i - 1] % modulus
+        inverse = inverse * values[i] % modulus
+    out[0] = inverse
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Jacobian coordinates: (X, Y, Z) with x = X/Z^2, y = Y/Z^3; Z == 0 is the
+# point at infinity.  All formulas below are for a = -3 (NIST curves).
+# ---------------------------------------------------------------------------
+
+_JAC_INFINITY = (1, 1, 0)
+
+
+def _jac_double(point: tuple[int, int, int]) -> tuple[int, int, int]:
+    X1, Y1, Z1 = point
+    if Z1 == 0:
+        return _JAC_INFINITY
+    delta = Z1 * Z1 % P
+    gamma = Y1 * Y1 % P
+    beta = X1 * gamma % P
+    alpha = 3 * (X1 - delta) * (X1 + delta) % P
+    X3 = (alpha * alpha - 8 * beta) % P
+    Z3 = ((Y1 + Z1) * (Y1 + Z1) - gamma - delta) % P
+    Y3 = (alpha * (4 * beta - X3) - 8 * gamma * gamma) % P
+    return (X3, Y3, Z3)
+
+
+def _jac_add(p1: tuple[int, int, int], p2: tuple[int, int, int]) -> tuple[int, int, int]:
+    X1, Y1, Z1 = p1
+    X2, Y2, Z2 = p2
+    if Z1 == 0:
+        return p2
+    if Z2 == 0:
+        return p1
+    Z1Z1 = Z1 * Z1 % P
+    Z2Z2 = Z2 * Z2 % P
+    U1 = X1 * Z2Z2 % P
+    U2 = X2 * Z1Z1 % P
+    S1 = Y1 * Z2 % P * Z2Z2 % P
+    S2 = Y2 * Z1 % P * Z1Z1 % P
+    if U1 == U2:
+        if S1 != S2:
+            return _JAC_INFINITY
+        return _jac_double(p1)
+    H = (U2 - U1) % P
+    R = (S2 - S1) % P
+    HH = H * H % P
+    HHH = H * HH % P
+    V = U1 * HH % P
+    X3 = (R * R - HHH - 2 * V) % P
+    Y3 = (R * (V - X3) - S1 * HHH) % P
+    Z3 = Z1 * Z2 % P * H % P
+    return (X3, Y3, Z3)
+
+
+def _jac_add_affine(p1: tuple[int, int, int], x2: int, y2: int) -> tuple[int, int, int]:
+    """Mixed addition of a Jacobian point and an affine point (Z2 == 1)."""
+    X1, Y1, Z1 = p1
+    if Z1 == 0:
+        return (x2, y2, 1)
+    Z1Z1 = Z1 * Z1 % P
+    U2 = x2 * Z1Z1 % P
+    S2 = y2 * Z1 % P * Z1Z1 % P
+    if X1 == U2:
+        if Y1 != S2:
+            return _JAC_INFINITY
+        return _jac_double(p1)
+    H = (U2 - X1) % P
+    R = (S2 - Y1) % P
+    HH = H * H % P
+    HHH = H * HH % P
+    V = X1 * HH % P
+    X3 = (R * R - HHH - 2 * V) % P
+    Y3 = (R * (V - X3) - Y1 * HHH) % P
+    Z3 = Z1 * H % P
+    return (X3, Y3, Z3)
+
+
+def _jac_to_affine(point: tuple[int, int, int]) -> Point:
+    X, Y, Z = point
+    if Z == 0:
+        return INFINITY
+    z_inv = modinv(Z, P)
+    z_inv2 = z_inv * z_inv % P
+    return Point(X * z_inv2 % P, Y * z_inv2 % P * z_inv % P)
+
+
+def _jac_to_affine_many(points: list[tuple[int, int, int]]) -> list[Point]:
+    """Convert a batch of Jacobian points with a single modular inversion."""
+    finite = [(i, pt) for i, pt in enumerate(points) if pt[2] != 0]
+    out: list[Point] = [INFINITY] * len(points)
+    if not finite:
+        return out
+    inverses = batch_modinv([pt[2] for _, pt in finite], P)
+    for (i, (X, Y, _)), z_inv in zip(finite, inverses):
+        z_inv2 = z_inv * z_inv % P
+        out[i] = Point(X * z_inv2 % P, Y * z_inv2 % P * z_inv % P)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fixed-base comb table for GENERATOR.  Window i holds d * 16^i * G in affine
+# form for every 4-bit digit d, so a base multiplication is at most 48 mixed
+# additions and no doublings (section 3.5.2-style precomputation: the work
+# moves to import time and is shared by every JOIN-ADJ hash).
+# ---------------------------------------------------------------------------
+
+_COMB_WINDOW = 4
+_COMB_DIGITS = 1 << _COMB_WINDOW
+
+
+def _build_base_table() -> list[list[tuple[int, int]]]:
+    windows = (ORDER.bit_length() + _COMB_WINDOW - 1) // _COMB_WINDOW
+    jacobian_rows: list[list[tuple[int, int, int]]] = []
+    base = (GX, GY, 1)
+    for _ in range(windows):
+        acc = base
+        row = []
+        for _digit in range(1, _COMB_DIGITS):
+            row.append(acc)
+            acc = _jac_add(acc, base)
+        jacobian_rows.append(row)
+        base = acc  # 16 * previous window base
+    flat = [pt for row in jacobian_rows for pt in row]
+    affine = _jac_to_affine_many(flat)
+    table: list[list[tuple[int, int]]] = []
+    position = 0
+    for _ in range(windows):
+        row = [(0, 0)]  # digit 0 is never looked up
+        for _digit in range(1, _COMB_DIGITS):
+            point = affine[position]
+            position += 1
+            assert point.x is not None and point.y is not None
+            row.append((point.x, point.y))
+        table.append(row)
+    return table
+
+
+_BASE_TABLE = _build_base_table()
+
+
+def _jac_base_multiply(scalar: int) -> tuple[int, int, int]:
+    """``scalar * GENERATOR`` in Jacobian form via the comb table."""
+    acc = _JAC_INFINITY
+    window = 0
+    while scalar:
+        digit = scalar & (_COMB_DIGITS - 1)
+        if digit:
+            x, y = _BASE_TABLE[window][digit]
+            acc = _jac_add_affine(acc, x, y)
+        scalar >>= _COMB_WINDOW
+        window += 1
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# Windowed-NAF multiplication for arbitrary points (JOIN-ADJ re-keying,
+# per-principal ElGamal).
+# ---------------------------------------------------------------------------
+
+_WNAF_WIDTH = 5
+_WNAF_MOD = 1 << _WNAF_WIDTH
+_WNAF_HALF = 1 << (_WNAF_WIDTH - 1)
+
+
+def _wnaf_digits(scalar: int) -> list[int]:
+    """Width-5 non-adjacent form, least-significant digit first."""
+    digits = []
+    while scalar:
+        if scalar & 1:
+            digit = scalar & (_WNAF_MOD - 1)
+            if digit >= _WNAF_HALF:
+                digit -= _WNAF_MOD
+            scalar -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        scalar >>= 1
+    return digits
+
+
+def _odd_multiples_jacobian(point: Point) -> list[tuple[int, int, int]]:
+    """Jacobian [1P, 3P, 5P, ..., 15P] for the wNAF main loop."""
+    assert point.x is not None and point.y is not None
+    first = (point.x, point.y, 1)
+    doubled = _jac_double(first)
+    odds = [first]
+    for _ in range(_WNAF_HALF // 2 - 1):
+        odds.append(_jac_add(odds[-1], doubled))
+    return odds
+
+
+def _jac_wnaf_multiply(
+    digits: list[int], odd_multiples: list[tuple[int, int]]
+) -> tuple[int, int, int]:
+    acc = _JAC_INFINITY
+    for digit in reversed(digits):
+        acc = _jac_double(acc)
+        if digit > 0:
+            x, y = odd_multiples[(digit - 1) >> 1]
+            acc = _jac_add_affine(acc, x, y)
+        elif digit < 0:
+            x, y = odd_multiples[(-digit - 1) >> 1]
+            acc = _jac_add_affine(acc, x, (P - y) % P)
+    return acc
+
+
+def _affine_pairs(points: list[Point]) -> list[tuple[int, int]]:
+    pairs = []
+    for point in points:
+        assert point.x is not None and point.y is not None
+        pairs.append((point.x, point.y))
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
 def point_add(p1: Point, p2: Point) -> Point:
-    """Add two curve points."""
+    """Add two curve points (affine one-shot form; hot paths use Jacobian)."""
     if p1.is_infinity:
         return p2
     if p2.is_infinity:
@@ -86,16 +336,54 @@ def point_add(p1: Point, p2: Point) -> Point:
     return Point(x3, y3)
 
 
+def scalar_multiply_base(scalar: int) -> Point:
+    """Compute ``scalar * GENERATOR`` via the fixed-base comb table."""
+    scalar %= ORDER
+    if scalar == 0:
+        return INFINITY
+    return _jac_to_affine(_jac_base_multiply(scalar))
+
+
 def scalar_multiply(scalar: int, point: Point) -> Point:
-    """Compute ``scalar * point`` with double-and-add."""
+    """Compute ``scalar * point`` (comb for the base, wNAF otherwise)."""
     scalar %= ORDER
     if scalar == 0 or point.is_infinity:
         return INFINITY
-    result = INFINITY
-    addend = point
-    while scalar:
-        if scalar & 1:
-            result = point_add(result, addend)
-        addend = point_add(addend, addend)
-        scalar >>= 1
-    return result
+    if point.x == GX and point.y == GY:
+        return _jac_to_affine(_jac_base_multiply(scalar))
+    digits = _wnaf_digits(scalar)
+    odd_multiples = _affine_pairs(_jac_to_affine_many(_odd_multiples_jacobian(point)))
+    return _jac_to_affine(_jac_wnaf_multiply(digits, odd_multiples))
+
+
+def scalar_multiply_base_many(scalars: list[int]) -> list[Point]:
+    """``[s * GENERATOR for s in scalars]`` with one batched final inversion."""
+    reduced = [s % ORDER for s in scalars]
+    return _jac_to_affine_many(
+        [_jac_base_multiply(s) if s else _JAC_INFINITY for s in reduced]
+    )
+
+
+def scalar_multiply_many(scalar: int, points: list[Point]) -> list[Point]:
+    """Multiply many points by one scalar (the batched re-key UDF shape).
+
+    The wNAF digit expansion is computed once; the per-point odd-multiple
+    tables are normalised to affine with one batched inversion across the
+    whole input, and the results share a second batched inversion, so the
+    entire column costs two modular inversions in total.
+    """
+    scalar %= ORDER
+    if scalar == 0 or not points:
+        return [INFINITY] * len(points)
+    digits = _wnaf_digits(scalar)
+    finite = [(i, pt) for i, pt in enumerate(points) if not pt.is_infinity]
+    tables = [_odd_multiples_jacobian(pt) for _, pt in finite]
+    flat_affine = _jac_to_affine_many([entry for table in tables for entry in table])
+    per_point = len(tables[0]) if tables else 0
+    results = [_JAC_INFINITY] * len(points)
+    for slot, (i, _point) in enumerate(finite):
+        odd_multiples = _affine_pairs(
+            flat_affine[slot * per_point : (slot + 1) * per_point]
+        )
+        results[i] = _jac_wnaf_multiply(digits, odd_multiples)
+    return _jac_to_affine_many(results)

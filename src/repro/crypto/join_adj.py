@@ -59,13 +59,24 @@ class JoinAdj:
         scalar = derive_scalar(master, table, column)
         return cls(scalar, prf_key)
 
-    def hash_value(self, value: bytes) -> bytes:
-        """Compute ``JOIN-ADJ_K(v)`` as a serialised curve point."""
+    def _scalar_for(self, value: bytes) -> int:
         exponent = prf_int(self._prf_key, value, 192) % ecc.ORDER
         if exponent == 0:
             exponent = 1
-        point = ecc.scalar_multiply(self.column_key * exponent % ecc.ORDER, ecc.GENERATOR)
-        return point.serialize()
+        return self.column_key * exponent % ecc.ORDER
+
+    def hash_value(self, value: bytes) -> bytes:
+        """Compute ``JOIN-ADJ_K(v)`` as a serialised curve point.
+
+        The multiplication always targets the public base point, so it runs
+        on the precomputed fixed-base comb table (inversion-free adds).
+        """
+        return ecc.scalar_multiply_base(self._scalar_for(value)).serialize()
+
+    def hash_values(self, values: list[bytes]) -> list[bytes]:
+        """Batch :meth:`hash_value`: one final batched inversion per column."""
+        scalars = [self._scalar_for(value) for value in values]
+        return [point.serialize() for point in ecc.scalar_multiply_base_many(scalars)]
 
     def delta_to(self, other: "JoinAdj") -> int:
         """Return the key delta that re-bases *this* column onto ``other``.
@@ -91,6 +102,18 @@ def adjust(adj_ciphertext: bytes, delta: int) -> bytes:
     """
     point = ecc.Point.deserialize(adj_ciphertext)
     return ecc.scalar_multiply(delta, point).serialize()
+
+
+def adjust_many(adj_ciphertexts: list[bytes], delta: int) -> list[bytes]:
+    """Batch :func:`adjust` over one column's JOIN-ADJ points.
+
+    The wNAF expansion of ``delta`` is shared and the whole column returns to
+    affine coordinates through two batched inversions, so re-keying a column
+    costs O(1) inversions instead of one (plus hundreds of affine-add
+    inversions) per row.
+    """
+    points = [ecc.Point.deserialize(ciphertext) for ciphertext in adj_ciphertexts]
+    return [point.serialize() for point in ecc.scalar_multiply_many(delta, points)]
 
 
 class JOIN:

@@ -57,6 +57,8 @@ class Executor:
         self.catalog = catalog
         self.functions = functions
         self.transactions = transactions
+        #: SELECTs served by streaming ORDER BY ... LIMIT off an ordered index.
+        self.index_order_scans = 0
 
     # -- dispatch -----------------------------------------------------------
     def execute(self, statement: ast.Statement) -> ResultSet:
@@ -217,35 +219,67 @@ class Executor:
                 return candidate
         return None
 
+    def _where_index_narrowable(
+        self, table: Table, where: Optional[ast.Expression]
+    ) -> bool:
+        """Whether :meth:`_index_candidates` would find a usable index.
+
+        The same per-conjunct analysis, but probing eligibility only -- no
+        candidate row-id set is materialised.
+        """
+        if where is None:
+            return False
+        return any(
+            self._index_for_predicate(table, conjunct, probe=True) is not None
+            for conjunct in _conjuncts(where)
+        )
+
     def _index_for_predicate(
-        self, table: Table, predicate: ast.Expression
-    ) -> Optional[set[int]]:
+        self, table: Table, predicate: ast.Expression, probe: bool = False
+    ):
+        """Row ids matching an indexable predicate, or None if no usable index.
+
+        With ``probe`` the method only answers eligibility (returning True
+        instead of a row-id set), so callers can test index coverage without
+        paying for the lookup.
+        """
+        indexes = table.indexes
         if isinstance(predicate, ast.BinaryOp) and predicate.op in ("=", "<", "<=", ">", ">="):
             column, literal = _column_and_literal(predicate, table)
             if column is None:
                 return None
             value = literal.value
             if predicate.op == "=":
-                return table.indexes.equality_lookup(column, value)
+                if probe:
+                    return True if column in indexes.hash_indexes \
+                        or column in indexes.ordered_indexes else None
+                return indexes.equality_lookup(column, value)
+            if probe:
+                return True if column in indexes.ordered_indexes else None
             swapped = isinstance(predicate.right, ast.ColumnRef)
             op = predicate.op
             if swapped:
                 op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
             if op in ("<", "<="):
-                return table.indexes.range_lookup(column, None, value, True, op == "<=")
-            return table.indexes.range_lookup(column, value, None, op == ">=", True)
+                return indexes.range_lookup(column, None, value, True, op == "<=")
+            return indexes.range_lookup(column, value, None, op == ">=", True)
         if isinstance(predicate, ast.Between) and not predicate.negated:
             if isinstance(predicate.expr, ast.ColumnRef) and isinstance(predicate.low, ast.Literal) \
                     and isinstance(predicate.high, ast.Literal):
                 column = predicate.expr.name
                 if table.has_column(column):
-                    return table.indexes.range_lookup(
+                    if probe:
+                        return True if column in indexes.ordered_indexes else None
+                    return indexes.range_lookup(
                         column, predicate.low.value, predicate.high.value, True, True
                     )
         return None
 
     # -- SELECT ---------------------------------------------------------------
     def _execute_select(self, statement: ast.Select) -> ResultSet:
+        fast = self._indexed_order_limit(statement)
+        if fast is not None:
+            return fast
         contexts = self._from_contexts(statement)
 
         if statement.where is not None:
@@ -283,6 +317,62 @@ class Executor:
         if statement.limit is not None:
             rows = rows[: statement.limit]
 
+        return ResultSet(columns, rows)
+
+    def _indexed_order_limit(self, statement: ast.Select) -> Optional[ResultSet]:
+        """Serve ``ORDER BY col LIMIT k`` by streaming an ordered index.
+
+        When the sort column has an ordered index over a single-table FROM,
+        rows are visited in sort order and the scan stops after
+        ``OFFSET + LIMIT`` matches, instead of materialising and sorting the
+        full match set.  Returns None when the statement does not qualify
+        (joins, grouping, aggregates, DISTINCT, a non-column sort key, a
+        WHERE clause an index can already narrow, or a sort column with
+        NULLs, which the index does not cover).
+        """
+        if not statement.limit or statement.distinct:  # None or LIMIT 0
+            return None
+        if statement.group_by or statement.having is not None:
+            return None
+        if len(statement.order_by) != 1:
+            return None
+        if not isinstance(statement.from_clause, ast.TableRef):
+            return None
+        order = statement.order_by[0]
+        if not isinstance(order.expr, ast.ColumnRef):
+            return None
+        effective = statement.from_clause.effective_name
+        if order.expr.table is not None and order.expr.table != effective:
+            return None
+        table = self.catalog.table(statement.from_clause.name)
+        index = table.indexes.ordered_indexes.get(order.expr.name)
+        if index is None:
+            return None
+        if len(index) != table.row_count():
+            return None  # NULL sort keys are absent from the index
+        if self._collect_aggregates(statement):
+            return None
+        if self._where_index_narrowable(table, statement.where):
+            # A selective indexed WHERE (e.g. the TPC-C "latest order for
+            # one customer" shape) narrows better than walking the whole
+            # ordered index; keep the materialising path for it.
+            return None
+        self.index_order_scans += 1
+        needed = (statement.offset or 0) + statement.limit
+        contexts: list[RowContext] = []
+        for row_id in index.scan_sorted(descending=not order.ascending):
+            context = RowContext.from_row(effective, table.get(row_id))
+            if statement.where is not None and not is_truthy(
+                evaluate(statement.where, context, self.functions)
+            ):
+                continue
+            contexts.append(context)
+            if len(contexts) >= needed:
+                break
+        contexts = contexts[statement.offset or 0 :]
+        # Contexts already arrive in sort order and sliced to LIMIT, so the
+        # shared projection's order keys are computed but not needed.
+        rows, columns, _order_keys = self._plain_select(statement, contexts)
         return ResultSet(columns, rows)
 
     def _collect_aggregates(self, statement: ast.Select) -> list[ast.FunctionCall]:

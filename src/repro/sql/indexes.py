@@ -72,6 +72,27 @@ class OrderedIndex:
             position += 1
         return result
 
+    def scan_sorted(self, descending: bool = False) -> Iterable[int]:
+        """Row ids in index-key order (ties broken by ascending row id).
+
+        This is what lets the executor stream ``ORDER BY col LIMIT k``
+        straight off the index instead of materialising and sorting the full
+        match set.
+        """
+        if not descending:
+            for _value, row_id in self._entries:
+                yield row_id
+            return
+        # Descending: walk the key groups back to front, but keep row ids
+        # ascending within a group, matching the stable full-sort order.
+        entries = self._entries
+        end = len(entries)
+        while end:
+            start = bisect.bisect_left(entries, (entries[end - 1][0], -1), 0, end)
+            for position in range(start, end):
+                yield entries[position][1]
+            end = start
+
     def range(
         self,
         low: Optional[Any] = None,

@@ -117,6 +117,32 @@ def test_eq_memo_hits_and_reset(setup):
     assert stats.det_entries >= 2  # entries survive a counter reset
 
 
+def test_eq_memo_survives_mid_batch_failure(setup, monkeypatch):
+    """A batch that dies in the JOIN-ADJ hash must not poison the memo."""
+    from repro.crypto.join_adj import JoinAdj
+
+    schema, encryptor = setup
+    column = schema.column("t", "s")
+
+    def explode(self, values):
+        raise RuntimeError("interrupted mid-batch")
+
+    with monkeypatch.context() as patched:
+        patched.setattr(JoinAdj, "hash_values", explode)
+        with pytest.raises(RuntimeError):
+            encryptor.encrypt_column_values(column, ["x", "y"])
+    # The failed batch left no half-built entries behind: the same values
+    # encrypt fine afterwards and agree with the scalar path.
+    retry = encryptor.encrypt_constants_many(
+        column, Onion.EQ, EncryptionScheme.DET, ["x", "y"]
+    )
+    expected = [
+        encryptor.encrypt_to_level(column, Onion.EQ, EncryptionScheme.DET, value)
+        for value in ("x", "y")
+    ]
+    assert retry == expected
+
+
 def test_eq_memo_invalidated_by_join_rekey(setup):
     schema, encryptor = setup
     column_s = schema.column("t", "s")

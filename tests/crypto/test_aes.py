@@ -27,9 +27,46 @@ def test_fips197_aes256_vector():
     assert AES(key).encrypt_block(plaintext).hex() == "8ea2b7ca516745bfeafc49904b496089"
 
 
+def test_fips197_decrypt_vectors_all_key_sizes():
+    """The inverse T-table cipher against the FIPS-197 appendix C vectors."""
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    vectors = [
+        ("000102030405060708090a0b0c0d0e0f",
+         "69c4e0d86a7b0430d8cdb78070b4c55a"),
+        ("000102030405060708090a0b0c0d0e0f1011121314151617",
+         "dda97ca4864cdfe06eaf70a0ec0d7191"),
+        ("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+         "8ea2b7ca516745bfeafc49904b496089"),
+    ]
+    for key_hex, ciphertext_hex in vectors:
+        cipher = AES(bytes.fromhex(key_hex))
+        assert cipher.decrypt_block(bytes.fromhex(ciphertext_hex)) == plaintext
+
+
+def test_fips197_appendix_b_vector():
+    """The worked example of FIPS-197 appendix B."""
+    cipher = AES(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+    plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+    assert cipher.encrypt_block(plaintext).hex() == "3925841d02dc09fbdc118597196a0b32"
+
+
 def test_decrypt_inverts_encrypt():
     cipher = AES(b"0123456789abcdef")
     block = bytes(range(16))
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=15, deadline=None)
+@given(key=st.binary(min_size=24, max_size=24), block=st.binary(min_size=16, max_size=16))
+def test_roundtrip_property_192(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=15, deadline=None)
+@given(key=st.binary(min_size=32, max_size=32), block=st.binary(min_size=16, max_size=16))
+def test_roundtrip_property_256(key, block):
+    cipher = AES(key)
     assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
 
 

@@ -1,12 +1,33 @@
 """Elliptic-curve group and the JOIN / JOIN-ADJ adjustable join."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.crypto import ecc
-from repro.crypto.join_adj import JOIN, JoinAdj, JoinCiphertext, adjust, derive_scalar
+from repro.crypto.join_adj import (
+    JOIN,
+    JoinAdj,
+    JoinCiphertext,
+    adjust,
+    adjust_many,
+    derive_scalar,
+)
 from repro.errors import CryptoError
 
 MASTER = b"join-master-key!"
+
+
+def _affine_multiply(scalar: int, point: ecc.Point) -> ecc.Point:
+    """Reference double-and-add over the affine formulas (the old hot path)."""
+    scalar %= ecc.ORDER
+    result = ecc.INFINITY
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = ecc.point_add(result, addend)
+        addend = ecc.point_add(addend, addend)
+        scalar >>= 1
+    return result
 
 
 def test_generator_is_on_curve():
@@ -37,6 +58,65 @@ def test_point_serialization_roundtrip():
     assert ecc.Point.deserialize(point.serialize()) == point
     with pytest.raises(CryptoError):
         ecc.Point.deserialize(b"\x04" + b"\x00" * 48)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scalar=st.integers(min_value=0, max_value=2 * ecc.ORDER))
+def test_jacobian_base_multiply_matches_affine(scalar):
+    assert ecc.scalar_multiply(scalar, ecc.GENERATOR) == _affine_multiply(
+        scalar, ecc.GENERATOR
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    point_scalar=st.integers(min_value=1, max_value=ecc.ORDER - 1),
+    scalar=st.integers(min_value=0, max_value=ecc.ORDER - 1),
+)
+def test_jacobian_wnaf_multiply_matches_affine(point_scalar, scalar):
+    point = ecc.scalar_multiply_base(point_scalar)
+    expected = _affine_multiply(scalar, point)
+    assert ecc.scalar_multiply(scalar, point) == expected
+    assert ecc.is_on_curve(expected)
+
+
+def test_scalar_multiply_edge_cases():
+    point = ecc.scalar_multiply_base(987654321)
+    # Infinity in, infinity out.
+    assert ecc.scalar_multiply(12345, ecc.INFINITY) == ecc.INFINITY
+    assert ecc.scalar_multiply(0, point) == ecc.INFINITY
+    assert ecc.scalar_multiply(ecc.ORDER, point) == ecc.INFINITY
+    # P + P (the Jacobian add must fall through to the doubling formula).
+    assert ecc.point_add(point, point) == ecc.scalar_multiply(2, point)
+    # P + (-P) = infinity.
+    assert point.y is not None
+    negated = ecc.Point(point.x, (-point.y) % ecc.P)
+    assert ecc.point_add(point, negated) == ecc.INFINITY
+    assert ecc.scalar_multiply(ecc.ORDER - 1, point) == negated
+
+
+def test_batch_base_multiply_matches_scalar_path():
+    scalars = [0, 1, 2, ecc.ORDER - 1, ecc.ORDER, 31337, 2**191]
+    batch = ecc.scalar_multiply_base_many(scalars)
+    assert batch == [ecc.scalar_multiply(s, ecc.GENERATOR) for s in scalars]
+
+
+def test_batch_point_multiply_matches_scalar_path():
+    points = [ecc.scalar_multiply_base(s) for s in (7, 11, 13)] + [ecc.INFINITY]
+    delta = 0xDEADBEEFCAFE
+    batch = ecc.scalar_multiply_many(delta, points)
+    assert batch == [ecc.scalar_multiply(delta, p) for p in points]
+    assert ecc.scalar_multiply_many(delta, []) == []
+
+
+def test_batch_modinv_matches_modinv():
+    values = [1, 2, 3, ecc.P - 1, 0xABCDEF]
+    assert ecc.batch_modinv(values, ecc.P) == [
+        ecc.modinv(v, ecc.P) for v in values
+    ]
+    assert ecc.batch_modinv([], ecc.P) == []
+    with pytest.raises(CryptoError):
+        ecc.batch_modinv([5, ecc.P], ecc.P)
 
 
 def test_join_adj_deterministic_per_column():
@@ -78,6 +158,22 @@ def test_full_join_scheme_roundtrip():
     assert restored == ciphertext
     with pytest.raises(CryptoError):
         JoinCiphertext.deserialize(b"short")
+
+
+def test_hash_values_batch_matches_scalar_path():
+    adj = JoinAdj.for_column(MASTER, "t1", "a")
+    values = [b"1", b"2", b"1", b"zzz"]
+    assert adj.hash_values(values) == [adj.hash_value(v) for v in values]
+    assert adj.hash_values([]) == []
+
+
+def test_adjust_many_matches_scalar_adjust():
+    a = JoinAdj.for_column(MASTER, "t1", "a")
+    b = JoinAdj.for_column(MASTER, "t2", "b")
+    delta = b.delta_to(a)
+    hashes = [b.hash_value(value) for value in (b"x", b"y", b"z")]
+    assert adjust_many(hashes, delta) == [adjust(h, delta) for h in hashes]
+    assert adjust_many(hashes, delta) == [a.hash_value(v) for v in (b"x", b"y", b"z")]
 
 
 def test_derive_scalar_in_group_range():

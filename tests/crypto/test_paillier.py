@@ -1,16 +1,26 @@
 """Paillier (HOM): round trips, additive homomorphism, randomness pool."""
 
+import secrets
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.numbers import generate_prime, is_probable_prime, modinv
-from repro.crypto.paillier import Paillier, PaillierKeyPair
+from repro.crypto.paillier import Paillier, PaillierKeyPair, PaillierPrivateKey
 from repro.errors import CryptoError
 
 
 @pytest.fixture(scope="module")
 def keypair():
     return PaillierKeyPair.generate(512)
+
+
+@pytest.fixture(scope="module")
+def plain_keypair(keypair):
+    """The same key without its prime factors: forces the lambda/mu path."""
+    private = PaillierPrivateKey(keypair.private.lam, keypair.private.mu)
+    assert private.p == 0  # no factors -> no CRT
+    return PaillierKeyPair(keypair.public, private)
 
 
 def test_roundtrip(keypair):
@@ -51,6 +61,43 @@ def test_randomness_pool(keypair):
     before = keypair.randomness_pool_size
     keypair.encrypt(5)
     assert keypair.randomness_pool_size == before - 1
+
+
+def test_generated_key_retains_factors(keypair):
+    private = keypair.private
+    assert private.p > 1 and private.q > 1
+    assert private.p * private.q == keypair.public.n
+
+
+def test_crt_decrypt_equals_plain_decrypt(keypair, plain_keypair):
+    for value in (0, 1, 2**40, keypair.public.n - 1):
+        ciphertext = keypair.encrypt(value)
+        assert keypair.decrypt(ciphertext) == plain_keypair.decrypt(ciphertext)
+        assert keypair.decrypt(ciphertext) == value
+
+
+@settings(max_examples=25, deadline=None)
+@given(value=st.integers(min_value=0, max_value=2**60))
+def test_crt_decrypt_equivalence_property(keypair, plain_keypair, value):
+    ciphertext = plain_keypair.encrypt(value)  # r^n via the plain path
+    assert keypair.decrypt(ciphertext) == plain_keypair.decrypt(ciphertext) == value
+
+
+def test_crt_randomness_precompute_matches_plain_pow(keypair):
+    """The CRT-computed ``r^n mod n^2`` equals the direct exponentiation."""
+    crt = keypair._crt_context()
+    assert crt is not None
+    n, n_sq = keypair.public.n, keypair.public.n_squared
+    for _ in range(5):
+        r = secrets.randbelow(n - 2) + 1
+        assert crt.pow_to_n(r, n, n_sq) == pow(r, n, n_sq)
+
+
+def test_crt_pool_ciphertexts_decrypt_on_both_paths(keypair, plain_keypair):
+    keypair.precompute_randomness(2)
+    for value in (17, 123456789):
+        ciphertext = keypair.encrypt(value)  # draws a CRT-pooled factor
+        assert plain_keypair.decrypt(ciphertext) == value
 
 
 def test_rejects_out_of_range(keypair):

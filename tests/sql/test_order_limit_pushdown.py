@@ -1,0 +1,103 @@
+"""ORDER BY + LIMIT served by streaming an ordered index.
+
+When the sort column carries an ordered index (the shape CryptDB produces:
+an OPE-ciphertext column indexed for range scans), the executor must stream
+rows in index order and stop after OFFSET + LIMIT matches instead of
+materialising and sorting the full match set -- and the streamed results
+must be indistinguishable from the full-sort path.
+"""
+
+import random
+
+import pytest
+
+from repro.sql.engine import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE scores (id INT, points INT, team VARCHAR(10))")
+    rng = random.Random(42)
+    for i in range(40):
+        database.execute(
+            f"INSERT INTO scores (id, points, team) VALUES "
+            f"({i}, {rng.randrange(8)}, 'team{i % 3}')"
+        )
+    database.catalog.table("scores").create_index("points", ordered=True)
+    return database
+
+
+def _general_path_rows(db, sql):
+    """Run the same statement with the ordered index temporarily removed."""
+    indexes = db.catalog.table("scores").indexes.ordered_indexes
+    index = indexes.pop("points")
+    try:
+        return db.execute(sql).rows
+    finally:
+        indexes["points"] = index
+
+
+@pytest.mark.parametrize("sql", [
+    "SELECT id, points FROM scores ORDER BY points LIMIT 5",
+    "SELECT id, points FROM scores ORDER BY points DESC LIMIT 5",
+    "SELECT id, points FROM scores ORDER BY points LIMIT 4 OFFSET 3",
+    "SELECT id FROM scores WHERE team = 'team1' ORDER BY points DESC LIMIT 6",
+    "SELECT * FROM scores ORDER BY points LIMIT 100",
+])
+def test_pushdown_matches_full_sort(db, sql):
+    before = db.executor.index_order_scans
+    fast = db.execute(sql).rows
+    assert db.executor.index_order_scans == before + 1, "index path not taken"
+    assert fast == _general_path_rows(db, sql)
+
+
+@pytest.mark.parametrize("sql", [
+    "SELECT id FROM scores ORDER BY points",  # no LIMIT: nothing to cut short
+    "SELECT id FROM scores ORDER BY team LIMIT 3",  # no ordered index on team
+    "SELECT DISTINCT points FROM scores ORDER BY points LIMIT 3",
+    "SELECT points, COUNT(*) FROM scores GROUP BY points ORDER BY points LIMIT 3",
+    "SELECT MAX(points) FROM scores ORDER BY points LIMIT 1",
+    "SELECT id FROM scores ORDER BY points, id LIMIT 3",  # compound sort key
+    "SELECT id FROM scores ORDER BY points LIMIT 0",  # nothing to stream
+    # The WHERE predicate is narrowable through the ordered index itself,
+    # which beats walking the whole index in sort order.
+    "SELECT id FROM scores WHERE points > 3 ORDER BY points LIMIT 2",
+    "SELECT id FROM scores WHERE points = 5 ORDER BY points LIMIT 2",
+])
+def test_general_path_kept_when_not_applicable(db, sql):
+    before = db.executor.index_order_scans
+    rows = db.execute(sql).rows
+    assert db.executor.index_order_scans == before
+    assert rows == _general_path_rows(db, sql)
+
+
+def test_null_sort_keys_fall_back_to_full_sort(db):
+    # NULLs are absent from the index, and NULLS FIRST/LAST placement only
+    # works on the materialising path -- the executor must notice and bail.
+    db.execute("INSERT INTO scores (id, team) VALUES (99, 'team0')")
+    sql = "SELECT id FROM scores ORDER BY points LIMIT 3"
+    before = db.executor.index_order_scans
+    rows = db.execute(sql).rows
+    assert db.executor.index_order_scans == before
+    assert rows[0] == (99,)  # NULL sorts first ascending
+    assert rows == _general_path_rows(db, sql)
+
+
+def test_pushdown_reflects_updates_and_deletes(db):
+    db.execute("UPDATE scores SET points = 100 WHERE id = 7")
+    db.execute("DELETE FROM scores WHERE id = 11")
+    sql = "SELECT id, points FROM scores ORDER BY points DESC LIMIT 3"
+    rows = db.execute(sql).rows
+    assert rows[0] == (7, 100)
+    assert all(row[0] != 11 for row in rows)
+    assert rows == _general_path_rows(db, sql)
+
+
+def test_ties_keep_stable_row_order_both_directions(db):
+    asc = db.execute("SELECT id, points FROM scores ORDER BY points LIMIT 40").rows
+    desc = db.execute("SELECT id, points FROM scores ORDER BY points DESC LIMIT 40").rows
+    assert asc == _general_path_rows(db, "SELECT id, points FROM scores ORDER BY points LIMIT 40")
+    assert desc == _general_path_rows(
+        db, "SELECT id, points FROM scores ORDER BY points DESC LIMIT 40"
+    )
