@@ -21,8 +21,18 @@ the bound parameters.  See :mod:`repro.core.plan_cache`.
 
 from __future__ import annotations
 
-from repro.api.backends import BackendAdapter, InMemoryBackend, resolve_backend
+from repro.api.backends import (
+    BackendAdapter,
+    InMemoryBackend,
+    create_backend,
+    resolve_backend,
+)
 from repro.api.connection import Connection, connect
+
+try:
+    from repro.api.sqlite_backend import SQLiteBackend
+except ImportError:  # pragma: no cover - Python built without sqlite3
+    SQLiteBackend = None  # the in-memory backend remains fully usable
 from repro.api.cursor import Cursor
 from repro.api.exceptions import (
     DatabaseError,
@@ -51,6 +61,8 @@ __all__ = [
     "Cursor",
     "BackendAdapter",
     "InMemoryBackend",
+    "SQLiteBackend",
+    "create_backend",
     "resolve_backend",
     "Warning",
     "Error",

@@ -111,10 +111,29 @@ class InMemoryBackend:
         return f"InMemoryBackend({self.database.name!r})"
 
 
+def create_backend(name: str, **kwargs: Any) -> Any:
+    """Instantiate a backend by name: ``"memory"`` or ``"sqlite"``.
+
+    ``sqlite`` accepts a ``path=`` keyword (defaults to ``":memory:"``); the
+    import is deferred so environments without the stdlib ``sqlite3`` module
+    can still use the in-memory engine.
+    """
+    normalized = name.lower()
+    if normalized in ("memory", "inmemory", "engine"):
+        return InMemoryBackend(**kwargs)
+    if normalized in ("sqlite", "sqlite3"):
+        from repro.api.sqlite_backend import SQLiteBackend
+
+        return SQLiteBackend(**kwargs)
+    raise ValueError(f"unknown backend {name!r} (expected 'memory' or 'sqlite')")
+
+
 def resolve_backend(target: Any = None) -> Any:
-    """Coerce ``None`` / a :class:`Database` / an adapter into a backend."""
+    """Coerce ``None`` / a name / a :class:`Database` / an adapter into a backend."""
     if target is None:
         return InMemoryBackend()
+    if isinstance(target, str):
+        return create_backend(target)
     if isinstance(target, Database):
         return InMemoryBackend(target)
     return target

@@ -35,8 +35,13 @@ class Connection:
     ProgrammingError = exceptions.ProgrammingError
     NotSupportedError = exceptions.NotSupportedError
 
-    def __init__(self, target: Any):
-        """Wrap an execution target: a CryptDB proxy, backend, or Database."""
+    def __init__(self, target: Any, owns_backend: bool = False):
+        """Wrap an execution target: a CryptDB proxy, backend, or Database.
+
+        ``owns_backend`` marks a backend this connection created itself
+        (via :func:`connect` with a name or None); closing the connection
+        then also closes the backend, releasing e.g. sqlite3 handles.
+        """
         if isinstance(target, CryptDBProxy):
             self.proxy: Optional[CryptDBProxy] = target
             self.target: Any = target
@@ -45,6 +50,7 @@ class Connection:
             self.proxy = None
             self.target = resolve_backend(target)
             self.backend = self.target
+        self._owns_backend = owns_backend
         self._closed = False
         # One entry per active `with conn:` scope; True when that scope
         # opened the transaction (and therefore closes it).
@@ -116,12 +122,20 @@ class Connection:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close the connection, rolling back any open transaction."""
+        """Close the connection, rolling back any open transaction.
+
+        A backend this connection created (``connect(backend="sqlite")``)
+        is closed with it; caller-provided backends are left open.
+        """
         if self._closed:
             return
         if self._in_transaction():
             self.rollback()
         self._closed = True
+        if self._owns_backend:
+            closer = getattr(self.backend, "close", None)
+            if callable(closer):
+                closer()
 
     @property
     def closed(self) -> bool:
@@ -146,7 +160,8 @@ def connect(
     """Open a connection, the PEP 249 module-level entry point.
 
     ``database`` may be an existing :class:`~repro.sql.engine.Database`, a
-    backend adapter, or None for a fresh in-memory backend.  With
+    backend adapter, a backend name (``"memory"`` or ``"sqlite"``), or None
+    for a fresh in-memory backend.  With
     ``encrypted=True`` (the default) a :class:`CryptDBProxy` holding a fresh
     master key is placed in front of the backend; keyword arguments
     (``master_key``, ``paillier``, ``paillier_bits``, ``anonymize_names``,
@@ -154,16 +169,22 @@ def connect(
     ``encrypted=False`` the connection drives the backend directly --
     the "MySQL without CryptDB" baseline of the evaluation.
     """
-    resolved = resolve_backend(backend if backend is not None else database)
+    if not encrypted and proxy_kwargs:
+        # Validate before creating a backend, or an owned sqlite3 handle
+        # would be abandoned open on this error path.
+        raise InterfaceError(
+            f"proxy options {sorted(proxy_kwargs)} require encrypted=True"
+        )
+    target = backend if backend is not None else database
+    # A backend named by string (or defaulted) is created here and therefore
+    # owned by the connection: close() releases it (sqlite3 handles etc.).
+    owns_backend = target is None or isinstance(target, str)
+    resolved = resolve_backend(target)
     with translate_errors():
         if encrypted:
             proxy = CryptDBProxy(db=resolved, **proxy_kwargs)
-            return Connection(proxy)
-        if proxy_kwargs:
-            raise InterfaceError(
-                f"proxy options {sorted(proxy_kwargs)} require encrypted=True"
-            )
-        return Connection(resolved)
+            return Connection(proxy, owns_backend=owns_backend)
+        return Connection(resolved, owns_backend=owns_backend)
 
 
 __all__ = ["Connection", "connect", "InMemoryBackend", "BackendAdapter"]

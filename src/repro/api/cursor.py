@@ -62,7 +62,8 @@ class Cursor:
         layers through the ciphertext cache, §3.5.2), and a single-row
         INSERT shape reaches the DBMS as one multi-row INSERT.  A row with
         the wrong parameter count therefore fails the whole batch before
-        any row is written.
+        any row is written.  An empty parameter sequence is a pure no-op
+        (PEP 249): nothing is prepared and nothing reaches the DBMS.
         """
         self._check_open()
         proxy = self._connection.proxy

@@ -276,7 +276,10 @@ class CryptDBProxy:
         """
         rows = [tuple(params) for params in seq_of_params]
         if not rows:
-            self.prepare(sql)  # still validate the statement shape
+            # PEP 249: an empty parameter sequence is a pure no-op.  Not even
+            # prepare() runs -- preparing has side effects (onion-adjustment
+            # UPDATEs, plan-cache population) that a no-op must not trigger,
+            # and a bad shape will still fail loudly on first real use.
             return 0
         prepared = self.prepare(sql)
         plan = prepared.plan
@@ -382,38 +385,67 @@ class CryptDBProxy:
             return PreparedStatement(statement, None, 0, self.schema.version, kind)
 
         prepare_start = time.perf_counter()
+        # Rewriting mutates onion metadata (lower_onion, JOIN re-keying) as
+        # clauses are analysed, but the matching adjustment UPDATEs only run
+        # after the whole statement rewrites successfully.  If a later clause
+        # turns out to be unsupported, the metadata must be rewound or the
+        # schema would claim levels the stored ciphertexts never reached --
+        # and every subsequent range query would silently compare garbage
+        # (found by the differential conformance harness).
+        rewind = (self.schema.snapshot_levels(), self.joins.snapshot(), self.schema.version)
         try:
             plan = self.rewriter.rewrite(statement)
+            if not plan.passthrough:
+                bound_indices = {slot.index for slot in plan.param_slots}
+                if bound_indices != set(range(param_count)):
+                    raise UnsupportedQueryError(
+                        "a ? placeholder appears in a position that cannot be bound "
+                        "over encrypted data"
+                    )
         except UnsupportedQueryError as exc:
+            self._restore_onion_state(rewind)
             self.stats.unsupported_queries += 1
             self._unsupported_log.append(str(exc))
+            raise
+        except Exception:
+            self._restore_onion_state(rewind)
             raise
         self.stats.queries_rewritten += 1
         self.stats.onion_adjustments = self.rewriter.onion_adjustments
         self.record_computations(plan)
-        if not plan.passthrough:
-            bound_indices = {slot.index for slot in plan.param_slots}
-            if bound_indices != set(range(param_count)):
-                raise UnsupportedQueryError(
-                    "a ? placeholder appears in a position that cannot be bound "
-                    "over encrypted data"
-                )
         rewrite_time = time.perf_counter() - prepare_start
         self.stats.proxy_time_seconds += rewrite_time
         self.stats.prepare_time_seconds += rewrite_time
 
         # Onion adjustments run inside a transaction so concurrent readers
         # never observe a half-adjusted column (§3.2).  They run once, here at
-        # prepare time; the stored plan is adjustment-free afterwards.
+        # prepare time; the stored plan is adjustment-free afterwards.  A
+        # server failure mid-adjustment (real DBMS backends can fail) rolls
+        # the data back and rewinds the metadata, so schema levels never
+        # claim layers the stored ciphertexts did not reach.
         if plan.adjustments:
             adjust_start = time.perf_counter()
             own_transaction = not self.db.transactions.in_transaction
-            if own_transaction:
-                self.db.execute(ast.Begin())
-            for adjustment in plan.adjustments:
-                self.db.execute(adjustment)
-            if own_transaction:
-                self.db.execute(ast.Commit())
+            try:
+                if own_transaction:
+                    self.db.execute(ast.Begin())
+                for adjustment in plan.adjustments:
+                    self.db.execute(adjustment)
+                if own_transaction:
+                    self.db.execute(ast.Commit())
+            except Exception:
+                if own_transaction:
+                    self.db.execute(ast.Rollback())
+                    self._restore_onion_state(rewind)
+                else:
+                    # Inside an application transaction there is no savepoint
+                    # to unwind just the adjustments, and some strips may
+                    # already be applied -- rewinding only the metadata would
+                    # make the next query re-strip stripped ciphertexts.
+                    # Abort the whole transaction instead: data and onion
+                    # metadata rewind together to the BEGIN snapshot.
+                    self._execute_transaction_control(ast.Rollback())
+                raise
             plan.adjustments = []
             self.stats.server_time_seconds += time.perf_counter() - adjust_start
 
@@ -467,6 +499,25 @@ class CryptDBProxy:
             self.stats.record_query_type(
                 prepared.kind, time.perf_counter() - total_start
             )
+
+    def _restore_onion_state(self, snapshot: tuple) -> None:
+        """Rewind onion levels, JOIN-ADJ key state and the schema version.
+
+        Used when a prepare fails before its effects became visible: the
+        restored state is identical to what every cached plan was built
+        against, so the version counter rewinds too (lower_onion bumped it
+        mid-rewrite) and the plan cache survives -- nothing can have been
+        cached during the failed prepare.  If the JOIN-ADJ keys really
+        moved, stay conservative and invalidate.
+        """
+        levels, join_state, version = snapshot
+        self.schema.restore_levels(levels, bump_version=False)
+        self.schema.version = version
+        if self.joins.restore(join_state):
+            # Cached plans with baked JOIN-ADJ constants are stale, and so
+            # are memoised Eq encryptions (same contract as ROLLBACK).
+            self.schema.bump_version()
+            self.cache.invalidate_eq()
 
     def _execute_transaction_control(self, statement: ast.Statement) -> ResultSet:
         """BEGIN/COMMIT/ROLLBACK, keeping onion metadata transactional too.

@@ -69,12 +69,19 @@ def _decrypt_column(
 
 
 def _proxy_sort(rows: list[tuple], order: list[tuple[int, bool]]) -> list[tuple]:
-    """In-proxy ORDER BY (§3.5.1), applied after decryption."""
+    """In-proxy ORDER BY (§3.5.1), applied after decryption.
+
+    NULL placement must match what the DBMS would have produced had the
+    sort run server-side (NULLS FIRST ascending, NULLS LAST descending) --
+    the conformance harness compares the two modes directly.  The non-NULL
+    flag leads the key: ascending puts the False (NULL) group first, and
+    ``reverse`` flips it to the end for descending sorts.
+    """
     ordered = list(rows)
     # Apply sort keys from the least significant to the most significant.
     for index, ascending in reversed(order):
         ordered.sort(
-            key=lambda row: (row[index] is None, row[index]),
+            key=lambda row: (row[index] is not None, row[index]),
             reverse=not ascending,
         )
     return ordered

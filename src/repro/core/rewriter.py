@@ -188,10 +188,13 @@ class Rewriter:
             raise ProxyError(f"column {column.table}.{column.name} is stored in plaintext")
         requirement = requirement_for(computation)
         if requirement is None:
-            # Projection only: read the Eq onion at whatever level it is.
+            # Projection-only reads (COUNT) observe nothing but NULL-ness,
+            # which is identical across onions even while HOM-stale, so the
+            # Eq onion serves them at whatever level it is.
             state = column.onion_state(Onion.EQ)
             return Onion.EQ, state.level
         onion, needed = requirement
+        self._check_hom_fresh(column, onion, computation)
         if not column.has_onion(onion):
             raise UnsupportedQueryError(
                 f"column {column.table}.{column.name} has no {onion.value} onion "
@@ -212,6 +215,26 @@ class Rewriter:
                 plan.adjustments.append(update)
                 self.onion_adjustments += 1
         return onion, needed
+
+    @staticmethod
+    def _check_hom_fresh(column: ColumnMeta, onion: Onion, computation: ComputationClass) -> None:
+        """Refuse server-side reads of onions left stale by HOM increments.
+
+        After ``SET c = c + k`` only the Add onion holds the current value
+        (§3.3); answering an equality/order/search predicate from the
+        Eq/Ord/Search onions would silently return results computed over
+        the pre-increment ciphertexts.  (NULL-ness-only reads -- COUNT and
+        IS NULL -- stay correct on any onion and are not refused.)  The
+        differential conformance harness flags exactly this class of
+        transparency violation, so declare the query unsupported instead
+        (the paper's alternative is a proxy-driven re-encryption pass).
+        """
+        if column.hom_stale_others and onion is not Onion.ADD:
+            raise UnsupportedQueryError(
+                f"column {column.table}.{column.name}: the {onion.value} onion is "
+                f"stale after homomorphic increments; {computation.value} would be "
+                "answered from pre-increment ciphertexts (re-encrypt to refresh)"
+            )
 
     def _adjustment_update(
         self, column: ColumnMeta, onion: Onion, removed_layer: EncryptionScheme
@@ -556,6 +579,9 @@ class Rewriter:
         self._record(plan, column, ComputationClass.NONE)
         if column.plaintext:
             return ast.IsNull(ast.ColumnRef(column.name, qualifier), expr.negated)
+        # NULL-ness is identical across onions (NULL + k stays NULL, so HOM
+        # increments never change it); the Eq onion answers IS NULL correctly
+        # even while the column is HOM-stale.
         state = column.onion_state(Onion.EQ)
         return ast.IsNull(ast.ColumnRef(state.anon_name, qualifier), expr.negated)
 
@@ -891,6 +917,16 @@ class Rewriter:
         scope = _Scope(self.schema)
         scope.add(statement.table, None)
 
+        # Rewrite the WHERE clause *before* the assignments: the predicate
+        # executes against pre-update onion state, so an increment in this
+        # very statement (which marks the column HOM-stale for *later*
+        # statements) must not disqualify its own WHERE clause.
+        where = (
+            self._rewrite_predicate(statement.where, scope, plan)
+            if statement.where is not None
+            else None
+        )
+
         assignments: list[tuple[str, ast.Expression]] = []
         for column_name, expr in statement.assignments:
             column = table_meta.column(column_name)
@@ -944,11 +980,6 @@ class Rewriter:
                 "(it requires the SELECT-then-UPDATE strategy of §3.3)"
             )
 
-        where = (
-            self._rewrite_predicate(statement.where, scope, plan)
-            if statement.where is not None
-            else None
-        )
         plan.statement = ast.Update(table_meta.anon_name, assignments, where)
         return plan
 

@@ -220,8 +220,16 @@ class ProxySchema:
                 )
         return levels
 
-    def restore_levels(self, snapshot: dict) -> None:
-        """Rewind onion levels to a snapshot (after a transaction rollback)."""
+    def restore_levels(self, snapshot: dict, bump_version: bool = True) -> None:
+        """Rewind onion levels to a snapshot (after a transaction rollback).
+
+        ``bump_version=False`` skips the plan-cache invalidation: a failed
+        *rewrite* rewinds to exactly the state every cached plan was built
+        against (no server data changed, no adjustment ran), so flushing
+        the cache would only cost re-rewrites.  Transaction rollbacks keep
+        the default -- there the server data really did rewind, and plans
+        cached inside the transaction are stale.
+        """
         changed = False
         for (table_name, column_name), (levels, hom_stale) in snapshot.items():
             table = self.tables.get(table_name)
@@ -236,7 +244,7 @@ class ProxySchema:
             if column.hom_stale_others != hom_stale:
                 column.hom_stale_others = hom_stale
                 changed = True
-        if changed:
+        if changed and bump_version:
             self.bump_version()
 
     # -- onion state updates ----------------------------------------------------

@@ -179,9 +179,12 @@ def install_udfs(db: Database, public_key: PaillierPublicKey) -> None:
     db.register_scalar_udf(ADJ_PART, _adj_part)
     db.register_scalar_udf(SEARCH_MATCH, _search_match)
     db.register_scalar_udf(HOM_ADD, hom_add)
+    # SUM over zero rows is NULL in SQL, not the Paillier encryption of 0:
+    # the state stays None until the first (non-NULL) ciphertext is folded
+    # in, so the proxy decrypts an empty aggregate to NULL like a stock DBMS.
     db.register_aggregate_udf(
         HOM_SUM,
-        initial=lambda: 1,
-        step=lambda state, value: (state * value) % n_squared,
+        initial=lambda: None,
+        step=lambda state, value: ((1 if state is None else state) * value) % n_squared,
         finalize=lambda state: state,
     )

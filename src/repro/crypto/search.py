@@ -34,7 +34,10 @@ from repro.errors import CryptoError
 
 WORD_SIZE = 16
 _SPLIT = WORD_SIZE // 2
-_DELIMITERS = re.compile(r"[^0-9A-Za-z_]+")
+# Unicode word semantics (\w covers letters/digits of every script): a word
+# like "München" or "東京" must tokenize whole, or encrypted word search could
+# never match keywords that plaintext LIKE finds.
+_DELIMITERS = re.compile(r"\W+", re.UNICODE)
 
 
 @dataclass(frozen=True)

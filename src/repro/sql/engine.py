@@ -44,7 +44,7 @@ class Database:
     def execute_script(self, script: str) -> list[ResultSet]:
         """Execute several ';'-separated statements."""
         results = []
-        for part in _split_statements(script):
+        for part in split_statements(script):
             results.append(self.execute(part))
         return results
 
@@ -107,8 +107,11 @@ class Database:
         return {name: self.catalog.table(name).row_count() for name in self.table_names()}
 
 
-def _split_statements(script: str) -> list[str]:
-    """Split a SQL script on ';' while respecting string literals."""
+def split_statements(script: str) -> list[str]:
+    """Split a SQL script on ';' while respecting string literals.
+
+    Shared by every backend adapter that offers ``execute_script``.
+    """
     statements: list[str] = []
     current: list[str] = []
     in_string = False

@@ -405,7 +405,12 @@ class Executor:
             right_rows = [
                 RowContext.from_row(right_name, row) for _, row in right_table.scan()
             ]
-            return self._join(left_contexts, right_rows, clause)
+            # NULL-extension template for LEFT joins, built from the schema:
+            # an empty right table must still contribute its column names.
+            null_row = RowContext(
+                {(right_name, column): None for column in right_table.column_names}
+            )
+            return self._join(left_contexts, right_rows, clause, null_row)
         raise SQLExecutionError(f"unsupported FROM clause {clause!r}")
 
     def _join(
@@ -413,6 +418,7 @@ class Executor:
         left_contexts: list[RowContext],
         right_contexts: list[RowContext],
         clause: ast.Join,
+        null_row: RowContext,
     ) -> list[RowContext]:
         """Join two context sets, hash-joining on any equality conjunct.
 
@@ -426,10 +432,12 @@ class Executor:
         fall back to the nested loop.
         """
         for terms in _hash_join_candidates(clause.condition):
-            joined = self._try_hash_join(left_contexts, right_contexts, clause, terms)
+            joined = self._try_hash_join(
+                left_contexts, right_contexts, clause, terms, null_row
+            )
             if joined is not None:
                 return joined
-        return self._nested_loop_join(left_contexts, right_contexts, clause)
+        return self._nested_loop_join(left_contexts, right_contexts, clause, null_row)
 
     def _try_hash_join(
         self,
@@ -437,6 +445,7 @@ class Executor:
         right_contexts: list[RowContext],
         clause: ast.Join,
         terms: tuple[tuple[ast.Expression, ast.Expression], Optional[ast.Expression]],
+        null_row: RowContext,
     ) -> Optional[list[RowContext]]:
         """Hash-join on one equality term, or None if it cannot key a side.
 
@@ -468,7 +477,7 @@ class Executor:
                         joined.append(merged)
                         matched = True
             if not matched and clause.join_type == "LEFT":
-                joined.append(left.merged_with(_null_context(right_contexts)))
+                joined.append(left.merged_with(null_row))
         return joined
 
     def _join_key(
@@ -492,6 +501,7 @@ class Executor:
         left_contexts: list[RowContext],
         right_contexts: list[RowContext],
         clause: ast.Join,
+        null_row: RowContext,
     ) -> list[RowContext]:
         condition = clause.condition
         joined: list[RowContext] = []
@@ -503,7 +513,7 @@ class Executor:
                     joined.append(merged)
                     matched = True
             if not matched and clause.join_type == "LEFT":
-                joined.append(left.merged_with(_null_context(right_contexts)))
+                joined.append(left.merged_with(null_row))
         return joined
 
     # -- projection --------------------------------------------------------------
@@ -801,7 +811,3 @@ def _hash_join_candidates(
     return candidates
 
 
-def _null_context(right_contexts: list[RowContext]) -> RowContext:
-    if not right_contexts:
-        return RowContext({})
-    return RowContext({key: None for key in right_contexts[0].columns()})

@@ -67,6 +67,23 @@ class DataType:
             return str(value)
         return value
 
+    def sqlite_affinity(self) -> str:
+        """The SQLite type name whose affinity matches :meth:`coerce`.
+
+        Backend adapters use this when forwarding CREATE TABLE to sqlite3:
+        BLOB columns must keep no-conversion affinity (onion ciphertexts are
+        stored verbatim), numeric/text affinities mirror the engine's own
+        best-effort coercions.
+        """
+        if self.is_integer or self.name in ("BOOLEAN", "BOOL"):
+            return "INTEGER"
+        if self.name in ("FLOAT", "DOUBLE", "DECIMAL", "NUMERIC", "REAL"):
+            return "REAL"
+        if self.is_binary:
+            return "BLOB"
+        # Text, dates and anything else the engine stores as strings.
+        return "TEXT"
+
     def storage_size(self, value: Any) -> int:
         """Approximate on-disk size in bytes of a stored value.
 

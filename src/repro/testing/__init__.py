@@ -1,0 +1,34 @@
+"""Randomized differential conformance testing for the CryptDB proxy.
+
+CryptDB's headline guarantee (§3, §8) is *transparency*: a rewritten query
+over onion ciphertexts must decrypt to exactly the answer a stock SQL DBMS
+gives on the plaintext.  This package turns that guarantee into an executable
+oracle:
+
+* :mod:`repro.testing.generator` produces seeded random schema + DML/SELECT
+  statement streams constrained to the SQL surface every lane supports;
+* :mod:`repro.testing.oracle` replays one stream over several *lanes*
+  (plaintext in-memory engine, plaintext SQLite, encrypted proxy over each
+  backend) and reports the first result divergence after decryption;
+* :mod:`repro.testing.shrinker` delta-debugs a failing stream down to a
+  minimal reproducer before it is reported.
+"""
+
+from repro.testing.generator import GeneratedStatement, StatementGenerator
+from repro.testing.oracle import (
+    DifferentialRunner,
+    Divergence,
+    RunReport,
+    default_lane_factory,
+)
+from repro.testing.shrinker import shrink_stream
+
+__all__ = [
+    "GeneratedStatement",
+    "StatementGenerator",
+    "DifferentialRunner",
+    "Divergence",
+    "RunReport",
+    "default_lane_factory",
+    "shrink_stream",
+]

@@ -1,0 +1,326 @@
+"""The differential oracle: replay one stream over several lanes, compare.
+
+A *lane* is a :class:`repro.api.Connection`: plaintext over the in-memory
+engine, plaintext over SQLite, or the encrypted proxy over either backend.
+Every statement of a stream runs on every lane and the outcomes must agree:
+
+* identical decrypted rows for SELECTs -- compared as sequences when the
+  generator guaranteed a total ORDER BY, as multisets otherwise;
+* identical affected-row counts for DML;
+* identical error *class* when a statement fails everywhere.
+
+The proxy is allowed one asymmetry, straight from the paper's Figure 9: it
+may *refuse* a side-effect-free SELECT (``NotSupportedError``, e.g. an
+equality predicate over a HOM-stale onion) that plaintext lanes can answer.
+It may never return a different answer.  Refusals must agree across both
+encrypted lanes and are counted, not failed.
+
+Floats are compared with a tolerance: the encrypted lane recomputes
+DECIMAL aggregates from exactly-scaled integers while plaintext lanes
+accumulate IEEE floats, so the two can differ in the last ulps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.api import exceptions
+from repro.api.connection import Connection, connect
+from repro.testing.generator import GeneratedStatement
+
+LaneFactory = Callable[[], dict[str, Connection]]
+
+#: Lanes whose names start with this prefix hold an encrypting proxy.
+ENCRYPTED_PREFIX = "enc-"
+
+
+def default_lane_factory(**proxy_kwargs: Any) -> LaneFactory:
+    """Fresh plaintext + encrypted connections over both backends.
+
+    ``proxy_kwargs`` (``paillier``, ``master_key``, ...) are forwarded to the
+    encrypted lanes so test suites can share one session key pair.
+    """
+
+    def factory() -> dict[str, Connection]:
+        return {
+            "plain-memory": connect(encrypted=False, backend="memory"),
+            "plain-sqlite": connect(encrypted=False, backend="sqlite"),
+            "enc-memory": connect(backend="memory", **proxy_kwargs),
+            "enc-sqlite": connect(backend="sqlite", **proxy_kwargs),
+        }
+
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# outcomes
+# ---------------------------------------------------------------------------
+@dataclass
+class LaneOutcome:
+    """What one lane did with one statement."""
+
+    error: Optional[str] = None  # None | "unsupported" | "error"
+    error_detail: str = ""
+    rows: Optional[list[tuple]] = None
+    rowcount: int = 0
+
+    def summary(self) -> str:
+        if self.error is not None:
+            return f"{self.error}({self.error_detail})"
+        if self.rows is not None:
+            return f"{len(self.rows)} rows"
+        return f"rowcount={self.rowcount}"
+
+
+@dataclass
+class Divergence:
+    """The first observed disagreement between lanes."""
+
+    index: int
+    statement: GeneratedStatement
+    reason: str
+    outcomes: dict[str, str]
+
+    def describe(self) -> str:
+        lanes = "\n".join(f"    {name}: {out}" for name, out in self.outcomes.items())
+        return (
+            f"statement #{self.index}: {self.statement.describe()}\n"
+            f"  {self.reason}\n{lanes}"
+        )
+
+
+@dataclass
+class RunReport:
+    """Outcome of one stream replay across all lanes."""
+
+    divergence: Optional[Divergence] = None
+    statements_executed: int = 0
+    selects_compared: int = 0
+    refused_by_proxy: int = 0
+    minimized: Optional[list[GeneratedStatement]] = None
+    seed: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"conformant: {self.statements_executed} statements, "
+                f"{self.selects_compared} SELECT comparisons, "
+                f"{self.refused_by_proxy} proxy refusals"
+            )
+        lines = [f"DIVERGENCE after {self.statements_executed} statements"]
+        if self.seed is not None:
+            lines.append(f"reproduce with --repro-seed={self.seed}")
+        lines.append(self.divergence.describe())
+        if self.minimized is not None:
+            lines.append(f"minimized reproducer ({len(self.minimized)} statements):")
+            lines.extend(f"  {s.describe()}" for s in self.minimized)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# normalization / comparison
+# ---------------------------------------------------------------------------
+def _canonical_cell(value: Any) -> Any:
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+def _cells_match(a: Any, b: Any) -> bool:
+    a, b = _canonical_cell(a), _canonical_cell(b)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+    return a == b
+
+
+def _rows_match(a: Sequence[tuple], b: Sequence[tuple]) -> bool:
+    if len(a) != len(b):
+        return False
+    for row_a, row_b in zip(a, b):
+        if len(row_a) != len(row_b):
+            return False
+        if not all(_cells_match(x, y) for x, y in zip(row_a, row_b)):
+            return False
+    return True
+
+
+def _sort_key(row: tuple) -> tuple:
+    key = []
+    for value in row:
+        value = _canonical_cell(value)
+        if value is None:
+            key.append((0, ""))
+        elif isinstance(value, (int, float)):
+            # Round for ordering only, so float noise cannot interleave rows
+            # differently across lanes; equality is checked with isclose.
+            key.append((1, "", round(float(value), 7)))
+        elif isinstance(value, str):
+            key.append((2, value))
+        elif isinstance(value, bytes):
+            key.append((3, value.hex()))
+        else:
+            key.append((4, repr(value)))
+    return tuple(key)
+
+
+def _normalize(rows: Sequence[tuple], ordered: bool) -> list[tuple]:
+    normalized = [tuple(row) for row in rows]
+    if not ordered:
+        normalized.sort(key=_sort_key)
+    return normalized
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+class DifferentialRunner:
+    """Replays statement streams over fresh lanes and compares outcomes."""
+
+    def __init__(self, lane_factory: LaneFactory):
+        self.lane_factory = lane_factory
+
+    # -- execution -------------------------------------------------------
+    @staticmethod
+    def _run_statement(
+        connection: Connection, statement: GeneratedStatement
+    ) -> LaneOutcome:
+        try:
+            cursor = connection.cursor()
+            cursor.execute(statement.sql, statement.params)
+        except exceptions.NotSupportedError as exc:
+            return LaneOutcome(error="unsupported", error_detail=str(exc)[:120])
+        except exceptions.Error as exc:
+            return LaneOutcome(
+                error="error", error_detail=f"{type(exc).__name__}: {str(exc)[:120]}"
+            )
+        if cursor.description is not None:
+            return LaneOutcome(rows=cursor.fetchall())
+        return LaneOutcome(rowcount=max(cursor.rowcount, 0))
+
+    def run(self, statements: Sequence[GeneratedStatement]) -> RunReport:
+        """Replay one stream on fresh lanes; stop at the first divergence."""
+        lanes = self.lane_factory()
+        report = RunReport()
+        try:
+            for index, statement in enumerate(statements):
+                outcomes = {
+                    name: self._run_statement(conn, statement)
+                    for name, conn in lanes.items()
+                }
+                report.statements_executed += 1
+                divergence = self._compare(index, statement, outcomes, report)
+                if divergence is not None:
+                    report.divergence = divergence
+                    return report
+        finally:
+            for conn in lanes.values():
+                conn.close()
+        return report
+
+    # -- comparison ------------------------------------------------------
+    def _compare(
+        self,
+        index: int,
+        statement: GeneratedStatement,
+        outcomes: dict[str, LaneOutcome],
+        report: RunReport,
+    ) -> Optional[Divergence]:
+        def diverge(reason: str) -> Divergence:
+            return Divergence(
+                index,
+                statement,
+                reason,
+                {name: out.summary() for name, out in outcomes.items()},
+            )
+
+        error_classes = {out.error for out in outcomes.values()}
+        if error_classes == {None}:
+            pass  # all succeeded
+        elif len(error_classes) == 1:
+            # Everyone failed the same way; statement had no effect anywhere.
+            return None
+        else:
+            encrypted = {
+                name: out for name, out in outcomes.items()
+                if name.startswith(ENCRYPTED_PREFIX)
+            }
+            plaintext = {
+                name: out for name, out in outcomes.items()
+                if not name.startswith(ENCRYPTED_PREFIX)
+            }
+            proxy_refused = (
+                encrypted
+                and all(out.error == "unsupported" for out in encrypted.values())
+                and all(out.error is None for out in plaintext.values())
+            )
+            if (
+                proxy_refused
+                and statement.kind == "select"
+                and statement.may_be_unsupported
+            ):
+                # Figure 9: the proxy may refuse a read it cannot run over
+                # ciphertext -- but only where the generator declared the
+                # refusal legitimate.  An unflagged refusal is a divergence,
+                # so an over-refusing proxy regression cannot hide behind
+                # this branch; plaintext lanes must still agree on the answer.
+                report.refused_by_proxy += 1
+                outcomes = plaintext
+            else:
+                return diverge("lanes disagree on success/failure")
+
+        successes = {n: o for n, o in outcomes.items() if o.error is None}
+        if not successes:
+            return None
+        reference_name, reference = next(iter(successes.items()))
+
+        if reference.rows is not None:
+            report.selects_compared += 1
+            expected = _normalize(reference.rows, statement.ordered)
+            for name, outcome in successes.items():
+                if outcome.rows is None:
+                    return diverge(f"{name} returned no result set")
+                actual = _normalize(outcome.rows, statement.ordered)
+                if not _rows_match(expected, actual):
+                    return diverge(
+                        f"result rows differ between {reference_name} and {name}: "
+                        f"{expected[:5]!r} vs {actual[:5]!r}"
+                    )
+            return None
+
+        for name, outcome in successes.items():
+            if outcome.rows is not None:
+                return diverge(f"{name} unexpectedly returned rows")
+            if outcome.rowcount != reference.rowcount:
+                return diverge(
+                    f"rowcount differs between {reference_name} "
+                    f"({reference.rowcount}) and {name} ({outcome.rowcount})"
+                )
+        return None
+
+    # -- entry point with shrinking --------------------------------------
+    def run_with_shrinking(
+        self,
+        statements: Sequence[GeneratedStatement],
+        seed: Optional[int] = None,
+        max_probes: int = 400,
+    ) -> RunReport:
+        """Replay a stream; on divergence, ddmin-minimize it for the report."""
+        report = self.run(statements)
+        report.seed = seed
+        if report.ok:
+            return report
+        from repro.testing.shrinker import shrink_stream
+
+        def still_fails(candidate: Sequence[GeneratedStatement]) -> bool:
+            return not self.run(candidate).ok
+
+        report.minimized = shrink_stream(
+            list(statements), still_fails, max_probes=max_probes
+        )
+        return report

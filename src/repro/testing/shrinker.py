@@ -1,0 +1,67 @@
+"""Delta-debugging minimization of failing conformance streams.
+
+A failing stream from the generator is typically hundreds of statements of
+which a handful matter.  :func:`shrink_stream` applies ddmin (Zeller's
+delta debugging): repeatedly try dropping chunks of statements, keep any
+reduction that still fails, and halve the chunk size until single statements
+cannot be removed.
+
+Dropping arbitrary statements keeps probe streams *valid* by construction:
+
+* a statement referencing a table whose CREATE TABLE was dropped fails in
+  every lane with the same coarse error class, which the oracle treats as
+  consistent;
+* COMMIT/ROLLBACK without a BEGIN are tolerated by every backend, matching
+  stock MySQL;
+* DML rows never depend on earlier statements' *success*, only on schema.
+
+Probes re-run the stream on fresh lanes, so the caller bounds the work with
+``max_probes``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def shrink_stream(
+    statements: list[T],
+    still_fails: Callable[[Sequence[T]], bool],
+    max_probes: int = 400,
+) -> list[T]:
+    """Minimize ``statements`` while ``still_fails`` holds.
+
+    Returns a 1-minimal subsequence (no single remaining statement can be
+    removed) unless the probe budget runs out first, in which case the best
+    reduction found so far is returned.
+    """
+    current = list(statements)
+    probes = 0
+    granularity = 2
+    while len(current) >= 2 and granularity <= len(current):
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            if probes >= max_probes:
+                return current
+            candidate = current[:start] + current[start + chunk:]
+            if not candidate:
+                start += chunk
+                continue
+            probes += 1
+            if still_fails(candidate):
+                current = candidate
+                reduced = True
+                # Re-test from the same offset: the next chunk slid into it.
+            else:
+                start += chunk
+        if reduced:
+            granularity = max(granularity - 1, 2)
+        elif chunk == 1:
+            break
+        else:
+            granularity = min(granularity * 2, len(current))
+    return current

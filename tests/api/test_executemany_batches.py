@@ -51,14 +51,40 @@ def test_param_count_mismatch_rejects_whole_batch(conn):
     assert _count(conn) == 0
 
 
-def test_empty_batch_executes_nothing(conn):
+def test_empty_batch_is_a_pure_noop(conn):
+    """PEP 249: executemany with no parameter rows does nothing at all.
+
+    Regression test: this used to prepare (and therefore rewrite, adjust
+    onions for, and plan-cache) the statement shape, raising for shapes the
+    proxy could not prepare -- a no-op must not touch the database.
+    """
     cursor = conn.cursor()
     cursor.executemany("INSERT INTO items (id, label, qty) VALUES (?, ?, ?)", [])
     assert cursor.rowcount == 0
     assert _count(conn) == 0
-    # The statement shape is still validated even with no rows to bind.
+    before = conn.proxy.stats.queries_processed
+    # Even a statement over a nonexistent table is silently skipped...
+    cursor.executemany("INSERT INTO nowhere (id) VALUES (?)", [])
+    assert cursor.rowcount == 0
+    # ...and nothing reached the proxy or the DBMS.
+    assert conn.proxy.stats.queries_processed == before
+    # Empty iterators (not just empty lists) count as empty sequences.
+    cursor.executemany("INSERT INTO items (id, label, qty) VALUES (?, ?, ?)", iter(()))
+    assert cursor.rowcount == 0
+    # The bad shape still fails loudly the moment it has rows to bind.
     with pytest.raises(ProgrammingError):
-        cursor.executemany("INSERT INTO nowhere (id) VALUES (?)", [])
+        cursor.executemany("INSERT INTO nowhere (id) VALUES (?)", [(1,)])
+
+
+def test_empty_batch_is_a_noop_on_plain_backends():
+    conn = repro.connect(encrypted=False, backend="sqlite")
+    conn.execute("CREATE TABLE items (id int)")
+    cursor = conn.cursor()
+    cursor.executemany("INSERT INTO items (id) VALUES (?)", [])
+    assert cursor.rowcount == 0
+    cursor.executemany("INSERT INTO nowhere (id) VALUES (?)", [])
+    assert cursor.rowcount == 0
+    assert conn.execute("SELECT COUNT(*) FROM items").fetchone()[0] == 0
 
 
 def test_batch_insert_visible_inside_open_transaction(conn):

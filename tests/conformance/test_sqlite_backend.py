@@ -1,0 +1,258 @@
+"""Direct tests of the sqlite3 backend adapter: codec, DDL, UDFs, txns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.backends import create_backend, resolve_backend
+from repro.api.connection import connect
+from repro.api.sqlite_backend import SQLiteBackend, decode_value, encode_value
+from repro.errors import SQLExecutionError
+from repro.sql import ast_nodes as ast
+
+
+@pytest.fixture()
+def backend() -> SQLiteBackend:
+    return SQLiteBackend()
+
+
+# ---------------------------------------------------------------------------
+# value codec
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        0,
+        -1,
+        2**63 - 1,
+        -(2**63),
+        2**63,
+        2**64 - 1,
+        2**2048 + 12345,          # Paillier-ciphertext sized
+        -(2**70),
+        3.5,
+        "text",
+        "ωμέγα 東京",
+        b"",
+        b"\x00\x01\xff",
+        True,
+        False,
+    ],
+)
+def test_codec_roundtrip(value):
+    expected = int(value) if isinstance(value, bool) else value
+    assert decode_value(encode_value(value)) == expected
+
+
+def test_codec_is_order_preserving_over_unsigned_64(backend):
+    """The Ord onion's [0, 2**64) domain survives ORDER BY and MIN/MAX."""
+    values = [0, 5, 2**62, 2**63 - 1, 2**63, 2**63 + 1, 2**64 - 1]
+    backend.execute("CREATE TABLE ord_t (x BIGINT)")
+    rows = [[ast.Literal(v)] for v in values]
+    backend.execute(ast.Insert("ord_t", ["x"], rows))
+    result = backend.execute(
+        ast.Select(
+            [ast.SelectItem(ast.ColumnRef("x"))],
+            ast.TableRef("ord_t"),
+            order_by=[ast.OrderItem(ast.ColumnRef("x"), ascending=False)],
+        )
+    )
+    assert [row[0] for row in result.rows] == sorted(values, reverse=True)
+    assert backend.execute("SELECT MAX(x) FROM ord_t").scalar() == 2**64 - 1
+    assert backend.execute("SELECT MIN(x) FROM ord_t").scalar() == 0
+
+
+# ---------------------------------------------------------------------------
+# schema / statements
+# ---------------------------------------------------------------------------
+def test_ddl_and_catalog(backend):
+    assert backend.table_names() == []
+    backend.execute("CREATE TABLE a (id INT, v VARCHAR(10))")
+    backend.execute("CREATE TABLE b (id INT)")
+    assert backend.table_names() == ["a", "b"]
+    assert backend.has_table("a") and not backend.has_table("zz")
+    backend.execute("CREATE TABLE IF NOT EXISTS a (id INT, v VARCHAR(10))")
+    backend.execute("DROP TABLE b")
+    assert backend.table_names() == ["a"]
+    backend.execute("DROP TABLE IF EXISTS b")
+    with pytest.raises(SQLExecutionError):
+        backend.execute("DROP TABLE b")
+    with pytest.raises(SQLExecutionError):
+        backend.table("zz")
+
+
+def test_indexes_and_table_shim(backend):
+    backend.execute("CREATE TABLE t (id INT, qty INT)")
+    backend.execute("INSERT INTO t (id, qty) VALUES (1, 10), (2, 20), (3, NULL)")
+    table = backend.table("t")
+    table.create_index("id")
+    table.create_index("id")  # idempotent
+    backend.execute(ast.CreateIndex("idx_multi", "t", ["id", "qty"]))
+    assert table.row_count() == 3
+    assert table.column_names == ["id", "qty"]
+    assert table.has_column("qty") and not table.has_column("nope")
+    assert table.storage_bytes() > 0
+    assert backend.storage_bytes() > 0
+    assert backend.row_counts() == {"t": 3}
+
+
+def test_dml_rowcounts_and_select(backend):
+    backend.execute("CREATE TABLE t (id INT, v INT)")
+    inserted = backend.execute("INSERT INTO t (id, v) VALUES (1, 10), (2, 20), (3, 30)")
+    assert inserted.rowcount == 3
+    updated = backend.execute("UPDATE t SET v = 99 WHERE id >= 2")
+    assert updated.rowcount == 2
+    deleted = backend.execute("DELETE FROM t WHERE id = 1")
+    assert deleted.rowcount == 1
+    result = backend.execute("SELECT id, v FROM t ORDER BY id ASC")
+    assert result.columns == ["id", "v"]
+    assert result.rows == [(2, 99), (3, 99)]
+    assert backend.statements_executed == 5
+
+
+def test_execute_script(backend):
+    results = backend.execute_script(
+        "CREATE TABLE s (id INT); INSERT INTO s (id) VALUES (1); "
+        "SELECT id FROM s"
+    )
+    assert len(results) == 3
+    assert results[-1].rows == [(1,)]
+
+
+# ---------------------------------------------------------------------------
+# UDFs
+# ---------------------------------------------------------------------------
+def test_scalar_udf_crosses_the_codec(backend):
+    backend.execute("CREATE TABLE u (x BLOB)")
+    backend.execute(ast.Insert("u", ["x"], [[ast.Literal(b"\x01\x02")], [ast.Literal(None)]]))
+
+    def double_bytes(value):
+        return None if value is None else value + value
+
+    backend.register_scalar_udf("DOUBLE_BYTES", double_bytes)
+    result = backend.execute("SELECT DOUBLE_BYTES(x) FROM u")
+    assert sorted(result.rows, key=repr) == [(None,), (b"\x01\x02\x01\x02",)]
+
+
+def test_aggregate_udf_skips_nulls_and_handles_empty(backend):
+    backend.execute("CREATE TABLE agg (x INT)")
+    backend.register_aggregate_udf(
+        "BIGPROD",
+        initial=lambda: None,
+        step=lambda state, value: (1 if state is None else state) * (value + 2**64),
+        finalize=lambda state: state,
+    )
+    # Empty table: finalize on the initial state, NULL out.
+    assert backend.execute("SELECT BIGPROD(x) FROM agg").scalar() is None
+    backend.execute("INSERT INTO agg (x) VALUES (1), (NULL), (2)")
+    value = backend.execute("SELECT BIGPROD(x) FROM agg").scalar()
+    assert value == (1 + 2**64) * (2 + 2**64)  # NULL skipped, bigint decoded
+
+
+# ---------------------------------------------------------------------------
+# transactions
+# ---------------------------------------------------------------------------
+def test_transaction_rollback_and_commit(backend):
+    backend.execute("CREATE TABLE t (id INT)")
+    assert not backend.transactions.in_transaction
+    backend.execute("BEGIN")
+    assert backend.transactions.in_transaction
+    backend.execute("INSERT INTO t (id) VALUES (1)")
+    backend.execute("ROLLBACK")
+    assert not backend.transactions.in_transaction
+    assert backend.execute("SELECT COUNT(*) FROM t").scalar() == 0
+    backend.execute("BEGIN")
+    backend.execute("INSERT INTO t (id) VALUES (2)")
+    backend.execute("COMMIT")
+    assert backend.execute("SELECT COUNT(*) FROM t").scalar() == 1
+    # COMMIT/ROLLBACK outside a transaction are tolerated (stock-MySQL-like).
+    backend.execute("COMMIT")
+    backend.execute("ROLLBACK")
+    # Nested BEGIN is rejected exactly like the in-memory engine.
+    backend.execute("BEGIN")
+    with pytest.raises(SQLExecutionError):
+        backend.execute("BEGIN")
+    backend.execute("ROLLBACK")
+
+
+# ---------------------------------------------------------------------------
+# wiring: resolve_backend / connect / encrypted proxy
+# ---------------------------------------------------------------------------
+def test_backend_resolution():
+    assert isinstance(create_backend("sqlite"), SQLiteBackend)
+    assert isinstance(resolve_backend("sqlite"), SQLiteBackend)
+    assert isinstance(resolve_backend("sqlite3"), SQLiteBackend)
+    with pytest.raises(ValueError):
+        create_backend("postgres")
+
+
+def test_encrypted_connection_over_sqlite(paillier_keypair):
+    conn = connect(backend="sqlite", paillier=paillier_keypair)
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE emp (id INT, name VARCHAR(30), salary INT)")
+    cur.executemany(
+        "INSERT INTO emp (id, name, salary) VALUES (?, ?, ?)",
+        [(1, "alice", 70000), (2, "bob", 50000), (3, "carol", None)],
+    )
+    # The DBMS only ever sees anonymised tables and ciphertext columns.
+    assert not conn.backend.has_table("emp")
+    anon_tables = conn.backend.table_names()
+    assert len(anon_tables) == 1 and anon_tables[0] != "emp"
+    cur.execute("SELECT name FROM emp WHERE salary > ?", (60000,))
+    assert cur.fetchall() == [("alice",)]
+    cur.execute("SELECT COUNT(*), SUM(salary) FROM emp")
+    assert cur.fetchall() == [(3, 120000)]
+    cur.execute("UPDATE emp SET salary = salary + 1000 WHERE id = 2")
+    cur.execute("SELECT SUM(salary) FROM emp")
+    assert cur.fetchall() == [(121000,)]
+    with conn:
+        cur.execute("DELETE FROM emp WHERE id = 1")
+    cur.execute("SELECT COUNT(*) FROM emp")
+    assert cur.fetchall() == [(2,)]
+    conn.close()
+
+
+def test_plain_connection_over_sqlite_name():
+    conn = connect(encrypted=False, backend="sqlite")
+    conn.execute("CREATE TABLE t (id INT, b BLOB)")
+    conn.execute("INSERT INTO t (id, b) VALUES (1, X'00ff')")
+    cur = conn.execute("SELECT id, b FROM t")
+    assert cur.fetchall() == [(1, b"\x00\xff")]
+
+
+def test_connection_close_releases_owned_sqlite_backend(paillier_keypair):
+    """connect(backend="sqlite") owns its backend; close() releases it."""
+    import sqlite3
+
+    conn = connect(backend="sqlite", paillier=paillier_keypair)
+    handle = conn.backend.connection
+    conn.close()
+    with pytest.raises(sqlite3.ProgrammingError):
+        handle.execute("SELECT 1")
+    # A caller-provided backend stays open after the connection closes.
+    own = SQLiteBackend()
+    conn = connect(encrypted=False, backend=own)
+    conn.close()
+    own.execute("CREATE TABLE still_open (id INT)")
+    assert own.has_table("still_open")
+    own.close()
+
+
+def test_like_case_folds_unicode_like_the_engine(backend):
+    """SQLite's built-in LIKE folds ASCII only; the adapter overrides it.
+
+    The in-memory engine compiles LIKE with re.IGNORECASE (full Unicode
+    folding, like MySQL ci collations), so 'MÜNCHEN' must match
+    '%münchen%' on both backends or the plaintext lanes of the
+    conformance oracle would disagree on non-ASCII text.
+    """
+    backend.execute("CREATE TABLE t (s TEXT)")
+    backend.execute(
+        ast.Insert("t", ["s"], [[ast.Literal("MÜNCHEN")], [ast.Literal("berlin")],
+                                [ast.Literal(None)]])
+    )
+    result = backend.execute("SELECT s FROM t WHERE s LIKE '%münchen%'")
+    assert result.rows == [("MÜNCHEN",)]
+    result = backend.execute("SELECT s FROM t WHERE s NOT LIKE '%MÜNCHEN%'")
+    assert result.rows == [("berlin",)]  # NULL LIKE is NULL, row filtered

@@ -1,11 +1,20 @@
-"""Shared fixtures: a session-wide Paillier key pair and proxy factories.
+"""Shared fixtures: session Paillier key pair, proxy factories, seeding.
 
 Paillier key generation is the only expensive setup step, so a single
 512-bit key pair (fast, still exercising every code path) is shared by all
 tests; benchmarks use the paper's 1024-bit modulus.
+
+Randomness policy: every source of test randomness derives from one seed.
+``--repro-seed=N`` (default :data:`DEFAULT_REPRO_SEED`) feeds the conformance
+generator directly and re-seeds :mod:`random` per test from
+``(seed, test id)``; Hypothesis runs derandomized so crypto property tests
+replay identically.  The active seed is echoed into every failing test's
+report so ``pytest --repro-seed=N path::test`` reproduces the run.
 """
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
@@ -14,6 +23,53 @@ from repro.crypto.keys import MasterKey
 from repro.crypto.paillier import PaillierKeyPair
 from repro.principals.multi_proxy import MultiPrincipalProxy
 from repro.sql.engine import Database
+
+#: Default conformance/property seed; override with --repro-seed.
+DEFAULT_REPRO_SEED = 20110023
+
+try:  # pragma: no cover - exercised implicitly by the property tests
+    from hypothesis import settings as _hypothesis_settings
+
+    _hypothesis_settings.register_profile("repro", derandomize=True)
+    _hypothesis_settings.load_profile("repro")
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seed",
+        action="store",
+        type=int,
+        default=DEFAULT_REPRO_SEED,
+        help="master seed for conformance streams and test randomness "
+        f"(default {DEFAULT_REPRO_SEED})",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_seed(request) -> int:
+    return request.config.getoption("--repro-seed")
+
+
+@pytest.fixture(autouse=True)
+def _seed_stdlib_random(request):
+    """Give every test a deterministic, test-specific ``random`` state."""
+    seed = request.config.getoption("--repro-seed", default=DEFAULT_REPRO_SEED)
+    random.seed(f"{seed}:{request.node.nodeid}")
+    yield
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Echo the active seed on failures so runs are one flag away from replay."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        seed = item.config.getoption("--repro-seed", default=DEFAULT_REPRO_SEED)
+        report.sections.append(
+            ("repro seed", f"rerun with: pytest --repro-seed={seed} {item.nodeid}")
+        )
 
 
 @pytest.fixture(scope="session")

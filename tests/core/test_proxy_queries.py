@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core.onion import EncryptionScheme, Onion, SecurityLevel
-from repro.errors import UnsupportedQueryError
+from repro.errors import SQLExecutionError, UnsupportedQueryError
+from repro.sql import ast_nodes as ast
 
 
 @pytest.fixture()
@@ -160,6 +161,131 @@ def test_in_proxy_processing_keeps_ord_onion_at_rnd(make_proxy):
     assert [row[0] for row in result.rows] == [1, 2, 3]
     # The Ord onion never left RND: sorting happened in the proxy (§3.5.1).
     assert proxy.onion_level("t", "a", Onion.ORD) == "RND"
+
+
+def test_in_proxy_order_places_nulls_like_the_server_would(make_proxy):
+    """In-proxy ORDER BY must match server-side NULL placement.
+
+    Every lane of the conformance harness sorts NULLS FIRST ascending and
+    NULLS LAST descending; the §3.5.1 in-proxy sort used to do the
+    opposite on both directions.
+    """
+    proxy = make_proxy(in_proxy_processing=True)
+    proxy.execute("CREATE TABLE t (a int, label varchar(10))")
+    proxy.execute(
+        "INSERT INTO t (a, label) VALUES (3, 'c'), (NULL, 'n'), (1, 'a'), (2, 'b')"
+    )
+    ascending = proxy.execute("SELECT a FROM t ORDER BY a")
+    assert [row[0] for row in ascending.rows] == [None, 1, 2, 3]
+    descending = proxy.execute("SELECT a FROM t ORDER BY a DESC")
+    assert [row[0] for row in descending.rows] == [3, 2, 1, None]
+
+
+def test_failed_rewrite_rewinds_onion_metadata(make_proxy):
+    """An unsupported statement must not leave onion levels half-lowered.
+
+    ``WHERE ref > 2`` lowers ref's Ord onion in the schema while the
+    rewriter walks the clauses; the projection over the HOM-stale qty
+    column then aborts the rewrite, so the adjustment UPDATE never runs.
+    Without a rewind the schema claims OPE while the data is still
+    RND-wrapped, and the next range query compares garbage (caught by the
+    differential conformance harness, seed 117).
+    """
+    proxy = make_proxy()
+    proxy.execute("CREATE TABLE t (id int, qty int, ref int)")
+    proxy.execute("INSERT INTO t (id, qty, ref) VALUES (1, 10, 3), (2, 20, 7)")
+    proxy.execute("UPDATE t SET qty = qty + 5")  # qty's other onions now stale
+    # Warm the plan cache with an unrelated shape; the rewind must not
+    # flush it (the restored state is what the plan was built against).
+    proxy.execute("SELECT id FROM t WHERE id = ?", (1,))
+    invalidations = proxy.stats.plan_cache_invalidations
+    with pytest.raises(UnsupportedQueryError):
+        proxy.execute("SELECT MIN(qty) FROM t WHERE ref > 2")
+    # ref's Ord onion metadata was rewound with the failed rewrite...
+    assert proxy.onion_level("t", "ref", Onion.ORD) == "RND"
+    # ...and the rewind did not flush the plan cache: the warmed shape
+    # still hits (a successful lowering, below, bumps the version as ever).
+    hits = proxy.stats.plan_cache_hits
+    proxy.execute("SELECT id FROM t WHERE id = ?", (2,))
+    assert proxy.stats.plan_cache_hits == hits + 1
+    assert proxy.stats.plan_cache_invalidations == invalidations
+    # The same range query now re-emits the adjustment and answers correctly.
+    assert proxy.execute("SELECT id FROM t WHERE ref < 5").rows == [(1,)]
+
+
+def test_failed_adjustment_rolls_back_data_and_metadata(make_proxy):
+    """A server failure mid-adjustment must not strand half-lowered state.
+
+    Real DBMS backends (the SQLite adapter) can fail while the
+    onion-adjustment UPDATEs run; the proxy must roll back the
+    adjustment transaction, rewind its schema metadata, and leave the
+    backend out of any transaction it opened itself.
+    """
+    proxy = make_proxy()
+    proxy.execute("CREATE TABLE t (id int, v int)")
+    proxy.execute("INSERT INTO t (id, v) VALUES (1, 10), (2, 20)")
+
+    original_execute = proxy.db.execute
+
+    def failing_execute(statement):
+        if isinstance(statement, ast.Update):
+            raise SQLExecutionError("disk I/O error")
+        return original_execute(statement)
+
+    proxy.db.execute = failing_execute
+    try:
+        with pytest.raises(SQLExecutionError):
+            proxy.execute("SELECT id FROM t WHERE v < 15")  # needs RND->OPE strip
+    finally:
+        proxy.db.execute = original_execute
+    assert proxy.onion_level("t", "v", Onion.ORD) == "RND"
+    assert not proxy.db.transactions.in_transaction
+    # With the server healthy again the same query adjusts and answers.
+    assert proxy.execute("SELECT id FROM t WHERE v < 15").rows == [(1,)]
+    assert proxy.onion_level("t", "v", Onion.ORD) == "OPE"
+
+
+def test_failed_adjustment_inside_app_transaction_aborts_it(make_proxy):
+    """Partial adjustments in an open transaction abort the transaction.
+
+    With two RND-strips queued and the second failing, the first is
+    already applied; rewinding only the metadata would re-strip column
+    a's stripped ciphertexts on the next query (XOR involution re-wraps
+    them) and silently return wrong rows.  There are no savepoints, so
+    the proxy aborts the whole transaction: data and onion metadata
+    rewind together to the BEGIN snapshot.
+    """
+    proxy = make_proxy()
+    proxy.execute("CREATE TABLE t (id int, a int, b int)")
+    proxy.execute(
+        "INSERT INTO t (id, a, b) VALUES (1, 1, 1), (2, 9, 9), (3, 2, 2)"
+    )
+    proxy.execute("BEGIN")
+
+    original_execute = proxy.db.execute
+    update_calls = []
+
+    def failing_execute(statement):
+        if isinstance(statement, ast.Update):
+            update_calls.append(statement)
+            if len(update_calls) == 2:
+                raise SQLExecutionError("disk I/O error")
+        return original_execute(statement)
+
+    proxy.db.execute = failing_execute
+    try:
+        with pytest.raises(SQLExecutionError):
+            proxy.execute("SELECT id FROM t WHERE a < 5 AND b < 5")
+    finally:
+        proxy.db.execute = original_execute
+    assert len(update_calls) == 2  # first strip applied, second failed
+    # The poisoned transaction was aborted, and metadata matches the data.
+    assert not proxy.db.transactions.in_transaction
+    assert proxy.onion_level("t", "a", Onion.ORD) == "RND"
+    assert proxy.onion_level("t", "b", Onion.ORD) == "RND"
+    # No silent corruption: the same predicates now adjust and answer right.
+    assert proxy.execute("SELECT id FROM t WHERE a < 5").rows == [(1,), (3,)]
+    assert proxy.execute("SELECT id FROM t WHERE a < 5 AND b < 5").rows == [(1,), (3,)]
 
 
 def test_create_index_builds_onion_indexes(loaded):

@@ -1,8 +1,9 @@
 """OPE: order preservation, round trips, determinism, caching."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
+from repro.core.encryptor import _INT32_OFFSET
 from repro.crypto.ope import OPE
 from repro.errors import CryptoError
 
@@ -100,3 +101,63 @@ def test_order_preservation_property(values):
 def test_roundtrip_property(value):
     ope = OPE(KEY, plaintext_bits=16, ciphertext_bits=32)
     assert ope.decrypt(ope.encrypt(value)) == value
+
+
+# ---------------------------------------------------------------------------
+# Conformance-harness satellites: adjacency, boundaries, signed encoding.
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@example(value=0)
+@example(value=65534)
+@given(value=st.integers(min_value=0, max_value=65534))
+def test_adjacent_plaintexts_strictly_ordered(value):
+    """x < x+1 must hold as *strict* ciphertext order, even at the edges."""
+    ope = OPE(KEY, plaintext_bits=16, ciphertext_bits=32)
+    assert ope.encrypt(value) < ope.encrypt(value + 1)
+
+
+def test_domain_boundary_roundtrip_and_order():
+    ope = OPE(KEY, plaintext_bits=16, ciphertext_bits=32)
+    lo, hi = 0, ope.domain_size - 1
+    assert ope.decrypt(ope.encrypt(lo)) == lo
+    assert ope.decrypt(ope.encrypt(hi)) == hi
+    assert ope.encrypt(lo) < ope.encrypt(1) <= ope.encrypt(hi - 1) < ope.encrypt(hi)
+    # Ciphertexts of the extreme plaintexts stay inside the declared range.
+    assert 0 <= ope.encrypt(lo)
+    assert ope.encrypt(hi) < ope.range_size
+
+
+@settings(max_examples=20, deadline=None)
+@example(a=-(1 << 31), b=(1 << 31) - 1)
+@example(a=-1, b=0)
+@example(a=-2, b=-1)
+@given(
+    a=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+    b=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+)
+def test_signed_integers_preserve_order_through_offset_encoding(a, b):
+    """Negative application values ride OPE via the encryptor's +2^31 offset.
+
+    The proxy encodes signed INT columns as ``value + _INT32_OFFSET`` before
+    OPE (see Encryptor._to_ope_int); order and round-trip must survive the
+    combined encoding across the full signed 32-bit domain.
+    """
+    if a == b:
+        b = a + 1 if a < (1 << 31) - 1 else a - 1
+    ope = OPE(KEY, plaintext_bits=32, ciphertext_bits=48)
+    low, high = sorted((a, b))
+    low_ct = ope.encrypt(low + _INT32_OFFSET)
+    high_ct = ope.encrypt(high + _INT32_OFFSET)
+    assert low_ct < high_ct
+    assert ope.decrypt(low_ct) - _INT32_OFFSET == low
+    assert ope.decrypt(high_ct) - _INT32_OFFSET == high
+
+
+@settings(max_examples=30, deadline=None)
+@example(value=0)
+@example(value=65535)
+@given(value=st.integers(min_value=0, max_value=65535))
+def test_roundtrip_is_exact_at_boundaries(value):
+    ope = OPE(KEY, plaintext_bits=16, ciphertext_bits=32)
+    ciphertext = ope.encrypt(value)
+    assert ope.decrypt(ciphertext) == value

@@ -71,3 +71,65 @@ def test_every_indexed_word_matches_property(words):
     ciphertext = scheme.encrypt(" ".join(words))
     for word in words:
         assert SEARCH.matches(ciphertext, scheme.token(word))
+
+
+# ---------------------------------------------------------------------------
+# Conformance-harness satellites: duplicates, unicode, false positives.
+# ---------------------------------------------------------------------------
+def test_duplicate_word_tokenization_still_matches():
+    """Dedup (the §5 default) must not affect which tokens match."""
+    scheme = SEARCH(KEY)
+    assert extract_keywords("spam, Spam! SPAM eggs spam") == [
+        "spam", "spam", "spam", "eggs", "spam"
+    ]
+    ciphertext = scheme.encrypt("spam, Spam! SPAM eggs spam")
+    # One word ciphertext per distinct keyword...
+    assert len(ciphertext.words) == 2
+    # ...and both the duplicated and the singleton word still match.
+    assert SEARCH.matches(ciphertext, scheme.token("spam"))
+    assert SEARCH.matches(ciphertext, scheme.token("SPAM"))
+    assert SEARCH.matches(ciphertext, scheme.token("eggs"))
+    assert not SEARCH.matches(ciphertext, scheme.token("ham"))
+
+
+def test_unicode_words_roundtrip_through_tokens():
+    scheme = SEARCH(KEY)
+    text = "Grüße aus München 東京 und Αθήνα"
+    keywords = extract_keywords(text)
+    assert "grüße" in keywords and "münchen" in keywords
+    ciphertext = SearchCiphertext.deserialize(scheme.encrypt(text).serialize())
+    for word in ("grüße", "münchen", "東京", "αθήνα"):
+        assert SEARCH.matches(ciphertext, scheme.token(word)), word
+    for absent in ("tokyo", "athen", "grüsse", "ößü"):
+        assert not SEARCH.matches(ciphertext, scheme.token(absent)), absent
+
+
+def test_absent_words_never_false_positive():
+    """SWP matching is exact: a token for an unindexed word matches nothing.
+
+    This is what keeps the differential harness sound -- the plaintext
+    lanes' LIKE and the encrypted lanes' SEARCH_MATCH must agree exactly,
+    so the scheme cannot afford bloom-filter-style false positives.
+    """
+    scheme = SEARCH(KEY)
+    indexed = [f"word{i:03d}" for i in range(40)]
+    ciphertexts = [scheme.encrypt(" ".join(indexed[i : i + 4])) for i in range(0, 40, 4)]
+    probes = [f"absent{i:03d}" for i in range(150)] + ["word", "word0", "word0000"]
+    for probe in probes:
+        token = scheme.token(probe)
+        for ciphertext in ciphertexts:
+            assert not SEARCH.matches(ciphertext, token), probe
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    words=st.lists(
+        st.text(alphabet="abcdefghij", min_size=1, max_size=8),
+        min_size=1, max_size=6, unique=True,
+    ),
+    absent=st.text(alphabet="qrstuvwxyz", min_size=1, max_size=8),
+)
+def test_absent_word_property(words, absent):
+    scheme = SEARCH(KEY)
+    ciphertext = scheme.encrypt(" ".join(words))
+    assert not SEARCH.matches(ciphertext, scheme.token(absent))
