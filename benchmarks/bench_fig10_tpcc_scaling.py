@@ -1,30 +1,41 @@
-"""Figure 10: TPC-C throughput for MySQL vs CryptDB as server cores vary.
+"""Figure 10: TPC-C throughput for MySQL vs CryptDB as cores/drivers vary.
 
 The paper scales the MySQL server from 1 to 8 cores and finds CryptDB's
-throughput is a roughly constant 21-26% below MySQL at every point (both
-scale the same way, since in the steady state the server just runs normal SQL
-over ciphertext).  A Python process cannot vary physical cores, so the
-benchmark emulates core count by running the same per-core workload slice
-``cores`` times and reporting aggregate throughput; the asserted shape is the
-constant relative gap, not absolute queries/sec.
+throughput a roughly constant 21-26% below MySQL at every point.  Earlier
+revisions of this benchmark *emulated* core count by running the same
+workload slice ``cores`` times in one process; this one drives **real OS
+processes**: the plaintext and CryptDB stacks are built and loaded once,
+then N independent TPC-C drivers are forked from the loaded image
+(copy-on-write replica per driver -- the shared-nothing, process-per-core
+deployment of a GIL-bound Python proxy), released simultaneously through a
+barrier, and aggregate queries/sec is measured as total queries over the
+slowest driver's wall time.
+
+The recorded JSON therefore carries a *measured* scaling slope plus
+``available_cpus``: on a single-core container both systems are flat by
+physics (N drivers timeslice one core), so the scaling assertions -- and the
+slope guard in ``check_bench_regression.py`` -- only demand real speedup
+when the hardware can provide it.
+
+A second section measures the crypto-worker-pool offload (``workers=2``)
+against serial execution on the *batch* kernels (bulk executemany + bulk
+SELECT decryption), which is where ``repro.parallel`` engages inside a
+single proxy process.
 
 Both systems are driven through the DB-API layer (``repro.connect``); the
-CryptDB side issues parameterized statements, so each TPC-C query type is
-rewritten once and served from the proxy's plan cache afterwards.
-
-Besides the headline q/s, the recorded JSON carries a per-scheme time
-breakdown (ECC / AES / OPE / Paillier microseconds per query, measured by
-timing each primitive's entry points over one pass of the mix), so the
-throughput trajectory across PRs is attributable to specific primitives; and
-the run cross-checks that CryptDB's decrypted SELECT results are identical
-to plaintext execution.
+per-scheme time breakdown (ECC / AES / OPE / Paillier microseconds per
+query) and the decrypted-vs-plaintext identity cross-check are retained
+from the earlier revisions.
 """
 
+import multiprocessing
+import os
 import time
 
 import pytest
 
 import repro
+from repro.parallel import ParallelConfig
 from repro.workloads.tpcc import TPCCWorkload
 
 from conftest import BENCH_QUICK, print_table, record_bench
@@ -33,9 +44,20 @@ _SCALE = dict(
     warehouses=1, districts_per_warehouse=1, customers_per_district=5,
     items=6, orders_per_district=5,
 )
-_QUERIES_PER_CORE = 4 if BENCH_QUICK else 12
-_CORES = (1, 2) if BENCH_QUICK else (1, 2, 4, 8)
+_QUERIES_PER_DRIVER = 24 if BENCH_QUICK else 60
+_WORKERS = (1, 2) if BENCH_QUICK else (1, 2, 4, 8)
 _VERIFY_QUERIES = 24 if BENCH_QUICK else 60
+_POOL_ROWS = 120 if BENCH_QUICK else 360
+
+try:
+    _AVAILABLE_CPUS = len(os.sched_getaffinity(0))
+except AttributeError:  # pragma: no cover - non-Linux
+    _AVAILABLE_CPUS = os.cpu_count() or 1
+
+_FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+#: Per-phase ceiling before a dead driver is treated as a failure.
+_DRIVER_TIMEOUT = 300
+
 
 #: Entry points timed for the per-scheme breakdown.  Each is a boundary the
 #: rest of the system calls into (none nests inside another bucket), so the
@@ -58,14 +80,6 @@ def _breakdown_targets():
         ("Paillier", PaillierKeyPair, "encrypt"),
         ("Paillier", PaillierKeyPair, "decrypt"),
     ]
-
-
-def _throughput(connection, query_params) -> float:
-    cursor = connection.cursor()
-    start = time.perf_counter()
-    for sql, params in query_params:
-        cursor.execute(sql, params)
-    return len(query_params) / (time.perf_counter() - start)
 
 
 def _select_results(connection, query_params) -> list[list[tuple]]:
@@ -108,6 +122,87 @@ def _scheme_breakdown(connection, query_params) -> dict[str, float]:
     return {scheme: round(seconds / count * 1e6, 1) for scheme, seconds in totals.items()}
 
 
+# ---------------------------------------------------------------------------
+# real-process drivers
+# ---------------------------------------------------------------------------
+def _driver_body(connection, query_params, barrier, queue) -> None:
+    """One forked TPC-C driver: wait at the barrier, run the mix, report."""
+    cursor = connection.cursor()
+    barrier.wait()
+    start = time.perf_counter()
+    for sql, params in query_params:
+        cursor.execute(sql, params)
+    queue.put(time.perf_counter() - start)
+
+
+def _measure_scaling(connection, n_drivers: int) -> float:
+    """Aggregate q/s of ``n_drivers`` forked drivers over one connection image.
+
+    Every driver gets its own seeded query stream; all are released by one
+    barrier and the aggregate rate is total queries over the slowest
+    driver's elapsed time (the usual closed-loop throughput definition).
+    """
+    context = multiprocessing.get_context("fork")
+    barrier = context.Barrier(n_drivers + 1)
+    queue = context.Queue()
+    streams = [
+        TPCCWorkload(**_SCALE, seed=1000 + index).mixed_query_params(_QUERIES_PER_DRIVER)
+        for index in range(n_drivers)
+    ]
+    drivers = [
+        context.Process(
+            target=_driver_body, args=(connection, stream, barrier, queue), daemon=True
+        )
+        for stream in streams
+    ]
+    try:
+        for driver in drivers:
+            driver.start()
+        # Timeouts turn a dead driver (exception, OOM kill) into a test
+        # failure instead of an indefinite hang at the barrier or queue.
+        barrier.wait(timeout=_DRIVER_TIMEOUT)
+        elapsed = [queue.get(timeout=_DRIVER_TIMEOUT) for _ in drivers]
+    finally:
+        for driver in drivers:
+            driver.join(timeout=10)
+            if driver.is_alive():
+                driver.terminate()
+    return (n_drivers * _QUERIES_PER_DRIVER) / max(elapsed)
+
+
+def _measure_pool_offload(small_paillier) -> dict:
+    """Batch kernels, serial vs a 2-process crypto pool, on one proxy each."""
+    rows = [
+        (i, f"customer-{i % 40}", f"district-{i % 12}", 100 + (i % 50))
+        for i in range(_POOL_ROWS)
+    ]
+    timings = {}
+    for label, workers in (("serial_s", 0), ("pool_s", 2)):
+        conn = repro.connect(
+            paillier=small_paillier,
+            parallelism=ParallelConfig(workers=workers, chunk_threshold=24),
+            hom_precompute=0,
+        )
+        cursor = conn.cursor()
+        cursor.execute(
+            "CREATE TABLE bulk (id INT, name VARCHAR(30), dist VARCHAR(20), amt INT)"
+        )
+        start = time.perf_counter()
+        cursor.executemany(
+            "INSERT INTO bulk (id, name, dist, amt) VALUES (?, ?, ?, ?)", rows
+        )
+        cursor.execute("SELECT id, name, dist, amt FROM bulk")
+        assert len(cursor.fetchall()) == _POOL_ROWS
+        timings[label] = time.perf_counter() - start
+        if workers:
+            timings["pool_jobs"] = conn.proxy.stats.cache_stats().parallel_jobs
+        conn.close()
+    timings["ratio_serial_over_pool"] = round(timings["serial_s"] / timings["pool_s"], 3)
+    timings["serial_s"] = round(timings["serial_s"], 4)
+    timings["pool_s"] = round(timings["pool_s"], 4)
+    return timings
+
+
 @pytest.fixture(scope="module")
 def loaded_systems(small_paillier):
     plain = repro.connect(encrypted=False)
@@ -124,28 +219,15 @@ def loaded_systems(small_paillier):
     return plain, proxy_conn
 
 
-def test_fig10_tpcc_throughput_scaling(benchmark, loaded_systems):
+def test_fig10_tpcc_throughput_scaling(benchmark, loaded_systems, small_paillier):
+    if not _FORK_AVAILABLE:  # pragma: no cover - Linux containers always fork
+        pytest.skip("real-process scaling drivers require the fork start method")
     plain, proxy_conn = loaded_systems
     workload = TPCCWorkload(**_SCALE)
-    rows = []
-    overheads = []
-    for cores in _CORES:
-        query_params = workload.mixed_query_params(_QUERIES_PER_CORE * cores)
-        mysql_qps = _throughput(plain, query_params)  # single process stands in per core
-        cryptdb_qps = _throughput(proxy_conn, query_params)
-        overhead = 1.0 - cryptdb_qps / mysql_qps
-        overheads.append(overhead)
-        rows.append({
-            "cores (emulated)": cores,
-            "MySQL q/s": round(mysql_qps),
-            "CryptDB q/s": round(cryptdb_qps),
-            "throughput loss %": round(overhead * 100, 1),
-            "paper loss %": "21-26",
-        })
-    print_table("Figure 10: TPC-C throughput vs cores", rows)
 
-    # Correctness cross-check: the decrypted SELECT results of the mix are
-    # identical to plaintext execution (writes replay on both sides alike).
+    # Correctness cross-check first: the decrypted SELECT results of the mix
+    # are identical to plaintext execution (writes replay on both sides
+    # alike); the forked drivers then inherit this post-verify image.
     verify_params = workload.mixed_query_params(_VERIFY_QUERIES)
     plain_results = _select_results(plain, verify_params)
     cryptdb_results = _select_results(proxy_conn, verify_params)
@@ -153,21 +235,68 @@ def test_fig10_tpcc_throughput_scaling(benchmark, loaded_systems):
     for expected, decrypted in zip(plain_results, cryptdb_results):
         assert sorted(map(repr, decrypted)) == sorted(map(repr, expected))
 
+    rows = []
+    overheads = []
+    mysql_curve = []
+    cryptdb_curve = []
+    for n_drivers in _WORKERS:
+        mysql_qps = _measure_scaling(plain, n_drivers)
+        cryptdb_qps = _measure_scaling(proxy_conn, n_drivers)
+        mysql_curve.append(mysql_qps)
+        cryptdb_curve.append(cryptdb_qps)
+        overhead = 1.0 - cryptdb_qps / mysql_qps
+        overheads.append(overhead)
+        rows.append({
+            "workers": n_drivers,
+            "MySQL q/s": round(mysql_qps),
+            "CryptDB q/s": round(cryptdb_qps),
+            "throughput loss %": round(overhead * 100, 1),
+            "paper loss %": "21-26",
+        })
+    print_table(
+        f"Figure 10: TPC-C throughput vs driver processes "
+        f"({_AVAILABLE_CPUS} CPU(s) available)",
+        rows,
+    )
+
     # Attribute the remaining overhead: per-scheme time over one more pass.
     breakdown = _scheme_breakdown(
-        proxy_conn, workload.mixed_query_params(_QUERIES_PER_CORE * _CORES[-1])
+        proxy_conn, workload.mixed_query_params(_QUERIES_PER_DRIVER)
     )
     print("Per-scheme breakdown (us/query): "
           + ", ".join(f"{scheme} {us}" for scheme, us in breakdown.items()))
+
+    pool_offload = _measure_pool_offload(small_paillier)
+    print(f"Crypto-pool offload (batch kernels, {_POOL_ROWS} rows): "
+          f"serial {pool_offload['serial_s']}s vs 2-worker pool "
+          f"{pool_offload['pool_s']}s "
+          f"(ratio {pool_offload['ratio_serial_over_pool']}x, "
+          f"{pool_offload['pool_jobs']} jobs)")
 
     stats = proxy_conn.proxy.stats
     print(f"Plan cache: {stats.plan_cache_hits} hits / "
           f"{stats.plan_cache_misses} misses / "
           f"{stats.plan_cache_invalidations} invalidations")
+    slope = cryptdb_curve[-1] / cryptdb_curve[0]
     record_bench("fig10_tpcc_scaling", {
         "rows": rows,
+        "available_cpus": _AVAILABLE_CPUS,
+        "driver_model": (
+            "forked OS driver processes, one copy-on-write CryptDB stack "
+            "replica per driver, barrier-released; no emulation"
+        ),
+        "scaling": {
+            "max_workers": _WORKERS[-1],
+            "cryptdb_slope_max_vs_1": round(slope, 3),
+            "mysql_slope_max_vs_1": round(mysql_curve[-1] / mysql_curve[0], 3),
+            "monotonic_nondecreasing": all(
+                later >= 0.97 * earlier
+                for earlier, later in zip(cryptdb_curve, cryptdb_curve[1:])
+            ),
+        },
         "overhead_spread": round(max(overheads) - min(overheads), 4),
         "scheme_breakdown_us_per_query": breakdown,
+        "pool_offload": pool_offload,
         "results_match_plaintext": True,
         "plan_cache": {
             "hits": stats.plan_cache_hits,
@@ -175,10 +304,24 @@ def test_fig10_tpcc_throughput_scaling(benchmark, loaded_systems):
             "invalidations": stats.plan_cache_invalidations,
         },
     })
-    # Shape: the relative loss is roughly flat across core counts (no growing
-    # divergence), which is the paper's main point for this figure.
+    # Shape: the relative loss stays roughly flat across driver counts (both
+    # systems scale the same way), which is the paper's point for fig 10.
     spread = max(overheads) - min(overheads)
     assert spread < 0.45
+    # Scaling: demand real speedup only where the hardware can provide it.
+    # A single-core container timeslices all drivers over one CPU, so the
+    # honest requirement there is merely that scale-out does not collapse;
+    # quick mode's tiny sample (2 drivers x 24 queries) gets a loose sanity
+    # floor here, with the calibrated thresholds enforced by
+    # check_bench_regression.py over the recorded JSON.
+    if _AVAILABLE_CPUS >= 2:
+        floor = 0.9 if BENCH_QUICK else 1.2
+        assert slope >= floor, (
+            f"{_WORKERS[-1]} drivers only reached {slope:.2f}x the 1-driver "
+            f"rate on {_AVAILABLE_CPUS} CPUs"
+        )
+    else:
+        assert slope >= 0.5
     # The steady-state mix reuses one cached plan per query shape.
     assert stats.plan_cache_hits > 0
     cursor = proxy_conn.cursor()

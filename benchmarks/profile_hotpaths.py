@@ -11,11 +11,18 @@ Usage::
     python benchmarks/profile_hotpaths.py --scheme ecc    # one scheme
     python benchmarks/profile_hotpaths.py --top 20        # more rows
     python benchmarks/profile_hotpaths.py --scheme tpcc   # the full TPC-C mix
+    python benchmarks/profile_hotpaths.py --scheme tpcc --workers 2
 
 Each scheme runs a representative micro-workload under :mod:`cProfile` and
 prints the top-N functions by cumulative time; ``tpcc`` drives the whole
 proxy with the Figure-10 query mix instead, which is what end-to-end
 throughput actually pays for.
+
+``--workers N`` gives the tpcc proxy a crypto worker pool of N processes
+(with an aggressive chunk threshold so the mix actually offloads): each
+worker self-profiles and dumps its stats at exit, and the report aggregates
+the parent profile with every child's, so hot-path attribution keeps
+working when the crypto runs out-of-process.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ import argparse
 import cProfile
 import pstats
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -80,20 +88,28 @@ def _workload_paillier() -> None:
     keypair.decrypt(total)
 
 
-def _workload_tpcc() -> None:
+def _workload_tpcc(workers: int = 0, profile_dir: str | None = None) -> None:
     import repro
     from repro.crypto.paillier import PaillierKeyPair
+    from repro.parallel import ParallelConfig
     from repro.workloads.tpcc import TPCCWorkload
 
     scale = dict(warehouses=1, districts_per_warehouse=1,
                  customers_per_district=5, items=6, orders_per_district=5)
-    connection = repro.connect(paillier=PaillierKeyPair.generate(512))
+    connection = repro.connect(
+        paillier=PaillierKeyPair.generate(512),
+        parallelism=ParallelConfig(
+            workers=workers, chunk_threshold=8, profile_dir=profile_dir
+        ),
+    )
     workload = TPCCWorkload(**scale)
     workload.load_into(connection)
     connection.proxy.train(workload.training_queries())
     cursor = connection.cursor()
     for sql, params in workload.mixed_query_params(96):
         cursor.execute(sql, params)
+    # Graceful pool shutdown: each worker dumps its profile at exit.
+    connection.close()
 
 
 SCHEMES = {
@@ -105,14 +121,26 @@ SCHEMES = {
 }
 
 
-def profile_scheme(name: str, top: int) -> pstats.Stats:
+def profile_scheme(name: str, top: int, workers: int = 0) -> pstats.Stats:
     workload = SCHEMES[name]
+    profile_dir = None
+    if name == "tpcc" and workers:
+        profile_dir = tempfile.mkdtemp(prefix="repro-hotpaths-")
+        workload = lambda: _workload_tpcc(workers, profile_dir)  # noqa: E731
     profiler = cProfile.Profile()
     profiler.enable()
     workload()
     profiler.disable()
-    print(f"\n=== {name}: top {top} by cumulative time ===")
     stats = pstats.Stats(profiler)
+    worker_profiles = []
+    if profile_dir:
+        worker_profiles = sorted(Path(profile_dir).glob("worker-*.prof"))
+        for dump in worker_profiles:
+            stats.add(str(dump))
+    title = f"{name}: top {top} by cumulative time"
+    if profile_dir:
+        title += f" (parent + {len(worker_profiles)} worker profiles aggregated)"
+    print(f"\n=== {title} ===")
     stats.sort_stats("cumulative").print_stats(r"repro|hmac|hashlib", top)
     return stats
 
@@ -123,10 +151,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="profile one scheme (default: all crypto schemes)")
     parser.add_argument("--top", type=int, default=12,
                         help="rows to print per scheme (default 12)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="crypto worker processes for the tpcc workload "
+                             "(child profiles are aggregated into the report)")
     args = parser.parse_args(argv)
     schemes = [args.scheme] if args.scheme else ["ecc", "aes", "ope", "paillier"]
+    if args.workers and "tpcc" not in schemes:
+        parser.error("--workers applies to the proxy-level workload: "
+                     "use --scheme tpcc")
     for name in schemes:
-        profile_scheme(name, args.top)
+        profile_scheme(name, args.top, workers=args.workers)
     return 0
 
 

@@ -36,6 +36,7 @@ __all__ = [
     "connect",
     "Connection",
     "Cursor",
+    "ParallelConfig",
     "apilevel",
     "threadsafety",
     "paramstyle",
@@ -53,6 +54,7 @@ _LAZY_EXPORTS = {
     "connect": ("repro.api.connection", "connect"),
     "Connection": ("repro.api.connection", "Connection"),
     "Cursor": ("repro.api.cursor", "Cursor"),
+    "ParallelConfig": ("repro.parallel.pool", "ParallelConfig"),
 }
 
 

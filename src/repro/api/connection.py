@@ -35,12 +35,17 @@ class Connection:
     ProgrammingError = exceptions.ProgrammingError
     NotSupportedError = exceptions.NotSupportedError
 
-    def __init__(self, target: Any, owns_backend: bool = False):
+    def __init__(
+        self, target: Any, owns_backend: bool = False, owns_proxy: bool = False
+    ):
         """Wrap an execution target: a CryptDB proxy, backend, or Database.
 
         ``owns_backend`` marks a backend this connection created itself
         (via :func:`connect` with a name or None); closing the connection
         then also closes the backend, releasing e.g. sqlite3 handles.
+        ``owns_proxy`` marks a proxy :func:`connect` built for this
+        connection; closing the connection then also closes the proxy,
+        which terminates its crypto worker pool (``workers=N``).
         """
         if isinstance(target, CryptDBProxy):
             self.proxy: Optional[CryptDBProxy] = target
@@ -51,6 +56,7 @@ class Connection:
             self.target = resolve_backend(target)
             self.backend = self.target
         self._owns_backend = owns_backend
+        self._owns_proxy = owns_proxy
         self._closed = False
         # One entry per active `with conn:` scope; True when that scope
         # opened the transaction (and therefore closes it).
@@ -132,6 +138,8 @@ class Connection:
         if self._in_transaction():
             self.rollback()
         self._closed = True
+        if self._owns_proxy and self.proxy is not None:
+            self.proxy.close()
         if self._owns_backend:
             closer = getattr(self.backend, "close", None)
             if callable(closer):
@@ -165,7 +173,10 @@ def connect(
     ``encrypted=True`` (the default) a :class:`CryptDBProxy` holding a fresh
     master key is placed in front of the backend; keyword arguments
     (``master_key``, ``paillier``, ``paillier_bits``, ``anonymize_names``,
-    ``plan_cache_size``, ...) are forwarded to the proxy.  With
+    ``plan_cache_size``, ``workers``, ``parallelism``, ...) are forwarded to
+    the proxy -- ``connect(workers=N)`` gives the proxy a persistent pool of
+    ``N`` crypto worker processes for its batch kernels (see
+    :mod:`repro.parallel`), terminated when the connection closes.  With
     ``encrypted=False`` the connection drives the backend directly --
     the "MySQL without CryptDB" baseline of the evaluation.
     """
@@ -183,7 +194,7 @@ def connect(
     with translate_errors():
         if encrypted:
             proxy = CryptDBProxy(db=resolved, **proxy_kwargs)
-            return Connection(proxy, owns_backend=owns_backend)
+            return Connection(proxy, owns_backend=owns_backend, owns_proxy=True)
         return Connection(resolved, owns_backend=owns_backend)
 
 

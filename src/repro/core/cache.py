@@ -27,6 +27,7 @@ clears the counters (never the cached entries themselves).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import asdict, dataclass
 
 from repro.crypto.paillier import PaillierKeyPair
@@ -34,7 +35,14 @@ from repro.crypto.paillier import PaillierKeyPair
 
 @dataclass
 class CacheStatistics:
-    """Aggregated cache counters reported by the proxy and the benchmarks."""
+    """Aggregated cache counters reported by the proxy and the benchmarks.
+
+    ``worker_det_hits``/``worker_det_misses`` are the per-worker Eq memo
+    counters of the crypto worker pool, merged in as deltas as each parallel
+    job completes; ``parallel_jobs`` counts completed pool jobs and
+    ``hom_pool_async_refills`` counts background Paillier randomness batches
+    that landed in the pool (the asynchronous refill path).
+    """
 
     det_entries: int = 0
     det_hits: int = 0
@@ -49,6 +57,19 @@ class CacheStatistics:
     hom_pool_hits: int = 0
     hom_pool_misses: int = 0
     estimated_bytes: int = 0
+    worker_det_hits: int = 0
+    worker_det_misses: int = 0
+    parallel_jobs: int = 0
+    hom_pool_async_refills: int = 0
+
+    @property
+    def det_hits_total(self) -> int:
+        """Parent-memo and worker-memo hits combined."""
+        return self.det_hits + self.worker_det_hits
+
+    @property
+    def det_misses_total(self) -> int:
+        return self.det_misses + self.worker_det_misses
 
     # Legacy field names kept for callers of the pre-unification cache.
     @property
@@ -82,6 +103,15 @@ class CryptoCache:
         self._eq_decrypt_memos: dict[tuple[str, str], dict] = {}
         self.det_hits = 0
         self.det_misses = 0
+        # Crypto-worker-pool counters, accumulated as per-job deltas (never
+        # polled from workers, so pool restarts cannot double-count).  The
+        # lock serialises merges from the main thread (scatter) and the
+        # pool's result-handler thread (async refills).
+        self._worker_counter_lock = threading.Lock()
+        self.worker_det_hits = 0
+        self.worker_det_misses = 0
+        self.parallel_jobs = 0
+        self.hom_pool_async_refills = 0
 
     # -- scheme registration (done by the encryptor as it creates them) ----
     def register_ope(self, scheme) -> None:
@@ -129,6 +159,24 @@ class CryptoCache:
         if self.enabled:
             self.paillier.precompute_randomness(count)
 
+    # -- crypto-worker-pool counter merging --------------------------------
+    def absorb_worker_counters(self, delta: dict) -> None:
+        """Merge one parallel job's counter delta into the aggregate.
+
+        Called by the worker pool as each job's results are spliced, and --
+        for async refill jobs -- from the pool's result-handler thread, so
+        the merge takes the counter lock (``+=`` alone is not atomic).
+        """
+        with self._worker_counter_lock:
+            self.worker_det_hits += delta.get("det_hits", 0)
+            self.worker_det_misses += delta.get("det_misses", 0)
+            self.parallel_jobs += delta.get("jobs", 0)
+
+    def note_async_refill(self) -> None:
+        """Count one background HOM refill batch that landed in the pool."""
+        with self._worker_counter_lock:
+            self.hom_pool_async_refills += 1
+
     # -- reporting ---------------------------------------------------------
     def statistics(self) -> CacheStatistics:
         det_entries = sum(len(m) for m in self._eq_encrypt_memos.values())
@@ -149,6 +197,10 @@ class CryptoCache:
             hom_pool_remaining=hom_remaining,
             hom_pool_hits=self.paillier.pool_hits,
             hom_pool_misses=self.paillier.pool_misses,
+            worker_det_hits=self.worker_det_hits,
+            worker_det_misses=self.worker_det_misses,
+            parallel_jobs=self.parallel_jobs,
+            hom_pool_async_refills=self.hom_pool_async_refills,
             estimated_bytes=(
                 det_entries * self.DET_ENTRY_BYTES
                 + ope_entries * self.OPE_ENTRY_BYTES
@@ -158,9 +210,19 @@ class CryptoCache:
         )
 
     def reset_counters(self) -> None:
-        """Zero every hit/miss counter (entries and pools are kept)."""
+        """Zero every hit/miss counter (entries and pools are kept).
+
+        The per-worker counters accumulated from the crypto pool are part of
+        the aggregate and reset with it; a pool restart afterwards starts
+        from zero again because only per-job deltas are ever absorbed.
+        """
         self.det_hits = 0
         self.det_misses = 0
+        with self._worker_counter_lock:
+            self.worker_det_hits = 0
+            self.worker_det_misses = 0
+            self.parallel_jobs = 0
+            self.hom_pool_async_refills = 0
         for scheme in self._ope_schemes:
             scheme.reset_counters()
         for scheme in self._search_schemes:

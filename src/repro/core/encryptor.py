@@ -29,6 +29,14 @@ from repro.crypto.paillier import Paillier, PaillierKeyPair
 from repro.crypto.rnd import RND
 from repro.crypto.search import SEARCH
 from repro.errors import CryptoError, ProxyError
+from repro.parallel.jobs import (
+    EqDecryptJob,
+    EqEncryptJob,
+    HomDecryptJob,
+    HomEncryptJob,
+    RndEncryptJob,
+)
+from repro.parallel.pool import CryptoWorkerPool, ParallelUnavailable
 
 _INT64_OFFSET = 1 << 63
 _INT32_OFFSET = 1 << 31
@@ -53,6 +61,7 @@ class Encryptor:
         paillier: PaillierKeyPair,
         use_ope_cache: bool = True,
         cache: Optional[CryptoCache] = None,
+        pool: Optional[CryptoWorkerPool] = None,
     ):
         self.keys = keys
         self.joins = joins
@@ -60,6 +69,10 @@ class Encryptor:
         self.hom = Paillier(paillier.public)
         self.cache = cache if cache is not None else CryptoCache(paillier, enabled=use_ope_cache)
         self.use_ope_cache = use_ope_cache
+        #: Optional crypto worker pool; batch kernels offload through it when
+        #: the batch clears the chunk threshold, and fall back to the serial
+        #: in-process code otherwise (or when the pool infrastructure fails).
+        self.pool = pool
         self._rnd: dict[tuple, RND] = {}
         self._det: dict[tuple, DET] = {}
         self._ope: dict[tuple, OPE] = {}
@@ -288,20 +301,30 @@ class Encryptor:
             if plaintext not in local and plaintext not in seen:
                 seen.add(plaintext)
                 missing.append(plaintext)
+        offloaded = False
         if missing:
-            for plaintext, adj_hash in zip(missing, adj.hash_values(missing)):
-                # The DET layer is computed lazily: a JOIN-level column never
-                # needs it (matching the scalar path's early return), but the
-                # memo entry can be upgraded if the level is ever restored.
-                local[plaintext] = [
-                    JoinCiphertext(
-                        adj_hash, det_join.encrypt_bytes(plaintext)
-                    ).serialize(),
-                    None,
-                ]
+            offloaded = self._eq_encrypt_parallel(
+                column, missing, local, want_join, counted
+            )
+            if not offloaded:
+                for plaintext, adj_hash in zip(missing, adj.hash_values(missing)):
+                    # The DET layer is computed lazily: a JOIN-level column
+                    # never needs it (matching the scalar path's early
+                    # return), but the memo entry can be upgraded if the
+                    # level is ever restored.
+                    local[plaintext] = [
+                        JoinCiphertext(
+                            adj_hash, det_join.encrypt_bytes(plaintext)
+                        ).serialize(),
+                        None,
+                    ]
         if counted:
-            self.cache.det_misses += len(missing)
+            # An offloaded batch's missing values are counted by the workers
+            # (as worker hits/misses); counting them here too would make
+            # det_misses_total double-count every offloaded value.
             self.cache.det_hits += len(plaintexts) - len(missing)
+            if not offloaded:
+                self.cache.det_misses += len(missing)
         out = []
         for plaintext in plaintexts:
             entry = local[plaintext]
@@ -312,6 +335,160 @@ class Encryptor:
                     entry[1] = det.encrypt_bytes(entry[0])
                 out.append(entry[1])
         return out
+
+    # ------------------------------------------------------------------
+    # Worker-pool offload helpers
+    # ------------------------------------------------------------------
+    def _pool_usable(self, batch_size: int) -> bool:
+        return self.pool is not None and self.pool.usable(batch_size)
+
+    def _eq_encrypt_parallel(
+        self,
+        column: ColumnMeta,
+        missing: list[bytes],
+        local: dict,
+        want_join: bool,
+        counted: bool,
+    ) -> bool:
+        """Offload the deterministic Eq layers of ``missing`` to the pool.
+
+        Fills ``local`` (the shared memo or the per-batch dict) exactly as
+        the serial path would and returns True; returns False when the pool
+        is absent, the batch is under the chunk threshold, or the pool
+        infrastructure failed (the caller then runs the serial path).
+        """
+        if not self._pool_usable(len(missing)):
+            return False
+        table, name = column.table, column.name
+        adj_scalar = self.joins.effective_scalar(table, name)
+        adj_prf_key = self.joins.join_adj_for(table, name).prf_key
+        det_join_key = self.joins.det_key(table, name)
+        det_key = self.keys.key_for(table, name, Onion.EQ.value, "DET")
+        try:
+            entries = self.pool.scatter(
+                missing,
+                lambda chunk: EqEncryptJob(
+                    table=table,
+                    column=name,
+                    adj_scalar=adj_scalar,
+                    adj_prf_key=adj_prf_key,
+                    det_join_key=det_join_key,
+                    det_key=det_key,
+                    want_det=not want_join,
+                    use_memo=counted,
+                    plaintexts=chunk,
+                ),
+            )
+        except ParallelUnavailable:
+            return False
+        for plaintext, (join_ct, det_ct) in zip(missing, entries):
+            local[plaintext] = [join_ct, det_ct]
+        return True
+
+    def _hom_encrypt_many(self, encoded: list[int]) -> list[int]:
+        """Paillier-encrypt a dense (NULL-free) column, pool-aware.
+
+        The serial path with a warm randomness pool is a couple of modular
+        multiplications per value -- cheaper than any IPC -- so the batch is
+        offloaded only when the pre-computed pool cannot cover it and the
+        workers would genuinely absorb ``r^n`` exponentiations.
+        """
+        if (
+            self._pool_usable(len(encoded))
+            and self.paillier.randomness_pool_size < len(encoded)
+        ):
+            try:
+                return self.pool.scatter(encoded, lambda chunk: HomEncryptJob(values=chunk))
+            except ParallelUnavailable:
+                pass
+        return self.paillier.encrypt_many(encoded)
+
+    def _eq_decrypt_parallel(
+        self,
+        column: ColumnMeta,
+        level: EncryptionScheme,
+        dense: list,
+        dense_ivs: list,
+        local: dict,
+        counted: bool,
+    ) -> Optional[list]:
+        """Offload the Eq decrypt path for a (NULL-free) ciphertext column.
+
+        Returns the decoded plaintext values, or None when the batch should
+        run serially.  At the RND level every ciphertext is unique, so the
+        whole column ships (the workers strip RND, then memoise on the DET
+        bytes, and the parent memo is filled from the returned pairs -- the
+        same keys the serial path uses).  At DET/JOIN level only parent-memo
+        misses ship, deduplicated.
+        """
+        if self.pool is None:
+            return None
+        table, name = column.table, column.name
+        det_key = self.keys.key_for(table, name, Onion.EQ.value, "DET")
+        det_join_key = self.joins.det_key(table, name)
+        if level is EncryptionScheme.RND:
+            if not self._pool_usable(len(dense)):
+                return None
+            if any(iv is None for iv in dense_ivs):
+                raise CryptoError("decrypting the RND layer requires the row IV")
+            rnd_key = self._rnd_for(column, Onion.EQ).key
+            try:
+                pairs = self.pool.scatter(
+                    list(zip(dense, dense_ivs)),
+                    lambda chunk: EqDecryptJob(
+                        table=table,
+                        column=name,
+                        det_key=det_key,
+                        det_join_key=det_join_key,
+                        strip_det=True,
+                        use_memo=counted,
+                        ciphertexts=[ct for ct, _ in chunk],
+                        rnd_key=rnd_key,
+                        ivs=[iv for _, iv in chunk],
+                    ),
+                )
+            except ParallelUnavailable:
+                return None
+            plains = []
+            for det_ct, plaintext in pairs:
+                hit = local.get(det_ct)
+                if hit is None:
+                    hit = local[det_ct] = (self._from_bytes(column, plaintext),)
+                plains.append(hit[0])
+            return plains
+        # DET/JOIN level: the parent memo already holds repeated ciphertexts.
+        missing: list = []
+        seen: set = set()
+        for ciphertext in dense:
+            if ciphertext not in local and ciphertext not in seen:
+                seen.add(ciphertext)
+                missing.append(ciphertext)
+        if not missing or not self._pool_usable(len(missing)):
+            return None
+        try:
+            pairs = self.pool.scatter(
+                missing,
+                lambda chunk: EqDecryptJob(
+                    table=table,
+                    column=name,
+                    det_key=det_key,
+                    det_join_key=det_join_key,
+                    strip_det=level is EncryptionScheme.DET,
+                    use_memo=counted,
+                    ciphertexts=chunk,
+                ),
+            )
+        except ParallelUnavailable:
+            return None
+        for det_ct, plaintext in pairs:
+            local[det_ct] = (self._from_bytes(column, plaintext),)
+        if counted:
+            # Every occurrence not shipped to a worker was served from the
+            # parent memo (including duplicates of just-filled entries); the
+            # shipped ones are counted worker-side, so hits + misses across
+            # both sides still sums to len(dense).
+            self.cache.det_hits += len(dense) - len(missing)
+        return [local[ciphertext][0] for ciphertext in dense]
 
     def encrypt_column_values(
         self, column: ColumnMeta, values: Sequence[Any]
@@ -358,7 +535,16 @@ class Encryptor:
             if level is EncryptionScheme.RND:
                 if any(iv is None for iv in ivs):
                     raise CryptoError("RND encryption requires an IV")
-                return self._rnd_for(column, Onion.EQ).encrypt_bytes_many(dets, ivs)
+                rnd = self._rnd_for(column, Onion.EQ)
+                if self._pool_usable(len(dets)):
+                    try:
+                        return self.pool.scatter(
+                            list(zip(dets, ivs)),
+                            lambda chunk: RndEncryptJob(key=rnd.key, pairs=chunk),
+                        )
+                    except ParallelUnavailable:
+                        pass
+                return rnd.encrypt_bytes_many(dets, ivs)
             if level in (EncryptionScheme.DET, EncryptionScheme.JOIN):
                 return dets
             raise ProxyError(f"invalid Eq onion level {level}")
@@ -373,7 +559,7 @@ class Encryptor:
                 return self._rnd_for(column, Onion.ORD).encrypt_int_many(ope_cts, ivs)
             raise ProxyError(f"invalid Ord onion level {level}")
         if onion is Onion.ADD:
-            return self.paillier.encrypt_many(
+            return self._hom_encrypt_many(
                 [self._to_hom_int(v, column) for v in values]
             )
         if onion is Onion.SEARCH:
@@ -403,7 +589,7 @@ class Encryptor:
                 [self._to_ope_int(column, v) for v in dense]
             )
         elif onion is Onion.ADD:
-            cells = self.paillier.encrypt_many(
+            cells = self._hom_encrypt_many(
                 [self._to_hom_int(v, column) for v in dense]
             )
         else:
@@ -415,7 +601,7 @@ class Encryptor:
 
     def hom_delta_many(self, column: ColumnMeta, deltas: Sequence[Any]) -> list:
         """Batch form of :meth:`hom_delta`."""
-        return self.paillier.encrypt_many(
+        return self._hom_encrypt_many(
             [self._to_hom_int(d, column) for d in deltas]
         )
 
@@ -519,29 +705,33 @@ class Encryptor:
         dense = [ciphertexts[i] for i in non_null]
         dense_ivs = [ivs[i] for i in non_null]
         if onion is Onion.EQ:
-            if level is EncryptionScheme.RND:
-                if any(iv is None for iv in dense_ivs):
-                    raise CryptoError("decrypting the RND layer requires the row IV")
-                dense = self._rnd_for(column, Onion.EQ).decrypt_bytes_many(dense, dense_ivs)
-                level = EncryptionScheme.DET
             memo = self.cache.eq_decrypt_memo(column.table, column.name)
             counted = memo is not None
             local = memo if memo is not None else {}
-            det = self._det_for(column)
-            det_join = self._det_join_for(column)
-            plains = []
-            for data in dense:
-                hit = local.get(data)
-                if hit is None:
-                    if counted:
-                        self.cache.det_misses += 1
-                    inner = det.decrypt_bytes(data) if level is EncryptionScheme.DET else data
-                    join_ct = JoinCiphertext.deserialize(inner)
-                    plaintext = det_join.decrypt_bytes(join_ct.det)
-                    hit = local[data] = (self._from_bytes(column, plaintext),)
-                elif counted:
-                    self.cache.det_hits += 1
-                plains.append(hit[0])
+            plains = self._eq_decrypt_parallel(
+                column, level, dense, dense_ivs, local, counted
+            )
+            if plains is None:
+                if level is EncryptionScheme.RND:
+                    if any(iv is None for iv in dense_ivs):
+                        raise CryptoError("decrypting the RND layer requires the row IV")
+                    dense = self._rnd_for(column, Onion.EQ).decrypt_bytes_many(dense, dense_ivs)
+                    level = EncryptionScheme.DET
+                det = self._det_for(column)
+                det_join = self._det_join_for(column)
+                plains = []
+                for data in dense:
+                    hit = local.get(data)
+                    if hit is None:
+                        if counted:
+                            self.cache.det_misses += 1
+                        inner = det.decrypt_bytes(data) if level is EncryptionScheme.DET else data
+                        join_ct = JoinCiphertext.deserialize(inner)
+                        plaintext = det_join.decrypt_bytes(join_ct.det)
+                        hit = local[data] = (self._from_bytes(column, plaintext),)
+                    elif counted:
+                        self.cache.det_hits += 1
+                    plains.append(hit[0])
         elif onion is Onion.ORD:
             if level is EncryptionScheme.RND:
                 if any(iv is None for iv in dense_ivs):
@@ -550,10 +740,17 @@ class Encryptor:
             decrypted = self._ope_for(column).decrypt_many(dense)
             plains = [self._from_ope_int(column, v) for v in decrypted]
         elif onion is Onion.ADD:
-            plains = [
-                self._from_hom_int(v, column)
-                for v in self.paillier.decrypt_many(dense)
-            ]
+            decrypted = None
+            if self._pool_usable(len(dense)):
+                try:
+                    decrypted = self.pool.scatter(
+                        dense, lambda chunk: HomDecryptJob(ciphertexts=chunk)
+                    )
+                except ParallelUnavailable:
+                    decrypted = None
+            if decrypted is None:
+                decrypted = self.paillier.decrypt_many(dense)
+            plains = [self._from_hom_int(v, column) for v in decrypted]
         elif onion is Onion.SEARCH:
             raise ProxyError("SEARCH ciphertexts cannot be decrypted to plaintext")
         else:

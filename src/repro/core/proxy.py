@@ -11,7 +11,7 @@ CryptDB's UDFs (Figure 1).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Optional, Sequence, Union
 
 from repro.core import udfs
@@ -33,6 +33,8 @@ from repro.core.training import TrainingReport, build_report
 from repro.crypto.keys import KeyManager, MasterKey
 from repro.crypto.paillier import PaillierKeyPair
 from repro.errors import ProxyError, UnsupportedQueryError
+from repro.parallel.jobs import HomRandomnessJob
+from repro.parallel.pool import CryptoWorkerPool, ParallelConfig, ParallelUnavailable
 from repro.sql import ast_nodes as ast
 from repro.sql.engine import Database
 from repro.sql.executor import ResultSet
@@ -133,6 +135,8 @@ class CryptDBProxy:
         use_ciphertext_cache: bool = True,
         hom_precompute: int = 256,
         plan_cache_size: int = 256,
+        workers: int = 0,
+        parallelism: Optional[ParallelConfig] = None,
     ):
         self.db = db if db is not None else Database()
         self.master_key = master_key if master_key is not None else MasterKey.generate()
@@ -140,12 +144,25 @@ class CryptDBProxy:
         self.paillier = paillier if paillier is not None else PaillierKeyPair.generate(paillier_bits)
         self.joins = JoinManager(self.master_key.material)
         self.cache = CryptoCache(self.paillier, enabled=use_ciphertext_cache)
+        # ``workers=N`` is shorthand for ``parallelism=ParallelConfig(workers=N)``;
+        # an explicit config wins, with a bare ``workers`` overriding its count.
+        if parallelism is None:
+            parallelism = ParallelConfig(workers=workers)
+        elif workers and parallelism.workers != workers:
+            parallelism = replace(parallelism, workers=workers)
+        self.parallelism = parallelism
+        self.pool: Optional[CryptoWorkerPool] = None
+        if parallelism.enabled:
+            self.pool = CryptoWorkerPool(
+                parallelism, self.paillier, stats_sink=self.cache.absorb_worker_counters
+            )
         self.encryptor = Encryptor(
             self.keys,
             self.joins,
             self.paillier,
             use_ope_cache=use_ciphertext_cache,
             cache=self.cache,
+            pool=self.pool,
         )
         self.schema = ProxySchema(anonymize_names=anonymize_names)
         self.rewriter = Rewriter(
@@ -153,6 +170,18 @@ class CryptDBProxy:
         )
         if use_ciphertext_cache and hom_precompute:
             self.cache.precompute_hom(hom_precompute)
+        # Background HOM pool refill: when the randomness pool runs low the
+        # Paillier key pair pings this proxy, which hands a precompute batch
+        # to a crypto worker instead of letting the next INSERT burst stall
+        # on inline ``r^n`` exponentiations.
+        # Pool generation of the refill currently in flight, or None.  Keyed
+        # on the generation so a restart that killed the job's callbacks
+        # (they never fire after terminate) cannot wedge refills forever.
+        self._hom_refill_inflight: Optional[int] = None
+        self._hom_refill_hook = self._schedule_hom_refill
+        if self.pool is not None and use_ciphertext_cache:
+            self.paillier.refill_watermark = parallelism.hom_low_watermark
+            self.paillier.refill_hook = self._hom_refill_hook
         self.stats = ProxyStatistics(cache=self.cache)
         self.plan_cache = PlanCache(plan_cache_size)
         self._onion_snapshot: Optional[tuple] = None
@@ -160,6 +189,49 @@ class CryptDBProxy:
         self._unsupported_log: list[str] = []
         self._training = False
         udfs.install_udfs(self.db, self.paillier.public)
+
+    # ------------------------------------------------------------------
+    # parallel crypto lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release proxy resources: terminates the crypto worker pool.
+
+        Idempotent; a proxy without a pool is a no-op.  The proxy remains
+        usable afterwards -- batch kernels simply run serially.
+        """
+        if self.paillier.refill_hook is self._hom_refill_hook:
+            self.paillier.refill_hook = None
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+            self.encryptor.pool = None
+
+    def _schedule_hom_refill(self) -> None:
+        """Hand one Paillier randomness precompute batch to the worker pool."""
+        pool = self.pool
+        if pool is None or pool.broken or pool.closed:
+            return
+        if self._hom_refill_inflight == pool.generation:
+            return  # one refill per pool generation at a time
+        self._hom_refill_inflight = pool.generation
+
+        def on_done(factors: list) -> None:
+            # Runs on the pool's result-handler thread; list.extend is a
+            # single C-level call, and the counter bump goes through the
+            # cache's lock-protected merge.
+            self.paillier._randomness_pool.extend(factors)
+            self.cache.note_async_refill()
+            self._hom_refill_inflight = None
+
+        def on_error(_exc: BaseException) -> None:
+            self._hom_refill_inflight = None
+
+        try:
+            pool.submit_async(
+                HomRandomnessJob(self.parallelism.hom_refill_batch), on_done, on_error
+            )
+        except ParallelUnavailable:
+            self._hom_refill_inflight = None
 
     # ------------------------------------------------------------------
     # schema management

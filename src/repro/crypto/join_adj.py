@@ -59,6 +59,11 @@ class JoinAdj:
         scalar = derive_scalar(master, table, column)
         return cls(scalar, prf_key)
 
+    @property
+    def prf_key(self) -> bytes:
+        """The shared PRF key (needed to rebuild this hash in a worker)."""
+        return self._prf_key
+
     def _scalar_for(self, value: bytes) -> int:
         exponent = prf_int(self._prf_key, value, 192) % ecc.ORDER
         if exponent == 0:

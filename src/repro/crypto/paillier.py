@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import secrets
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.crypto.numbers import crt_pair, generate_prime, lcm, modinv
 from repro.errors import CryptoError
@@ -105,6 +105,15 @@ class PaillierKeyPair:
     #: encryptions served from the pre-computed pool vs. paying ``r^n`` inline.
     pool_hits: int = 0
     pool_misses: int = 0
+    #: Low-pool callback (§3.5.2's "pre-compute while idle", made literal):
+    #: when set, it is invoked -- without blocking encryption -- whenever the
+    #: randomness pool drops to ``refill_watermark`` or below, so an owner
+    #: (the proxy's crypto worker pool) can refill in the background instead
+    #: of stalling the first INSERT burst after exhaustion.
+    refill_watermark: int = field(default=0, repr=False, compare=False)
+    refill_hook: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def _crt_context(self) -> Optional[_CrtContext]:
         """The CRT fast path, when the private key retains its factors."""
@@ -159,8 +168,16 @@ class PaillierKeyPair:
     def _next_randomness(self) -> int:
         if self._randomness_pool:
             self.pool_hits += 1
-            return self._randomness_pool.pop()
+            factor = self._randomness_pool.pop()
+            if (
+                self.refill_hook is not None
+                and len(self._randomness_pool) <= self.refill_watermark
+            ):
+                self.refill_hook()
+            return factor
         self.pool_misses += 1
+        if self.refill_hook is not None:
+            self.refill_hook()
         n = self.public.n
         r = secrets.randbelow(n - 2) + 1
         crt = self._crt_context()

@@ -1,0 +1,21 @@
+"""Multi-core proxy scale-out: process-pool offload for the crypto kernels.
+
+The proxy is a single Python process and the GIL serializes every AES block,
+curve multiplication and Paillier exponentiation it performs.  This package
+makes core count matter: :class:`~repro.parallel.pool.CryptoWorkerPool`
+keeps a persistent pool of worker processes (spawned once, key material and
+precomputed ECC comb / AES T-tables warmed in each worker's initializer) to
+which the encryptor offloads its batch kernels by chunking each column
+across the workers and splicing the results back in order.
+
+Serial fallback semantics: ``workers=0`` (the default), batches below the
+chunk threshold, and a broken pool all run the unchanged in-process code --
+parallel execution is a pure throughput optimisation and never changes
+results (deterministic schemes produce byte-identical ciphertexts; the
+probabilistic ones decrypt identically), which the differential conformance
+harness checks with a dedicated ``workers=2`` lane.
+"""
+
+from repro.parallel.pool import CryptoWorkerPool, ParallelConfig, ParallelUnavailable
+
+__all__ = ["CryptoWorkerPool", "ParallelConfig", "ParallelUnavailable"]

@@ -1,0 +1,255 @@
+"""The persistent crypto worker pool: multi-core scale-out for the proxy.
+
+A single Python proxy process is GIL-bound: the per-query crypto breakdown
+of the Figure-10 benchmark shows AES and the JOIN-ADJ curve hash dominating,
+all serialized on one core.  :class:`CryptoWorkerPool` moves the batch
+crypto kernels onto a pool of long-lived worker processes, spawned **once**
+per proxy: each worker rebuilds the Paillier key pair and warms the
+import-time ECC comb / AES T-tables in its initializer, then serves
+:mod:`repro.parallel.jobs` descriptors for the proxy's lifetime.
+
+Batches are *chunked* across the workers and the results spliced back in
+input order, so callers observe exactly the semantics of the serial batch
+APIs (byte-identical ciphertexts for the deterministic schemes, since jobs
+carry the same derived keys and IVs the serial path would use).  Batches
+below :attr:`ParallelConfig.chunk_threshold` never touch the pool -- the
+IPC round-trip would cost more than the crypto -- and ``workers=0`` disables
+the subsystem entirely; both fall back to the unchanged in-process code.
+
+Worker cache counters come back as per-job *deltas* and are absorbed into
+the parent's :class:`~repro.core.cache.CryptoCache` through ``stats_sink``.
+Delta absorption makes the accounting restart-proof: killing and respawning
+the pool (or a worker crash flipping the pool to broken-serial mode) can
+never double-count, because nothing is ever re-read from a worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.parallel import jobs as jobs_mod
+
+
+class ParallelUnavailable(ReproError):
+    """The pool infrastructure failed; callers should fall back to serial.
+
+    Raised for transport-level failures (dead worker, unpicklable payload,
+    closed pool) -- never for crypto errors, which propagate unchanged so
+    parallel and serial execution refuse identically.
+    """
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Tuning knobs for the proxy's crypto worker pool.
+
+    ``workers=0`` (the default) keeps the proxy fully serial.  Batches
+    smaller than ``chunk_threshold`` items run serially even with a pool
+    attached; larger ones are split into at most ``workers`` chunks of at
+    least ``chunk_threshold // 2`` items each.  ``start_method`` defaults to
+    ``fork`` where available (workers inherit the warmed interpreter) and
+    ``spawn`` elsewhere.  ``hom_low_watermark``/``hom_refill_batch`` govern
+    the asynchronous Paillier randomness refill; ``profile_dir`` makes every
+    worker dump a cProfile at exit (used by ``profile_hotpaths --workers``).
+    """
+
+    workers: int = 0
+    chunk_threshold: int = 24
+    start_method: Optional[str] = None
+    hom_low_watermark: int = 16
+    hom_refill_batch: int = 128
+    profile_dir: Optional[str] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.workers > 0
+
+
+class CryptoWorkerPool:
+    """A spawn-once pool of crypto worker processes with ordered splicing."""
+
+    def __init__(
+        self,
+        config: ParallelConfig,
+        paillier,
+        stats_sink: Optional[Callable[[dict], None]] = None,
+    ):
+        if config.workers <= 0:
+            raise ValueError("CryptoWorkerPool requires workers >= 1")
+        self.config = config
+        self.workers = config.workers
+        self.chunk_threshold = max(1, config.chunk_threshold)
+        self.stats_sink = stats_sink
+        self._init = jobs_mod.WorkerInit.from_keypair(
+            paillier, profile_dir=config.profile_dir
+        )
+        self._pool = None
+        self._broken = False
+        self._closed = False
+        self._pending_async: list = []
+        self.generation = 0
+        self._spawn()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self) -> None:
+        method = self.config.start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        context = multiprocessing.get_context(method)
+        self._pool = context.Pool(
+            processes=self.workers,
+            initializer=jobs_mod.initialize_worker,
+            initargs=(self._init,),
+        )
+        self._broken = False
+        # Bumped on every (re)spawn; async submitters record it so a job
+        # whose callbacks died with the old workers is recognisably stale.
+        self.generation += 1
+
+    def restart(self) -> None:
+        """Tear the workers down and respawn them (fresh worker caches).
+
+        Counter accounting survives restarts without double-counting: the
+        parent only ever accumulates per-job deltas, never worker totals.
+        """
+        self._terminate()
+        self._spawn()
+        self._closed = False
+
+    def close(self) -> None:
+        """Terminate the workers; the pool cannot be used afterwards."""
+        self._terminate()
+        self._closed = True
+
+    def _terminate(self) -> None:
+        if self._pool is not None:
+            if self.config.profile_dir:
+                # Graceful shutdown so each worker's exit finalizer runs and
+                # dumps its cProfile (terminate() would kill them first).
+                self._pool.close()
+            else:
+                self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._pending_async = []
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def usable(self, batch_size: int) -> bool:
+        """True when a batch of this size should be offloaded."""
+        return (
+            self._pool is not None
+            and not self._broken
+            and batch_size >= self.chunk_threshold
+        )
+
+    # ------------------------------------------------------------------
+    # synchronous scatter/gather
+    # ------------------------------------------------------------------
+    def _chunks(self, items: Sequence) -> list[list]:
+        min_chunk = max(1, self.chunk_threshold // 2)
+        count = min(self.workers, max(1, len(items) // min_chunk))
+        base, extra = divmod(len(items), count)
+        chunks = []
+        start = 0
+        for index in range(count):
+            size = base + (1 if index < extra else 0)
+            chunks.append(list(items[start : start + size]))
+            start += size
+        return chunks
+
+    def scatter(self, items: Sequence, make_job: Callable[[list], object]) -> list:
+        """Run ``make_job(chunk)`` across the workers; splice results in order.
+
+        Crypto errors raised inside a job propagate unchanged.  Transport
+        failures mark the pool broken and raise :class:`ParallelUnavailable`
+        so the caller can re-run the batch serially.
+        """
+        if self._pool is None:
+            raise ParallelUnavailable("worker pool is closed")
+        chunks = self._chunks(items)
+        try:
+            results = self._pool.map(
+                jobs_mod.run_job, [make_job(chunk) for chunk in chunks], chunksize=1
+            )
+        except ReproError:
+            raise
+        except Exception as exc:
+            self._broken = True
+            raise ParallelUnavailable(f"worker pool failed: {exc}") from exc
+        spliced: list = []
+        jobs_delta = 0
+        merged: dict[str, int] = {}
+        for payload, counters in results:
+            jobs_delta += 1
+            for key, value in counters.items():
+                merged[key] = merged.get(key, 0) + value
+            spliced.extend(payload)
+        merged["jobs"] = jobs_delta
+        if self.stats_sink is not None:
+            self.stats_sink(merged)
+        return spliced
+
+    # ------------------------------------------------------------------
+    # asynchronous submission (background HOM refill)
+    # ------------------------------------------------------------------
+    def submit_async(
+        self,
+        job,
+        callback: Callable[[list], None],
+        error_callback: Optional[Callable[[BaseException], None]] = None,
+    ):
+        """Run one job without blocking; ``callback(payload)`` on completion.
+
+        The callback runs on the pool's result-handler thread; keep it tiny
+        (append to a list, bump a counter).  Counter deltas are absorbed
+        through ``stats_sink`` exactly like synchronous jobs.
+        """
+        if self._pool is None or self._broken:
+            raise ParallelUnavailable("worker pool is not running")
+
+        def on_done(result):
+            payload, counters = result
+            if self.stats_sink is not None:
+                counters = dict(counters)
+                counters["jobs"] = 1
+                self.stats_sink(counters)
+            callback(payload)
+
+        def on_error(exc):
+            # Same contract as scatter(): crypto errors never break the
+            # pool, only transport-level failures do.
+            if not isinstance(exc, ReproError):
+                self._broken = True
+            if error_callback is not None:
+                error_callback(exc)
+
+        handle = self._pool.apply_async(
+            jobs_mod.run_job, (job,), callback=on_done, error_callback=on_error
+        )
+        # Prune settled handles so a long-lived proxy's background refills
+        # don't accumulate result objects for its whole lifetime.
+        self._pending_async = [h for h in self._pending_async if not h.ready()]
+        self._pending_async.append(handle)
+        return handle
+
+    def drain_async(self, timeout: float = 30.0) -> None:
+        """Block until every outstanding async job has completed (tests)."""
+        pending, self._pending_async = self._pending_async, []
+        for handle in pending:
+            handle.wait(timeout)

@@ -36,20 +36,41 @@ LaneFactory = Callable[[], dict[str, Connection]]
 ENCRYPTED_PREFIX = "enc-"
 
 
-def default_lane_factory(**proxy_kwargs: Any) -> LaneFactory:
+def default_lane_factory(
+    parallel_workers: int = 0, parallel_chunk_threshold: int = 4, **proxy_kwargs: Any
+) -> LaneFactory:
     """Fresh plaintext + encrypted connections over both backends.
 
     ``proxy_kwargs`` (``paillier``, ``master_key``, ...) are forwarded to the
     encrypted lanes so test suites can share one session key pair.
+
+    ``parallel_workers > 0`` adds a fifth lane, ``enc-parallel``: the same
+    encrypted proxy over the in-memory backend but with a crypto worker pool
+    of that many processes (and an aggressively low chunk threshold so small
+    generated batches actually offload).  The lane must decrypt to
+    byte-identical results *and* refuse exactly the statements the serial
+    encrypted lanes refuse -- parallel offload may never change behaviour.
     """
 
     def factory() -> dict[str, Connection]:
-        return {
+        lanes = {
             "plain-memory": connect(encrypted=False, backend="memory"),
             "plain-sqlite": connect(encrypted=False, backend="sqlite"),
             "enc-memory": connect(backend="memory", **proxy_kwargs),
             "enc-sqlite": connect(backend="sqlite", **proxy_kwargs),
         }
+        if parallel_workers > 0:
+            from repro.parallel import ParallelConfig
+
+            lanes["enc-parallel"] = connect(
+                backend="memory",
+                parallelism=ParallelConfig(
+                    workers=parallel_workers,
+                    chunk_threshold=parallel_chunk_threshold,
+                ),
+                **proxy_kwargs,
+            )
+        return lanes
 
     return factory
 

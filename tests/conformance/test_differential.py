@@ -2,10 +2,13 @@
 
 One seeded stream of generated statements (schema DDL, multi-row and
 parameterized INSERTs, predicate-rich SELECTs, joins, aggregates, HOM
-increments, transactions with ROLLBACK) replays over four lanes -- plaintext
-in-memory, plaintext SQLite, encrypted proxy over each backend -- and every
-decrypted result must agree.  A divergence fails the test with an
-auto-minimized reproducer and the seed to replay it.
+increments, transactions with ROLLBACK) replays over five lanes -- plaintext
+in-memory, plaintext SQLite, encrypted proxy over each backend, and the
+encrypted proxy with a two-process crypto worker pool (``workers=2``) -- and
+every decrypted result must agree.  The parallel lane must also refuse
+exactly the statements the serial encrypted lanes refuse: process-pool
+offload may never change behaviour, only throughput.  A divergence fails
+the test with an auto-minimized reproducer and the seed to replay it.
 
 ``CONFORMANCE_STATEMENTS`` scales the stream (CI quick mode runs the
 default; nightly-style runs can crank it up).
@@ -28,11 +31,24 @@ QUICK_STATEMENTS = int(os.environ.get("CONFORMANCE_STATEMENTS", "520"))
 @pytest.fixture(scope="module")
 def runner(paillier_keypair) -> DifferentialRunner:
     factory = default_lane_factory(
+        parallel_workers=2,
         paillier=paillier_keypair,
         master_key=MasterKey.from_passphrase("conformance-harness"),
         hom_precompute=8,
     )
     return DifferentialRunner(factory)
+
+
+def test_parallel_lane_present(runner):
+    """The fifth (workers=2) lane is part of every conformance replay."""
+    lanes = runner.lane_factory()
+    try:
+        assert "enc-parallel" in lanes
+        proxy = lanes["enc-parallel"].proxy
+        assert proxy.pool is not None and proxy.parallelism.workers == 2
+    finally:
+        for conn in lanes.values():
+            conn.close()
 
 
 def test_differential_conformance_quick_mode(runner, repro_seed):
