@@ -1,0 +1,203 @@
+"""Server concurrency: many encrypted wire sessions on one shared proxy.
+
+The paper's deployment (§8.1) places one CryptDB proxy between *many*
+application servers and the DBMS.  This benchmark measures that topology as
+built by :mod:`repro.server`: N client connections -- each a real TCP socket
+with its own ECDH handshake and AEAD channel -- fire point SELECTs at one
+loopback server, and we record aggregate throughput plus per-query p50/p99
+latency as the connection count scales.
+
+On a single-CPU host the shared proxy serializes statement execution, so
+aggregate q/s stays roughly flat while tail latency grows with the queue
+depth -- the *shape* asserted here is "no collapse and nothing dropped",
+not linear scale-out.
+
+The second test exercises the operational contract that matters for
+deployments: a graceful drain under load finishes and flushes every
+in-flight statement (``dropped_inflight == 0``), refuses new ones, and
+leaves the process cleanly stoppable.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.api import exceptions
+from repro.api.connection import connect
+from repro.crypto.keys import MasterKey
+from repro.server.loopback import LoopbackServer
+
+from conftest import BENCH_QUICK, print_table, record_bench
+
+#: Connection-count ladder; the 32-way rung is the acceptance criterion and
+#: runs in both modes.
+_SCALES = [1, 8, 32] if BENCH_QUICK else [1, 4, 8, 16, 32]
+_QUERIES_PER_CONN = 8 if BENCH_QUICK else 25
+_ROWS = 64
+_DRAIN_BATCH = 200 if BENCH_QUICK else 400
+
+
+@pytest.fixture(scope="module")
+def server(small_paillier):
+    instance = LoopbackServer(
+        paillier=small_paillier,
+        master_key=MasterKey.from_passphrase("bench-server"),
+        hom_precompute=8,
+    )
+    seed = connect(url=instance.url)
+    cur = seed.cursor()
+    cur.execute("CREATE TABLE accts (id int, owner varchar(40), balance int)")
+    cur.executemany(
+        "INSERT INTO accts (id, owner, balance) VALUES (?, ?, ?)",
+        [(i, f"owner {i}", 1000 + 13 * i) for i in range(1, _ROWS + 1)],
+    )
+    # Warm onion levels + the plan cache so every timed query takes the
+    # steady-state path.
+    cur.execute("SELECT owner FROM accts WHERE id = ? AND balance > ?", (1, 0))
+    seed.close()
+    yield instance
+    instance.stop()
+
+
+def _run_scale(url: str, connections: int, queries: int):
+    """`connections` threads, each with its own wire session, timed jointly."""
+    clients = [connect(url=url) for _ in range(connections)]
+    latencies: list[list[float]] = [[] for _ in range(connections)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(connections + 1)
+
+    def worker(index: int) -> None:
+        cur = clients[index].cursor()
+        lane = latencies[index]
+        try:
+            barrier.wait(timeout=60)
+            for q in range(queries):
+                key = 1 + (index * queries + q) % _ROWS
+                begin = time.perf_counter()
+                cur.execute(
+                    "SELECT owner FROM accts WHERE id = ? AND balance > ?",
+                    (key, 0),
+                )
+                rows = cur.fetchall()
+                lane.append(time.perf_counter() - begin)
+                assert rows == [(f"owner {key}",)]
+        except BaseException as exc:  # surfaced by the main thread
+            errors.append(exc)
+            raise
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(connections)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=600)
+    elapsed = time.perf_counter() - start
+    for client in clients:
+        client.close()
+    assert not errors, errors[0]
+    flat = sorted(lat for lane in latencies for lat in lane)
+    assert len(flat) == connections * queries  # nothing lost, nothing retried
+    return {
+        "connections": connections,
+        "queries": connections * queries,
+        "q/s": round(len(flat) / elapsed, 1),
+        "p50_ms": round(statistics.median(flat) * 1000, 2),
+        "p99_ms": round(flat[max(0, int(len(flat) * 0.99) - 1)] * 1000, 2),
+    }
+
+
+def test_concurrent_connection_scaling(server):
+    rows = [_run_scale(server.url, scale, _QUERIES_PER_CONN) for scale in _SCALES]
+    print_table("Wire-protocol concurrency (one shared proxy)", rows)
+
+    stats = server.stats
+    print(
+        f"server: {stats['connections_accepted']} connections accepted, "
+        f"{stats['statements_served']} statements served, "
+        f"{stats['sessions_dropped']} sessions dropped, "
+        f"{stats['dropped_inflight']} dropped in flight"
+    )
+    record_bench("server_concurrency", {
+        "rows": rows,
+        "peak_connections": max(_SCALES),
+        "queries_per_connection": _QUERIES_PER_CONN,
+        "dropped_inflight": stats["dropped_inflight"],
+    })
+
+    # Acceptance: >=32 concurrent connections all served, nothing dropped.
+    assert max(row["connections"] for row in rows) >= 32
+    assert stats["dropped_inflight"] == 0
+    assert stats["sessions_dropped"] == 0
+    for row in rows:
+        assert row["q/s"] > 0
+        assert row["p50_ms"] <= row["p99_ms"]
+    # One shared serial proxy: throughput must not collapse as sessions
+    # multiply (queueing may cost some, an order of magnitude would be a bug).
+    base, peak = rows[0]["q/s"], rows[-1]["q/s"]
+    assert peak > base * 0.3, f"throughput collapsed: {base} -> {peak} q/s"
+
+
+def test_graceful_drain_under_load(small_paillier):
+    """SIGTERM semantics: in-flight statements finish, zero are dropped."""
+    server = LoopbackServer(
+        paillier=small_paillier,
+        master_key=MasterKey.from_passphrase("bench-drain"),
+        hom_precompute=8,
+    )
+    inflight_conn = connect(url=server.url)
+    probe_conn = connect(url=server.url)
+    refused = 0
+    try:
+        inflight_conn.execute("CREATE TABLE dr (id int, v int)")
+        result = {}
+
+        def big_batch():
+            result["count"] = inflight_conn.cursor().executemany(
+                "INSERT INTO dr (id, v) VALUES (?, ?)",
+                [(i, i) for i in range(_DRAIN_BATCH)],
+            ).rowcount
+
+        worker = threading.Thread(target=big_batch)
+        worker.start()
+        time.sleep(0.15)  # the batch is now in flight on the executor
+
+        drainer = threading.Thread(target=server.drain)
+        drainer.start()
+        time.sleep(0.1)  # drain is awaiting the in-flight statement
+
+        try:
+            probe_conn.execute("INSERT INTO dr (id, v) VALUES (-1, -1)")
+        except exceptions.OperationalError:
+            refused = 1
+
+        worker.join(timeout=300)
+        drainer.join(timeout=300)
+        stats = server.stats
+        print(
+            f"drain: batch of {result.get('count')} landed, "
+            f"{stats['dropped_inflight']} dropped in flight, "
+            f"{stats['statements_refused_draining']} refused while draining"
+        )
+        record_bench("server_drain", {
+            "inflight_batch_rows": result.get("count", 0),
+            "dropped_inflight": stats["dropped_inflight"],
+            "refused_during_drain": stats["statements_refused_draining"],
+        })
+        assert result.get("count") == _DRAIN_BATCH
+        assert stats["dropped_inflight"] == 0
+        assert refused == 1
+    finally:
+        for conn in (inflight_conn, probe_conn):
+            try:
+                conn.close()
+            except exceptions.Error:
+                pass
+        server.stop()

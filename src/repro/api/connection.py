@@ -47,10 +47,13 @@ class Connection:
         connection; closing the connection then also closes the proxy,
         which terminates its crypto worker pool (``workers=N``).
         """
-        if isinstance(target, CryptDBProxy):
-            self.proxy: Optional[CryptDBProxy] = target
+        if isinstance(target, CryptDBProxy) or getattr(target, "is_remote", False):
+            # A local proxy or a RemoteProxyClient (repro.server wire); both
+            # expose execute/executemany/prepare/close and a `transactions`
+            # view, which is all Connection and Cursor ever touch.
+            self.proxy: Optional[Any] = target
             self.target: Any = target
-            self.backend = target.db
+            self.backend = getattr(target, "db", target)
         else:
             self.proxy = None
             self.target = resolve_backend(target)
@@ -130,20 +133,29 @@ class Connection:
     def close(self) -> None:
         """Close the connection, rolling back any open transaction.
 
-        A backend this connection created (``connect(backend="sqlite")``)
-        is closed with it; caller-provided backends are left open.
+        Idempotent, and safe even when the peer is already gone: a rollback
+        that fails because the server (or backend) died is swallowed, and
+        resource release -- the proxy's crypto worker pool, an owned sqlite3
+        handle, a remote socket -- still runs.  A backend this connection
+        created (``connect(backend="sqlite")``) is closed with it;
+        caller-provided backends are left open.
         """
         if self._closed:
             return
-        if self._in_transaction():
-            self.rollback()
         self._closed = True
-        if self._owns_proxy and self.proxy is not None:
-            self.proxy.close()
-        if self._owns_backend:
-            closer = getattr(self.backend, "close", None)
-            if callable(closer):
-                closer()
+        try:
+            if self._in_transaction():
+                with translate_errors():
+                    self.target.execute("ROLLBACK")
+        except exceptions.Error:
+            pass  # the peer may already be gone; releasing resources matters more
+        finally:
+            if self._owns_proxy and self.proxy is not None:
+                self.proxy.close()
+            if self._owns_backend and self.backend is not self.proxy:
+                closer = getattr(self.backend, "close", None)
+                if callable(closer):
+                    closer()
 
     @property
     def closed(self) -> bool:
@@ -161,11 +173,20 @@ class Connection:
 def connect(
     database: Any = None,
     *,
+    url: Optional[str] = None,
     encrypted: bool = True,
     backend: Optional[BackendAdapter] = None,
     **proxy_kwargs: Any,
 ) -> Connection:
     """Open a connection, the PEP 249 module-level entry point.
+
+    With ``url="repro://host:port"`` the connection attaches to a running
+    :mod:`repro.server` over its encrypted wire protocol instead of building
+    an in-process proxy; remaining keyword arguments (``auth_key``,
+    ``fetch_chunk``, ``timeout``, ...) configure the
+    :class:`~repro.api.remote_backend.RemoteProxyClient`.  The returned
+    connection is a drop-in for the local path -- same cursors, same
+    exception classes, same transaction scoping.
 
     ``database`` may be an existing :class:`~repro.sql.engine.Database`, a
     backend adapter, a backend name (``"memory"`` or ``"sqlite"``), or None
@@ -180,6 +201,18 @@ def connect(
     ``encrypted=False`` the connection drives the backend directly --
     the "MySQL without CryptDB" baseline of the evaluation.
     """
+    if url is not None:
+        if database is not None or backend is not None:
+            raise InterfaceError(
+                "url= connects to a remote repro.server and cannot be "
+                "combined with a local database or backend"
+            )
+        if not encrypted:
+            raise InterfaceError("url= connections are always encrypted")
+        from repro.api.remote_backend import RemoteProxyClient
+
+        client = RemoteProxyClient.from_url(url, **proxy_kwargs)
+        return Connection(client, owns_proxy=True)
     if not encrypted and proxy_kwargs:
         # Validate before creating a backend, or an owned sqlite3 handle
         # would be abandoned open on this error path.

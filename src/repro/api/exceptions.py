@@ -81,6 +81,33 @@ def wrap_error(exc: errors.ReproError) -> Error:
     return DatabaseError(str(exc))  # pragma: no cover - ReproError catches all
 
 
+#: DB-API classes that may cross the repro.server wire, keyed by name.
+_WIRE_CLASSES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        Error,
+        InterfaceError,
+        DatabaseError,
+        DataError,
+        OperationalError,
+        IntegrityError,
+        InternalError,
+        ProgrammingError,
+        NotSupportedError,
+    )
+}
+
+
+def error_from_wire(name: str, message: str) -> Error:
+    """Rebuild a DB-API exception from its wire ``(class name, message)``.
+
+    The server serializes errors by class name (see
+    :mod:`repro.server.session`); unknown names collapse to
+    :class:`DatabaseError` so a newer server never crashes an older client.
+    """
+    return _WIRE_CLASSES.get(name, DatabaseError)(message)
+
+
 @contextmanager
 def translate_errors():
     """Re-raise internal errors as their DB-API counterparts."""

@@ -1,0 +1,289 @@
+"""The remote proxy client: ``repro.connect(url="repro://host:port")``.
+
+:class:`RemoteProxyClient` speaks the :mod:`repro.server` wire protocol over
+a blocking socket and presents exactly the surface
+:class:`~repro.api.connection.Connection` and
+:class:`~repro.api.cursor.Cursor` already drive on an in-process
+:class:`~repro.core.proxy.CryptDBProxy` -- ``execute(sql, params)`` /
+``executemany(sql, rows)`` returning :class:`~repro.sql.executor.ResultSet`
+objects, plus a ``transactions`` view tracking the session's server-side
+transaction state.  DB-API exceptions are reconstructed from the wire by
+class name, so ``except conn.NotSupportedError`` works identically against
+a remote proxy and an in-process one.
+
+A connection whose peer disappears turns every subsequent call into
+:class:`~repro.api.exceptions.InterfaceError`; ``close()`` stays safe (and
+idempotent) no matter how the server went away.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Iterable, Optional, Sequence
+from urllib.parse import urlsplit
+
+from repro.api import exceptions
+from repro.errors import ReproError
+from repro.sql.executor import ResultSet
+
+#: SQL heads the client routes to dedicated transaction-control frames.
+_TXN_FRAMES = {
+    "BEGIN": "BEGIN",
+    "START TRANSACTION": "BEGIN",
+    "COMMIT": "COMMIT",
+    "ROLLBACK": "ROLLBACK",
+}
+
+
+def parse_url(url: str) -> tuple[str, int]:
+    """Parse ``repro://host:port`` into its address pair."""
+    parts = urlsplit(url)
+    if parts.scheme != "repro":
+        raise exceptions.InterfaceError(
+            f"unsupported URL scheme {parts.scheme!r} (expected repro://host:port)"
+        )
+    if not parts.hostname or not parts.port:
+        raise exceptions.InterfaceError(
+            f"URL {url!r} must name both a host and a port"
+        )
+    return parts.hostname, parts.port
+
+
+class RemoteTransactions:
+    """Client-side mirror of the session's server-side transaction state."""
+
+    def __init__(self):
+        self.in_transaction = False
+
+
+class RemoteProxyClient:
+    """A proxy-shaped handle whose statements execute across the wire."""
+
+    #: Duck-typing marker checked by Connection (avoids an import cycle).
+    is_remote = True
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        auth_key: bytes = b"",
+        fetch_chunk: int = 512,
+        timeout: Optional[float] = None,
+        connect_timeout: float = 10.0,
+        max_frame_bytes: Optional[int] = None,
+    ):
+        # Imported here so `import repro.api` stays cheap for local-only use.
+        from repro.server import framing, protocol, transport
+
+        self._framing = framing
+        self._protocol = protocol
+        self._transport = transport
+        self.host = host
+        self.port = port
+        self.fetch_chunk = max(0, fetch_chunk)
+        self.max_frame_bytes = max_frame_bytes or framing.DEFAULT_MAX_FRAME_BYTES
+        self.transactions = RemoteTransactions()
+        #: Called (once) when the client closes; the loopback helper uses it
+        #: to tear down an embedded server with its connection.
+        self.on_close = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self._dead_reason: Optional[str] = None
+        try:
+            self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError as exc:
+            raise exceptions.OperationalError(
+                f"cannot connect to repro://{host}:{port}: {exc}"
+            ) from exc
+        self._sock.settimeout(timeout)
+        try:
+            self._channel = self._handshake(auth_key)
+        except BaseException:
+            self._sock.close()
+            raise
+
+    @classmethod
+    def from_url(cls, url: str, **kwargs: Any) -> "RemoteProxyClient":
+        host, port = parse_url(url)
+        return cls(host, port, **kwargs)
+
+    # ------------------------------------------------------------------
+    # handshake + request plumbing
+    # ------------------------------------------------------------------
+    def _handshake(self, auth_key: bytes):
+        transport, protocol, framing = self._transport, self._protocol, self._framing
+        private, public = transport.generate_keypair()
+        client_nonce = transport.fresh_nonce()
+        framing.send_record(
+            self._sock,
+            protocol.encode_frame(
+                protocol.FrameType.HELLO, transport.build_hello(public, client_nonce)
+            ),
+        )
+        try:
+            frame_type, payload = protocol.decode_frame(
+                framing.recv_record(self._sock, self.max_frame_bytes)
+            )
+            if frame_type is not protocol.FrameType.HELLO:
+                raise transport.TransportError("server did not answer with HELLO")
+            server_pub, server_nonce = transport.parse_hello(payload, "server")
+            secret = transport.shared_secret(private, server_pub)
+            channel = transport.SecureChannel.for_client(
+                secret, client_nonce, server_nonce, auth_key
+            )
+            confirm = channel.open(framing.recv_record(self._sock, self.max_frame_bytes))
+            confirm_type, _ = protocol.decode_frame(confirm)
+            if confirm_type is not protocol.FrameType.HELLO_OK:
+                raise transport.TransportError("handshake confirmation missing")
+            return channel
+        except (transport.TransportError, protocol.WireProtocolError,
+                framing.ConnectionClosedError) as exc:
+            raise exceptions.OperationalError(
+                f"repro.server handshake failed: {exc} "
+                "(wrong auth key, or the peer is not a repro.server)"
+            ) from exc
+
+    def _mark_dead(self, reason: str) -> exceptions.InterfaceError:
+        self._dead_reason = reason
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        return exceptions.InterfaceError(
+            f"connection to repro://{self.host}:{self.port} is gone: {reason}"
+        )
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise exceptions.InterfaceError("remote connection is closed")
+        if self._dead_reason is not None:
+            raise exceptions.InterfaceError(
+                f"connection to repro://{self.host}:{self.port} is gone: "
+                f"{self._dead_reason}"
+            )
+
+    def _request(self, frame_type, payload) -> tuple[Any, dict]:
+        """One sealed request/response round trip; maps wire errors back."""
+        protocol, framing = self._protocol, self._framing
+        with self._lock:
+            self._check_usable()
+            try:
+                framing.send_record(
+                    self._sock,
+                    self._channel.seal(protocol.encode_frame(frame_type, payload)),
+                )
+                record = framing.recv_record(self._sock, self.max_frame_bytes)
+                response_type, response = protocol.decode_frame(
+                    self._channel.open(record)
+                )
+            except (framing.ConnectionClosedError, OSError) as exc:
+                raise self._mark_dead(str(exc) or type(exc).__name__) from exc
+            except ReproError as exc:
+                # Transport/protocol corruption: the channel state is
+                # unrecoverable (sequence numbers no longer line up).
+                raise self._mark_dead(f"protocol failure: {exc}") from exc
+        if isinstance(response, dict) and "in_txn" in response:
+            self.transactions.in_transaction = bool(response["in_txn"])
+        if response_type is protocol.FrameType.ERROR:
+            raise exceptions.error_from_wire(
+                response.get("error", "DatabaseError"),
+                response.get("message", "remote error"),
+            )
+        return response_type, response
+
+    # ------------------------------------------------------------------
+    # the proxy-shaped surface Connection/Cursor drive
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> ResultSet:
+        protocol = self._protocol
+        head = sql.strip().rstrip(";").strip().upper() if isinstance(sql, str) else ""
+        if params is None and head in _TXN_FRAMES:
+            frame = getattr(protocol.FrameType, _TXN_FRAMES[head])
+            _, response = self._request(frame, {})
+            return ResultSet([], [], 0)
+        _, response = self._request(
+            protocol.FrameType.EXECUTE,
+            {
+                "sql": sql,
+                "params": list(params) if params is not None else None,
+                "fetch": self.fetch_chunk,
+            },
+        )
+        if "columns" not in response:
+            return ResultSet([], [], int(response.get("rowcount", 0)))
+        rows = [tuple(row) for row in response.get("rows", [])]
+        cursor = response.get("cursor")
+        while cursor is not None:
+            _, chunk = self._request(
+                protocol.FrameType.FETCH,
+                {"cursor": cursor, "count": self.fetch_chunk},
+            )
+            rows.extend(tuple(row) for row in chunk.get("rows", []))
+            cursor = chunk.get("cursor")
+        return ResultSet(
+            list(response["columns"]), rows, int(response.get("rowcount", 0))
+        )
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]]) -> int:
+        rows = [list(params) for params in seq_of_params]
+        if not rows:
+            return 0  # PEP 249: nothing is prepared, nothing crosses the wire
+        _, response = self._request(
+            self._protocol.FrameType.EXECUTEMANY, {"sql": sql, "rows": rows}
+        )
+        return int(response.get("rowcount", 0))
+
+    def prepare(self, sql: str) -> dict:
+        """Prepare a shape server-side; returns its param count and kind."""
+        _, response = self._request(self._protocol.FrameType.PREPARE, {"sql": sql})
+        return response
+
+    def server_stats(self) -> dict:
+        """Operational counters of the remote server and its shared proxy."""
+        _, response = self._request(self._protocol.FrameType.STATS, {})
+        return response
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Idempotent close: best-effort GOODBYE, then release the socket.
+
+        Safe after the server died mid-session -- a dead peer downgrades
+        the farewell to a plain socket close instead of raising.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        protocol, framing = self._protocol, self._framing
+        try:
+            if self._dead_reason is None:
+                with self._lock:
+                    framing.send_record(
+                        self._sock,
+                        self._channel.seal(
+                            protocol.encode_frame(protocol.FrameType.GOODBYE, {})
+                        ),
+                    )
+                    framing.recv_record(self._sock, self.max_frame_bytes)
+        except (ReproError, OSError):
+            pass
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self.transactions.in_transaction = False
+            hook, self.on_close = self.on_close, None
+            if hook is not None:
+                hook()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "closed" if self._closed else ("dead" if self._dead_reason else "open")
+        return f"<RemoteProxyClient repro://{self.host}:{self.port} {state}>"

@@ -1,0 +1,39 @@
+"""``repro.server``: the networked async CryptDB proxy.
+
+The paper deploys CryptDB as a *network* proxy between many application
+servers and the DBMS; this package is that deployment shape.  An asyncio
+socket server (:class:`ReproServer`) speaks a length-framed binary wire
+protocol (:mod:`repro.server.protocol` / :mod:`repro.server.framing`) over
+an authenticated-encryption transport established by an ephemeral-ECDH
+handshake (:mod:`repro.server.transport`), and multiplexes every client
+session onto one shared :class:`~repro.core.proxy.CryptDBProxy`
+(:mod:`repro.server.session`).
+
+Clients use :func:`repro.connect` with a URL -- a drop-in for the
+in-process path::
+
+    conn = repro.connect(url="repro://127.0.0.1:7799")
+
+Run a standalone server with ``python -m repro.server``; embed one in tests
+with :class:`repro.server.loopback.LoopbackServer`.
+"""
+
+from repro.server.framing import DEFAULT_MAX_FRAME_BYTES, ConnectionClosedError
+from repro.server.loopback import LoopbackServer, connect_loopback
+from repro.server.protocol import FrameType, WireProtocolError
+from repro.server.server import ReproServer, ServerConfig, serve
+from repro.server.transport import SecureChannel, TransportError
+
+__all__ = [
+    "ReproServer",
+    "ServerConfig",
+    "serve",
+    "LoopbackServer",
+    "connect_loopback",
+    "FrameType",
+    "WireProtocolError",
+    "TransportError",
+    "SecureChannel",
+    "ConnectionClosedError",
+    "DEFAULT_MAX_FRAME_BYTES",
+]

@@ -1,0 +1,102 @@
+"""``python -m repro.server``: run the networked CryptDB proxy.
+
+Example::
+
+    python -m repro.server --host 0.0.0.0 --port 7799 --workers 4 \
+        --backend sqlite --auth-key s3cret
+
+Applications then connect with::
+
+    import repro
+    conn = repro.connect(url="repro://proxy-host:7799", auth_key=b"s3cret")
+
+SIGINT/SIGTERM trigger a graceful drain: in-flight statements finish and
+their responses flush, new statements are refused, then the process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import signal
+import sys
+
+from repro.server.server import ReproServer, ServerConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Networked CryptDB proxy: encrypted wire protocol front-end",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=7799, help="bind port (0 = ephemeral)")
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="crypto worker processes for the shared proxy (0 = serial)",
+    )
+    parser.add_argument(
+        "--backend", default="memory", choices=["memory", "sqlite"],
+        help="DBMS the proxy fronts",
+    )
+    parser.add_argument(
+        "--auth-key", default="",
+        help="pre-shared transport authentication key (UTF-8 passphrase)",
+    )
+    parser.add_argument("--idle-timeout", type=float, default=300.0)
+    parser.add_argument("--max-connections", type=int, default=128)
+    parser.add_argument("--drain-timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--paillier-bits", type=int, default=1024,
+        help="Paillier modulus size for the proxy's HOM onion",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+async def run(config: ServerConfig) -> int:
+    server = ReproServer(config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    host, port = server.address
+    print(f"repro.server listening on repro://{host}:{port}", flush=True)
+    await stop.wait()
+    print("repro.server draining...", flush=True)
+    await server.aclose()
+    print(
+        f"repro.server stopped: {server.stats['statements_served']} statements "
+        f"served, {server.stats['dropped_inflight']} dropped in flight",
+        flush=True,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stderr,
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        auth_key=args.auth_key.encode("utf-8"),
+        idle_timeout=args.idle_timeout,
+        max_connections=args.max_connections,
+        drain_timeout=args.drain_timeout,
+        proxy_kwargs={
+            "workers": args.workers,
+            "paillier_bits": args.paillier_bits,
+        },
+    )
+    return asyncio.run(run(config))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

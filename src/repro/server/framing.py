@@ -1,0 +1,92 @@
+"""Length-delimited records: the outermost layer of the wire protocol.
+
+Every protocol message travels as one *record*: a 4-byte big-endian length
+prefix followed by that many body bytes.  During the handshake the body is a
+cleartext HELLO frame; afterwards it is a sealed transport envelope
+(:class:`repro.server.transport.SecureChannel`).  Both the asyncio server
+and the synchronous DB-API client read and write the same format, so the
+helpers here come in both flavours.
+
+Records larger than ``max_bytes`` are rejected *before* the body is read --
+a malicious 4 GiB length prefix must not make the server allocate anything.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+from repro.errors import ReproError
+from repro.server.protocol import WireProtocolError
+
+#: Default cap on one record; covers multi-thousand-row result chunks with
+#: room to spare while bounding what one session can make the peer buffer.
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ConnectionClosedError(ReproError):
+    """The peer closed the connection (possibly mid-record)."""
+
+
+def encode_record(body: bytes) -> bytes:
+    """Prefix a record body with its 4-byte length."""
+    return _LENGTH.pack(len(body)) + body
+
+
+def _check_length(length: int, max_bytes: int) -> None:
+    if length > max_bytes:
+        raise WireProtocolError(
+            f"record of {length} bytes exceeds the {max_bytes}-byte frame limit"
+        )
+
+
+# ---------------------------------------------------------------------------
+# asyncio (server side)
+# ---------------------------------------------------------------------------
+async def read_record(
+    reader: asyncio.StreamReader, max_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
+    """Read one record; raises on EOF, truncation, or an oversized length."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise ConnectionClosedError("peer closed the connection") from exc
+        raise ConnectionClosedError("connection closed mid-record header") from exc
+    (length,) = _LENGTH.unpack(header)
+    _check_length(length, max_bytes)
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionClosedError("connection closed mid-record body") from exc
+
+
+def write_record(writer: asyncio.StreamWriter, body: bytes) -> None:
+    """Queue one record on the stream; the caller awaits ``writer.drain()``."""
+    writer.write(encode_record(body))
+
+
+# ---------------------------------------------------------------------------
+# blocking sockets (client side)
+# ---------------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            raise ConnectionClosedError("peer closed the connection")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def send_record(sock: socket.socket, body: bytes) -> None:
+    sock.sendall(encode_record(body))
+
+
+def recv_record(sock: socket.socket, max_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    (length,) = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))
+    _check_length(length, max_bytes)
+    return _recv_exact(sock, length)

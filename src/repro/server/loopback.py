@@ -1,0 +1,134 @@
+"""In-process loopback servers: a real TCP server on a background thread.
+
+Tests, benchmarks, and the ``enc-remote`` conformance lane need a genuine
+:class:`~repro.server.server.ReproServer` -- real sockets, real handshake,
+real framing -- without managing a separate process.  :class:`LoopbackServer`
+runs one on a dedicated event-loop thread bound to ``127.0.0.1:<ephemeral>``;
+:func:`connect_loopback` additionally opens a remote
+:class:`~repro.api.connection.Connection` whose ``close()`` also stops the
+embedded server, so a lane factory can hand back a self-contained connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import fields
+from typing import Any, Optional
+
+from repro.server.server import ReproServer, ServerConfig
+
+_CONFIG_FIELDS = {f.name for f in fields(ServerConfig)}
+
+
+def _split_config(kwargs: dict) -> ServerConfig:
+    """Split kwargs into ServerConfig fields and proxy kwargs."""
+    config_args = {k: v for k, v in kwargs.items() if k in _CONFIG_FIELDS}
+    proxy_kwargs = {k: v for k, v in kwargs.items() if k not in _CONFIG_FIELDS}
+    merged = dict(config_args.pop("proxy_kwargs", {}) or {})
+    merged.update(proxy_kwargs)
+    return ServerConfig(proxy_kwargs=merged, **config_args)
+
+
+class LoopbackServer:
+    """A ReproServer on its own event-loop thread; stop() drains it."""
+
+    def __init__(self, **kwargs: Any):
+        self.config = _split_config(kwargs)
+        self.server: Optional[ReproServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-loopback-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.server is None:
+            raise RuntimeError("loopback server failed to start")
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = ReproServer(self.config)
+            loop.run_until_complete(server.start())
+            self.server = server
+        except BaseException as exc:  # startup failures propagate to the caller
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server.address
+        return f"repro://{host}:{port}"
+
+    @property
+    def proxy(self):
+        return self.server.proxy
+
+    @property
+    def stats(self) -> dict:
+        return dict(self.server.stats)
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Run a graceful drain on the server thread and wait for it."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(timeout), self._loop
+        )
+        future.result(timeout=(timeout or self.server.config.drain_timeout) + 30)
+
+    def stop(self) -> None:
+        """Drain, release the proxy, and stop the event-loop thread."""
+        if self._loop is None or not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.aclose(), self._loop)
+        try:
+            future.result(timeout=60)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "LoopbackServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def connect_loopback(
+    *,
+    fetch_chunk: int = 512,
+    auth_key: bytes = b"",
+    **server_kwargs: Any,
+):
+    """One self-contained remote connection over an embedded server.
+
+    The returned :class:`~repro.api.connection.Connection` speaks the full
+    wire protocol to a live loopback :class:`ReproServer`; closing it also
+    drains and stops the server.  ``server_kwargs`` mix ServerConfig fields
+    with proxy kwargs (``master_key``, ``paillier``, ``workers``, ...).
+    """
+    from repro.api.connection import connect
+
+    server = LoopbackServer(auth_key=auth_key, **server_kwargs)
+    try:
+        connection = connect(
+            url=server.url, auth_key=auth_key, fetch_chunk=fetch_chunk
+        )
+    except BaseException:
+        server.stop()
+        raise
+    connection.proxy.on_close = server.stop
+    return connection

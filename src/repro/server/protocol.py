@@ -1,0 +1,247 @@
+"""The repro.server wire protocol: typed frames over a binary value codec.
+
+A frame is one protocol message: a single type byte followed by the
+frame's payload, encoded with a compact tagged binary codec (NULL, bools,
+arbitrary-precision ints, IEEE doubles, UTF-8 strings, byte strings, and
+list/tuple/dict containers -- exactly the value space that crosses the
+PEP 249 surface).  Frames travel inside length-delimited records
+(:mod:`repro.server.framing`), sealed by the transport channel
+(:mod:`repro.server.transport`) after the handshake.
+
+The request/response vocabulary mirrors the DB-API surface so the remote
+client can be a drop-in for the in-process path:
+
+==============  =====================================================
+frame           meaning
+==============  =====================================================
+HELLO           handshake: ephemeral ECDH public key + nonce (cleartext)
+HELLO_OK        first sealed frame from the server; authenticates the
+                session keys before any SQL is accepted
+PREPARE         parse + rewrite one statement shape on the server
+EXECUTE         run one statement (optionally parameterized)
+EXECUTEMANY     run one shape over a batch of parameter rows
+FETCH           pull the next chunk of a server-side cursor
+BEGIN/COMMIT/
+ROLLBACK        transaction control for this session
+STATS           server + proxy operational counters
+GOODBYE         orderly client shutdown
+OK/ROWS/ERROR/
+PREPARED/
+STATS_RESULT/
+BYE             the matching responses
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum
+
+from repro.errors import ReproError
+
+#: Protocol identity exchanged in the cleartext HELLO.
+MAGIC = "repro.server"
+PROTOCOL_VERSION = 1
+
+
+class WireProtocolError(ReproError):
+    """Malformed frame or codec data; the offending session is dropped."""
+
+
+class FrameType(IntEnum):
+    """One byte on the wire identifying the frame's meaning."""
+
+    HELLO = 0x01
+    HELLO_OK = 0x02
+    PREPARE = 0x03
+    EXECUTE = 0x04
+    EXECUTEMANY = 0x05
+    FETCH = 0x06
+    BEGIN = 0x07
+    COMMIT = 0x08
+    ROLLBACK = 0x09
+    STATS = 0x0A
+    GOODBYE = 0x0B
+    OK = 0x10
+    ROWS = 0x11
+    ERROR = 0x12
+    PREPARED = 0x13
+    STATS_RESULT = 0x14
+    BYE = 0x15
+
+
+#: Frames that start new work on the shared proxy; refused while draining.
+STATEMENT_FRAMES = frozenset(
+    {FrameType.PREPARE, FrameType.EXECUTE, FrameType.EXECUTEMANY, FrameType.BEGIN}
+)
+
+# ---------------------------------------------------------------------------
+# value codec
+# ---------------------------------------------------------------------------
+_TAG_NONE = 0x00
+_TAG_FALSE = 0x01
+_TAG_TRUE = 0x02
+_TAG_INT = 0x03
+_TAG_NEG_INT = 0x04
+_TAG_FLOAT = 0x05
+_TAG_STR = 0x06
+_TAG_BYTES = 0x07
+_TAG_LIST = 0x08
+_TAG_TUPLE = 0x09
+_TAG_DICT = 0x0A
+
+#: Container nesting bound: protects the decoder from recursion bombs.
+_MAX_DEPTH = 32
+
+
+def _encode_value(value, out: bytearray, depth: int = 0) -> None:
+    if depth > _MAX_DEPTH:
+        raise WireProtocolError("value nests too deeply to encode")
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        magnitude = value if value >= 0 else -value
+        body = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+        out.append(_TAG_INT if value >= 0 else _TAG_NEG_INT)
+        out.extend(struct.pack(">I", len(body)))
+        out.extend(body)
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out.extend(struct.pack(">d", value))
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out.extend(struct.pack(">I", len(body)))
+        out.extend(body)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        body = bytes(value)
+        out.append(_TAG_BYTES)
+        out.extend(struct.pack(">I", len(body)))
+        out.extend(body)
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST if isinstance(value, list) else _TAG_TUPLE)
+        out.extend(struct.pack(">I", len(value)))
+        for item in value:
+            _encode_value(item, out, depth + 1)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT)
+        out.extend(struct.pack(">I", len(value)))
+        for key, item in value.items():
+            _encode_value(key, out, depth + 1)
+            _encode_value(item, out, depth + 1)
+    else:
+        raise WireProtocolError(
+            f"value of type {type(value).__name__} cannot cross the wire"
+        )
+
+
+def encode_value(value) -> bytes:
+    """Encode one Python value with the tagged binary codec."""
+    out = bytearray()
+    _encode_value(value, out)
+    return bytes(out)
+
+
+def _read_exact(data: bytes, offset: int, count: int) -> tuple[bytes, int]:
+    end = offset + count
+    if end > len(data):
+        raise WireProtocolError("truncated value data")
+    return data[offset:end], end
+
+
+def _read_length(data: bytes, offset: int) -> tuple[int, int]:
+    raw, offset = _read_exact(data, offset, 4)
+    return struct.unpack(">I", raw)[0], offset
+
+
+def _decode_value(data: bytes, offset: int, depth: int = 0):
+    if depth > _MAX_DEPTH:
+        raise WireProtocolError("value nests too deeply to decode")
+    tag_raw, offset = _read_exact(data, offset, 1)
+    tag = tag_raw[0]
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag in (_TAG_INT, _TAG_NEG_INT):
+        length, offset = _read_length(data, offset)
+        body, offset = _read_exact(data, offset, length)
+        magnitude = int.from_bytes(body, "big")
+        return (magnitude if tag == _TAG_INT else -magnitude), offset
+    if tag == _TAG_FLOAT:
+        body, offset = _read_exact(data, offset, 8)
+        return struct.unpack(">d", body)[0], offset
+    if tag == _TAG_STR:
+        length, offset = _read_length(data, offset)
+        body, offset = _read_exact(data, offset, length)
+        try:
+            return body.decode("utf-8"), offset
+        except UnicodeDecodeError as exc:
+            raise WireProtocolError("string payload is not valid UTF-8") from exc
+    if tag == _TAG_BYTES:
+        length, offset = _read_length(data, offset)
+        body, offset = _read_exact(data, offset, length)
+        return body, offset
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        count, offset = _read_length(data, offset)
+        if count > len(data):  # cheap bound: each element takes >= 1 byte
+            raise WireProtocolError("container length exceeds frame size")
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(data, offset, depth + 1)
+            items.append(item)
+        return (items if tag == _TAG_LIST else tuple(items)), offset
+    if tag == _TAG_DICT:
+        count, offset = _read_length(data, offset)
+        if count > len(data):
+            raise WireProtocolError("container length exceeds frame size")
+        mapping = {}
+        for _ in range(count):
+            key, offset = _decode_value(data, offset, depth + 1)
+            item, offset = _decode_value(data, offset, depth + 1)
+            mapping[key] = item
+        return mapping, offset
+    raise WireProtocolError(f"unknown value tag 0x{tag:02x}")
+
+
+def decode_value(data: bytes):
+    """Decode one value; trailing bytes are a protocol error."""
+    value, offset = _decode_value(data, 0)
+    if offset != len(data):
+        raise WireProtocolError("trailing bytes after encoded value")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# frames
+# ---------------------------------------------------------------------------
+def encode_frame(frame_type: FrameType, payload) -> bytes:
+    """Serialize a frame: one type byte plus the encoded payload."""
+    return bytes([frame_type]) + encode_value(payload)
+
+
+def decode_frame(data: bytes) -> tuple[FrameType, object]:
+    """Parse a frame, validating the type byte and the payload codec."""
+    if not data:
+        raise WireProtocolError("empty frame")
+    try:
+        frame_type = FrameType(data[0])
+    except ValueError as exc:
+        raise WireProtocolError(f"unknown frame type 0x{data[0]:02x}") from exc
+    return frame_type, decode_value(data[1:])
+
+
+def expect_payload_dict(payload, frame_type: FrameType) -> dict:
+    """Most frames carry a dict payload; anything else is malformed."""
+    if not isinstance(payload, dict):
+        raise WireProtocolError(
+            f"{frame_type.name} frame payload must be a mapping, "
+            f"got {type(payload).__name__}"
+        )
+    return payload

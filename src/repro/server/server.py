@@ -1,0 +1,327 @@
+"""The networked CryptDB proxy front-end: an asyncio socket server.
+
+:class:`ReproServer` is the paper's deployment topology made real: many
+application servers connect over TCP, each gets an authenticated-encryption
+session (:mod:`repro.server.transport`), and all of them are multiplexed
+onto one shared :class:`~repro.core.proxy.CryptDBProxy` -- one master key,
+one plan cache, one crypto worker pool -- through the admission protocol of
+:mod:`repro.server.session`.
+
+Robustness properties, each covered by the adversarial test suite:
+
+* A malformed, oversized, truncated, replayed, or unauthenticated record
+  drops *that* session (logged, counted) and leaves every other session
+  serving.
+* Idle sessions time out; sessions whose reader stalls past the send
+  timeout (slow-reader backpressure) are dropped rather than buffering
+  unboundedly.
+* ``drain()`` -- wired to SIGINT/SIGTERM by the CLI -- stops accepting,
+  lets in-flight statements finish and their responses flush, answers any
+  *new* statement with ``OperationalError: server is draining``, and only
+  then closes sessions.  ``stats['dropped_inflight']`` stays zero unless
+  the drain timeout forces a hard stop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import socket
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.api.backends import resolve_backend
+from repro.core.proxy import CryptDBProxy
+from repro.server import framing, transport
+from repro.server.protocol import (
+    STATEMENT_FRAMES,
+    FrameType,
+    WireProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.server.session import Session, SessionManager
+
+logger = logging.getLogger("repro.server")
+
+
+@dataclass
+class ServerConfig:
+    """Everything tunable about one :class:`ReproServer` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: let the kernel pick (tests / loopback)
+    backend: str = "memory"
+    auth_key: bytes = b""
+    max_frame_bytes: int = framing.DEFAULT_MAX_FRAME_BYTES
+    max_connections: int = 128
+    max_pending_statements: int = 256
+    idle_timeout: float = 300.0
+    handshake_timeout: float = 10.0
+    #: Cap on how long one response may sit in a slow reader's socket buffer.
+    send_timeout: float = 30.0
+    drain_timeout: float = 30.0
+    #: Optional asyncio write-buffer high watermark (bytes) per session.
+    write_buffer_bytes: Optional[int] = None
+    #: Optional kernel SO_SNDBUF per session socket; with a small value the
+    #: send timeout actually observes a peer that stopped reading instead of
+    #: letting megabytes vanish into kernel buffers.
+    sock_sndbuf: Optional[int] = None
+    #: Forwarded to the shared CryptDBProxy (master_key, paillier, workers...).
+    proxy_kwargs: dict = field(default_factory=dict)
+
+
+class ReproServer:
+    """Asyncio front-end multiplexing encrypted sessions onto one proxy."""
+
+    def __init__(self, config: Optional[ServerConfig] = None, proxy: Optional[CryptDBProxy] = None):
+        self.config = config if config is not None else ServerConfig()
+        if proxy is not None:
+            self.proxy = proxy
+            self._owns_proxy = False
+        else:
+            backend = resolve_backend(self.config.backend)
+            self.proxy = CryptDBProxy(db=backend, **self.config.proxy_kwargs)
+            self._owns_proxy = True
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-server-db"
+        )
+        self.manager: Optional[SessionManager] = None
+        self._sessions: dict[int, asyncio.Task] = {}
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.draining = False
+        self.stats: dict[str, int] = {
+            "connections_accepted": 0,
+            "connections_rejected": 0,
+            "connections_active": 0,
+            "handshake_failures": 0,
+            "sessions_dropped": 0,
+            "statements_served": 0,
+            "statements_refused_draining": 0,
+            "dropped_inflight": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self.manager = SessionManager(
+            self.proxy,
+            loop,
+            self._executor,
+            max_pending_statements=self.config.max_pending_statements,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        logger.info("repro.server listening on %s:%d", *self.address)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        name = self._server.sockets[0].getsockname()
+        return name[0], name[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"repro://{host}:{port}"
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def drain(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: finish in-flight statements, refuse new ones."""
+        timeout = self.config.drain_timeout if timeout is None else timeout
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+        except asyncio.TimeoutError:
+            self.stats["dropped_inflight"] += self._inflight
+            logger.warning(
+                "drain timed out with %d statement(s) in flight", self._inflight
+            )
+        # In-flight work is done (or abandoned); now disconnect everyone.
+        for task in list(self._sessions.values()):
+            task.cancel()
+        if self._sessions:
+            await asyncio.gather(*self._sessions.values(), return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Drain, then release the proxy (worker pool) and the executor."""
+        await self.drain()
+        self._executor.shutdown(wait=True)
+        if self._owns_proxy:
+            self.proxy.close()
+            closer = getattr(self.proxy.db, "close", None)
+            if callable(closer):
+                closer()
+
+    # ------------------------------------------------------------------
+    # per-connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self.draining or self.stats["connections_active"] >= self.config.max_connections:
+            self.stats["connections_rejected"] += 1
+            writer.close()
+            return
+        self.stats["connections_accepted"] += 1
+        self.stats["connections_active"] += 1
+        if self.config.write_buffer_bytes is not None:
+            writer.transport.set_write_buffer_limits(
+                high=self.config.write_buffer_bytes
+            )
+        if self.config.sock_sndbuf is not None:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_SNDBUF, self.config.sock_sndbuf
+                )
+        session = Session(self.manager)
+        task = asyncio.current_task()
+        self._sessions[session.id] = task
+        try:
+            channel = await asyncio.wait_for(
+                self._handshake(reader, writer), self.config.handshake_timeout
+            )
+            await self._serve_session(session, channel, reader, writer)
+        except (
+            transport.TransportError,
+            WireProtocolError,
+            framing.ConnectionClosedError,
+            ConnectionError,
+            asyncio.TimeoutError,
+        ) as exc:
+            self.stats["sessions_dropped"] += 1
+            logger.info("session %d dropped: %s", session.id, exc)
+        except asyncio.CancelledError:
+            pass  # server shutdown
+        finally:
+            self._sessions.pop(session.id, None)
+            self.stats["connections_active"] -= 1
+            await session.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> transport.SecureChannel:
+        """ECDH + HKDF handshake; ends with the sealed HELLO_OK frame."""
+        try:
+            hello = await framing.read_record(reader, self.config.max_frame_bytes)
+            frame_type, payload = decode_frame(hello)
+            if frame_type is not FrameType.HELLO:
+                raise transport.TransportError("expected HELLO to open the session")
+            client_pub, client_nonce = transport.parse_hello(payload, "client")
+            private, public = transport.generate_keypair()
+            server_nonce = transport.fresh_nonce()
+            secret = transport.shared_secret(private, client_pub)
+            channel = transport.SecureChannel.for_server(
+                secret, client_nonce, server_nonce, self.config.auth_key
+            )
+            framing.write_record(
+                writer,
+                encode_frame(
+                    FrameType.HELLO, transport.build_hello(public, server_nonce)
+                ),
+            )
+            framing.write_record(
+                writer,
+                channel.seal(
+                    encode_frame(FrameType.HELLO_OK, {"session": "established"})
+                ),
+            )
+            await writer.drain()
+            return channel
+        except (transport.TransportError, WireProtocolError):
+            self.stats["handshake_failures"] += 1
+            raise
+
+    async def _serve_session(
+        self,
+        session: Session,
+        channel: transport.SecureChannel,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            record = await asyncio.wait_for(
+                framing.read_record(reader, self.config.max_frame_bytes),
+                self.config.idle_timeout,
+            )
+            frame_type, payload = decode_frame(channel.open(record))
+            if frame_type is FrameType.GOODBYE:
+                await self._send(writer, channel, encode_frame(FrameType.BYE, {}))
+                return
+            if self.draining and frame_type in STATEMENT_FRAMES:
+                # In-flight statements finish; *new* work is refused.  COMMIT,
+                # ROLLBACK, and FETCH stay allowed so open transactions and
+                # half-fetched results can wind down cleanly.
+                self.stats["statements_refused_draining"] += 1
+                response = encode_frame(
+                    FrameType.ERROR,
+                    {
+                        "error": "OperationalError",
+                        "message": "server is draining; no new statements accepted",
+                        "in_txn": self.manager.in_transaction(),
+                    },
+                )
+                await self._send(writer, channel, response)
+                continue
+            # The in-flight window covers the response flush too: a graceful
+            # drain must never cut a connection between executing a statement
+            # and delivering its answer.
+            self._inflight += 1
+            self._idle.clear()
+            try:
+                response_type, response_payload = await session.handle(
+                    frame_type, payload
+                )
+                self.stats["statements_served"] += 1
+                await self._send(
+                    writer, channel, encode_frame(response_type, response_payload)
+                )
+            finally:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.set()
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        channel: transport.SecureChannel,
+        frame: bytes,
+    ) -> None:
+        """Seal and write one frame, bounded by the slow-reader send timeout."""
+        framing.write_record(writer, channel.seal(frame))
+        try:
+            await asyncio.wait_for(writer.drain(), self.config.send_timeout)
+        except asyncio.TimeoutError:
+            raise transport.TransportError(
+                "peer is not reading responses (send timeout)"
+            ) from None
+
+
+async def serve(config: Optional[ServerConfig] = None, **kwargs: Any) -> ReproServer:
+    """Start a server (for embedding); the caller owns the returned instance."""
+    if config is None:
+        config = ServerConfig(**kwargs)
+    server = ReproServer(config)
+    await server.start()
+    return server

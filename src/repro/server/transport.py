@@ -1,0 +1,184 @@
+"""Authenticated-encryption transport for the proxy's wire protocol.
+
+The threat model of the paper places the proxy on the *trusted* side: rows
+leave :mod:`repro.server` decrypted, so the hop between application servers
+and the proxy needs its own protection.  The handshake and record layer here
+are built entirely from the reproduction's own primitives:
+
+* **Ephemeral ECDH** over the JOIN-ADJ curve (NIST P-192,
+  :mod:`repro.crypto.ecc`): each side sends a fresh public point in its
+  cleartext HELLO; the shared secret is the x-coordinate of
+  ``priv * peer_pub``.  Received points are validated on-curve by
+  :meth:`Point.deserialize`, rejecting invalid-curve attacks.
+* **HKDF-style key schedule** (extract-then-expand with HMAC-SHA256 via
+  :func:`repro.crypto.prf.expand`): the secret, both hello nonces, and an
+  optional pre-shared ``auth_key`` derive four 16-byte keys -- one AES key
+  and one MAC key per direction.  A peer that does not hold the same
+  ``auth_key`` derives garbage keys and fails the very first tag check,
+  which is how the server rejects unauthenticated clients.
+* **Per-record AEAD** in the AES-GCM mould, from :mod:`repro.crypto.aes` +
+  CTR mode: each record is encrypted with AES-CTR under a nonce formed from
+  a strictly-increasing 64-bit sequence counter, then authenticated with an
+  encrypt-then-MAC HMAC-SHA256 tag (truncated to 128 bits) over the
+  sequence number and ciphertext.  The receiver enforces *exactly
+  sequential* sequence numbers, so replayed, reordered, or dropped records
+  all fail closed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+import struct
+
+from repro.crypto import ecc, prf
+from repro.crypto.aes import AES
+from repro.crypto.modes import ctr_transform
+from repro.errors import ReproError
+
+#: Sealed-record layout: 8-byte sequence || ciphertext || 16-byte tag.
+SEQ_BYTES = 8
+TAG_BYTES = 16
+NONCE_PREFIX = b"\x00\x00\x00\x00"  # pads the sequence to a 12-byte CTR nonce
+
+_KDF_INFO = b"repro.server transport v1"
+
+
+class TransportError(ReproError):
+    """Handshake or record authentication failure; the session is dropped."""
+
+
+def generate_keypair() -> tuple[int, ecc.Point]:
+    """A fresh ephemeral ECDH key pair on the JOIN-ADJ curve."""
+    private = secrets.randbelow(ecc.ORDER - 1) + 1
+    return private, ecc.scalar_multiply_base(private)
+
+
+def shared_secret(private: int, peer_public: bytes) -> bytes:
+    """The ECDH shared secret from our scalar and the peer's point bytes."""
+    try:
+        peer = ecc.Point.deserialize(peer_public)
+    except ReproError as exc:
+        raise TransportError(f"invalid handshake public key: {exc}") from exc
+    point = ecc.scalar_multiply(private, peer)
+    if point.is_infinity:
+        raise TransportError("handshake produced a degenerate shared secret")
+    return point.serialize()
+
+
+def derive_directional_keys(
+    secret: bytes, client_nonce: bytes, server_nonce: bytes, auth_key: bytes
+) -> tuple[bytes, bytes, bytes, bytes]:
+    """HKDF the transcript into (c2s_key, c2s_mac, s2c_key, s2c_mac)."""
+    salt = client_nonce + server_nonce
+    pseudo_random_key = hmac.new(salt, secret + auth_key, hashlib.sha256).digest()
+    okm = prf.expand(pseudo_random_key, _KDF_INFO, 64)
+    return okm[0:16], okm[16:32], okm[32:48], okm[48:64]
+
+
+class SecureChannel:
+    """One direction-keyed AEAD channel; seal outbound, open inbound.
+
+    Construct with :meth:`for_client` / :meth:`for_server` so the two sides
+    agree on which derived keys protect which direction.
+    """
+
+    def __init__(self, send_key: bytes, send_mac: bytes, recv_key: bytes, recv_mac: bytes):
+        self._send_cipher = AES(send_key)
+        self._recv_cipher = AES(recv_key)
+        self._send_mac = send_mac
+        self._recv_mac = recv_mac
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    @classmethod
+    def for_client(
+        cls, secret: bytes, client_nonce: bytes, server_nonce: bytes, auth_key: bytes = b""
+    ) -> "SecureChannel":
+        c2s_key, c2s_mac, s2c_key, s2c_mac = derive_directional_keys(
+            secret, client_nonce, server_nonce, auth_key
+        )
+        return cls(c2s_key, c2s_mac, s2c_key, s2c_mac)
+
+    @classmethod
+    def for_server(
+        cls, secret: bytes, client_nonce: bytes, server_nonce: bytes, auth_key: bytes = b""
+    ) -> "SecureChannel":
+        c2s_key, c2s_mac, s2c_key, s2c_mac = derive_directional_keys(
+            secret, client_nonce, server_nonce, auth_key
+        )
+        return cls(s2c_key, s2c_mac, c2s_key, c2s_mac)
+
+    # ------------------------------------------------------------------
+    def seal(self, plaintext: bytes) -> bytes:
+        """Encrypt-then-MAC one record under the next sequence number."""
+        if self._send_seq >= 1 << 64:
+            raise TransportError("send sequence space exhausted")
+        seq = struct.pack(">Q", self._send_seq)
+        ciphertext = ctr_transform(self._send_cipher, NONCE_PREFIX + seq, plaintext)
+        tag = hmac.new(self._send_mac, seq + ciphertext, hashlib.sha256).digest()
+        self._send_seq += 1
+        return seq + ciphertext + tag[:TAG_BYTES]
+
+    def open(self, record: bytes) -> bytes:
+        """Verify and decrypt one record; replays and tampering fail closed.
+
+        The tag is checked before the sequence number so an attacker cannot
+        probe the replay window without holding the MAC key; the sequence
+        must then equal exactly the next expected value.
+        """
+        if len(record) < SEQ_BYTES + TAG_BYTES:
+            raise TransportError("sealed record too short")
+        seq = record[:SEQ_BYTES]
+        ciphertext = record[SEQ_BYTES:-TAG_BYTES]
+        tag = record[-TAG_BYTES:]
+        expected = hmac.new(self._recv_mac, seq + ciphertext, hashlib.sha256).digest()
+        if not hmac.compare_digest(tag, expected[:TAG_BYTES]):
+            raise TransportError("record authentication failed")
+        (sequence,) = struct.unpack(">Q", seq)
+        if sequence != self._recv_seq:
+            raise TransportError(
+                f"record sequence {sequence} is not the expected {self._recv_seq} "
+                "(replayed, reordered, or dropped record)"
+            )
+        self._recv_seq += 1
+        return ctr_transform(self._recv_cipher, NONCE_PREFIX + seq, ciphertext)
+
+
+# ---------------------------------------------------------------------------
+# handshake payload helpers (shared by the async server and sync client)
+# ---------------------------------------------------------------------------
+def build_hello(public: ecc.Point, nonce: bytes) -> dict:
+    from repro.server.protocol import MAGIC, PROTOCOL_VERSION
+
+    return {
+        "magic": MAGIC,
+        "version": PROTOCOL_VERSION,
+        "pub": public.serialize(),
+        "nonce": nonce,
+    }
+
+
+def parse_hello(payload, role: str) -> tuple[bytes, bytes]:
+    """Validate a HELLO payload; returns (peer_public_bytes, peer_nonce)."""
+    from repro.server.protocol import MAGIC, PROTOCOL_VERSION
+
+    if not isinstance(payload, dict):
+        raise TransportError(f"{role} HELLO payload is not a mapping")
+    if payload.get("magic") != MAGIC:
+        raise TransportError(f"{role} is not speaking the {MAGIC} protocol")
+    if payload.get("version") != PROTOCOL_VERSION:
+        raise TransportError(
+            f"{role} protocol version {payload.get('version')!r} is not "
+            f"{PROTOCOL_VERSION}"
+        )
+    public = payload.get("pub")
+    nonce = payload.get("nonce")
+    if not isinstance(public, bytes) or not isinstance(nonce, bytes) or len(nonce) < 8:
+        raise TransportError(f"{role} HELLO is missing key material")
+    return public, nonce
+
+
+def fresh_nonce() -> bytes:
+    return secrets.token_bytes(16)

@@ -37,7 +37,11 @@ ENCRYPTED_PREFIX = "enc-"
 
 
 def default_lane_factory(
-    parallel_workers: int = 0, parallel_chunk_threshold: int = 4, **proxy_kwargs: Any
+    parallel_workers: int = 0,
+    parallel_chunk_threshold: int = 4,
+    remote: bool = False,
+    remote_fetch_chunk: int = 64,
+    **proxy_kwargs: Any,
 ) -> LaneFactory:
     """Fresh plaintext + encrypted connections over both backends.
 
@@ -50,6 +54,14 @@ def default_lane_factory(
     generated batches actually offload).  The lane must decrypt to
     byte-identical results *and* refuse exactly the statements the serial
     encrypted lanes refuse -- parallel offload may never change behaviour.
+
+    ``remote=True`` adds a sixth lane, ``enc-remote``: every statement of
+    the stream crosses a real TCP connection to an embedded
+    :class:`~repro.server.loopback.LoopbackServer` -- ECDH handshake, AEAD
+    framing, session multiplexing, server-side cursor chunking (a small
+    ``remote_fetch_chunk`` so multi-chunk FETCH paths actually run) -- and
+    must agree, answer for answer and refusal for refusal, with the
+    in-process encrypted lanes.
     """
 
     def factory() -> dict[str, Connection]:
@@ -69,6 +81,12 @@ def default_lane_factory(
                     chunk_threshold=parallel_chunk_threshold,
                 ),
                 **proxy_kwargs,
+            )
+        if remote:
+            from repro.server.loopback import connect_loopback
+
+            lanes["enc-remote"] = connect_loopback(
+                fetch_chunk=remote_fetch_chunk, backend="memory", **proxy_kwargs
             )
         return lanes
 

@@ -2,13 +2,16 @@
 
 One seeded stream of generated statements (schema DDL, multi-row and
 parameterized INSERTs, predicate-rich SELECTs, joins, aggregates, HOM
-increments, transactions with ROLLBACK) replays over five lanes -- plaintext
-in-memory, plaintext SQLite, encrypted proxy over each backend, and the
-encrypted proxy with a two-process crypto worker pool (``workers=2``) -- and
-every decrypted result must agree.  The parallel lane must also refuse
-exactly the statements the serial encrypted lanes refuse: process-pool
-offload may never change behaviour, only throughput.  A divergence fails
-the test with an auto-minimized reproducer and the seed to replay it.
+increments, transactions with ROLLBACK) replays over six lanes -- plaintext
+in-memory, plaintext SQLite, encrypted proxy over each backend, the
+encrypted proxy with a two-process crypto worker pool (``workers=2``), and
+``enc-remote``: the same encrypted proxy behind a real loopback
+:mod:`repro.server` (TCP, ECDH handshake, AEAD frames, chunked FETCH) --
+and every decrypted result must agree.  The parallel and remote lanes must
+also refuse exactly the statements the serial encrypted lanes refuse:
+process-pool offload and the wire protocol may never change behaviour,
+only throughput and deployment shape.  A divergence fails the test with an
+auto-minimized reproducer and the seed to replay it.
 
 ``CONFORMANCE_STATEMENTS`` scales the stream (CI quick mode runs the
 default; nightly-style runs can crank it up).
@@ -32,6 +35,8 @@ QUICK_STATEMENTS = int(os.environ.get("CONFORMANCE_STATEMENTS", "520"))
 def runner(paillier_keypair) -> DifferentialRunner:
     factory = default_lane_factory(
         parallel_workers=2,
+        remote=True,
+        remote_fetch_chunk=64,
         paillier=paillier_keypair,
         master_key=MasterKey.from_passphrase("conformance-harness"),
         hom_precompute=8,
@@ -46,6 +51,20 @@ def test_parallel_lane_present(runner):
         assert "enc-parallel" in lanes
         proxy = lanes["enc-parallel"].proxy
         assert proxy.pool is not None and proxy.parallelism.workers == 2
+    finally:
+        for conn in lanes.values():
+            conn.close()
+
+
+def test_remote_lane_present(runner):
+    """The sixth lane really is remote: a socket client, not an in-process proxy."""
+    lanes = runner.lane_factory()
+    try:
+        assert "enc-remote" in lanes
+        client = lanes["enc-remote"].proxy
+        assert getattr(client, "is_remote", False)
+        # Small chunks force the multi-frame FETCH path through the stream.
+        assert client.fetch_chunk == 64
     finally:
         for conn in lanes.values():
             conn.close()

@@ -1,0 +1,20 @@
+"""Shared fixtures for the repro.server test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import MasterKey
+from repro.server.loopback import LoopbackServer
+
+
+@pytest.fixture(scope="module")
+def loopback(paillier_keypair):
+    """One live loopback server per test module; tests use unique tables."""
+    server = LoopbackServer(
+        paillier=paillier_keypair,
+        master_key=MasterKey.from_passphrase("server-suite"),
+        hom_precompute=8,
+    )
+    yield server
+    server.stop()

@@ -1,0 +1,237 @@
+"""Adversarial protocol tests: every attack drops one session, never the server.
+
+Each test throws malformed, hostile, or badly-timed traffic at a live
+loopback server through a raw socket, then proves the blast radius with the
+same check: a well-behaved client connects afterwards and gets correct
+answers.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.api import exceptions
+from repro.api.connection import connect
+from repro.crypto.keys import MasterKey
+from repro.server import framing, protocol, transport
+from repro.server.loopback import LoopbackServer
+from repro.server.protocol import FrameType
+
+
+def raw_socket(server, timeout=10.0, recv_buffer=None):
+    host, port = server.server.address
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    if recv_buffer is not None:
+        # Must be set before connect so the TCP window is negotiated small.
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, recv_buffer)
+    sock.settimeout(timeout)
+    sock.connect((host, port))
+    return sock
+
+
+def client_handshake(sock, auth_key=b""):
+    """The legitimate client handshake, by hand, over a raw socket."""
+    private, public = transport.generate_keypair()
+    nonce = transport.fresh_nonce()
+    framing.send_record(
+        sock,
+        protocol.encode_frame(FrameType.HELLO, transport.build_hello(public, nonce)),
+    )
+    frame_type, payload = protocol.decode_frame(framing.recv_record(sock))
+    assert frame_type is FrameType.HELLO
+    server_pub, server_nonce = transport.parse_hello(payload, "server")
+    channel = transport.SecureChannel.for_client(
+        transport.shared_secret(private, server_pub), nonce, server_nonce, auth_key
+    )
+    confirm_type, _ = protocol.decode_frame(channel.open(framing.recv_record(sock)))
+    assert confirm_type is FrameType.HELLO_OK
+    return channel
+
+
+def assert_connection_dropped(sock):
+    """The server must close a hostile connection (EOF, never a hang)."""
+    sock.settimeout(10)
+    try:
+        leftover = sock.recv(65536)
+        while leftover:
+            leftover = sock.recv(65536)
+    except OSError:
+        pass  # reset is as good as EOF
+    finally:
+        sock.close()
+
+
+def assert_still_serving(server, table):
+    """A fresh legitimate client gets full service after the attack."""
+    conn = connect(url=server.url, auth_key=server.config.auth_key)
+    try:
+        cur = conn.cursor()
+        cur.execute(f"CREATE TABLE {table} (id int, v int)")
+        cur.execute(f"INSERT INTO {table} (id, v) VALUES (1, 41)")
+        cur.execute(f"SELECT v FROM {table} WHERE id = ?", (1,))
+        assert cur.fetchall() == [(41,)]
+    finally:
+        conn.close()
+
+
+def test_garbage_hello_dropped(loopback):
+    sock = raw_socket(loopback)
+    framing.send_record(sock, b"\xde\xad\xbe\xef not a frame at all")
+    assert_connection_dropped(sock)
+    assert_still_serving(loopback, "adv_garbage")
+
+
+def test_non_hello_first_frame_dropped(loopback):
+    sock = raw_socket(loopback)
+    framing.send_record(sock, protocol.encode_frame(FrameType.EXECUTE, {"sql": "x"}))
+    assert_connection_dropped(sock)
+    assert_still_serving(loopback, "adv_nonhello")
+
+
+def test_truncated_record_dropped(loopback):
+    sock = raw_socket(loopback)
+    sock.sendall(struct.pack(">I", 500) + b"only a few bytes")
+    sock.shutdown(socket.SHUT_WR)
+    assert_connection_dropped(sock)
+    assert_still_serving(loopback, "adv_trunc")
+
+
+def test_oversized_length_prefix_dropped_without_allocation(loopback):
+    sock = raw_socket(loopback)
+    # Claim a 3.5 GiB record; the server must refuse at the header.
+    sock.sendall(struct.pack(">I", 0xE0000000))
+    assert_connection_dropped(sock)
+    assert_still_serving(loopback, "adv_oversize")
+
+
+def test_corrupt_hello_public_key_dropped(loopback):
+    sock = raw_socket(loopback)
+    _, public = transport.generate_keypair()
+    hello = transport.build_hello(public, transport.fresh_nonce())
+    hello["pub"] = b"\x04" + b"\x07" * 48  # not a curve point
+    framing.send_record(sock, protocol.encode_frame(FrameType.HELLO, hello))
+    assert_connection_dropped(sock)
+    assert loopback.stats["handshake_failures"] >= 1
+    assert_still_serving(loopback, "adv_badpoint")
+
+
+def test_unsealed_frame_after_handshake_dropped(loopback):
+    sock = raw_socket(loopback)
+    client_handshake(sock)
+    # A cleartext frame where a sealed record is required fails the MAC.
+    framing.send_record(sock, protocol.encode_frame(FrameType.STATS, {}))
+    assert_connection_dropped(sock)
+    assert_still_serving(loopback, "adv_unsealed")
+
+
+def test_replayed_sealed_record_dropped(loopback):
+    sock = raw_socket(loopback)
+    channel = client_handshake(sock)
+    record = channel.seal(protocol.encode_frame(FrameType.STATS, {}))
+    framing.send_record(sock, record)
+    response = channel.open(framing.recv_record(sock))
+    frame_type, _ = protocol.decode_frame(response)
+    assert frame_type is FrameType.STATS_RESULT
+    # Capture-and-replay of the identical sealed bytes must kill the session.
+    framing.send_record(sock, record)
+    assert_connection_dropped(sock)
+    assert_still_serving(loopback, "adv_replay")
+
+
+def test_wrong_auth_key_rejected(paillier_keypair):
+    server = LoopbackServer(
+        auth_key=b"correct horse",
+        paillier=paillier_keypair,
+        master_key=MasterKey.from_passphrase("auth-test"),
+        hom_precompute=8,
+    )
+    try:
+        with pytest.raises(exceptions.OperationalError, match="handshake failed"):
+            connect(url=server.url, auth_key=b"battery staple")
+        before = server.stats["sessions_dropped"]
+        assert before >= 0
+        # The right key still works.
+        conn = connect(url=server.url, auth_key=b"correct horse")
+        conn.execute("CREATE TABLE auth_ok (id int)")
+        conn.close()
+    finally:
+        server.stop()
+
+
+def test_mid_statement_disconnect_keeps_server_alive(loopback):
+    sock = raw_socket(loopback)
+    channel = client_handshake(sock)
+    framing.send_record(
+        sock,
+        channel.seal(
+            protocol.encode_frame(
+                FrameType.EXECUTE,
+                {"sql": "CREATE TABLE adv_midstmt_victim (id int, v int)",
+                 "params": None, "fetch": 0},
+            )
+        ),
+    )
+    sock.close()  # vanish while the statement is on the executor
+    time.sleep(0.2)  # let the statement land and the write fail
+    assert_still_serving(loopback, "adv_midstmt")
+
+
+def test_session_drop_is_counted(loopback):
+    before = loopback.stats["sessions_dropped"]
+    sock = raw_socket(loopback)
+    channel = client_handshake(sock)
+    framing.send_record(sock, b"\x00" * 64)  # unauthenticated sealed record
+    assert_connection_dropped(sock)
+    deadline = time.time() + 10
+    while loopback.stats["sessions_dropped"] <= before and time.time() < deadline:
+        time.sleep(0.05)
+    assert loopback.stats["sessions_dropped"] > before
+
+
+def test_slow_reader_is_dropped_not_buffered(paillier_keypair):
+    """A peer that stops reading responses hits the send timeout."""
+    server = LoopbackServer(
+        paillier=paillier_keypair,
+        master_key=MasterKey.from_passphrase("slow-reader"),
+        hom_precompute=8,
+        send_timeout=1.0,
+        write_buffer_bytes=4096,
+        sock_sndbuf=8192,
+    )
+    feeder = connect(url=server.url)
+    try:
+        cur = feeder.cursor()
+        cur.execute("CREATE TABLE slow (id int, pad varchar(400))")
+        cur.executemany(
+            "INSERT INTO slow (id, pad) VALUES (?, ?)",
+            [(i, "x" * 380) for i in range(600)],
+        )
+        sock = raw_socket(server, recv_buffer=8192)
+        channel = client_handshake(sock)
+        # Ask for the entire fat result in one frame, then never read it.
+        framing.send_record(
+            sock,
+            channel.seal(
+                protocol.encode_frame(
+                    FrameType.EXECUTE,
+                    {"sql": "SELECT id, pad FROM slow", "params": None, "fetch": 0},
+                )
+            ),
+        )
+        sock.settimeout(60)
+        before = server.stats["sessions_dropped"]
+        deadline = time.time() + 60
+        while server.stats["sessions_dropped"] <= before and time.time() < deadline:
+            time.sleep(0.1)
+        assert server.stats["sessions_dropped"] > before
+        sock.close()
+        # The drop freed the shared proxy: other clients still get answers.
+        cur.execute("SELECT COUNT(*) FROM slow")
+        assert cur.fetchone() == (600,)
+    finally:
+        feeder.close()
+        server.stop()

@@ -1,0 +1,124 @@
+"""The wire codec: every PEP 249 value round-trips, every bomb is defused."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.server.protocol import (
+    FrameType,
+    WireProtocolError,
+    decode_frame,
+    decode_value,
+    encode_frame,
+    encode_value,
+    expect_payload_dict,
+)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        1,
+        -1,
+        2**200,          # Paillier-sized integers must survive
+        -(2**200),
+        3.14159,
+        -0.0,
+        float("inf"),
+        "",
+        "hello",
+        "naïve • ünïcode ∑",
+        b"",
+        b"\x00\xff" * 40,
+        [],
+        [1, "two", None, 3.0],
+        (1, 2, 3),
+        {},
+        {"sql": "SELECT 1", "params": [1, None], "fetch": 0},
+        {"nested": {"rows": [(1, "a"), (2, "b")], "deep": [[[1]]]}},
+    ],
+)
+def test_value_roundtrip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+def test_roundtrip_preserves_types():
+    """bool is not int, tuple is not list, bytes is not str on the wire."""
+    decoded = decode_value(encode_value([True, 1, (2,), [3], b"x", "x"]))
+    assert decoded[0] is True and decoded[1] == 1 and not isinstance(decoded[1], bool)
+    assert isinstance(decoded[2], tuple) and isinstance(decoded[3], list)
+    assert isinstance(decoded[4], bytes) and isinstance(decoded[5], str)
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(WireProtocolError, match="cannot cross the wire"):
+        encode_value(object())
+
+
+def test_depth_bomb_rejected_on_encode():
+    nested: list = []
+    for _ in range(40):
+        nested = [nested]
+    with pytest.raises(WireProtocolError, match="nests too deeply"):
+        encode_value(nested)
+
+
+def test_depth_bomb_rejected_on_decode():
+    # Hand-roll 40 nested single-element lists: the encoder would refuse.
+    body = b"\x08" + struct.pack(">I", 1)
+    data = body * 40 + b"\x00"
+    with pytest.raises(WireProtocolError, match="nests too deeply"):
+        decode_value(data)
+
+
+def test_truncated_value_rejected():
+    encoded = encode_value({"key": "value", "n": 123456789})
+    for cut in range(1, len(encoded)):
+        with pytest.raises(WireProtocolError):
+            decode_value(encoded[:cut])
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(WireProtocolError, match="trailing bytes"):
+        decode_value(encode_value(42) + b"\x00")
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(WireProtocolError, match="unknown value tag"):
+        decode_value(b"\x7f")
+
+
+def test_container_count_bomb_rejected():
+    """A list claiming 4 billion elements dies before allocating any."""
+    data = b"\x08" + struct.pack(">I", 0xFFFFFFFF)
+    with pytest.raises(WireProtocolError, match="exceeds the frame size|exceeds frame size"):
+        decode_value(data)
+
+
+def test_frame_roundtrip():
+    payload = {"sql": "SELECT * FROM t", "params": None, "fetch": 64}
+    frame_type, decoded = decode_frame(encode_frame(FrameType.EXECUTE, payload))
+    assert frame_type is FrameType.EXECUTE
+    assert decoded == payload
+
+
+def test_empty_frame_rejected():
+    with pytest.raises(WireProtocolError, match="empty frame"):
+        decode_frame(b"")
+
+
+def test_unknown_frame_type_rejected():
+    with pytest.raises(WireProtocolError, match="unknown frame type"):
+        decode_frame(b"\xee" + encode_value({}))
+
+
+def test_expect_payload_dict():
+    assert expect_payload_dict({"a": 1}, FrameType.EXECUTE) == {"a": 1}
+    with pytest.raises(WireProtocolError, match="must be a mapping"):
+        expect_payload_dict([1, 2], FrameType.EXECUTE)
