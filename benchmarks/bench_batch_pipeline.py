@@ -192,3 +192,51 @@ def test_equi_join_hash_vs_nested_loop(loaded_systems, monkeypatch):
     }
     record_bench("batch_pipeline", _RESULTS)
     assert speedup >= _MIN_JOIN_SPEEDUP
+
+
+_CACHE_BUDGET = 128 * 1024 if BENCH_QUICK else 256 * 1024
+
+
+def test_cache_budget_holds_under_load(small_paillier, loaded_systems):
+    """A byte-budgeted proxy stays under its ceiling by evicting LRU units.
+
+    The unbudgeted bulk-load run above reports its cache footprint in
+    ``_RESULTS["bulk_load"]["cache"]``; this run loads the same TPC-C data
+    through a proxy capped well below that footprint and asserts the proxy
+    sheds memo units (counters > 0) while the measured ``estimated_bytes``
+    never ends a statement over budget -- the §8.4.1 "proxy fits in a fixed
+    memory slice" deployment story.
+    """
+    _scalar, unbudgeted, _rows, _s, _b = loaded_systems
+    unbudgeted_bytes = unbudgeted.proxy.stats.cache_stats().estimated_bytes
+
+    conn = repro.connect(
+        paillier=small_paillier,
+        master_key=MasterKey.from_passphrase("batch-pipeline-bench"),
+        hom_precompute=_HOM_POOL,
+        cache_budget_bytes=_CACHE_BUDGET,
+    )
+    try:
+        _load(conn, batched=True)
+        for sql, params in _CHECK_QUERIES:
+            assert conn.execute(sql, params).fetchall()
+        stats = conn.proxy.stats.cache_stats()
+        print_table("Cache under a byte budget", [{
+            "budget": _CACHE_BUDGET,
+            "estimated_bytes": stats.estimated_bytes,
+            "unbudgeted_bytes": unbudgeted_bytes,
+            "evictions": stats.evictions,
+            "evicted_bytes": stats.evicted_bytes,
+        }])
+        _RESULTS["cache_budget"] = {
+            "budget_bytes": _CACHE_BUDGET,
+            "estimated_bytes": stats.estimated_bytes,
+            "unbudgeted_estimated_bytes": unbudgeted_bytes,
+            "evictions": stats.evictions,
+            "evicted_bytes": stats.evicted_bytes,
+        }
+        record_bench("batch_pipeline", _RESULTS)
+        assert stats.estimated_bytes <= _CACHE_BUDGET
+        assert stats.evictions > 0 and stats.evicted_bytes > 0
+    finally:
+        conn.close()

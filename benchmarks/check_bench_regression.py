@@ -7,6 +7,12 @@ better).  A
 fresh value more than ``--threshold`` (default 30%) below its baseline fails
 the run, so silent perf regressions turn into red CI instead of a quiet diff.
 
+Storage metrics run the other way: any ``bytes_per_row`` leaf (the
+ciphertext/cache footprints of ``BENCH_storage_expansion.json``) is
+lower-is-better, and growing one by more than ``--growth-threshold``
+(default 20%) over its baseline fails the run -- a ciphertext-layout change
+that silently re-inflates the packed-HOM diet is a regression too.
+
 The fig10 scaling JSON additionally gets a **slope check** on its fresh
 measurements: with the real-process drivers, the highest worker count's
 CryptDB q/s must beat the 1-worker rate by the scale-out factor the
@@ -39,6 +45,8 @@ import sys
 from pathlib import Path
 
 _HIGHER_IS_BETTER = ("q/s", "qps", "speedup", "per_s", "throughput")
+#: Lower-is-better storage leaves (ciphertext / cache footprints).
+_LOWER_IS_BETTER = ("bytes_per_row",)
 _EXCLUDE = ("loss", "overhead")
 
 
@@ -49,14 +57,22 @@ def _is_throughput_key(key: str) -> bool:
     return any(word in lowered for word in _HIGHER_IS_BETTER)
 
 
+def _is_storage_key(key: str) -> bool:
+    return any(word in key.lower() for word in _LOWER_IS_BETTER)
+
+
 def collect_metrics(node, path: str = "") -> dict[str, float]:
-    """Flatten a BENCH payload into ``{json-path: value}`` throughput leaves."""
+    """Flatten a BENCH payload into ``{json-path: value}`` metric leaves.
+
+    Collects both throughput leaves (higher is better) and storage leaves
+    (lower is better); ``compare_file`` picks the direction per leaf.
+    """
     metrics: dict[str, float] = {}
     if isinstance(node, dict):
         for key, value in node.items():
             child_path = f"{path}.{key}" if path else key
             if isinstance(value, (int, float)) and not isinstance(value, bool):
-                if _is_throughput_key(key):
+                if _is_throughput_key(key) or _is_storage_key(key):
                     metrics[child_path] = float(value)
             else:
                 metrics.update(collect_metrics(value, child_path))
@@ -116,7 +132,8 @@ def check_scaling_slope(fresh_path: Path) -> tuple[list[str], list[str]]:
 
 
 def compare_file(
-    baseline_path: Path, fresh_path: Path, threshold: float
+    baseline_path: Path, fresh_path: Path, threshold: float,
+    growth_threshold: float = 0.20,
 ) -> tuple[list[str], list[str]]:
     """Return (failures, notes) for one baseline/fresh pair."""
     name = baseline_path.name
@@ -135,7 +152,17 @@ def compare_file(
         if new is None:
             failures.append(f"{name}: metric {path} disappeared (baseline {old:g})")
             continue
-        if old > 0 and new < old * (1.0 - threshold):
+        leaf = path.rsplit(".", 1)[-1]
+        if _is_storage_key(leaf):
+            if old > 0 and new > old * (1.0 + growth_threshold):
+                failures.append(
+                    f"{name}: {path} grew {old:g} -> {new:g} "
+                    f"({(new / old - 1) * 100:.0f}% growth, "
+                    f"limit {growth_threshold * 100:.0f}%)"
+                )
+            else:
+                notes.append(f"{name}: {path} {old:g} -> {new:g} ok")
+        elif old > 0 and new < old * (1.0 - threshold):
             failures.append(
                 f"{name}: {path} regressed {old:g} -> {new:g} "
                 f"({(1 - new / old) * 100:.0f}% drop, limit {threshold * 100:.0f}%)"
@@ -154,6 +181,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="directory holding the freshly recorded BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="maximum tolerated fractional drop (default 0.30)")
+    parser.add_argument("--growth-threshold", type=float, default=0.20,
+                        help="maximum tolerated fractional growth of "
+                             "lower-is-better storage metrics (default 0.20)")
     parser.add_argument("--verbose", action="store_true",
                         help="also print every metric that passed")
     args = parser.parse_args(argv)
@@ -166,7 +196,8 @@ def main(argv: list[str] | None = None) -> int:
     compared = 0
     for baseline_path in baselines:
         failures, notes = compare_file(
-            baseline_path, args.fresh_dir / baseline_path.name, args.threshold
+            baseline_path, args.fresh_dir / baseline_path.name, args.threshold,
+            args.growth_threshold,
         )
         all_failures.extend(failures)
         for note in notes:
@@ -193,8 +224,9 @@ def main(argv: list[str] | None = None) -> int:
         print("benchmark guard: no comparable metrics — every baseline/fresh "
               "pair was skipped; check quick_mode consistency", file=sys.stderr)
         return 2
-    print(f"benchmark guard: {compared} throughput metrics within "
-          f"{args.threshold * 100:.0f}% of baseline across {len(baselines)} files")
+    print(f"benchmark guard: {compared} metrics within bounds "
+          f"(drop {args.threshold * 100:.0f}%, growth "
+          f"{args.growth_threshold * 100:.0f}%) across {len(baselines)} files")
     return 0
 
 

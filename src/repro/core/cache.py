@@ -21,16 +21,54 @@ proxy* ablation (Figure 12) with all of this switched off.
 * the Paillier randomness pool is filled through :meth:`precompute_hom` and
   its hit/miss counters are reported alongside.
 
+**Byte budget.**  ``estimated_bytes`` is a real measurement: every cache
+unit (one per-column memo, one scheme's memo containers, the HOM pool) is
+walked with ``sys.getsizeof`` and re-measured only when its entry count has
+changed since the last report.  When the proxy is constructed with a
+``cache_budget_bytes`` limit, :meth:`enforce_budget` -- called after every
+statement -- evicts whole units in least-recently-used order until the
+measured footprint fits, shedding the HOM randomness pool last (dropping
+pre-computed factors costs only future encryption latency, never a cached
+ciphertext).  ``evictions``/``evicted_bytes`` count what was shed.
+
 ``proxy.stats`` exposes :meth:`statistics`, and ``proxy.stats.reset()``
 clears the counters (never the cached entries themselves).
 """
 
 from __future__ import annotations
 
+import sys
 import threading
+from collections import OrderedDict
 from dataclasses import asdict, dataclass
+from typing import Optional
 
 from repro.crypto.paillier import PaillierKeyPair
+
+
+def deep_size(obj, _seen: set | None = None) -> int:
+    """Recursive ``sys.getsizeof`` over the container shapes caches hold.
+
+    Walks dicts, lists, tuples, sets and their elements, counting each
+    distinct object once (memo values may share key bytes).  This is the
+    same walk the accuracy test performs independently over the raw cache
+    containers, so ``estimated_bytes`` is measured, not modelled.
+    """
+    if _seen is None:
+        _seen = set()
+    oid = id(obj)
+    if oid in _seen:
+        return 0
+    _seen.add(oid)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += deep_size(key, _seen)
+            size += deep_size(value, _seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += deep_size(item, _seen)
+    return size
 
 
 @dataclass
@@ -42,6 +80,9 @@ class CacheStatistics:
     job completes; ``parallel_jobs`` counts completed pool jobs and
     ``hom_pool_async_refills`` counts background Paillier randomness batches
     that landed in the pool (the asynchronous refill path).
+    ``estimated_bytes`` is the measured footprint of all cached entries,
+    ``budget_bytes`` the configured ceiling (0 = unlimited), and
+    ``evictions``/``evicted_bytes`` what budget enforcement has shed.
     """
 
     det_entries: int = 0
@@ -57,6 +98,9 @@ class CacheStatistics:
     hom_pool_hits: int = 0
     hom_pool_misses: int = 0
     estimated_bytes: int = 0
+    budget_bytes: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
     worker_det_hits: int = 0
     worker_det_misses: int = 0
     parallel_jobs: int = 0
@@ -87,22 +131,32 @@ class CacheStatistics:
 class CryptoCache:
     """All §3.5.2 ciphertext caches and pre-computation pools of one proxy."""
 
-    #: rough per-entry sizes used for the memory estimate (§8.4.1 reports
-    #: ~3 MB for 30,000 OPE entries and ~10 MB for 30,000 HOM factors).
-    DET_ENTRY_BYTES = 160
-    OPE_ENTRY_BYTES = 100
-    SEARCH_ENTRY_BYTES = 48
-    HOM_ENTRY_BYTES = 340
-
-    def __init__(self, paillier: PaillierKeyPair, enabled: bool = True):
+    def __init__(
+        self,
+        paillier: PaillierKeyPair,
+        enabled: bool = True,
+        budget_bytes: Optional[int] = None,
+    ):
         self.paillier = paillier
         self.enabled = enabled
+        self.budget_bytes = budget_bytes
         self._ope_schemes: list = []
         self._search_schemes: list = []
         self._eq_encrypt_memos: dict[tuple[str, str], dict] = {}
         self._eq_decrypt_memos: dict[tuple[str, str], dict] = {}
         self.det_hits = 0
         self.det_misses = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
+        # Budget bookkeeping: ``_lru`` orders evictable units (one key per
+        # memo dict / scheme) from coldest to hottest; ``_unit_sizes`` maps
+        # each unit to its (entry count, measured bytes) at last measurement
+        # so an unchanged unit is never re-walked; ``_scheme_activity``
+        # snapshots each scheme's hit+miss counter so use between two
+        # ``enforce_budget`` calls refreshes its LRU position.
+        self._lru: OrderedDict[tuple, None] = OrderedDict()
+        self._unit_sizes: dict[tuple, tuple[int, int]] = {}
+        self._scheme_activity: dict[tuple, int] = {}
         # Crypto-worker-pool counters, accumulated as per-job deltas (never
         # polled from workers, so pool restarts cannot double-count).  The
         # lock serialises merges from the main thread (scatter) and the
@@ -115,9 +169,11 @@ class CryptoCache:
 
     # -- scheme registration (done by the encryptor as it creates them) ----
     def register_ope(self, scheme) -> None:
+        self._lru[("ope", len(self._ope_schemes))] = None
         self._ope_schemes.append(scheme)
 
     def register_search(self, scheme) -> None:
+        self._lru[("search", len(self._search_schemes))] = None
         self._search_schemes.append(scheme)
 
     # -- Eq-onion memos ----------------------------------------------------
@@ -125,18 +181,24 @@ class CryptoCache:
         """Plaintext-bytes -> (join_ct, det_ct) memo, or None when disabled."""
         if not self.enabled:
             return None
+        key = ("eq_enc", table, column)
         memo = self._eq_encrypt_memos.get((table, column))
         if memo is None:
             memo = self._eq_encrypt_memos[(table, column)] = {}
+        self._lru[key] = None
+        self._lru.move_to_end(key)
         return memo
 
     def eq_decrypt_memo(self, table: str, column: str) -> dict | None:
         """Ciphertext -> decoded-value memo, or None when disabled."""
         if not self.enabled:
             return None
+        key = ("eq_dec", table, column)
         memo = self._eq_decrypt_memos.get((table, column))
         if memo is None:
             memo = self._eq_decrypt_memos[(table, column)] = {}
+        self._lru[key] = None
+        self._lru.move_to_end(key)
         return memo
 
     def invalidate_eq(self, table: str | None = None, column: str | None = None) -> None:
@@ -150,8 +212,13 @@ class CryptoCache:
         """
         if table is None:
             self._eq_encrypt_memos.clear()
+            for key in [k for k in self._lru if k[0] == "eq_enc"]:
+                self._lru.pop(key, None)
+                self._unit_sizes.pop(key, None)
             return
         self._eq_encrypt_memos.pop((table, column), None)
+        self._lru.pop(("eq_enc", table, column), None)
+        self._unit_sizes.pop(("eq_enc", table, column), None)
 
     # -- HOM pre-computation (§3.5.2) --------------------------------------
     def precompute_hom(self, count: int) -> None:
@@ -177,6 +244,107 @@ class CryptoCache:
         with self._worker_counter_lock:
             self.hom_pool_async_refills += 1
 
+    # -- byte accounting and budget enforcement ----------------------------
+    def _unit_containers(self, key: tuple) -> tuple[int, tuple]:
+        """(entry count, container objects) of one evictable cache unit."""
+        kind = key[0]
+        if kind == "eq_enc":
+            memo = self._eq_encrypt_memos.get(key[1:], {})
+            return len(memo), (memo,)
+        if kind == "eq_dec":
+            memo = self._eq_decrypt_memos.get(key[1:], {})
+            return len(memo), (memo,)
+        if kind == "ope":
+            scheme = self._ope_schemes[key[1]]
+        else:
+            scheme = self._search_schemes[key[1]]
+        return scheme.cache_size, tuple(scheme.cache_objects())
+
+    def _unit_bytes(self, key: tuple) -> int:
+        """Measured bytes of one unit, re-walking only when it grew/shrank."""
+        count, containers = self._unit_containers(key)
+        cached = self._unit_sizes.get(key)
+        if cached is not None and cached[0] == count:
+            return cached[1]
+        seen: set = set()
+        size = sum(deep_size(obj, seen) for obj in containers)
+        self._unit_sizes[key] = (count, size)
+        return size
+
+    def _estimated_bytes(self) -> int:
+        total = sum(self._unit_bytes(key) for key in self._lru)
+        return total + self.paillier.randomness_pool_bytes
+
+    def _touch_active_schemes(self) -> None:
+        """Refresh LRU position of schemes used since the last enforcement.
+
+        The encryptor talks to OPE/SEARCH scheme objects directly, so the
+        cache cannot observe their accesses the way it observes Eq memo
+        lookups; their hit+miss counters stand in as an activity signal.
+        """
+        for kind, schemes in (("ope", self._ope_schemes), ("search", self._search_schemes)):
+            for index, scheme in enumerate(schemes):
+                key = (kind, index)
+                activity = scheme.cache_hits + scheme.cache_misses
+                if self._scheme_activity.get(key) != activity:
+                    self._scheme_activity[key] = activity
+                    if key in self._lru:
+                        self._lru.move_to_end(key)
+
+    def _evict_unit(self, key: tuple) -> int:
+        """Drop one unit's entries; returns the bytes reclaimed."""
+        size = self._unit_bytes(key)
+        kind = key[0]
+        if kind == "eq_enc":
+            self._eq_encrypt_memos.pop(key[1:], None)
+        elif kind == "eq_dec":
+            self._eq_decrypt_memos.pop(key[1:], None)
+        elif kind == "ope":
+            self._ope_schemes[key[1]].clear_cache()
+        else:
+            self._search_schemes[key[1]].clear_cache()
+        if kind in ("ope", "search"):
+            # Schemes stay registered (the encryptor holds them); an empty
+            # unit re-enters LRU rotation as it refills.
+            self._unit_sizes.pop(key, None)
+            self._lru.move_to_end(key)
+        else:
+            self._lru.pop(key, None)
+            self._unit_sizes.pop(key, None)
+        self.evictions += 1
+        self.evicted_bytes += size
+        return size
+
+    def enforce_budget(self) -> None:
+        """Evict least-recently-used units until the footprint fits.
+
+        Memos go first, coldest unit first; the HOM randomness pool is
+        trimmed last because shedding pre-computed factors never discards a
+        cached ciphertext -- the next INSERTs just pay ``r^n`` inline again.
+        """
+        if self.budget_bytes is None:
+            return
+        self._touch_active_schemes()
+        total = self._estimated_bytes()
+        if total <= self.budget_bytes:
+            return
+        for key in list(self._lru):
+            if total <= self.budget_bytes:
+                return
+            _, containers = self._unit_containers(key)
+            if not any(len(c) for c in containers):
+                continue
+            total -= self._evict_unit(key)
+        excess = total - self.budget_bytes
+        count = self.paillier.randomness_pool_size
+        if excess > 0 and count:
+            per_factor = max(1, (self.paillier.randomness_pool_bytes // count))
+            drop = min(count, -(-excess // per_factor))
+            dropped = self.paillier.trim_randomness_pool(count - drop)
+            if dropped:
+                self.evictions += 1
+                self.evicted_bytes += dropped * per_factor
+
     # -- reporting ---------------------------------------------------------
     def statistics(self) -> CacheStatistics:
         det_entries = sum(len(m) for m in self._eq_encrypt_memos.values())
@@ -201,12 +369,10 @@ class CryptoCache:
             worker_det_misses=self.worker_det_misses,
             parallel_jobs=self.parallel_jobs,
             hom_pool_async_refills=self.hom_pool_async_refills,
-            estimated_bytes=(
-                det_entries * self.DET_ENTRY_BYTES
-                + ope_entries * self.OPE_ENTRY_BYTES
-                + search_entries * self.SEARCH_ENTRY_BYTES
-                + hom_remaining * self.HOM_ENTRY_BYTES
-            ),
+            estimated_bytes=self._estimated_bytes(),
+            budget_bytes=self.budget_bytes or 0,
+            evictions=self.evictions,
+            evicted_bytes=self.evicted_bytes,
         )
 
     def reset_counters(self) -> None:
@@ -215,9 +381,12 @@ class CryptoCache:
         The per-worker counters accumulated from the crypto pool are part of
         the aggregate and reset with it; a pool restart afterwards starts
         from zero again because only per-job deltas are ever absorbed.
+        Eviction counters are lifetime totals and reset with the rest.
         """
         self.det_hits = 0
         self.det_misses = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
         with self._worker_counter_lock:
             self.worker_det_hits = 0
             self.worker_det_misses = 0
@@ -233,6 +402,9 @@ class CryptoCache:
         """Drop every cached entry (counters are kept; use reset_counters)."""
         self._eq_encrypt_memos.clear()
         self._eq_decrypt_memos.clear()
+        self._unit_sizes.clear()
+        for key in [k for k in self._lru if k[0] in ("eq_enc", "eq_dec")]:
+            del self._lru[key]
         for scheme in self._ope_schemes:
             scheme.clear_cache()
         for scheme in self._search_schemes:

@@ -25,7 +25,7 @@ from repro.crypto.det import DET
 from repro.crypto.join_adj import ADJ_SIZE, JoinCiphertext
 from repro.crypto.keys import KeyManager
 from repro.crypto.ope import OPE
-from repro.crypto.paillier import Paillier, PaillierKeyPair
+from repro.crypto.paillier import Paillier, PaillierKeyPair, PackingConfig
 from repro.crypto.rnd import RND
 from repro.crypto.search import SEARCH
 from repro.errors import CryptoError, ProxyError
@@ -62,11 +62,15 @@ class Encryptor:
         use_ope_cache: bool = True,
         cache: Optional[CryptoCache] = None,
         pool: Optional[CryptoWorkerPool] = None,
+        packing: Optional[PackingConfig] = None,
     ):
         self.keys = keys
         self.joins = joins
         self.paillier = paillier
         self.hom = Paillier(paillier.public)
+        #: Packed-HOM slot layout (§8.4); ``None`` keeps the one-ciphertext-
+        #: per-value scalar behaviour.  Must match the schema's ``hom_slots``.
+        self.packing = packing
         self.cache = cache if cache is not None else CryptoCache(paillier, enabled=use_ope_cache)
         self.use_ope_cache = use_ope_cache
         #: Optional crypto worker pool; batch kernels offload through it when
@@ -195,8 +199,12 @@ class Encryptor:
         if column.plaintext:
             return result
         if value is None:
-            # CryptDB exposes NULLs to the DBMS unencrypted (§3.3).
-            for state in column.onions.values():
+            # CryptDB exposes NULLs to the DBMS unencrypted (§3.3).  A packed
+            # member's Add part lives in the shared group ciphertext (its slot
+            # carries count 0 for NULL), so it is never NULLed here.
+            for onion, state in column.onions.items():
+                if onion is Onion.ADD and column.hom_packed:
+                    continue
                 result[state.anon_name] = None
             if column.iv_column:
                 result[column.iv_column] = None
@@ -206,6 +214,10 @@ class Encryptor:
         if column.iv_column:
             result[column.iv_column] = iv
         for onion, state in column.onions.items():
+            if onion is Onion.ADD and column.hom_packed:
+                # The shared packed cell is produced per *group*, not per
+                # column; see :meth:`encrypt_hom_group`.
+                continue
             result[state.anon_name] = self.encrypt_to_level(
                 column, onion, state.level, value, iv
             )
@@ -512,6 +524,8 @@ class Encryptor:
             result[column.iv_column] = ivs
         dense = [values[i] for i in non_null]
         for onion, state in column.onions.items():
+            if onion is Onion.ADD and column.hom_packed:
+                continue  # produced per group via encrypt_hom_group_many
             cells = self._encrypt_onion_column(
                 column, onion, state.level, dense, [ivs[i] for i in non_null]
             )
@@ -601,9 +615,102 @@ class Encryptor:
 
     def hom_delta_many(self, column: ColumnMeta, deltas: Sequence[Any]) -> list:
         """Batch form of :meth:`hom_delta`."""
+        if column.hom_packed:
+            n = self.paillier.public.n
+            return self._hom_encrypt_many(
+                [
+                    self.packing.encode_delta(
+                        self._to_int(column, d), column.hom_slot, n
+                    )
+                    for d in deltas
+                ]
+            )
         return self._hom_encrypt_many(
             [self._to_hom_int(d, column) for d in deltas]
         )
+
+    # ------------------------------------------------------------------
+    # Packed HOM groups (§8.4): one ciphertext per row per group
+    # ------------------------------------------------------------------
+    def _require_packing(self) -> PackingConfig:
+        if self.packing is None:
+            raise CryptoError(
+                "schema has packed HOM groups but the encryptor has no PackingConfig"
+            )
+        return self.packing
+
+    def _encode_group_row(
+        self, members: Sequence[ColumnMeta], values: Sequence[Any]
+    ) -> int:
+        config = self._require_packing()
+        return config.encode_cell(
+            [
+                None if value is None else self._to_int(column, value)
+                for column, value in zip(members, values)
+            ]
+        )
+
+    def encrypt_hom_group(
+        self, members: Sequence[ColumnMeta], values: Sequence[Any]
+    ) -> int:
+        """Encrypt one row's HOM-group members into a single packed cell.
+
+        ``values`` is slot-ordered and may contain ``None`` (SQL NULL, stored
+        as a count-0 slot); the whole group costs one Paillier exponentiation.
+        """
+        return self.paillier.encrypt(self._encode_group_row(members, values))
+
+    def encrypt_hom_group_many(
+        self, members: Sequence[ColumnMeta], rows: Sequence[Sequence[Any]]
+    ) -> list[int]:
+        """Batch form of :meth:`encrypt_hom_group` (one packed cell per row)."""
+        return self._hom_encrypt_many(
+            [self._encode_group_row(members, row) for row in rows]
+        )
+
+    def hom_group_rewrite(
+        self,
+        assignments: Sequence[tuple[ColumnMeta, Any]],
+        old_ciphertext: int,
+    ) -> int:
+        """Overwrite some slots of a packed cell, preserving the others.
+
+        The proxy-side half of an absolute ``SET member = v`` on a packed
+        column (§3.3's SELECT-then-UPDATE strategy): decrypt the old cell,
+        splice the reassigned slots in plaintext, re-encrypt with fresh
+        randomness.  Slots not assigned -- including any pending homomorphic
+        increments folded into them -- survive bit-exactly.
+        """
+        config = self._require_packing()
+        plaintext = self.paillier.decrypt(old_ciphertext)
+        width = config.slot_width
+        for column, value in assignments:
+            slot = column.hom_slot
+            plaintext &= ~(((1 << width) - 1) << (slot * width))
+            if value is not None:
+                plaintext |= config.encode_cell(
+                    [None] * slot + [self._to_int(column, value)]
+                )
+        return self.paillier.encrypt(plaintext)
+
+    def decrypt_hom_avgs(self, column: ColumnMeta, ciphertexts: Sequence[Any]) -> list:
+        """AVG results for a *packed* column: count comes from the slot.
+
+        ``COUNT(shared_group_column)`` would count rows where *any* member is
+        non-NULL, so packed AVG derives the divisor from the slot's count
+        subfield instead of a separate COUNT item.
+        """
+        config = self._require_packing()
+        out = []
+        for ciphertext in ciphertexts:
+            if ciphertext is None:
+                out.append(None)
+                continue
+            count, total = self.paillier.decrypt_packed_sum(
+                ciphertext, column.hom_slot, config
+            )
+            out.append(None if count == 0 else self._from_int(column, total) / count)
+        return out
 
     # ------------------------------------------------------------------
     # Constant encryption (query rewrite path)
@@ -632,6 +739,14 @@ class Encryptor:
 
     def hom_delta(self, column: ColumnMeta, delta: int) -> int:
         """Paillier encryption of an increment used by UPDATE ... SET c = c + k."""
+        if column.hom_packed:
+            return self.paillier.encrypt(
+                self.packing.encode_delta(
+                    self._to_int(column, delta),
+                    column.hom_slot,
+                    self.paillier.public.n,
+                )
+            )
         return self.paillier.encrypt(self._to_hom_int(delta, column))
 
     # ------------------------------------------------------------------
@@ -669,6 +784,11 @@ class Encryptor:
                 value = self._rnd_for(column, Onion.ORD).decrypt_int(value, iv)
             return self._from_ope_int(column, self._ope_for(column).decrypt(value))
         if onion is Onion.ADD:
+            if column.hom_packed:
+                cell = self._require_packing().decode_cell(
+                    self.paillier.decrypt(ciphertext), column.hom_slot
+                )
+                return None if cell is None else self._from_int(column, cell)
             return self._from_hom_int(self.paillier.decrypt(ciphertext), column)
         if onion is Onion.SEARCH:
             raise ProxyError("SEARCH ciphertexts cannot be decrypted to plaintext")
@@ -678,6 +798,13 @@ class Encryptor:
         """Decrypt the result of the Paillier SUM aggregate UDF."""
         if ciphertext is None:
             return None
+        if column.hom_packed:
+            count, total = self.paillier.decrypt_packed_sum(
+                ciphertext, column.hom_slot, self._require_packing()
+            )
+            # SUM over rows whose member is always NULL is NULL, even though
+            # the shared packed cells themselves are never NULL (PR 4 rule).
+            return None if count == 0 else self._from_int(column, total)
         return self._from_hom_int(self.paillier.decrypt(ciphertext), column)
 
     # ------------------------------------------------------------------
@@ -750,7 +877,15 @@ class Encryptor:
                     decrypted = None
             if decrypted is None:
                 decrypted = self.paillier.decrypt_many(dense)
-            plains = [self._from_hom_int(v, column) for v in decrypted]
+            if column.hom_packed:
+                config = self._require_packing()
+                cells = [config.decode_cell(v, column.hom_slot) for v in decrypted]
+                plains = [
+                    None if cell is None else self._from_int(column, cell)
+                    for cell in cells
+                ]
+            else:
+                plains = [self._from_hom_int(v, column) for v in decrypted]
         elif onion is Onion.SEARCH:
             raise ProxyError("SEARCH ciphertexts cannot be decrypted to plaintext")
         else:
@@ -762,6 +897,8 @@ class Encryptor:
 
     def decrypt_hom_sums(self, column: ColumnMeta, ciphertexts: Sequence[Any]) -> list:
         """Batch form of :meth:`decrypt_hom_sum`."""
+        if column.hom_packed:
+            return [self.decrypt_hom_sum(column, ct) for ct in ciphertexts]
         return [
             None if ct is None else self._from_hom_int(self.paillier.decrypt(ct), column)
             for ct in ciphertexts

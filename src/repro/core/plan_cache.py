@@ -92,6 +92,14 @@ def bind_parameters(
                     f"must be numeric, got {type(value).__name__}"
                 )
             slot.target.value = encryptor.hom_delta(slot.column, slot.sign * value)
+        elif slot.kind == "hom_pack":
+            slot.target.value = encryptor.encrypt_hom_group(
+                [column for column, _, _ in slot.pack],
+                [
+                    params[index] if index is not None else literal
+                    for _, index, literal in slot.pack
+                ],
+            )
         else:  # pragma: no cover - slots are only created with known kinds
             raise ProxyError(f"unknown parameter slot kind {slot.kind}")
 
@@ -137,6 +145,19 @@ def bind_parameters_batch(
                     )
             slot_columns.append(
                 encryptor.hom_delta_many(slot.column, [slot.sign * v for v in values])
+            )
+        elif slot.kind == "hom_pack":
+            slot_columns.append(
+                encryptor.encrypt_hom_group_many(
+                    [column for column, _, _ in slot.pack],
+                    [
+                        [
+                            row[index] if index is not None else literal
+                            for _, index, literal in slot.pack
+                        ]
+                        for row in rows
+                    ],
+                )
             )
         else:  # pragma: no cover - slots are only created with known kinds
             raise ProxyError(f"unknown parameter slot kind {slot.kind}")

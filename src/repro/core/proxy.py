@@ -31,7 +31,7 @@ from repro.core.results import decrypt_results
 from repro.core.schema import ProxySchema
 from repro.core.training import TrainingReport, build_report
 from repro.crypto.keys import KeyManager, MasterKey
-from repro.crypto.paillier import PaillierKeyPair
+from repro.crypto.paillier import PackingConfig, PaillierKeyPair
 from repro.errors import ProxyError, UnsupportedQueryError
 from repro.parallel.jobs import HomRandomnessJob
 from repro.parallel.pool import CryptoWorkerPool, ParallelConfig, ParallelUnavailable
@@ -137,13 +137,33 @@ class CryptDBProxy:
         plan_cache_size: int = 256,
         workers: int = 0,
         parallelism: Optional[ParallelConfig] = None,
+        hom_packing: Union[bool, PackingConfig] = True,
+        cache_budget_bytes: Optional[int] = None,
     ):
         self.db = db if db is not None else Database()
         self.master_key = master_key if master_key is not None else MasterKey.generate()
         self.keys = KeyManager(self.master_key)
         self.paillier = paillier if paillier is not None else PaillierKeyPair.generate(paillier_bits)
         self.joins = JoinManager(self.master_key.material)
-        self.cache = CryptoCache(self.paillier, enabled=use_ciphertext_cache)
+        # Packed HOM slots (§8.4): ``True`` uses the default layout, a
+        # PackingConfig customises it, ``False`` keeps one scalar Paillier
+        # ciphertext per value (the ``enc-packed-off`` conformance lane).
+        if hom_packing is True:
+            packing: Optional[PackingConfig] = PackingConfig()
+        elif hom_packing:
+            packing = hom_packing
+        else:
+            packing = None
+        if packing is not None and packing.slot_width >= self.paillier.public.n.bit_length():
+            # A demo-sized modulus that cannot hold even one slot falls back
+            # to scalar ciphertexts rather than refusing to start.
+            packing = None
+        self.hom_packing = packing
+        self.cache = CryptoCache(
+            self.paillier,
+            enabled=use_ciphertext_cache,
+            budget_bytes=cache_budget_bytes,
+        )
         # ``workers=N`` is shorthand for ``parallelism=ParallelConfig(workers=N)``;
         # an explicit config wins, with a bare ``workers`` overriding its count.
         if parallelism is None:
@@ -163,8 +183,16 @@ class CryptDBProxy:
             use_ope_cache=use_ciphertext_cache,
             cache=self.cache,
             pool=self.pool,
+            packing=self.hom_packing,
         )
-        self.schema = ProxySchema(anonymize_names=anonymize_names)
+        self.schema = ProxySchema(
+            anonymize_names=anonymize_names,
+            hom_slots=(
+                self.hom_packing.slots_for(self.paillier.public.n)
+                if self.hom_packing is not None
+                else None
+            ),
+        )
         self.rewriter = Rewriter(
             self.schema, self.encryptor, self.joins, in_proxy_processing=in_proxy_processing
         )
@@ -188,7 +216,7 @@ class CryptDBProxy:
         self._computation_log: dict[tuple[str, str], set] = {}
         self._unsupported_log: list[str] = []
         self._training = False
-        udfs.install_udfs(self.db, self.paillier.public)
+        udfs.install_udfs(self.db, self.paillier.public, packing=self.hom_packing)
 
     # ------------------------------------------------------------------
     # parallel crypto lifecycle
@@ -280,6 +308,8 @@ class CryptDBProxy:
                 anon_columns.append(ColumnDef(column_def.name, column_def.data_type))
                 continue
             for onion, state in column.onions.items():
+                if onion is Onion.ADD and column.hom_packed:
+                    continue  # stored once per group, below
                 if onion in (Onion.EQ, Onion.SEARCH):
                     anon_columns.append(ColumnDef(state.anon_name, BLOB()))
                 elif onion is Onion.ORD:
@@ -287,6 +317,9 @@ class CryptDBProxy:
                 elif onion is Onion.ADD:
                     anon_columns.append(ColumnDef(state.anon_name, BLOB()))
             anon_columns.append(ColumnDef(column.iv_column, BLOB()))
+        for group in table_meta.hom_groups:
+            # One shared packed-Add ciphertext column per group (§8.4).
+            anon_columns.append(ColumnDef(group.anon_name, BLOB()))
         return anon_columns
 
     def create_index(self, table: str, column: str) -> None:
@@ -415,9 +448,11 @@ class CryptDBProxy:
                 ).rowcount
             else:
                 total = 0
-                for bound in bound_rows:
+                for row_index, bound in enumerate(bound_rows):
                     for slot, value in zip(slots, bound):
                         slot.target.value = value
+                    if plan.hom_rmw:
+                        self._run_hom_rmw(plan, rows[row_index])
                     total += self.db.execute(statement).rowcount
             server_time = time.perf_counter() - server_start
 
@@ -430,6 +465,7 @@ class CryptDBProxy:
             self.stats.record_query_type_batch(
                 prepared.kind, time.perf_counter() - total_start, len(rows)
             )
+            self.cache.enforce_budget()
 
     #: Statement heads that never produce a cacheable rewrite plan; prepare()
     #: skips the cache for them so hit/miss counters reflect only real plans.
@@ -554,6 +590,8 @@ class CryptDBProxy:
             bind_time = time.perf_counter() - bind_start
 
             server_start = time.perf_counter()
+            if plan.hom_rmw:
+                self._run_hom_rmw(plan, params)
             server_result = self.db.execute(plan.statement)
             server_time = time.perf_counter() - server_start
 
@@ -571,6 +609,50 @@ class CryptDBProxy:
             self.stats.record_query_type(
                 prepared.kind, time.perf_counter() - total_start
             )
+            self.cache.enforce_budget()
+
+    def _run_hom_rmw(self, plan: RewritePlan, params: Sequence[Any]) -> None:
+        """Rewrite packed group cells for an UPDATE's absolute assignments.
+
+        §3.3's SELECT-then-UPDATE strategy, applied per packed group: read
+        the packed cells of the rows matching the (already bound) WHERE
+        clause, splice the reassigned slots in plaintext, and write each
+        fresh ciphertext back keyed on the old cell value.  Runs *before*
+        the main UPDATE so the predicate still evaluates against pre-update
+        onion state; untouched slots -- including pending homomorphic
+        increments -- survive bit-exactly.  Paillier cells are probabilistic,
+        so two rows share a cell only when a previous RMW made them
+        identical, in which case they remain interchangeable here too.
+        """
+        where = plan.statement.where
+        for spec in plan.hom_rmw:
+            select = ast.Select(
+                items=[ast.SelectItem(ast.ColumnRef(spec.group_anon_name), None)],
+                from_clause=ast.TableRef(spec.anon_table, None),
+                where=where,
+            )
+            old_cells = {
+                row[0] for row in self.db.execute(select).rows if row[0] is not None
+            }
+            if not old_cells:
+                continue
+            assignments = [
+                (column, params[index] if index is not None else value)
+                for column, index, value in spec.assignments
+            ]
+            for old_cell in old_cells:
+                new_cell = self.encryptor.hom_group_rewrite(assignments, old_cell)
+                match = ast.BinaryOp(
+                    "=", ast.ColumnRef(spec.group_anon_name), ast.Literal(old_cell)
+                )
+                condition = match if where is None else ast.BinaryOp("AND", where, match)
+                self.db.execute(
+                    ast.Update(
+                        spec.anon_table,
+                        [(spec.group_anon_name, ast.Literal(new_cell))],
+                        condition,
+                    )
+                )
 
     def _restore_onion_state(self, snapshot: tuple) -> None:
         """Rewind onion levels, JOIN-ADJ key state and the schema version.

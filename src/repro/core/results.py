@@ -57,6 +57,10 @@ def _decrypt_column(
     if spec.kind == "hom_sum":
         return encryptor.decrypt_hom_sums(spec.column, values)
     if spec.kind == "avg":
+        if spec.extra_index is None:
+            # Packed column: the divisor is the slot's count subfield, read
+            # out of the same decrypted aggregate (no COUNT item shipped).
+            return encryptor.decrypt_hom_avgs(spec.column, values)
         totals = encryptor.decrypt_hom_sums(spec.column, values)
         counts = [row[spec.extra_index] for row in server_rows]
         return [

@@ -16,7 +16,7 @@ For every incoming statement the rewriter:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from repro.core import udfs
 from repro.core.encryptor import Encryptor
@@ -28,7 +28,7 @@ from repro.core.onion import (
     is_at_least,
     requirement_for,
 )
-from repro.core.schema import ColumnMeta, ProxySchema, TableMeta
+from repro.core.schema import ColumnMeta, HomGroup, ProxySchema, TableMeta
 from repro.errors import ProxyError, UnsupportedQueryError
 from repro.sql import ast_nodes as ast
 
@@ -58,13 +58,34 @@ class ParamSlot:
     """
 
     index: int                     # zero-based parameter position
-    kind: str                      # plain | constant | row_value | hom_delta
+    kind: str                      # plain | constant | row_value | hom_delta | hom_pack
     target: ast.Literal            # literal node in the rewritten statement
     column: Optional[ColumnMeta] = None
     onion: Optional[Onion] = None
     level: Optional[EncryptionScheme] = None
     part: Optional[str] = None     # row_value: which anonymised column
     sign: int = 1                  # hom_delta: +1 for ``c + ?``, -1 for ``c - ?``
+    #: hom_pack: the whole packed group cell, slot-ordered.  Each entry is
+    #: ``(member column, parameter index or None, literal value)``; binding
+    #: gathers the member values and encrypts one packed ciphertext.
+    pack: Optional[list] = None
+
+
+@dataclass
+class HomRmwSpec:
+    """A proxy-driven read-modify-write of one packed Add group cell.
+
+    An absolute ``SET member = v`` cannot clear one slot of a shared packed
+    ciphertext homomorphically, so the rewriter records the reassigned slots
+    here and the proxy performs §3.3's SELECT-then-UPDATE strategy at
+    execution time: read the matching rows' packed cells, splice the slots
+    in plaintext, write fresh ciphertexts back keyed on the old cell.
+    """
+
+    anon_table: str
+    group_anon_name: str
+    #: slot-ordered: ``(member column, parameter index or None, literal value)``
+    assignments: list = field(default_factory=list)
 
 
 @dataclass
@@ -78,6 +99,8 @@ class RewritePlan:
     proxy_order: list[tuple[int, bool]] = field(default_factory=list)
     passthrough: bool = False
     param_slots: list[ParamSlot] = field(default_factory=list)
+    #: Packed-group rewrites the proxy must run *before* the main statement.
+    hom_rmw: list[HomRmwSpec] = field(default_factory=list)
     # A plan is cacheable unless fresh per-execution randomness (RND IVs, HOM
     # ciphertexts) was baked into the rewritten statement itself; replaying
     # such a plan would silently reuse randomness and leak equality.
@@ -340,8 +363,17 @@ class Rewriter:
 
     @staticmethod
     def _anon_parts(column: ColumnMeta) -> list[str]:
-        """Anonymised DBMS columns storing one application column's value."""
-        parts = [state.anon_name for state in column.onions.values()]
+        """Anonymised DBMS columns storing one application column's value.
+
+        A packed member's Add part lives in the table's shared group
+        ciphertext and is written per *group* (INSERT) or through the
+        read-modify-write path (UPDATE), never as a per-column part.
+        """
+        parts = [
+            state.anon_name
+            for onion, state in column.onions.items()
+            if not (onion is Onion.ADD and column.hom_packed)
+        ]
         if column.iv_column:
             parts.append(column.iv_column)
         return parts
@@ -823,6 +855,12 @@ class Rewriter:
                 index = add_item(ast.FunctionCall(udfs.HOM_SUM, [ref]), label)
                 if name == "SUM":
                     return OutputSpec("hom_sum", label, index, column=column)
+                if column.hom_packed:
+                    # COUNT over the shared packed column would count rows
+                    # where *any* group member is non-NULL; the slot's count
+                    # subfield is the correct divisor and comes for free with
+                    # the decrypted sum.
+                    return OutputSpec("avg", label, index, column=column)
                 count_index = add_item(ast.FunctionCall("COUNT", [ref]), label + "__count")
                 return OutputSpec(
                     "avg", label, index, column=column, extra_index=count_index
@@ -886,6 +924,10 @@ class Rewriter:
             layout.append((column, parts))
             anon_columns.extend(parts)
 
+        for group in table_meta.hom_groups:
+            anon_columns.append(group.anon_name)
+        position = {name: i for i, name in enumerate(columns)}
+
         rows: list[list[ast.Expression]] = []
         for row_exprs in statement.rows:
             if len(row_exprs) != len(columns):
@@ -907,9 +949,54 @@ class Rewriter:
                 plan.cacheable = False
                 encrypted = self.encryptor.encrypt_row_value(column, expr.value)
                 row.extend(ast.Literal(encrypted.get(part)) for part in parts)
+            for group in table_meta.hom_groups:
+                row.append(
+                    self._packed_insert_cell(plan, table_meta, group, position, row_exprs)
+                )
             rows.append(row)
         plan.statement = ast.Insert(table_meta.anon_name, anon_columns, rows)
         return plan
+
+    def _packed_insert_cell(
+        self,
+        plan: RewritePlan,
+        table_meta: TableMeta,
+        group: HomGroup,
+        position: dict[str, int],
+        row_exprs: list[ast.Expression],
+    ) -> ast.Expression:
+        """The INSERT expression for one row's shared packed group cell.
+
+        Members missing from the INSERT column list default to NULL and are
+        stored as count-0 slots; the cell itself is always non-NULL, so the
+        read paths never need a packed-IS-NULL special case.  Rows with any
+        ``?`` member defer to a ``hom_pack`` slot (one packed encryption per
+        bound row); all-literal rows bake a fresh ciphertext and make the
+        plan non-cacheable, exactly like literal RND IVs.
+        """
+        entries: list[tuple[ColumnMeta, Optional[int], Any]] = []
+        for member_name in group.members:
+            column = table_meta.column(member_name)
+            index = position.get(member_name)
+            expr = row_exprs[index] if index is not None else None
+            if isinstance(expr, ast.Placeholder):
+                entries.append((column, expr.index, None))
+            else:
+                # The main column loop already rejected anything that is not
+                # a Literal or Placeholder; a missing member stays NULL.
+                entries.append((column, None, expr.value if expr is not None else None))
+        param_indices = [index for _, index, _ in entries if index is not None]
+        if param_indices:
+            target = ast.Literal(None)
+            plan.param_slots.append(
+                ParamSlot(param_indices[0], "hom_pack", target, pack=entries)
+            )
+            return target
+        plan.cacheable = False
+        members = [table_meta.column(name) for name in group.members]
+        return ast.Literal(
+            self.encryptor.encrypt_hom_group(members, [value for _, _, value in entries])
+        )
 
     def _rewrite_update(self, statement: ast.Update) -> RewritePlan:
         plan = RewritePlan(statement=None)
@@ -928,6 +1015,10 @@ class Rewriter:
         )
 
         assignments: list[tuple[str, ast.Expression]] = []
+        # Two increments landing on the same shared packed column must nest
+        # (a second plain assignment to the same name would win and drop the
+        # first member's delta).
+        packed_assignment_at: dict[str, int] = {}
         for column_name, expr in statement.assignments:
             column = table_meta.column(column_name)
             if column.plaintext:
@@ -938,6 +1029,8 @@ class Rewriter:
             if isinstance(expr, ast.Placeholder):
                 self._record(plan, column, ComputationClass.NONE)
                 assignments.extend(self._row_value_slots(plan, expr, column))
+                if column.hom_packed:
+                    self._register_hom_rmw(plan, table_meta, column, expr.index, None)
                 continue
             if isinstance(expr, ast.Literal):
                 self._record(plan, column, ComputationClass.NONE)
@@ -945,6 +1038,8 @@ class Rewriter:
                 plan.cacheable = False
                 encrypted = self.encryptor.encrypt_row_value(column, expr.value)
                 assignments.extend((name, ast.Literal(value)) for name, value in encrypted.items())
+                if column.hom_packed:
+                    self._register_hom_rmw(plan, table_meta, column, None, expr.value)
                 continue
             increment = _match_increment(expr, column_name)
             if increment is not None:
@@ -964,10 +1059,30 @@ class Rewriter:
                     delta_node = ast.Literal(
                         self.encryptor.hom_delta(column, sign * value_expr.value)
                     )
-                call = ast.FunctionCall(
-                    udfs.HOM_ADD, [ast.ColumnRef(state.anon_name), delta_node]
-                )
-                assignments.append((state.anon_name, call))
+                if column.hom_packed:
+                    # The delta ciphertext is pre-shifted into the member's
+                    # slot; the Eq-onion cell rides along as a NULL sentinel
+                    # so increments of NULL values leave the slot at count 0.
+                    sentinel = ast.ColumnRef(column.onion_state(Onion.EQ).anon_name)
+                    previous = packed_assignment_at.get(state.anon_name)
+                    base: ast.Expression = (
+                        assignments[previous][1]
+                        if previous is not None
+                        else ast.ColumnRef(state.anon_name)
+                    )
+                    call = ast.FunctionCall(
+                        udfs.HOM_ADD_PACKED, [base, delta_node, sentinel]
+                    )
+                    if previous is not None:
+                        assignments[previous] = (state.anon_name, call)
+                    else:
+                        packed_assignment_at[state.anon_name] = len(assignments)
+                        assignments.append((state.anon_name, call))
+                else:
+                    call = ast.FunctionCall(
+                        udfs.HOM_ADD, [ast.ColumnRef(state.anon_name), delta_node]
+                    )
+                    assignments.append((state.anon_name, call))
                 if not column.hom_stale_others:
                     # Projections of this column must switch to the Add onion
                     # (§3.3); cached SELECT plans reading Eq are now stale.
@@ -982,6 +1097,28 @@ class Rewriter:
 
         plan.statement = ast.Update(table_meta.anon_name, assignments, where)
         return plan
+
+    @staticmethod
+    def _register_hom_rmw(
+        plan: RewritePlan,
+        table_meta: TableMeta,
+        column: ColumnMeta,
+        param_index: Optional[int],
+        value: Any,
+    ) -> None:
+        """Record that an UPDATE absolutely reassigns one packed slot."""
+        group = table_meta.hom_groups[column.hom_group]
+        for spec in plan.hom_rmw:
+            if spec.group_anon_name == group.anon_name:
+                spec.assignments.append((column, param_index, value))
+                return
+        plan.hom_rmw.append(
+            HomRmwSpec(
+                table_meta.anon_name,
+                group.anon_name,
+                [(column, param_index, value)],
+            )
+        )
 
     def _rewrite_delete(self, statement: ast.Delete) -> RewritePlan:
         plan = RewritePlan(statement=None)

@@ -56,6 +56,15 @@ class ColumnMeta:
     join_base: Optional[tuple[str, str]] = None    # current JOIN-ADJ base column
     ope_join_group: Optional[str] = None           # declared range-join group
     hom_stale_others: bool = False     # Add onion updated ahead of the others
+    #: Packed HOM (§8.4): slot index of this column inside its table's shared
+    #: packed Add ciphertext, and which :class:`HomGroup` it belongs to.
+    #: ``None`` means the column stores a scalar Paillier ciphertext.
+    hom_slot: Optional[int] = None
+    hom_group: Optional[int] = None
+
+    @property
+    def hom_packed(self) -> bool:
+        return self.hom_slot is not None
 
     @property
     def kind(self) -> str:
@@ -102,12 +111,28 @@ class ColumnMeta:
 
 
 @dataclass
+class HomGroup:
+    """One shared packed-Add ciphertext column and its member columns.
+
+    With packing enabled, every Add-onion column of a table is assigned a
+    slot inside one of these groups; the anonymised layout stores a single
+    BLOB column per group instead of one 2048-bit ciphertext per member.
+    """
+
+    index: int
+    anon_name: str
+    members: list[str] = field(default_factory=list)  # column names, slot order
+
+
+@dataclass
 class TableMeta:
     """Proxy metadata for one application table."""
 
     name: str
     anon_name: str
     columns: dict[str, ColumnMeta] = field(default_factory=dict)
+    #: Packed HOM groups (empty when packing is disabled).
+    hom_groups: list[HomGroup] = field(default_factory=list)
 
     def column(self, name: str) -> ColumnMeta:
         if name not in self.columns:
@@ -124,8 +149,11 @@ class TableMeta:
 class ProxySchema:
     """All table metadata known to the proxy, plus anonymisation counters."""
 
-    def __init__(self, anonymize_names: bool = True):
+    def __init__(self, anonymize_names: bool = True, hom_slots: Optional[int] = None):
         self.anonymize_names = anonymize_names
+        #: Slots per packed Add ciphertext (``None`` disables packing and
+        #: every Add column keeps its own scalar Paillier ciphertext).
+        self.hom_slots = hom_slots
         self.tables: dict[str, TableMeta] = {}
         self._table_counter = 0
         #: Monotonic counter bumped on every schema or onion-state change;
@@ -175,9 +203,37 @@ class ProxySchema:
                     )
                 col_meta.iv_column = f"{prefix}_IV"
             meta.columns[column.name] = col_meta
+        if self.hom_slots:
+            self._assign_hom_groups(meta)
         self.tables[name] = meta
         self.bump_version()
         return meta
+
+    def _assign_hom_groups(self, meta: TableMeta) -> None:
+        """Pack the table's Add-onion columns into shared ciphertext slots.
+
+        Members are assigned in schema order, ``hom_slots`` per group; each
+        member's Add onion is re-pointed at the group's single anonymised
+        BLOB column and remembers its slot index.
+        """
+        members = [
+            column
+            for column in meta.columns.values()
+            if column.has_onion(Onion.ADD)
+        ]
+        for start in range(0, len(members), self.hom_slots):
+            group_index = len(meta.hom_groups)
+            if self.anonymize_names:
+                anon_name = f"H{group_index}_{Onion.ADD.value}"
+            else:
+                anon_name = f"hom{group_index}_{Onion.ADD.value}"
+            group = HomGroup(index=group_index, anon_name=anon_name)
+            for slot, column in enumerate(members[start : start + self.hom_slots]):
+                column.hom_slot = slot
+                column.hom_group = group_index
+                column.onions[Onion.ADD].anon_name = anon_name
+                group.members.append(column.name)
+            meta.hom_groups.append(group)
 
     def drop_table(self, name: str) -> TableMeta:
         """Forget an application table (its anonymised twin is dropped too)."""

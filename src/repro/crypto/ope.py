@@ -146,6 +146,10 @@ class OPE:
         """Number of cached plaintext/ciphertext pairs."""
         return len(self._encrypt_cache)
 
+    def cache_objects(self) -> tuple:
+        """The live memo containers, walked by the cache's byte accounting."""
+        return (self._encrypt_cache, self._decrypt_cache)
+
     def clear_cache(self) -> None:
         """Drop all cached encryptions."""
         self._encrypt_cache.clear()

@@ -15,13 +15,18 @@ implements that optimisation and the Figure 12 "Proxy*" ablation disables it.
 from __future__ import annotations
 
 import secrets
+import struct
+import sys
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.crypto.numbers import crt_pair, generate_prime, lcm, modinv
 from repro.errors import CryptoError
 
 DEFAULT_KEY_BITS = 1024
+
+#: Tag prefixing a multi-partial packed SUM blob (see :class:`PackingConfig`).
+PARTIAL_SUM_TAG = b"PSUM"
 
 
 @dataclass
@@ -38,6 +43,159 @@ class PaillierPublicKey:
     @property
     def bits(self) -> int:
         return self.n.bit_length()
+
+
+@dataclass(frozen=True)
+class PackingConfig:
+    """Slot layout for packing several HOM values into one ciphertext (§8.4).
+
+    The paper keeps ciphertext expansion moderate by packing multiple
+    additively-homomorphic values into a single Paillier plaintext; we pack
+    one slot per HOM column of a table row.  Each slot is two subfields::
+
+        [ count : headroom_bits + 1 ][ value : value_bits + headroom_bits ]
+
+    * ``value`` holds the offset-encoded value ``v + 2^(value_bits-1)``
+      (signed values become non-negative, so slots never borrow from their
+      neighbours under homomorphic addition).
+    * ``count`` holds the number of non-NULL rows folded into the slot: a
+      stored row contributes 1 (or 0 for SQL NULL), and summing ciphertexts
+      sums the counts.  The decryptor recovers ``sum = value - count*offset``
+      and reports NULL when ``count == 0`` -- which also keeps the
+      zero-rows/all-NULL ``SUM -> NULL`` semantics intact.
+
+    ``headroom_bits`` bounds how many rows can be summed into one ciphertext
+    before a subfield could overflow: a SUM aggregate closes its running
+    chunk every ``chunk_rows`` rows and emits multiple partial ciphertexts
+    (see :func:`encode_partial_sums`).  The default 16 bits allows 65536
+    rows per chunk; tests use tiny headroom to exercise the chunking path.
+    """
+
+    value_bits: int = 64
+    headroom_bits: int = 16
+
+    def __post_init__(self):
+        if self.value_bits < 2 or self.headroom_bits < 1:
+            raise CryptoError("PackingConfig subfields too small")
+
+    @property
+    def offset(self) -> int:
+        return 1 << (self.value_bits - 1)
+
+    @property
+    def value_width(self) -> int:
+        return self.value_bits + self.headroom_bits
+
+    @property
+    def count_width(self) -> int:
+        return self.headroom_bits + 1
+
+    @property
+    def slot_width(self) -> int:
+        return self.value_width + self.count_width
+
+    @property
+    def chunk_rows(self) -> int:
+        """Rows a SUM may fold into one ciphertext before closing the chunk."""
+        return 1 << self.headroom_bits
+
+    def slots_for(self, modulus: int) -> int:
+        """How many slots fit one Paillier plaintext under ``modulus``."""
+        slots = (modulus.bit_length() - 1) // self.slot_width
+        if slots < 1:
+            raise CryptoError(
+                "Paillier modulus too small for one %d-bit packed slot"
+                % self.slot_width
+            )
+        return slots
+
+    # -- cell codec (one stored row) --------------------------------------
+    def encode_cell(self, values: Sequence[Optional[int]]) -> int:
+        """Pack one row's member values (``None`` = SQL NULL) into slots."""
+        offset = self.offset
+        packed = 0
+        for slot, value in enumerate(values):
+            if value is None:
+                continue
+            if not -offset <= value < offset:
+                raise CryptoError(
+                    "packed HOM value %d outside signed %d-bit range"
+                    % (value, self.value_bits)
+                )
+            raw = ((1 << self.value_width) | (value + offset)) << (
+                slot * self.slot_width
+            )
+            packed |= raw
+        return packed
+
+    def decode_slot(self, plaintext: int, slot: int) -> tuple[int, int]:
+        """Return ``(count, sum)`` for one slot of a decrypted plaintext."""
+        raw = (plaintext >> (slot * self.slot_width)) & (
+            (1 << self.slot_width) - 1
+        )
+        count = raw >> self.value_width
+        total = (raw & ((1 << self.value_width) - 1)) - count * self.offset
+        return count, total
+
+    def decode_cell(self, plaintext: int, slot: int) -> Optional[int]:
+        """Read one *stored-row* slot back: ``None`` when the value was NULL."""
+        count, total = self.decode_slot(plaintext, slot)
+        return None if count == 0 else total
+
+    def encode_delta(self, delta: int, slot: int, modulus: int) -> int:
+        """Plaintext for a homomorphic ``col = col +/- k`` on one slot.
+
+        Negative deltas wrap mod ``modulus``; the offset encoding guarantees
+        the target slot's value subfield is at least ``offset > |delta|``, so
+        the subtraction never borrows into the count subfield or a
+        neighbouring slot.
+        """
+        if not -self.offset < delta < self.offset:
+            raise CryptoError(
+                "packed HOM delta %d outside signed %d-bit range"
+                % (delta, self.value_bits)
+            )
+        return (delta << (slot * self.slot_width)) % modulus
+
+
+# -- multi-chunk SUM partials -----------------------------------------------
+def encode_partial_sums(ciphertexts: Sequence[int]) -> bytes:
+    """Serialize several packed-SUM partial ciphertexts into one BLOB.
+
+    A packed SUM aggregate that folds more than ``chunk_rows`` rows closes
+    its running product and starts a new one; the finalized aggregate is
+    then a *list* of ciphertexts.  This tagged encoding crosses the DBMS
+    result path (both the in-memory engine and the SQLite codec pass bytes
+    through untouched); the proxy decrypts each partial and adds the
+    per-slot ``(count, sum)`` pairs in plaintext.
+    """
+    parts = [PARTIAL_SUM_TAG, struct.pack(">I", len(ciphertexts))]
+    for ciphertext in ciphertexts:
+        raw = ciphertext.to_bytes((ciphertext.bit_length() + 7) // 8 or 1, "big")
+        parts.append(struct.pack(">I", len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def is_partial_sum_blob(value) -> bool:
+    return isinstance(value, (bytes, bytearray)) and bytes(value[:4]) == PARTIAL_SUM_TAG
+
+
+def decode_partial_sums(blob: bytes) -> list[int]:
+    """Invert :func:`encode_partial_sums`."""
+    if not is_partial_sum_blob(blob):
+        raise CryptoError("not a packed partial-SUM blob")
+    (count,) = struct.unpack_from(">I", blob, 4)
+    ciphertexts = []
+    cursor = 8
+    for _ in range(count):
+        (length,) = struct.unpack_from(">I", blob, cursor)
+        cursor += 4
+        ciphertexts.append(int.from_bytes(blob[cursor : cursor + length], "big"))
+        cursor += length
+    if cursor != len(blob):
+        raise CryptoError("trailing bytes in packed partial-SUM blob")
+    return ciphertexts
 
 
 @dataclass
@@ -165,6 +323,29 @@ class PaillierKeyPair:
         """Number of unused pre-computed randomness factors."""
         return len(self._randomness_pool)
 
+    @property
+    def randomness_pool_bytes(self) -> int:
+        """Heap bytes held by the pool (factors are all ``n^2``-sized)."""
+        pool = self._randomness_pool
+        size = sys.getsizeof(pool)
+        if pool:
+            size += len(pool) * sys.getsizeof(pool[0])
+        return size
+
+    def trim_randomness_pool(self, keep: int) -> int:
+        """Discard pre-computed factors beyond ``keep``; returns how many.
+
+        Used by the cache's byte-budget enforcement: the pool trades memory
+        for future encryption latency, so shedding factors is always safe --
+        the next encryptions simply pay ``r^n`` inline again.
+        """
+        keep = max(0, keep)
+        dropped = len(self._randomness_pool) - keep
+        if dropped > 0:
+            del self._randomness_pool[keep:]
+            return dropped
+        return 0
+
     def _next_randomness(self) -> int:
         if self._randomness_pool:
             self.pool_hits += 1
@@ -230,6 +411,49 @@ class PaillierKeyPair:
     def decrypt_many(self, ciphertexts: list[int]) -> list[int]:
         """Invert :meth:`encrypt_many`."""
         return [None if c is None else self.decrypt(c) for c in ciphertexts]
+
+    # -- packed slots (section 8.4's ciphertext packing) -------------------
+    def encrypt_packed(
+        self, values: Sequence[Optional[int]], config: PackingConfig
+    ) -> int:
+        """Encrypt one row's HOM members into a single packed ciphertext.
+
+        ``values`` is slot-ordered; ``None`` marks SQL NULL (count 0).  The
+        whole row costs *one* exponentiation instead of ``len(values)``.
+        """
+        return self.encrypt(config.encode_cell(values))
+
+    def encrypt_packed_many(
+        self, rows: Sequence[Sequence[Optional[int]]], config: PackingConfig
+    ) -> list[int]:
+        """Encrypt a batch of rows, one packed ciphertext per row."""
+        return [self.encrypt(config.encode_cell(row)) for row in rows]
+
+    def decrypt_packed(
+        self, ciphertext: int, slots: int, config: PackingConfig
+    ) -> list[tuple[int, int]]:
+        """Decrypt once and shift/mask out every slot as ``(count, sum)``."""
+        plaintext = self.decrypt(ciphertext)
+        return [config.decode_slot(plaintext, slot) for slot in range(slots)]
+
+    def decrypt_packed_sum(
+        self, value, slot: int, config: PackingConfig
+    ) -> tuple[int, int]:
+        """Decrypt a packed SUM result -- an int ciphertext or a multi-chunk
+        :func:`encode_partial_sums` blob -- and return one slot's
+        ``(count, sum)``, added across partials."""
+        if is_partial_sum_blob(value):
+            ciphertexts = decode_partial_sums(bytes(value))
+        else:
+            ciphertexts = [value]
+        count = total = 0
+        for ciphertext in ciphertexts:
+            part_count, part_total = config.decode_slot(
+                self.decrypt(ciphertext), slot
+            )
+            count += part_count
+            total += part_total
+        return count, total
 
 
 class Paillier:

@@ -163,6 +163,10 @@ class SEARCH:
         """Number of memoised keyword cores."""
         return len(self._core_cache)
 
+    def cache_objects(self) -> tuple:
+        """The live memo containers, walked by the cache's byte accounting."""
+        return (self._core_cache,)
+
     def clear_cache(self) -> None:
         self._core_cache.clear()
 

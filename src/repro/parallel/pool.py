@@ -26,6 +26,8 @@ never double-count, because nothing is ever re-read from a worker.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import sys
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
@@ -49,15 +51,26 @@ class ParallelConfig:
     ``workers=0`` (the default) keeps the proxy fully serial.  Batches
     smaller than ``chunk_threshold`` items run serially even with a pool
     attached; larger ones are split into at most ``workers`` chunks of at
-    least ``chunk_threshold // 2`` items each.  ``start_method`` defaults to
-    ``fork`` where available (workers inherit the warmed interpreter) and
-    ``spawn`` elsewhere.  ``hom_low_watermark``/``hom_refill_batch`` govern
-    the asynchronous Paillier randomness refill; ``profile_dir`` makes every
-    worker dump a cProfile at exit (used by ``profile_hotpaths --workers``).
+    least ``chunk_threshold // 2`` items each.  ``chunk_threshold=None``
+    (the default) auto-sizes from the machine: on a box without at least
+    two cores the synchronous scatter path can never beat the serial code
+    -- the same crypto runs on the same lone core plus IPC -- so it is
+    disabled outright (asynchronous HOM refills still run; they overlap
+    idle time rather than competing with a query).  ``start_method``
+    defaults to ``fork`` where available (workers inherit the warmed
+    interpreter) and ``spawn`` elsewhere.  ``hom_low_watermark``/
+    ``hom_refill_batch`` govern the asynchronous Paillier randomness
+    refill; ``profile_dir`` makes every worker dump a cProfile at exit
+    (used by ``profile_hotpaths --workers``).
     """
 
+    #: sync-offload break-even batch size on a machine with real parallelism
+    #: (measured on the Figure-10 workload: below ~2 dozen values the IPC
+    #: round-trip and chunk splicing cost more than the crypto saved).
+    AUTO_CHUNK_THRESHOLD = 24
+
     workers: int = 0
-    chunk_threshold: int = 24
+    chunk_threshold: Optional[int] = None
     start_method: Optional[str] = None
     hom_low_watermark: int = 16
     hom_refill_batch: int = 128
@@ -66,6 +79,14 @@ class ParallelConfig:
     @property
     def enabled(self) -> bool:
         return self.workers > 0
+
+    def resolved_chunk_threshold(self) -> int:
+        """The effective sync-offload threshold (auto-sized when None)."""
+        if self.chunk_threshold is not None:
+            return max(1, self.chunk_threshold)
+        if (os.cpu_count() or 1) < 2:
+            return sys.maxsize
+        return self.AUTO_CHUNK_THRESHOLD
 
 
 class CryptoWorkerPool:
@@ -81,7 +102,7 @@ class CryptoWorkerPool:
             raise ValueError("CryptoWorkerPool requires workers >= 1")
         self.config = config
         self.workers = config.workers
-        self.chunk_threshold = max(1, config.chunk_threshold)
+        self.chunk_threshold = config.resolved_chunk_threshold()
         self.stats_sink = stats_sink
         self._init = jobs_mod.WorkerInit.from_keypair(
             paillier, profile_dir=config.profile_dir

@@ -280,6 +280,7 @@ class Session:
                 "batched_statements": stats.batched_statements,
                 "batched_rows": stats.batched_rows,
             },
+            "cache": stats.cache_stats().as_dict(),
             "in_txn": self.manager.in_transaction(),
         }
 

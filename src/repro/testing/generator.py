@@ -93,11 +93,18 @@ class StatementGenerator:
         ("ref", "INT", "ref"),
     ]
 
-    def __init__(self, seed: int, tables: int = 2, unicode_text: bool = True):
+    def __init__(
+        self,
+        seed: int,
+        tables: int = 2,
+        unicode_text: bool = True,
+        sum_heavy: bool = False,
+    ):
         self.rng = random.Random(seed)
         self.seed = seed
         self.tables = [_TableState(f"t{i}") for i in range(max(1, tables))]
         self.in_transaction = False
+        self.sum_heavy = sum_heavy
         self._word_pool = list(VOCAB) + (list(UNICODE_VOCAB) if unicode_text else [])
 
     # ------------------------------------------------------------------
@@ -237,7 +244,7 @@ class StatementGenerator:
     def _update(self, table: _TableState) -> GeneratedStatement:
         rng = self.rng
         where = f" WHERE {self._predicate(table)}" if rng.random() < 0.9 else ""
-        if rng.random() < 0.35:
+        if rng.random() < (0.8 if self.sum_heavy else 0.35):
             # Homomorphic increment; the column's other onions go stale.
             column = rng.choice(["qty", "price"])
             delta: Any
@@ -399,6 +406,20 @@ class StatementGenerator:
                 rng.choice(["COMMIT", "ROLLBACK"]), kind="txn"
             )
         roll = rng.random()
+        if self.sum_heavy:
+            # Aggregate-dominated mix for the packed-HOM lanes: rows pile up
+            # through INSERTs and increments while SUM/AVG sweeps them, so
+            # streams cross packed-sum chunk boundaries (slot headroom) and
+            # read cells carrying pending homomorphic deltas.
+            if roll < 0.34:
+                return self._insert(table)
+            if roll < 0.58:
+                return self._aggregate_select(table)
+            if roll < 0.70:
+                return self._grouped_select(table)
+            if roll < 0.92:
+                return self._update(table)
+            return self._audit(table)
         if roll < 0.24:
             return self._insert(table)
         if roll < 0.60:

@@ -41,12 +41,17 @@ def default_lane_factory(
     parallel_chunk_threshold: int = 4,
     remote: bool = False,
     remote_fetch_chunk: int = 64,
+    packed_off: bool = False,
     **proxy_kwargs: Any,
 ) -> LaneFactory:
     """Fresh plaintext + encrypted connections over both backends.
 
     ``proxy_kwargs`` (``paillier``, ``master_key``, ...) are forwarded to the
-    encrypted lanes so test suites can share one session key pair.
+    encrypted lanes so test suites can share one session key pair.  The
+    encrypted lanes all run with HOM slot packing at the proxy's default
+    (on); ``packed_off=True`` adds an ``enc-packed-off`` lane with packing
+    disabled, so a packed-pipeline divergence bisects cleanly against the
+    scalar-HOM code path answering the identical stream.
 
     ``parallel_workers > 0`` adds a fifth lane, ``enc-parallel``: the same
     encrypted proxy over the in-memory backend but with a crypto worker pool
@@ -81,6 +86,11 @@ def default_lane_factory(
                     chunk_threshold=parallel_chunk_threshold,
                 ),
                 **proxy_kwargs,
+            )
+        if packed_off:
+            off_kwargs = {k: v for k, v in proxy_kwargs.items() if k != "hom_packing"}
+            lanes["enc-packed-off"] = connect(
+                backend="memory", hom_packing=False, **off_kwargs
             )
         if remote:
             from repro.server.loopback import connect_loopback

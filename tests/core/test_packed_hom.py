@@ -1,0 +1,160 @@
+"""Packed HOM through the whole proxy pipeline (§8.4 ciphertext diet).
+
+All INTEGER/DECIMAL columns of a table share packed Paillier ciphertexts
+(one slot per column, one ciphertext per row per group of ``slots_for(n)``
+columns).  These tests pin the end-to-end behaviours the codec tests can't
+see: storage layout, NULL semantics through SUM/AVG (the PR 4
+zero-rows->NULL contract), increments and absolute SETs on shared cells,
+headroom chunking on real aggregates, and packed-vs-scalar equivalence on
+randomized workloads.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto.paillier import PackingConfig, PaillierKeyPair
+
+
+def _rows(proxy, sql):
+    return proxy.execute(sql).rows
+
+
+def test_packing_on_by_default_and_groups_assigned(proxy):
+    assert proxy.hom_packing is not None
+    proxy.execute("CREATE TABLE g (a INT, b INT, c INT)")
+    groups = proxy.schema.tables["g"].hom_groups
+    assert groups and all(group.anon_name.endswith("_Add") for group in groups)
+    slots = proxy.hom_packing.slots_for(proxy.paillier.public.n)
+    assert all(len(group.members) <= slots for group in groups)
+    # 3 HOM columns, but far fewer stored Add ciphertexts than columns.
+    assert len(groups) == -(-3 // slots)
+
+
+def test_small_modulus_disables_packing():
+    from repro.core.proxy import CryptDBProxy
+    from repro.crypto.keys import MasterKey
+
+    proxy = CryptDBProxy(
+        master_key=MasterKey.from_passphrase("tiny"),
+        paillier=PaillierKeyPair.generate(64),
+    )
+    # A 64-bit modulus cannot hold one 97-bit slot; the proxy must fall
+    # back to scalar HOM instead of corrupting values.
+    assert proxy.hom_packing is None
+    proxy.execute("CREATE TABLE t (v INT)")
+    proxy.execute("INSERT INTO t (v) VALUES (5), (6)")
+    assert _rows(proxy, "SELECT SUM(v) FROM t") == [(11,)]
+
+
+def test_sum_zero_rows_is_null(proxy):
+    proxy.execute("CREATE TABLE z (id INT, v INT)")
+    assert _rows(proxy, "SELECT SUM(v), AVG(v) FROM z") == [(None, None)]
+    proxy.execute("INSERT INTO z (id, v) VALUES (1, 5)")
+    assert _rows(proxy, "SELECT SUM(v) FROM z WHERE id = 99") == [(None,)]
+
+
+def test_sum_all_null_column_is_null(proxy):
+    proxy.execute("CREATE TABLE an (id INT, v INT)")
+    proxy.execute("INSERT INTO an (id, v) VALUES (1, NULL), (2, NULL)")
+    assert _rows(proxy, "SELECT SUM(v), AVG(v), COUNT(v) FROM an") == [(None, None, 0)]
+
+
+def test_sum_skips_null_members(proxy):
+    proxy.execute("CREATE TABLE sn (id INT, v INT)")
+    proxy.execute("INSERT INTO sn (id, v) VALUES (1, 10), (2, NULL), (3, -4)")
+    assert _rows(proxy, "SELECT SUM(v), AVG(v) FROM sn") == [(6, 3.0)]
+
+
+def test_increment_preserves_null_and_neighbours(proxy):
+    proxy.execute("CREATE TABLE inc (id INT, a INT, b INT)")
+    proxy.execute("INSERT INTO inc (id, a, b) VALUES (1, 10, NULL), (2, 20, 7)")
+    proxy.execute("UPDATE inc SET b = b + 5")
+    # SQL: NULL + 5 stays NULL; the packed neighbour slots are untouched.
+    assert _rows(proxy, "SELECT id, a, b FROM inc ORDER BY id") == [
+        (1, 10, None),
+        (2, 20, 12),
+    ]
+
+
+def test_multiple_increments_same_group_one_update(proxy):
+    proxy.execute("CREATE TABLE mi (id INT, a INT, b INT)")
+    proxy.execute("INSERT INTO mi (id, a, b) VALUES (1, 100, 200)")
+    # Two members of one packed group in a single UPDATE: the rewritten
+    # assignments must nest, not last-win.
+    proxy.execute("UPDATE mi SET a = a + 5, b = b - 3 WHERE id = 1")
+    assert _rows(proxy, "SELECT a, b FROM mi") == [(105, 197)]
+
+
+def test_absolute_set_rewrites_only_target_slot(proxy):
+    proxy.execute("CREATE TABLE rmw (id INT, a INT, b INT)")
+    proxy.execute("INSERT INTO rmw (id, a, b) VALUES (1, 1, 2), (2, 3, 4)")
+    proxy.execute("UPDATE rmw SET a = a + 10 WHERE id = 2")  # pending delta
+    proxy.execute("UPDATE rmw SET b = ? WHERE id = 2", (99,))
+    # The read-modify-write must splice b's slot while keeping a's pending
+    # homomorphic increment bit-exact, and leave other rows alone.
+    assert _rows(proxy, "SELECT id, a, b FROM rmw ORDER BY id") == [
+        (1, 1, 2),
+        (2, 13, 99),
+    ]
+
+
+def test_absolute_set_to_null_then_aggregate(proxy):
+    proxy.execute("CREATE TABLE ns (id INT, v INT)")
+    proxy.execute("INSERT INTO ns (id, v) VALUES (1, 5), (2, 6)")
+    proxy.execute("UPDATE ns SET v = ? WHERE id = 1", (None,))
+    assert _rows(proxy, "SELECT SUM(v), AVG(v) FROM ns") == [(6, 6.0)]
+
+
+def test_sum_across_chunk_boundaries(make_proxy):
+    proxy = make_proxy(hom_packing=PackingConfig(value_bits=32, headroom_bits=2))
+    proxy.execute("CREATE TABLE big (id INT, v INT)")
+    rows = [(i, i * 3 - 10) for i in range(11)]  # 11 rows > 2 chunks of 4
+    proxy.executemany("INSERT INTO big (id, v) VALUES (?, ?)", rows)
+    expected = sum(v for _, v in rows)
+    assert _rows(proxy, "SELECT SUM(v) FROM big") == [(expected,)]
+    assert _rows(proxy, "SELECT AVG(v) FROM big") == [(expected / len(rows),)]
+
+
+def test_grouped_sum_packed(proxy):
+    proxy.execute("CREATE TABLE gs (tag VARCHAR(8), v INT)")
+    proxy.execute(
+        "INSERT INTO gs (tag, v) VALUES ('a', 1), ('a', 2), ('b', NULL), ('b', 7)"
+    )
+    rows = sorted(_rows(proxy, "SELECT tag, SUM(v), AVG(v) FROM gs GROUP BY tag"))
+    assert rows == [("a", 3, 1.5), ("b", 7, 7.0)]
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.one_of(st.none(), st.integers(min_value=-10_000, max_value=10_000)),
+            st.one_of(st.none(), st.integers(min_value=-10_000, max_value=10_000)),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    delta=st.integers(min_value=-500, max_value=500),
+)
+def test_packed_matches_scalar_pipeline(make_proxy, rows, delta):
+    """The packed proxy and the scalar proxy answer identically."""
+    packed = make_proxy()
+    scalar = make_proxy(hom_packing=False)
+    assert packed.hom_packing is not None and scalar.hom_packing is None
+    for proxy in (packed, scalar):
+        proxy.execute("CREATE TABLE eq (id INT, x INT, y INT)")
+        proxy.executemany(
+            "INSERT INTO eq (id, x, y) VALUES (?, ?, ?)",
+            [(i, x, y) for i, (x, y) in enumerate(rows)],
+        )
+        proxy.execute("UPDATE eq SET x = x + ?", (delta,))
+        proxy.execute("UPDATE eq SET y = ? WHERE id = 0", (42,))
+    queries = [
+        "SELECT SUM(x), SUM(y), AVG(x), AVG(y), COUNT(*) FROM eq",
+        "SELECT id, x, y FROM eq ORDER BY id",
+    ]
+    for sql in queries:
+        assert _rows(packed, sql) == _rows(scalar, sql)

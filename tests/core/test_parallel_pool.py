@@ -260,3 +260,45 @@ def test_workers_shorthand_builds_config():
     assert not ParallelConfig().enabled
     with pytest.raises(ValueError):
         CryptoWorkerPool(ParallelConfig(workers=0), None)
+
+
+def test_chunk_threshold_auto_sizes_from_cpu_count(monkeypatch):
+    """On a single-core box the sync offload path must never engage.
+
+    The Figure-10 pool_offload section regressed to ~2x *slower* than
+    serial when a 2-worker pool ran on 1 CPU: the same crypto on the same
+    lone core, plus IPC.  ``chunk_threshold=None`` (the default) now
+    resolves against ``os.cpu_count()`` so that configuration is inert.
+    """
+    import sys as _sys
+
+    import repro.parallel.pool as pool_mod
+
+    monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 1)
+    assert ParallelConfig(workers=2).resolved_chunk_threshold() == _sys.maxsize
+
+    monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 8)
+    assert (
+        ParallelConfig(workers=2).resolved_chunk_threshold()
+        == ParallelConfig.AUTO_CHUNK_THRESHOLD
+    )
+
+    # Explicit values are always honoured (the conformance lanes rely on a
+    # tiny threshold so generated batches actually offload).
+    monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 1)
+    assert ParallelConfig(workers=2, chunk_threshold=4).resolved_chunk_threshold() == 4
+    assert ParallelConfig(chunk_threshold=0).resolved_chunk_threshold() == 1
+
+
+def test_auto_threshold_pool_stays_serial_on_one_cpu(monkeypatch, paillier_keypair):
+    import repro.parallel.pool as pool_mod
+
+    monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 1)
+    pool = CryptoWorkerPool(ParallelConfig(workers=2), paillier_keypair)
+    try:
+        # No batch is ever big enough for sync offload, but the pool itself
+        # is alive for asynchronous background HOM refills.
+        assert not pool.usable(10**9)
+        assert not pool.broken and not pool.closed
+    finally:
+        pool.close()
