@@ -31,7 +31,7 @@ from repro.api.connection import connect
 from repro.crypto.keys import MasterKey
 from repro.server.loopback import LoopbackServer
 
-from conftest import BENCH_QUICK, print_table, record_bench
+from conftest import BENCH_QUICK, print_table, record_bench, wait_until
 
 #: Connection-count ladder; the 32-way rung is the acceptance criterion and
 #: runs in both modes.
@@ -145,6 +145,49 @@ def test_concurrent_connection_scaling(server):
     assert peak > base * 0.3, f"throughput collapsed: {base} -> {peak} q/s"
 
 
+def test_disarmed_fault_layer_overhead(server):
+    """The disarmed fault-injection layer must cost < 2% of query p50.
+
+    Every injection site guards with ``if faults.INJECTOR is not None`` --
+    when no plan is armed (the production state) that attribute load plus
+    None test is the layer's entire cost.  We time the guard directly, scale
+    it by a deliberately pessimistic sites-per-query multiplier, and bound
+    it against the measured single-connection wire p50.
+    """
+    from repro import faults
+
+    assert faults.INJECTOR is None, "benchmarks must run disarmed"
+    row = _run_scale(server.url, 1, _QUERIES_PER_CONN * 4)
+    p50_s = row["p50_ms"] / 1000.0
+
+    checks = 200_000
+    begin = time.perf_counter()
+    for _ in range(checks):
+        if faults.INJECTOR is not None:  # the exact guard every site runs
+            raise AssertionError("armed mid-benchmark")
+    per_check_s = (time.perf_counter() - begin) / checks
+
+    # A wire statement crosses well under 64 sites (client send/recv, server
+    # send/recv, admission, backend execute, scatter, refill); overcounting
+    # only strengthens the bound.
+    sites_per_query = 64
+    overhead = per_check_s * sites_per_query / p50_s
+    print(
+        f"fault layer disarmed: {per_check_s * 1e9:.1f} ns/guard, "
+        f"{sites_per_query} sites/query vs p50 {row['p50_ms']} ms "
+        f"-> {overhead * 100:.4f}% overhead"
+    )
+    record_bench("fault_layer_overhead", {
+        "guard_ns": round(per_check_s * 1e9, 2),
+        "sites_per_query": sites_per_query,
+        "wire_p50_ms": row["p50_ms"],
+        "overhead_fraction": overhead,
+    })
+    assert overhead < 0.02, (
+        f"disarmed fault layer costs {overhead * 100:.2f}% of p50"
+    )
+
+
 def test_graceful_drain_under_load(small_paillier):
     """SIGTERM semantics: in-flight statements finish, zero are dropped."""
     server = LoopbackServer(
@@ -167,11 +210,17 @@ def test_graceful_drain_under_load(small_paillier):
 
         worker = threading.Thread(target=big_batch)
         worker.start()
-        time.sleep(0.15)  # the batch is now in flight on the executor
+        wait_until(
+            lambda: server.server._inflight > 0,
+            message="the batch to reach the executor",
+        )
 
         drainer = threading.Thread(target=server.drain)
         drainer.start()
-        time.sleep(0.1)  # drain is awaiting the in-flight statement
+        wait_until(
+            lambda: server.server.draining,
+            message="drain to start refusing new statements",
+        )
 
         try:
             probe_conn.execute("INSERT INTO dr (id, v) VALUES (-1, -1)")

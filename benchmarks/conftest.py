@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -22,6 +23,17 @@ from repro.crypto.paillier import PaillierKeyPair
 BENCH_QUICK = os.environ.get("BENCH_QUICK") == "1"
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.01,
+               message: str = "condition") -> None:
+    """Poll ``predicate`` until true; the shared replacement for bare sleeps."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out after {timeout:g}s waiting for {message}")
 
 
 def record_bench(name: str, payload: dict) -> Path:

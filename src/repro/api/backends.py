@@ -13,11 +13,36 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, Protocol, Union, runtime_checkable
 
+from repro import faults
 from repro.sql import ast_nodes as ast
 from repro.sql.engine import Database
 from repro.sql.executor import ResultSet
 
 StatementLike = Union[str, ast.Statement]
+
+#: Transaction control is exempt from backend fault injection: the proxy's
+#: failure recovery *is* a rollback, and a fault schedule that can sabotage
+#: recovery mid-recovery proves nothing about the code under test.
+_TXN_NODES = (ast.Begin, ast.Commit, ast.Rollback)
+_TXN_HEADS = frozenset({"BEGIN", "COMMIT", "ROLLBACK", "START"})
+
+
+def fire_backend_fault(backend: Any, statement: StatementLike) -> None:
+    """The ``backend.execute`` fault hook body (armed path only).
+
+    Fires *before* the statement reaches the engine, so an injected failure
+    never leaves partial statement effects behind.  Context: ``target`` is
+    the adapter (for scoping), ``head`` the statement kind ("SELECT", ...).
+    """
+    if isinstance(statement, ast.Statement):
+        if isinstance(statement, _TXN_NODES):
+            return
+        head = type(statement).__name__.upper()
+    else:
+        head = statement.split(None, 1)[0].upper() if statement.strip() else ""
+        if head in _TXN_HEADS:
+            return
+    faults.INJECTOR.fire("backend.execute", target=backend, head=head)
 
 
 @runtime_checkable
@@ -72,6 +97,8 @@ class InMemoryBackend:
 
     # -- BackendAdapter protocol ------------------------------------------
     def execute(self, statement: StatementLike) -> ResultSet:
+        if faults.INJECTOR is not None:
+            fire_backend_fault(self, statement)
         return self.database.execute(statement)
 
     def table(self, name: str):

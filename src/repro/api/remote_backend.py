@@ -11,18 +11,30 @@ transaction state.  DB-API exceptions are reconstructed from the wire by
 class name, so ``except conn.NotSupportedError`` works identically against
 a remote proxy and an in-process one.
 
-A connection whose peer disappears turns every subsequent call into
-:class:`~repro.api.exceptions.InterfaceError`; ``close()`` stays safe (and
-idempotent) no matter how the server went away.
+A connection whose peer flakes mid-statement heals itself: the client
+re-establishes the session (capped exponential backoff with jitter) and
+transparently resends *idempotent, out-of-transaction* requests -- SELECTs,
+PREPAREs, STATS.  Anything else surfaces a clean DB-API error instead of
+guessing: a statement whose effect is unknown raises ``OperationalError``
+("may not have been applied"), and a connection lost inside an explicit
+transaction raises ``OperationalError("transaction aborted ...")`` -- the
+server rolls the open transaction back when the session drops.  Only after
+every reconnect attempt fails does the client go permanently dead
+(:class:`~repro.api.exceptions.InterfaceError`); ``close()`` stays safe
+(and idempotent) no matter how the server went away.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import struct
 import threading
+import time
 from typing import Any, Iterable, Optional, Sequence
 from urllib.parse import urlsplit
 
+from repro import faults
 from repro.api import exceptions
 from repro.errors import ReproError
 from repro.sql.executor import ResultSet
@@ -43,11 +55,16 @@ def parse_url(url: str) -> tuple[str, int]:
         raise exceptions.InterfaceError(
             f"unsupported URL scheme {parts.scheme!r} (expected repro://host:port)"
         )
-    if not parts.hostname or not parts.port:
+    try:
+        # .port raises ValueError on a non-numeric or out-of-range port.
+        hostname, port = parts.hostname, parts.port
+    except ValueError as exc:
+        raise exceptions.InterfaceError(f"invalid URL {url!r}: {exc}") from exc
+    if not hostname or not port:
         raise exceptions.InterfaceError(
             f"URL {url!r} must name both a host and a port"
         )
-    return parts.hostname, parts.port
+    return hostname, port
 
 
 class RemoteTransactions:
@@ -70,9 +87,13 @@ class RemoteProxyClient:
         *,
         auth_key: bytes = b"",
         fetch_chunk: int = 512,
-        timeout: Optional[float] = None,
+        timeout: Optional[float] = 60.0,
         connect_timeout: float = 10.0,
         max_frame_bytes: Optional[int] = None,
+        max_retries: int = 2,
+        reconnect_attempts: int = 3,
+        reconnect_backoff: float = 0.05,
+        reconnect_backoff_cap: float = 1.0,
     ):
         # Imported here so `import repro.api` stays cheap for local-only use.
         from repro.server import framing, protocol, transport
@@ -84,25 +105,55 @@ class RemoteProxyClient:
         self.port = port
         self.fetch_chunk = max(0, fetch_chunk)
         self.max_frame_bytes = max_frame_bytes or framing.DEFAULT_MAX_FRAME_BYTES
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.max_retries = max(0, max_retries)
+        self.reconnect_attempts = max(1, reconnect_attempts)
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_backoff_cap = reconnect_backoff_cap
+        #: Observability: sessions re-established / requests transparently
+        #: resent over the connection's lifetime.
+        self.reconnects = 0
+        self.retries = 0
         self.transactions = RemoteTransactions()
         #: Called (once) when the client closes; the loopback helper uses it
         #: to tear down an embedded server with its connection.
         self.on_close = None
+        self._auth_key = auth_key
+        self._rng = random.Random()
         self._lock = threading.Lock()
         self._closed = False
         self._dead_reason: Optional[str] = None
+        self._sock: Optional[socket.socket] = None
+        self._channel = None
+        self._connect()
+
+    def _connect(self) -> None:
+        """Dial and handshake; on success installs the socket + channel.
+
+        Every connect-phase failure -- refused/unreachable address, timeout,
+        a peer that speaks garbage -- surfaces as ``InterfaceError`` naming
+        the address, never a raw ``socket.error`` or ``struct.error``.
+        """
         try:
-            self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
         except OSError as exc:
-            raise exceptions.OperationalError(
-                f"cannot connect to repro://{host}:{port}: {exc}"
+            raise exceptions.InterfaceError(
+                f"cannot connect to repro://{self.host}:{self.port}: {exc}"
             ) from exc
-        self._sock.settimeout(timeout)
+        # Handshake reads are connect-phase work: a hung or silent peer must
+        # fail within connect_timeout, not the (much longer) read timeout.
+        sock.settimeout(self.connect_timeout)
         try:
-            self._channel = self._handshake(auth_key)
+            channel = self._handshake(sock, self._auth_key)
         except BaseException:
-            self._sock.close()
+            sock.close()
             raise
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        self._channel = channel
 
     @classmethod
     def from_url(cls, url: str, **kwargs: Any) -> "RemoteProxyClient":
@@ -112,19 +163,20 @@ class RemoteProxyClient:
     # ------------------------------------------------------------------
     # handshake + request plumbing
     # ------------------------------------------------------------------
-    def _handshake(self, auth_key: bytes):
+    def _handshake(self, sock: socket.socket, auth_key: bytes):
         transport, protocol, framing = self._transport, self._protocol, self._framing
-        private, public = transport.generate_keypair()
-        client_nonce = transport.fresh_nonce()
-        framing.send_record(
-            self._sock,
-            protocol.encode_frame(
-                protocol.FrameType.HELLO, transport.build_hello(public, client_nonce)
-            ),
-        )
         try:
+            private, public = transport.generate_keypair()
+            client_nonce = transport.fresh_nonce()
+            framing.send_record(
+                sock,
+                protocol.encode_frame(
+                    protocol.FrameType.HELLO,
+                    transport.build_hello(public, client_nonce),
+                ),
+            )
             frame_type, payload = protocol.decode_frame(
-                framing.recv_record(self._sock, self.max_frame_bytes)
+                framing.recv_record(sock, self.max_frame_bytes)
             )
             if frame_type is not protocol.FrameType.HELLO:
                 raise transport.TransportError("server did not answer with HELLO")
@@ -133,20 +185,24 @@ class RemoteProxyClient:
             channel = transport.SecureChannel.for_client(
                 secret, client_nonce, server_nonce, auth_key
             )
-            confirm = channel.open(framing.recv_record(self._sock, self.max_frame_bytes))
+            confirm = channel.open(framing.recv_record(sock, self.max_frame_bytes))
             confirm_type, _ = protocol.decode_frame(confirm)
             if confirm_type is not protocol.FrameType.HELLO_OK:
                 raise transport.TransportError("handshake confirmation missing")
             return channel
-        except (transport.TransportError, protocol.WireProtocolError,
-                framing.ConnectionClosedError) as exc:
-            raise exceptions.OperationalError(
-                f"repro.server handshake failed: {exc} "
-                "(wrong auth key, or the peer is not a repro.server)"
+        except (ReproError, OSError, struct.error) as exc:
+            raise exceptions.InterfaceError(
+                f"repro.server handshake with repro://{self.host}:{self.port} "
+                f"failed: {exc} (wrong auth key, or the peer is not a repro.server)"
             ) from exc
 
     def _mark_dead(self, reason: str) -> exceptions.InterfaceError:
         self._dead_reason = reason
+        # Clear the transaction mirror: a dead session has no server-side
+        # transaction (the server rolls it back on disconnect), and a stale
+        # mirror would make Connection.close() try a ROLLBACK through the
+        # dead socket instead of closing idempotently.
+        self.transactions.in_transaction = False
         try:
             self._sock.close()
         except OSError:
@@ -164,26 +220,109 @@ class RemoteProxyClient:
                 f"{self._dead_reason}"
             )
 
-    def _request(self, frame_type, payload) -> tuple[Any, dict]:
-        """One sealed request/response round trip; maps wire errors back."""
+    def _round_trip(self, frame_type, payload, head: Optional[str]) -> tuple[Any, Any]:
+        """One sealed request/response exchange on the current channel."""
         protocol, framing = self._protocol, self._framing
+        if faults.INJECTOR is not None:
+            # Stamp this request's context onto the channel so transport-site
+            # fault rules can match on frame type / statement head / txn state
+            # and scope by client instance.
+            self._channel.fault_context = {
+                "frame": frame_type.name,
+                "head": head,
+                "in_txn": self.transactions.in_transaction,
+                "target": self,
+            }
+        framing.send_record(
+            self._sock,
+            self._channel.seal(protocol.encode_frame(frame_type, payload)),
+        )
+        record = framing.recv_record(self._sock, self.max_frame_bytes)
+        return protocol.decode_frame(self._channel.open(record))
+
+    def _reconnect_locked(self) -> Optional[str]:
+        """Re-establish the session (capped exponential backoff + jitter).
+
+        Returns ``None`` on success, else the last failure's description.
+        Called with ``self._lock`` held and the old socket already closed.
+        """
+        delay = self.reconnect_backoff
+        reason = "reconnect disabled"
+        for attempt in range(self.reconnect_attempts):
+            if attempt:
+                time.sleep(
+                    min(delay, self.reconnect_backoff_cap)
+                    * (0.5 + self._rng.random())
+                )
+                delay *= 2
+            try:
+                self._connect()
+            except exceptions.Error as exc:
+                reason = str(exc)
+                continue
+            self.reconnects += 1
+            return None
+        return reason
+
+    def _request(
+        self,
+        frame_type,
+        payload,
+        *,
+        idempotent: bool = False,
+        head: Optional[str] = None,
+    ) -> tuple[Any, dict]:
+        """One request/response round trip; maps wire errors back.
+
+        A connection failure mid-exchange triggers reconnection.  The
+        request itself is resent only when it is ``idempotent`` and the
+        session was not inside an explicit transaction -- anything else
+        surfaces a clean DB-API error describing what is (not) known about
+        the statement's fate.
+        """
+        protocol = self._protocol
         with self._lock:
             self._check_usable()
-            try:
-                framing.send_record(
-                    self._sock,
-                    self._channel.seal(protocol.encode_frame(frame_type, payload)),
-                )
-                record = framing.recv_record(self._sock, self.max_frame_bytes)
-                response_type, response = protocol.decode_frame(
-                    self._channel.open(record)
-                )
-            except (framing.ConnectionClosedError, OSError) as exc:
-                raise self._mark_dead(str(exc) or type(exc).__name__) from exc
-            except ReproError as exc:
-                # Transport/protocol corruption: the channel state is
-                # unrecoverable (sequence numbers no longer line up).
-                raise self._mark_dead(f"protocol failure: {exc}") from exc
+            resends = 0
+            while True:
+                try:
+                    response_type, response = self._round_trip(
+                        frame_type, payload, head
+                    )
+                    break
+                except (ReproError, OSError) as exc:
+                    # The channel is unusable: peer gone, record truncated,
+                    # or sequence numbers out of line.  A fresh session is
+                    # the only way forward.
+                    was_in_txn = self.transactions.in_transaction
+                    self.transactions.in_transaction = False
+                    try:
+                        self._sock.close()
+                    except OSError:
+                        pass
+                    failed = self._reconnect_locked()
+                    if was_in_txn:
+                        # The server rolls the open transaction back when
+                        # the session drops; mirror that verdict cleanly.
+                        raise exceptions.OperationalError(
+                            "transaction aborted: connection to "
+                            f"repro://{self.host}:{self.port} was lost "
+                            f"mid-transaction ({exc}); the server rolled the "
+                            "transaction back"
+                        ) from exc
+                    if failed is not None:
+                        raise self._mark_dead(
+                            str(exc) or type(exc).__name__
+                        ) from exc
+                    if not idempotent or resends >= self.max_retries:
+                        raise exceptions.OperationalError(
+                            "connection to "
+                            f"repro://{self.host}:{self.port} was lost "
+                            f"mid-statement ({exc}); the statement may not "
+                            "have been applied (session re-established)"
+                        ) from exc
+                    resends += 1
+                    self.retries += 1
         if isinstance(response, dict) and "in_txn" in response:
             self.transactions.in_transaction = bool(response["in_txn"])
         if response_type is protocol.FrameType.ERROR:
@@ -198,11 +337,16 @@ class RemoteProxyClient:
     # ------------------------------------------------------------------
     def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> ResultSet:
         protocol = self._protocol
-        head = sql.strip().rstrip(";").strip().upper() if isinstance(sql, str) else ""
-        if params is None and head in _TXN_FRAMES:
-            frame = getattr(protocol.FrameType, _TXN_FRAMES[head])
-            _, response = self._request(frame, {})
+        normalized = (
+            sql.strip().rstrip(";").strip().upper() if isinstance(sql, str) else ""
+        )
+        head = normalized.split(None, 1)[0] if normalized else ""
+        if params is None and normalized in _TXN_FRAMES:
+            frame = getattr(protocol.FrameType, _TXN_FRAMES[normalized])
+            _, response = self._request(frame, {}, head=_TXN_FRAMES[normalized])
             return ResultSet([], [], 0)
+        # A lone SELECT is safe to resend after a connection failure; any
+        # write's fate is unknown once the wire drops mid-exchange.
         _, response = self._request(
             protocol.FrameType.EXECUTE,
             {
@@ -210,15 +354,19 @@ class RemoteProxyClient:
                 "params": list(params) if params is not None else None,
                 "fetch": self.fetch_chunk,
             },
+            idempotent=head == "SELECT",
+            head=head,
         )
         if "columns" not in response:
             return ResultSet([], [], int(response.get("rowcount", 0)))
         rows = [tuple(row) for row in response.get("rows", [])]
         cursor = response.get("cursor")
         while cursor is not None:
+            # Never resent: the server-side cursor dies with the session.
             _, chunk = self._request(
                 protocol.FrameType.FETCH,
                 {"cursor": cursor, "count": self.fetch_chunk},
+                head="FETCH",
             )
             rows.extend(tuple(row) for row in chunk.get("rows", []))
             cursor = chunk.get("cursor")
@@ -231,18 +379,27 @@ class RemoteProxyClient:
         if not rows:
             return 0  # PEP 249: nothing is prepared, nothing crosses the wire
         _, response = self._request(
-            self._protocol.FrameType.EXECUTEMANY, {"sql": sql, "rows": rows}
+            self._protocol.FrameType.EXECUTEMANY,
+            {"sql": sql, "rows": rows},
+            head="EXECUTEMANY",
         )
         return int(response.get("rowcount", 0))
 
     def prepare(self, sql: str) -> dict:
         """Prepare a shape server-side; returns its param count and kind."""
-        _, response = self._request(self._protocol.FrameType.PREPARE, {"sql": sql})
+        _, response = self._request(
+            self._protocol.FrameType.PREPARE,
+            {"sql": sql},
+            idempotent=True,
+            head="PREPARE",
+        )
         return response
 
     def server_stats(self) -> dict:
         """Operational counters of the remote server and its shared proxy."""
-        _, response = self._request(self._protocol.FrameType.STATS, {})
+        _, response = self._request(
+            self._protocol.FrameType.STATS, {}, idempotent=True, head="STATS"
+        )
         return response
 
     # ------------------------------------------------------------------

@@ -42,6 +42,8 @@ from __future__ import annotations
 import sqlite3
 from typing import Any, Callable, Optional, Union
 
+from repro import faults
+from repro.api.backends import fire_backend_fault
 from repro.errors import SQLExecutionError
 from repro.sql import ast_nodes as ast
 from repro.sql.engine import split_statements
@@ -406,6 +408,8 @@ class SQLiteBackend:
     def execute(self, statement: StatementLike) -> ResultSet:
         if isinstance(statement, str):
             statement = parse_sql(statement)
+        if faults.INJECTOR is not None:
+            fire_backend_fault(self, statement)
         self._statements_executed += 1
         try:
             return self._execute_node(statement)

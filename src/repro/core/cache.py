@@ -105,6 +105,13 @@ class CacheStatistics:
     worker_det_misses: int = 0
     parallel_jobs: int = 0
     hom_pool_async_refills: int = 0
+    #: Worker-pool health (filled by ProxyStatistics.cache_stats() from the
+    #: live pool): lifetime restarts/transport failures/circuit-breaker
+    #: openings, and whether the breaker is open right now (serial fallback).
+    pool_restarts: int = 0
+    pool_failures: int = 0
+    pool_circuit_opens: int = 0
+    pool_circuit_open: int = 0
 
     @property
     def det_hits_total(self) -> int:

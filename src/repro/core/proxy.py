@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Optional, Sequence, Union
 
+from repro import faults
 from repro.core import udfs
 from repro.core.cache import CacheStatistics, CryptoCache
 from repro.core.encryptor import Encryptor
@@ -32,7 +33,7 @@ from repro.core.schema import ProxySchema
 from repro.core.training import TrainingReport, build_report
 from repro.crypto.keys import KeyManager, MasterKey
 from repro.crypto.paillier import PackingConfig, PaillierKeyPair
-from repro.errors import ProxyError, UnsupportedQueryError
+from repro.errors import ProxyError, ReproError, UnsupportedQueryError
 from repro.parallel.jobs import HomRandomnessJob
 from repro.parallel.pool import CryptoWorkerPool, ParallelConfig, ParallelUnavailable
 from repro.sql import ast_nodes as ast
@@ -72,12 +73,20 @@ class ProxyStatistics:
     #: The proxy's unified ciphertext cache (DET/OPE/SEARCH memos, HOM pool);
     #: set by the proxy, excluded from reset()'s zeroing.
     cache: Optional[CryptoCache] = None
+    #: The proxy's crypto worker pool (None when serial); set by the proxy,
+    #: excluded from reset()'s zeroing.  Its health counters are merged into
+    #: cache_stats() so they travel the STATS frame with the cache block.
+    pool: Optional[Any] = None
 
     def cache_stats(self) -> CacheStatistics:
         """DET/OPE/SEARCH memo hit/miss counters and the HOM pool state."""
-        if self.cache is None:
-            return CacheStatistics()
-        return self.cache.statistics()
+        stats = CacheStatistics() if self.cache is None else self.cache.statistics()
+        if self.pool is not None:
+            stats.pool_restarts = self.pool.restarts
+            stats.pool_failures = self.pool.failures
+            stats.pool_circuit_opens = self.pool.circuit_opens
+            stats.pool_circuit_open = int(self.pool.circuit_open)
+        return stats
 
     def record_query_type(self, kind: str, seconds: float) -> None:
         self.per_query_type_seconds.setdefault(kind, []).append(seconds)
@@ -114,11 +123,13 @@ class ProxyStatistics:
         """
         fresh = ProxyStatistics()
         for name, value in vars(fresh).items():
-            if name == "cache":
+            if name in ("cache", "pool"):
                 continue
             setattr(self, name, value)
         if self.cache is not None:
             self.cache.reset_counters()
+        if self.pool is not None:
+            self.pool.reset_counters()
 
 
 class CryptDBProxy:
@@ -210,7 +221,7 @@ class CryptDBProxy:
         if self.pool is not None and use_ciphertext_cache:
             self.paillier.refill_watermark = parallelism.hom_low_watermark
             self.paillier.refill_hook = self._hom_refill_hook
-        self.stats = ProxyStatistics(cache=self.cache)
+        self.stats = ProxyStatistics(cache=self.cache, pool=self.pool)
         self.plan_cache = PlanCache(plan_cache_size)
         self._onion_snapshot: Optional[tuple] = None
         self._computation_log: dict[tuple[str, str], set] = {}
@@ -241,6 +252,14 @@ class CryptDBProxy:
             return
         if self._hom_refill_inflight == pool.generation:
             return  # one refill per pool generation at a time
+        if faults.INJECTOR is not None:
+            try:
+                faults.INJECTOR.fire("paillier.refill", target=self)
+            except ReproError:
+                # An injected refill failure skips this batch; the next
+                # encryption that drops through the watermark re-triggers,
+                # and correctness never depends on pooled randomness.
+                return
         self._hom_refill_inflight = pool.generation
 
         def on_done(factors: list) -> None:
@@ -452,8 +471,11 @@ class CryptDBProxy:
                     for slot, value in zip(slots, bound):
                         slot.target.value = value
                     if plan.hom_rmw:
-                        self._run_hom_rmw(plan, rows[row_index])
-                    total += self.db.execute(statement).rowcount
+                        total += self._execute_with_rmw(
+                            plan, rows[row_index]
+                        ).rowcount
+                    else:
+                        total += self.db.execute(statement).rowcount
             server_time = time.perf_counter() - server_start
 
             self.stats.proxy_time_seconds += bind_time
@@ -591,8 +613,9 @@ class CryptDBProxy:
 
             server_start = time.perf_counter()
             if plan.hom_rmw:
-                self._run_hom_rmw(plan, params)
-            server_result = self.db.execute(plan.statement)
+                server_result = self._execute_with_rmw(plan, params)
+            else:
+                server_result = self.db.execute(plan.statement)
             server_time = time.perf_counter() - server_start
 
             decrypt_start = time.perf_counter()
@@ -610,6 +633,37 @@ class CryptDBProxy:
                 prepared.kind, time.perf_counter() - total_start
             )
             self.cache.enforce_budget()
+
+    def _execute_with_rmw(
+        self, plan: RewritePlan, params: Sequence[Any]
+    ) -> ResultSet:
+        """Run the packed-cell RMW pre-writes and the main statement atomically.
+
+        The RMW splices packed HOM cells with separate UPDATEs *before* the
+        main statement; a backend failure between the two would otherwise
+        persist the spliced cells while the non-HOM onions keep their old
+        values -- a row the proxy can never again read consistently.  The
+        same own-transaction discipline as onion adjustments applies: wrap
+        the pair when no application transaction is open, and abort the
+        whole application transaction otherwise (no savepoints to unwind
+        just the pre-writes).
+        """
+        own_transaction = not self.db.transactions.in_transaction
+        try:
+            if own_transaction:
+                self.db.execute(ast.Begin())
+            self._run_hom_rmw(plan, params)
+            result = self.db.execute(plan.statement)
+            if own_transaction:
+                self.db.execute(ast.Commit())
+            return result
+        except Exception:
+            if own_transaction:
+                self.db.execute(ast.Rollback())
+            else:
+                # Data and onion metadata rewind together to BEGIN.
+                self._execute_transaction_control(ast.Rollback())
+            raise
 
     def _run_hom_rmw(self, plan: RewritePlan, params: Sequence[Any]) -> None:
         """Rewrite packed group cells for an UPDATE's absolute assignments.

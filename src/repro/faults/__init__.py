@@ -1,0 +1,322 @@
+"""Deterministic, seeded fault injection for the whole proxy stack.
+
+Production hardening needs failures on demand: a peer that dies mid-COMMIT,
+a crypto worker SIGKILLed mid-scatter, a backend statement that errors out
+halfway through an onion adjustment.  This package is the single registry
+those experiments share.  A :class:`FaultPlan` -- a seed plus per-site
+rules -- is *armed* process-wide; instrumented call sites then ask the
+active :class:`FaultInjector` whether a fault fires at their site, and the
+injector answers deterministically from per-rule RNG streams seeded only by
+``(plan seed, rule index, site)``.  Replaying the same plan against the
+same statement stream reproduces the same fault schedule.
+
+Instrumented sites (each hook threaded through the corresponding layer):
+
+=======================  ====================================================
+``transport.send``       sealing a record in :class:`SecureChannel.seal`
+``transport.recv``       opening a record in :class:`SecureChannel.open`
+``server.session.execute``  statement admission in ``SessionManager.execute``
+``pool.scatter``         a batch entering ``CryptoWorkerPool.scatter``
+``backend.execute``      a statement entering a backend adapter
+``paillier.refill``      scheduling a background HOM randomness refill
+=======================  ====================================================
+
+**Zero overhead disarmed.**  Every hook is written as::
+
+    if faults.INJECTOR is not None:
+        faults.INJECTOR.fire("backend.execute", target=self, head=...)
+
+so the disarmed cost is one module-attribute load and an ``is not None``
+test -- no call, no context construction (the keyword arguments are only
+evaluated inside the guard).  ``bench_server_concurrency.py`` asserts the
+end-to-end cost of the disarmed layer stays under 2% of the p50 statement
+latency.
+
+Rules fire by probability, by explicit 1-based hit numbers, or on every Nth
+hit, optionally capped by ``max_fires`` and filtered by context (``match``/
+``exclude`` on the keyword arguments the site passes, ``scope`` compared by
+identity against the site's ``target``).  The effect is an exception
+(``kind="error"``, with a per-site default class that surfaces as a clean
+DB-API error), a delay (``kind="delay"``), or an arbitrary callable
+(``kind="call"`` -- e.g. :func:`kill_one_worker`).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ReproError
+
+#: The instrumented site names, for validation and documentation.
+SITES = (
+    "transport.send",
+    "transport.recv",
+    "server.session.execute",
+    "pool.scatter",
+    "backend.execute",
+    "paillier.refill",
+)
+
+
+class FaultInjected(ReproError):
+    """Default exception for injected faults without a configured class."""
+
+
+def _default_exception(site: str) -> BaseException:
+    """A site-appropriate exception so reactions engage realistically.
+
+    Imports are deferred: this module must stay importable from every layer
+    it instruments without creating cycles.
+    """
+    if site.startswith("transport."):
+        from repro.server.transport import TransportError
+
+        return TransportError(f"injected fault at {site}")
+    if site == "server.session.execute":
+        from repro.api import exceptions
+
+        return exceptions.OperationalError(
+            f"injected fault at {site} (retryable)"
+        )
+    if site == "backend.execute":
+        from repro.errors import SQLExecutionError
+
+        return SQLExecutionError(f"injected fault at {site}")
+    if site == "pool.scatter":
+        from repro.parallel.pool import ParallelUnavailable
+
+        return ParallelUnavailable(f"injected fault at {site}")
+    return FaultInjected(f"injected fault at {site}")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When and how one fault fires at one site.
+
+    ``match`` maps context keys to allowed value tuples (the site's context
+    value must be in the tuple); ``exclude`` maps keys to forbidden tuples.
+    A rule with ``scope`` set only fires when the site's ``target`` is that
+    exact object -- how a test confines backend faults to the chaos lane's
+    backend while an identical shadow backend runs fault-free.
+    """
+
+    site: str
+    probability: float = 0.0
+    trigger_hits: tuple = ()
+    every_n: int = 0
+    max_fires: Optional[int] = None
+    kind: str = "error"  # error | delay | call
+    exception: Optional[Callable[[], BaseException]] = None
+    delay: float = 0.05
+    action: Optional[Callable[[dict], None]] = None
+    match: dict = field(default_factory=dict)
+    exclude: dict = field(default_factory=dict)
+    scope: Any = None
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r} (one of {SITES})")
+        if self.kind not in ("error", "delay", "call"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "call" and self.action is None:
+            raise ValueError("kind='call' requires an action callable")
+
+    def accepts(self, context: dict) -> bool:
+        if self.scope is not None and context.get("target") is not self.scope:
+            return False
+        for key, allowed in self.match.items():
+            if context.get(key) not in allowed:
+                return False
+        for key, forbidden in self.exclude.items():
+            if context.get(key) in forbidden:
+                return False
+        return True
+
+    def decides_to_fire(self, hit: int, fires: int, rng: random.Random) -> bool:
+        """Deterministic decision for the ``hit``-th *accepted* call."""
+        if self.max_fires is not None and fires >= self.max_fires:
+            return False
+        if hit in self.trigger_hits:
+            return True
+        if self.every_n and hit % self.every_n == 0:
+            return True
+        if self.probability > 0 and rng.random() < self.probability:
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the rules of one reproducible fault schedule."""
+
+    seed: int
+    rules: tuple
+
+    def __init__(self, seed: int, rules):
+        object.__setattr__(self, "seed", int(seed))
+        object.__setattr__(self, "rules", tuple(rules))
+
+    def describe(self) -> str:
+        lines = [f"FaultPlan(seed={self.seed})"]
+        lines.extend(f"  {rule}" for rule in self.rules)
+        return "\n".join(lines)
+
+
+@dataclass
+class FiredFault:
+    """One fault that actually fired, for assertions and reports."""
+
+    site: str
+    rule_index: int
+    kind: str
+    hit: int
+
+
+class FaultInjector:
+    """The armed state of one plan: counters, RNG streams, fired log."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._paused = 0
+        # Per-(rule, accepted-hit) decisions must not depend on thread
+        # interleaving across *sites*, so each rule keeps its own accepted-hit
+        # counter and its own RNG stream, seeded by stable strings (str seeds
+        # hash through SHA-512 in random.seed, independent of PYTHONHASHSEED).
+        self._rule_hits = [0] * len(plan.rules)
+        self._rule_fires = [0] * len(plan.rules)
+        self._rngs = [
+            random.Random(f"{plan.seed}:{index}:{rule.site}")
+            for index, rule in enumerate(plan.rules)
+        ]
+        self.site_hits: dict[str, int] = {}
+        self.fired: list[FiredFault] = []
+
+    # -- hot path ----------------------------------------------------------
+    def fire(self, site: str, **context: Any) -> None:
+        """Maybe inject a fault at ``site``; raises/sleeps/calls per rule.
+
+        At most one rule fires per call (the first that decides to), so a
+        plan with overlapping rules still produces one fault per event.
+        """
+        with self._lock:
+            if self._paused:
+                return
+            self.site_hits[site] = self.site_hits.get(site, 0) + 1
+            chosen: Optional[tuple[int, FaultRule]] = None
+            for index, rule in enumerate(self.plan.rules):
+                if rule.site != site or not rule.accepts(context):
+                    continue
+                self._rule_hits[index] += 1
+                if chosen is None and rule.decides_to_fire(
+                    self._rule_hits[index], self._rule_fires[index], self._rngs[index]
+                ):
+                    chosen = (index, rule)
+            if chosen is None:
+                return
+            index, rule = chosen
+            self._rule_fires[index] += 1
+            self.fired.append(
+                FiredFault(site, index, rule.kind, self.site_hits[site])
+            )
+        # Effects run outside the lock: a delay must not serialize other
+        # threads' hooks, and an action may re-enter (e.g. killing a worker
+        # makes the pool's machinery run).
+        if rule.kind == "delay":
+            time.sleep(rule.delay)
+            return
+        if rule.kind == "call":
+            rule.action(context)
+            return
+        if rule.exception is not None:
+            raise rule.exception()
+        raise _default_exception(site)
+
+    # -- bookkeeping -------------------------------------------------------
+    @property
+    def fired_count(self) -> int:
+        return len(self.fired)
+
+    def stats(self) -> dict:
+        """Per-site hits and per-rule fires (for reports and assertions)."""
+        return {
+            "site_hits": dict(self.site_hits),
+            "rule_fires": list(self._rule_fires),
+            "fired": len(self.fired),
+        }
+
+    @contextmanager
+    def pause(self):
+        """Suspend injection (e.g. while an invariant probe runs)."""
+        with self._lock:
+            self._paused += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._paused -= 1
+
+
+#: The process-wide armed injector; ``None`` means injection is disarmed
+#: and every hook short-circuits on this very check.
+INJECTOR: Optional[FaultInjector] = None
+
+
+def arm(plan: FaultPlan) -> FaultInjector:
+    """Arm ``plan`` process-wide; returns the injector for inspection."""
+    global INJECTOR
+    injector = FaultInjector(plan)
+    INJECTOR = injector
+    return injector
+
+
+def disarm() -> None:
+    global INJECTOR
+    INJECTOR = None
+
+
+@contextmanager
+def armed(plan: FaultPlan):
+    """``with faults.armed(plan) as injector:`` -- always disarms on exit."""
+    injector = arm(plan)
+    try:
+        yield injector
+    finally:
+        disarm()
+
+
+@contextmanager
+def paused():
+    """Suspend the armed injector, if any (no-op when disarmed)."""
+    injector = INJECTOR
+    if injector is None:
+        yield
+    else:
+        with injector.pause():
+            yield
+
+
+# ---------------------------------------------------------------------------
+# stock actions for kind="call" rules
+# ---------------------------------------------------------------------------
+def kill_one_worker(context: dict) -> None:
+    """SIGKILL one live process of the pool passed as the site's ``target``.
+
+    For ``pool.scatter`` rules: the batch then runs against a pool with a
+    freshly dead worker, exercising the timeout + self-healing machinery
+    exactly like a real worker crash.
+    """
+    pool = context.get("target")
+    raw = getattr(pool, "_pool", None)
+    workers = list(getattr(raw, "_pool", None) or [])
+    for process in workers:
+        if process.is_alive():
+            os.kill(process.pid, signal.SIGKILL)
+            return

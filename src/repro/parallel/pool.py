@@ -28,9 +28,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import threading
+import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro import faults
 from repro.errors import ReproError
 from repro.parallel import jobs as jobs_mod
 
@@ -75,6 +79,24 @@ class ParallelConfig:
     hom_low_watermark: int = 16
     hom_refill_batch: int = 128
     profile_dir: Optional[str] = None
+    #: Ceiling on one scatter round trip; a worker that died mid-batch (the
+    #: stdlib Pool loses its in-flight task forever) surfaces as a bounded
+    #: ParallelUnavailable instead of a wedged proxy.
+    scatter_timeout: Optional[float] = 60.0
+    #: Self-healing: a transport failure restarts the workers in place --
+    #: unless ``max_pool_failures`` failures land within ``failure_window``
+    #: seconds, which opens the circuit breaker: the pool reports unusable
+    #: (callers run serial crypto) until ``circuit_cooldown`` elapses, then
+    #: the next ``usable()`` probe respawns the workers and closes it.
+    auto_restart: bool = True
+    max_pool_failures: int = 3
+    failure_window: float = 30.0
+    circuit_cooldown: float = 5.0
+    #: Ceiling on tearing the old workers down during restart()/close().
+    #: A worker SIGKILLed while blocked on the task queue dies holding the
+    #: queue's reader lock, and ``Pool.terminate()`` deadlocks trying to
+    #: drain it -- the teardown runs in a bounded reaper thread instead.
+    terminate_timeout: float = 5.0
 
     @property
     def enabled(self) -> bool:
@@ -112,6 +134,16 @@ class CryptoWorkerPool:
         self._closed = False
         self._pending_async: list = []
         self.generation = 0
+        # Self-healing state: lifetime counters (read by cache_stats()), the
+        # rolling failure window, and the circuit-breaker deadline.  The
+        # lifecycle lock serialises heal/restart between the executor thread
+        # and the pool's result-handler thread marking the pool broken.
+        self.restarts = 0
+        self.failures = 0
+        self.circuit_opens = 0
+        self._failure_times: deque = deque()
+        self._circuit_open_until = 0.0
+        self._lifecycle_lock = threading.Lock()
         self._spawn()
 
     # ------------------------------------------------------------------
@@ -145,6 +177,7 @@ class CryptoWorkerPool:
         self._terminate()
         self._spawn()
         self._closed = False
+        self.restarts += 1
 
     def close(self) -> None:
         """Terminate the workers; the pool cannot be used afterwards."""
@@ -152,16 +185,47 @@ class CryptoWorkerPool:
         self._closed = True
 
     def _terminate(self) -> None:
-        if self._pool is not None:
-            if self.config.profile_dir:
-                # Graceful shutdown so each worker's exit finalizer runs and
-                # dumps its cProfile (terminate() would kill them first).
-                self._pool.close()
-            else:
-                self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        pool, self._pool = self._pool, None
         self._pending_async = []
+        if pool is None:
+            return
+        if self.config.profile_dir:
+            # Graceful shutdown so each worker's exit finalizer runs and
+            # dumps its cProfile (terminate() would kill them first).
+            pool.close()
+            pool.join()
+            return
+        # Pool.terminate() drains the task queue under the queue's reader
+        # lock -- the very lock a worker holds while blocked waiting for
+        # work.  If that worker was SIGKILLed, the (POSIX-semaphore) lock is
+        # orphaned in the acquired state and terminate() deadlocks, so the
+        # teardown runs in a bounded reaper.  On timeout, kill the remaining
+        # workers outright, force-release the orphaned lock to unwedge the
+        # drain, and as a last resort abandon the daemonic handler threads:
+        # no worker process survives either way.
+        reaper = threading.Thread(
+            target=self._reap, args=(pool,), daemon=True
+        )
+        reaper.start()
+        reaper.join(self.config.terminate_timeout)
+        if not reaper.is_alive():
+            return
+        for process in list(getattr(pool, "_pool", ()) or ()):
+            if process.is_alive():
+                try:
+                    process.kill()
+                except OSError:
+                    pass
+        try:
+            pool._inqueue._rlock.release()
+        except Exception:
+            pass
+        reaper.join(self.config.terminate_timeout)
+
+    @staticmethod
+    def _reap(pool) -> None:
+        pool.terminate()
+        pool.join()
 
     @property
     def closed(self) -> bool:
@@ -171,13 +235,62 @@ class CryptoWorkerPool:
     def broken(self) -> bool:
         return self._broken
 
+    @property
+    def circuit_open(self) -> bool:
+        return time.monotonic() < self._circuit_open_until
+
     def usable(self, batch_size: int) -> bool:
-        """True when a batch of this size should be offloaded."""
-        return (
-            self._pool is not None
-            and not self._broken
-            and batch_size >= self.chunk_threshold
-        )
+        """True when a batch of this size should be offloaded.
+
+        A broken pool self-heals here: unless the circuit breaker is open,
+        the workers are respawned in place and the batch proceeds parallel.
+        While the circuit is open every caller gets ``False`` (serial
+        crypto); the first call after the cooldown re-probes by respawning.
+        """
+        if batch_size < self.chunk_threshold or self._closed:
+            return False
+        if self._pool is not None and not self._broken:
+            return True
+        return self._heal()
+
+    def _heal(self) -> bool:
+        """Respawn a broken pool unless the circuit breaker says not to."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return False
+            if self._pool is not None and not self._broken:
+                return True  # another thread healed it first
+            if not self.config.auto_restart:
+                return False
+            if time.monotonic() < self._circuit_open_until:
+                return False
+            try:
+                self.restart()
+            except Exception:
+                return False
+            return True
+
+    def _note_failure(self) -> None:
+        """Record one transport failure; open the circuit on a burst."""
+        now = time.monotonic()
+        with self._lifecycle_lock:
+            self.failures += 1
+            window = self.config.failure_window
+            self._failure_times.append(now)
+            while self._failure_times and now - self._failure_times[0] > window:
+                self._failure_times.popleft()
+            if (
+                len(self._failure_times) >= self.config.max_pool_failures
+                and now >= self._circuit_open_until
+            ):
+                self.circuit_opens += 1
+                self._circuit_open_until = now + self.config.circuit_cooldown
+                self._failure_times.clear()
+
+    def reset_counters(self) -> None:
+        self.restarts = 0
+        self.failures = 0
+        self.circuit_opens = 0
 
     # ------------------------------------------------------------------
     # synchronous scatter/gather
@@ -203,15 +316,21 @@ class CryptoWorkerPool:
         """
         if self._pool is None:
             raise ParallelUnavailable("worker pool is closed")
+        if faults.INJECTOR is not None:
+            faults.INJECTOR.fire("pool.scatter", target=self, items=len(items))
         chunks = self._chunks(items)
         try:
-            results = self._pool.map(
+            handle = self._pool.map_async(
                 jobs_mod.run_job, [make_job(chunk) for chunk in chunks], chunksize=1
             )
+            # A worker that dies mid-batch loses its task forever in the
+            # stdlib Pool; the bounded get() turns that hang into a failure.
+            results = handle.get(self.config.scatter_timeout)
         except ReproError:
             raise
         except Exception as exc:
             self._broken = True
+            self._note_failure()
             raise ParallelUnavailable(f"worker pool failed: {exc}") from exc
         spliced: list = []
         jobs_delta = 0
@@ -257,6 +376,7 @@ class CryptoWorkerPool:
             # pool, only transport-level failures do.
             if not isinstance(exc, ReproError):
                 self._broken = True
+                self._note_failure()
             if error_callback is not None:
                 error_callback(exc)
 

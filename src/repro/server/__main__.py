@@ -48,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-connections", type=int, default=128)
     parser.add_argument("--drain-timeout", type=float, default=30.0)
     parser.add_argument(
+        "--statement-timeout", type=float, default=None,
+        help="abandon a statement after this many seconds with a retryable "
+             "error (default: no per-statement timeout)",
+    )
+    parser.add_argument(
         "--paillier-bits", type=int, default=1024,
         help="Paillier modulus size for the proxy's HOM onion",
     )
@@ -90,6 +95,7 @@ def main(argv: list[str] | None = None) -> int:
         idle_timeout=args.idle_timeout,
         max_connections=args.max_connections,
         drain_timeout=args.drain_timeout,
+        statement_timeout=args.statement_timeout,
         proxy_kwargs={
             "workers": args.workers,
             "paillier_bits": args.paillier_bits,

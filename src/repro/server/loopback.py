@@ -111,6 +111,7 @@ def connect_loopback(
     *,
     fetch_chunk: int = 512,
     auth_key: bytes = b"",
+    client_kwargs: Optional[dict] = None,
     **server_kwargs: Any,
 ):
     """One self-contained remote connection over an embedded server.
@@ -118,17 +119,25 @@ def connect_loopback(
     The returned :class:`~repro.api.connection.Connection` speaks the full
     wire protocol to a live loopback :class:`ReproServer`; closing it also
     drains and stops the server.  ``server_kwargs`` mix ServerConfig fields
-    with proxy kwargs (``master_key``, ``paillier``, ``workers``, ...).
+    with proxy kwargs (``master_key``, ``paillier``, ``workers``, ...);
+    ``client_kwargs`` go to :class:`RemoteProxyClient` (``timeout``,
+    ``max_retries``, ``reconnect_backoff``, ...).
     """
     from repro.api.connection import connect
 
     server = LoopbackServer(auth_key=auth_key, **server_kwargs)
     try:
         connection = connect(
-            url=server.url, auth_key=auth_key, fetch_chunk=fetch_chunk
+            url=server.url,
+            auth_key=auth_key,
+            fetch_chunk=fetch_chunk,
+            **(client_kwargs or {}),
         )
     except BaseException:
         server.stop()
         raise
     connection.proxy.on_close = server.stop
+    #: Escape hatch for chaos tooling that needs the embedded server (its
+    #: shared proxy, its stats) alongside the wire-level connection.
+    connection.loopback_server = server
     return connection

@@ -62,6 +62,11 @@ class ServerConfig:
     #: Cap on how long one response may sit in a slow reader's socket buffer.
     send_timeout: float = 30.0
     drain_timeout: float = 30.0
+    #: Per-statement wall-clock budget.  ``None`` disables the timeout; when
+    #: set, a statement that overruns gets a retryable ``OperationalError``
+    #: while the admission lock is held until the thread actually finishes
+    #: (the single DB executor cannot be preempted mid-statement).
+    statement_timeout: Optional[float] = None
     #: Optional asyncio write-buffer high watermark (bytes) per session.
     write_buffer_bytes: Optional[int] = None
     #: Optional kernel SO_SNDBUF per session socket; with a small value the
@@ -115,6 +120,7 @@ class ReproServer:
             loop,
             self._executor,
             max_pending_statements=self.config.max_pending_statements,
+            statement_timeout=self.config.statement_timeout,
         )
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port

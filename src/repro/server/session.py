@@ -27,6 +27,7 @@ import asyncio
 import itertools
 from typing import Any, Callable, Optional
 
+from repro import faults
 from repro.api import exceptions
 from repro.api.exceptions import wrap_error
 from repro.errors import ReproError
@@ -46,6 +47,7 @@ class SessionManager:
         loop: asyncio.AbstractEventLoop,
         executor,
         max_pending_statements: int = 256,
+        statement_timeout: Optional[float] = None,
     ):
         self.proxy = proxy
         self._loop = loop
@@ -54,37 +56,87 @@ class SessionManager:
         self._txn_owner: Optional[int] = None
         self._pending = 0
         self._max_pending = max_pending_statements
+        self.statement_timeout = statement_timeout
+        #: Robustness counters, exposed over the STATS frame's "server"
+        #: block: statements refused at admission (queue full) and
+        #: statements abandoned by the per-statement timeout.
+        self.counters: dict[str, int] = {
+            "statements_shed": 0,
+            "statements_timed_out": 0,
+        }
 
     def in_transaction(self) -> bool:
         transactions = getattr(self.proxy.db, "transactions", None)
         return bool(transactions is not None and transactions.in_transaction)
 
-    async def execute(self, session_id: int, fn: Callable[[], Any]) -> tuple[Any, bool]:
+    async def execute(
+        self,
+        session_id: int,
+        fn: Callable[[], Any],
+        head: Optional[str] = None,
+    ) -> tuple[Any, bool]:
         """Run ``fn`` on the executor under the shared-proxy protocol.
 
         Returns ``(result, in_transaction)``.  If the statement leaves a
         transaction open, this session keeps the lock (it owns the backend's
         transaction context) and its subsequent statements re-enter without
         re-acquiring; any other session queues until the transaction ends.
+
+        Faults injected at ``server.session.execute`` fire *before* the
+        statement is admitted, so an injected failure is always a clean
+        no-side-effects refusal.  With ``statement_timeout`` set, a
+        statement that outlives it is answered with a retryable
+        ``OperationalError`` while it keeps running on the executor thread
+        (threads cannot be killed); the admission lock is only released once
+        it actually finishes, so the shared proxy stays serialized.
         """
+        if faults.INJECTOR is not None:
+            faults.INJECTOR.fire(
+                "server.session.execute",
+                target=self,
+                head=head,
+                session=session_id,
+            )
         owns_lock_already = self._txn_owner == session_id
         if not owns_lock_already:
             if self._pending >= self._max_pending:
+                self.counters["statements_shed"] += 1
                 raise exceptions.OperationalError(
-                    "server busy: statement queue is full"
+                    "server busy: statement queue is full (retry later)"
                 )
             self._pending += 1
             try:
                 await self._lock.acquire()
             finally:
                 self._pending -= 1
+        future = self._loop.run_in_executor(self._executor, fn)
         try:
-            result = await self._loop.run_in_executor(self._executor, fn)
+            if self.statement_timeout is not None:
+                result = await asyncio.wait_for(
+                    asyncio.shield(future), self.statement_timeout
+                )
+            else:
+                result = await future
+        except asyncio.TimeoutError:
+            self.counters["statements_timed_out"] += 1
+            future.add_done_callback(
+                lambda done: self._abandon(session_id, done)
+            )
+            raise exceptions.OperationalError(
+                f"statement timed out after {self.statement_timeout:g}s; "
+                "it may still be executing (retry later)"
+            ) from None
         except BaseException:
             self._settle(session_id)
             raise
         self._settle(session_id)
         return result, self._txn_owner == session_id
+
+    def _abandon(self, session_id: int, future) -> None:
+        """A timed-out statement finally finished; release its admission."""
+        if not future.cancelled():
+            future.exception()  # retrieved: no "exception never consumed" noise
+        self._settle(session_id)
 
     def _settle(self, session_id: int) -> None:
         """After a statement: keep or release the lock per transaction state."""
@@ -168,8 +220,14 @@ class Session:
         if not isinstance(fetch, int) or fetch < 0:
             raise WireProtocolError("EXECUTE fetch must be a non-negative integer")
         proxy = self.manager.proxy
+        head = None
+        if faults.INJECTOR is not None:
+            stripped = sql.strip()
+            head = stripped.split(None, 1)[0].upper() if stripped else ""
         result, in_txn = await self.manager.execute(
-            self.id, lambda: proxy.execute(sql, tuple(params) if params else None)
+            self.id,
+            lambda: proxy.execute(sql, tuple(params) if params else None),
+            head=head,
         )
         return self._result_response(result, fetch, in_txn)
 
@@ -183,7 +241,9 @@ class Session:
                 raise WireProtocolError("EXECUTEMANY rows must be sequences")
         proxy = self.manager.proxy
         total, in_txn = await self.manager.execute(
-            self.id, lambda: proxy.executemany(sql, [tuple(row) for row in rows])
+            self.id,
+            lambda: proxy.executemany(sql, [tuple(row) for row in rows]),
+            head="EXECUTEMANY",
         )
         return FrameType.OK, {"rowcount": total, "in_txn": in_txn}
 
@@ -193,7 +253,7 @@ class Session:
             raise WireProtocolError("PREPARE payload needs a 'sql' string")
         proxy = self.manager.proxy
         prepared, in_txn = await self.manager.execute(
-            self.id, lambda: proxy.prepare(sql)
+            self.id, lambda: proxy.prepare(sql), head="PREPARE"
         )
         return FrameType.PREPARED, {
             "param_count": prepared.param_count,
@@ -252,7 +312,7 @@ class Session:
     async def _handle_txn(self, sql: str) -> tuple[FrameType, dict]:
         proxy = self.manager.proxy
         _result, in_txn = await self.manager.execute(
-            self.id, lambda: proxy.execute(sql)
+            self.id, lambda: proxy.execute(sql), head=sql
         )
         return FrameType.OK, {"rowcount": 0, "in_txn": in_txn}
 
@@ -281,6 +341,7 @@ class Session:
                 "batched_rows": stats.batched_rows,
             },
             "cache": stats.cache_stats().as_dict(),
+            "server": dict(self.manager.counters),
             "in_txn": self.manager.in_transaction(),
         }
 

@@ -32,6 +32,7 @@ import hmac
 import secrets
 import struct
 
+from repro import faults
 from repro.crypto import ecc, prf
 from repro.crypto.aes import AES
 from repro.crypto.modes import ctr_transform
@@ -84,13 +85,25 @@ class SecureChannel:
     agree on which derived keys protect which direction.
     """
 
-    def __init__(self, send_key: bytes, send_mac: bytes, recv_key: bytes, recv_mac: bytes):
+    def __init__(
+        self,
+        send_key: bytes,
+        send_mac: bytes,
+        recv_key: bytes,
+        recv_mac: bytes,
+        role: str = "peer",
+    ):
         self._send_cipher = AES(send_key)
         self._recv_cipher = AES(recv_key)
         self._send_mac = send_mac
         self._recv_mac = recv_mac
         self._send_seq = 0
         self._recv_seq = 0
+        self.role = role
+        #: Extra context forwarded to the ``transport.*`` fault hooks; the
+        #: remote client stamps the frame/statement being exchanged here so
+        #: fault rules can target e.g. only SELECT round trips.
+        self.fault_context: dict = {}
 
     @classmethod
     def for_client(
@@ -99,7 +112,7 @@ class SecureChannel:
         c2s_key, c2s_mac, s2c_key, s2c_mac = derive_directional_keys(
             secret, client_nonce, server_nonce, auth_key
         )
-        return cls(c2s_key, c2s_mac, s2c_key, s2c_mac)
+        return cls(c2s_key, c2s_mac, s2c_key, s2c_mac, role="client")
 
     @classmethod
     def for_server(
@@ -108,11 +121,15 @@ class SecureChannel:
         c2s_key, c2s_mac, s2c_key, s2c_mac = derive_directional_keys(
             secret, client_nonce, server_nonce, auth_key
         )
-        return cls(s2c_key, s2c_mac, c2s_key, c2s_mac)
+        return cls(s2c_key, s2c_mac, c2s_key, c2s_mac, role="server")
 
     # ------------------------------------------------------------------
     def seal(self, plaintext: bytes) -> bytes:
         """Encrypt-then-MAC one record under the next sequence number."""
+        if faults.INJECTOR is not None:
+            faults.INJECTOR.fire(
+                "transport.send", role=self.role, **self.fault_context
+            )
         if self._send_seq >= 1 << 64:
             raise TransportError("send sequence space exhausted")
         seq = struct.pack(">Q", self._send_seq)
@@ -128,6 +145,10 @@ class SecureChannel:
         probe the replay window without holding the MAC key; the sequence
         must then equal exactly the next expected value.
         """
+        if faults.INJECTOR is not None:
+            faults.INJECTOR.fire(
+                "transport.recv", role=self.role, **self.fault_context
+            )
         if len(record) < SEQ_BYTES + TAG_BYTES:
             raise TransportError("sealed record too short")
         seq = record[:SEQ_BYTES]

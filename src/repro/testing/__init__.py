@@ -11,14 +11,22 @@ oracle:
   (plaintext in-memory engine, plaintext SQLite, encrypted proxy over each
   backend) and reports the first result divergence after decryption;
 * :mod:`repro.testing.shrinker` delta-debugs a failing stream down to a
-  minimal reproducer before it is reported.
+  minimal reproducer before it is reported;
+* :class:`~repro.testing.oracle.ChaosRunner` replays a stream under an
+  armed :mod:`repro.faults` plan (the chaos conformance lane): every
+  statement must produce the fault-free answer or fail with a clean DB-API
+  error, and after every injected fault an invariant probe asserts proxy
+  metadata and backend state still agree.
 """
 
 from repro.testing.generator import GeneratedStatement, StatementGenerator
 from repro.testing.oracle import (
+    ChaosReport,
+    ChaosRunner,
     DifferentialRunner,
     Divergence,
     RunReport,
+    conformance_problems,
     default_lane_factory,
 )
 from repro.testing.shrinker import shrink_stream
@@ -26,9 +34,12 @@ from repro.testing.shrinker import shrink_stream
 __all__ = [
     "GeneratedStatement",
     "StatementGenerator",
+    "ChaosReport",
+    "ChaosRunner",
     "DifferentialRunner",
     "Divergence",
     "RunReport",
+    "conformance_problems",
     "default_lane_factory",
     "shrink_stream",
 ]

@@ -22,10 +22,12 @@ accumulate IEEE floats, so the two can differ in the last ulps.
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from repro import faults
 from repro.api import exceptions
 from repro.api.connection import Connection, connect
 from repro.testing.generator import GeneratedStatement
@@ -373,3 +375,443 @@ class DifferentialRunner:
             list(statements), still_fails, max_probes=max_probes
         )
         return report
+
+
+# ---------------------------------------------------------------------------
+# the chaos conformance lane
+# ---------------------------------------------------------------------------
+#: Frames/heads a ``transport.recv`` fault may interrupt without making the
+#: statement's server-side effect ambiguous: reads never mutate state, and a
+#: statement inside an explicit transaction is rolled back wholesale by the
+#: server when the session drops.
+_READ_ONLY_HEADS = frozenset({"SELECT", "FETCH", "PREPARE", "STATS"})
+
+#: Sites whose context carries a ``target`` the runner scopes to the chaos
+#: stack, so the fault-free shadow lane can never be hit by the same plan.
+_SCOPE_TARGETS: dict[str, Callable[[Any], Any]] = {
+    "backend.execute": lambda server: server.proxy.db,
+    "server.session.execute": lambda server: server.manager,
+    "pool.scatter": lambda server: server.proxy.pool,
+    "paillier.refill": lambda server: server.proxy,
+}
+
+#: Sentinel: a probe the encrypted proxy refused (NotSupportedError).
+_REFUSED = object()
+
+
+def conformance_problems(plan: "faults.FaultPlan") -> list[str]:
+    """Why ``plan`` is unsound for answer-for-answer conformance, if at all.
+
+    Every instrumented site except ``transport.recv`` faults *before* the
+    guarded work happens, so a clean client-visible error implies the
+    statement was never applied and the shadow lane can simply skip it.  A
+    ``transport.recv`` error fires after the server executed and before the
+    client learns the answer -- sound only for read-only frames, or inside
+    an explicit transaction (the server rolls the whole transaction back on
+    disconnect) provided the COMMIT acknowledgement itself is never the
+    victim (a lost COMMIT ack leaves the transaction durably committed
+    while the client reports it aborted).
+    """
+    problems = []
+    for index, rule in enumerate(plan.rules):
+        if rule.site != "transport.recv" or rule.kind != "error":
+            continue
+        heads = rule.match.get("head")
+        if heads is not None and all(h in _READ_ONLY_HEADS for h in heads):
+            continue
+        excluded = tuple(rule.exclude.get("frame", ())) + tuple(
+            rule.exclude.get("head", ())
+        )
+        if rule.match.get("in_txn") == (True,) and "COMMIT" in excluded:
+            continue
+        problems.append(
+            f"rule #{index}: transport.recv errors must match "
+            f"head in {sorted(_READ_ONLY_HEADS)} or match in_txn=(True,) "
+            "with frame/head COMMIT excluded; anything else makes the "
+            "statement's server-side effect ambiguous"
+        )
+    return problems
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one stream replayed under an armed fault plan."""
+
+    statements_executed: int = 0
+    selects_compared: int = 0
+    refused_by_proxy: int = 0
+    faults_injected: int = 0
+    chaos_errors: int = 0  # statements that failed cleanly on the chaos lane
+    transactions_resynced: int = 0
+    invariant_checks: int = 0
+    invariant_violations: list = field(default_factory=list)
+    client_reconnects: int = 0
+    client_retries: int = 0
+    divergence: Optional[Divergence] = None
+    injector_stats: dict = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None and not self.invariant_violations
+
+    def describe(self) -> str:
+        lines = [
+            f"{'conformant' if self.ok else 'FAILED'}: "
+            f"{self.statements_executed} statements, "
+            f"{self.faults_injected} faults injected, "
+            f"{self.chaos_errors} clean chaos errors, "
+            f"{self.selects_compared} SELECT comparisons, "
+            f"{self.client_reconnects} reconnects, "
+            f"{self.client_retries} transparent retries, "
+            f"{self.invariant_checks} invariant checks"
+        ]
+        if self.seed is not None:
+            lines.append(f"reproduce with --repro-seed={self.seed}")
+        if self.divergence is not None:
+            lines.append(self.divergence.describe())
+        lines.extend(f"invariant violation: {v}" for v in self.invariant_violations)
+        return "\n".join(lines)
+
+
+class _ProbeStats:
+    """Throwaway stats sink for plan-cache probes (keeps real counters clean)."""
+
+    plan_cache_hits = 0
+    plan_cache_misses = 0
+    plan_cache_invalidations = 0
+
+
+class ChaosRunner:
+    """Replay a stream under an armed fault plan and demand conformance.
+
+    Two lanes run in lockstep: ``enc-chaos`` -- a real TCP connection to an
+    embedded :class:`~repro.server.loopback.LoopbackServer` with the fault
+    plan armed and scoped to exactly that stack -- and ``shadow``, an
+    identical in-process encrypted proxy that never sees a fault.  Every
+    statement runs on the chaos lane first:
+
+    * success: the shadow runs it too (injection paused) and the answers
+      must match, row for row;
+    * clean DB-API failure: the statement was not applied (see
+      :func:`conformance_problems`), so the shadow skips it; if the chaos
+      lane's transaction aborted, the shadow's is rolled back to match;
+    * anything that escapes as a non-DB-API exception propagates -- chaos
+      must never produce a dirty crash.
+
+    After every statement during which a fault actually fired, an invariant
+    probe (injection paused) asserts the two lanes still agree: identical
+    table contents, identical SUM answers on every numeric column -- which
+    drives the HOM onion, so a lowered-but-unadjusted onion or a readable
+    HOM-stale column surfaces here -- symmetric refusals, and a chaos-side
+    plan cache with no stale entry surviving a lookup sweep.
+    """
+
+    def __init__(
+        self,
+        plan: "faults.FaultPlan",
+        *,
+        server_kwargs: Optional[dict] = None,
+        shadow_kwargs: Optional[dict] = None,
+        client_kwargs: Optional[dict] = None,
+        strict: bool = True,
+    ):
+        if strict:
+            problems = conformance_problems(plan)
+            if problems:
+                raise ValueError(
+                    "fault plan is not conformance-safe:\n  "
+                    + "\n  ".join(problems)
+                )
+        self.plan = plan
+        self.server_kwargs = dict(server_kwargs or {})
+        self.shadow_kwargs = dict(shadow_kwargs or {})
+        self.client_kwargs = {
+            # Fast, bounded recovery so injected disconnects heal in
+            # milliseconds instead of the production-scale defaults.
+            "timeout": 30.0,
+            "max_retries": 4,
+            "reconnect_attempts": 4,
+            "reconnect_backoff": 0.01,
+            "reconnect_backoff_cap": 0.1,
+            **(client_kwargs or {}),
+        }
+
+    # -- plan scoping ----------------------------------------------------
+    def _scoped_plan(self, server) -> "faults.FaultPlan":
+        """Pin unscoped rules to the chaos server's own objects."""
+        rules = []
+        for rule in self.plan.rules:
+            getter = _SCOPE_TARGETS.get(rule.site)
+            if getter is not None and rule.scope is None:
+                target = getter(server)
+                if target is None:
+                    continue  # e.g. a pool rule against a pool-less proxy
+                rule = dataclasses.replace(rule, scope=target)
+            rules.append(rule)
+        return faults.FaultPlan(self.plan.seed, rules)
+
+    # -- the replay loop -------------------------------------------------
+    def run(self, statements: Sequence[GeneratedStatement]) -> ChaosReport:
+        from repro.server.loopback import connect_loopback
+
+        report = ChaosReport()
+        chaos = connect_loopback(
+            backend="memory",
+            client_kwargs=self.client_kwargs,
+            **self.server_kwargs,
+        )
+        server = chaos.loopback_server.server
+        shadow = connect(backend="memory", **self.shadow_kwargs)
+        try:
+            with faults.armed(self._scoped_plan(server)) as injector:
+                for index, statement in enumerate(statements):
+                    fired_before = injector.fired_count
+                    chaos_out = DifferentialRunner._run_statement(
+                        chaos, statement
+                    )
+                    report.statements_executed += 1
+                    if chaos_out.error is not None:
+                        # The chaos lane failed cleanly; the statement was
+                        # not applied there, so the shadow skips it -- but a
+                        # refusal (NotSupportedError) is proxy behaviour,
+                        # not a fault, and must be symmetric.
+                        with faults.paused():
+                            if chaos_out.error == "unsupported":
+                                shadow_out = DifferentialRunner._run_statement(
+                                    shadow, statement
+                                )
+                                if shadow_out.error != "unsupported":
+                                    report.divergence = self._diverge(
+                                        index,
+                                        statement,
+                                        chaos_out,
+                                        shadow_out,
+                                        "chaos lane refused a statement the "
+                                        "fault-free shadow accepts",
+                                    )
+                                    break
+                                report.refused_by_proxy += 1
+                            else:
+                                report.chaos_errors += 1
+                                self._resync_transactions(
+                                    chaos, shadow, report
+                                )
+                    else:
+                        with faults.paused():
+                            shadow_out = DifferentialRunner._run_statement(
+                                shadow, statement
+                            )
+                        divergence = self._compare(
+                            index, statement, chaos_out, shadow_out, report
+                        )
+                        if divergence is not None:
+                            report.divergence = divergence
+                            break
+                    if injector.fired_count > fired_before:
+                        report.faults_injected += (
+                            injector.fired_count - fired_before
+                        )
+                        with faults.paused():
+                            violation = self._check_invariants(
+                                chaos, shadow, server
+                            )
+                        report.invariant_checks += 1
+                        if violation is not None:
+                            report.invariant_violations.append(
+                                f"after statement #{index} "
+                                f"({statement.describe()}): {violation}"
+                            )
+                            break
+                report.injector_stats = injector.stats()
+        finally:
+            client = chaos.proxy
+            report.client_reconnects = client.reconnects
+            report.client_retries = client.retries
+            shadow.close()
+            chaos.close()
+        return report
+
+    # -- lockstep comparison ---------------------------------------------
+    @staticmethod
+    def _diverge(index, statement, chaos_out, shadow_out, reason) -> Divergence:
+        return Divergence(
+            index,
+            statement,
+            reason,
+            {"enc-chaos": chaos_out.summary(), "shadow": shadow_out.summary()},
+        )
+
+    def _compare(
+        self,
+        index: int,
+        statement: GeneratedStatement,
+        chaos_out: LaneOutcome,
+        shadow_out: LaneOutcome,
+        report: ChaosReport,
+    ) -> Optional[Divergence]:
+        if shadow_out.error is not None:
+            return self._diverge(
+                index, statement, chaos_out, shadow_out,
+                "shadow failed a statement the chaos lane ran",
+            )
+        if chaos_out.rows is not None:
+            if shadow_out.rows is None:
+                return self._diverge(
+                    index, statement, chaos_out, shadow_out,
+                    "shadow returned no result set",
+                )
+            report.selects_compared += 1
+            expected = _normalize(shadow_out.rows, statement.ordered)
+            actual = _normalize(chaos_out.rows, statement.ordered)
+            if not _rows_match(expected, actual):
+                return self._diverge(
+                    index, statement, chaos_out, shadow_out,
+                    f"result rows differ under faults: "
+                    f"{expected[:5]!r} vs {actual[:5]!r}",
+                )
+            return None
+        if shadow_out.rows is not None:
+            return self._diverge(
+                index, statement, chaos_out, shadow_out,
+                "shadow unexpectedly returned rows",
+            )
+        if chaos_out.rowcount != shadow_out.rowcount:
+            return self._diverge(
+                index, statement, chaos_out, shadow_out,
+                f"rowcount differs under faults "
+                f"({chaos_out.rowcount} vs {shadow_out.rowcount})",
+            )
+        return None
+
+    def _resync_transactions(
+        self, chaos: Connection, shadow: Connection, report: ChaosReport
+    ) -> None:
+        """Mirror a chaos-side transaction abort onto the shadow.
+
+        When a fault kills the connection mid-transaction the server rolls
+        the whole transaction back; the shadow must roll back too or the
+        lanes' visible states drift apart.
+        """
+        if shadow._in_transaction() and not chaos._in_transaction():
+            shadow.cursor().execute("ROLLBACK")
+            report.transactions_resynced += 1
+
+    # -- invariants -------------------------------------------------------
+    def _probe(self, connection: Connection, sql: str):
+        """Run one probe; rows, ``_REFUSED``, or an error string."""
+        try:
+            cursor = connection.cursor()
+            cursor.execute(sql)
+            return [tuple(row) for row in cursor.fetchall()]
+        except exceptions.NotSupportedError:
+            return _REFUSED
+        except exceptions.Error as exc:
+            return f"{type(exc).__name__}: {exc}"
+
+    def _check_invariants(
+        self, chaos: Connection, shadow: Connection, server
+    ) -> Optional[str]:
+        """Proxy-metadata <-> backend consistency, probed through both lanes.
+
+        Called with injection paused.  Returns a description of the first
+        violated invariant, or None.
+        """
+        shadow_proxy = shadow.proxy
+        tables = sorted(
+            set(shadow_proxy.schema.tables) | set(server.proxy.schema.tables)
+        )
+        for table in tables:
+            chaos_rows = self._probe(chaos, f"SELECT * FROM {table}")
+            shadow_rows = self._probe(shadow, f"SELECT * FROM {table}")
+            if isinstance(chaos_rows, str) or isinstance(shadow_rows, str):
+                return (
+                    f"probing table {table} failed "
+                    f"(chaos: {chaos_rows!r:.120}, shadow: {shadow_rows!r:.120})"
+                )
+            if (chaos_rows is _REFUSED) != (shadow_rows is _REFUSED):
+                return f"asymmetric refusal reading table {table}"
+            if chaos_rows is _REFUSED:
+                continue
+            if not _rows_match(
+                _normalize(shadow_rows, ordered=False),
+                _normalize(chaos_rows, ordered=False),
+            ):
+                return (
+                    f"table {table} diverged: shadow has {len(shadow_rows)} "
+                    f"row(s), chaos lane has {len(chaos_rows)}"
+                )
+            violation = self._check_sums(chaos, shadow, table, shadow_rows)
+            if violation is not None:
+                return violation
+        return self._check_plan_cache(server)
+
+    def _check_sums(
+        self,
+        chaos: Connection,
+        shadow: Connection,
+        table: str,
+        shadow_rows: list,
+    ) -> Optional[str]:
+        """SUM every numeric column through both proxies vs. a Python sum.
+
+        The SQL SUM rides the HOM (Paillier) onion, so this is the probe
+        that catches a column whose metadata and ciphertext state fell out
+        of step -- a lowered-but-unadjusted onion or a readable HOM-stale
+        slot yields a sum that disagrees with the plaintext recomputation.
+        """
+        cursor = shadow.cursor()
+        cursor.execute(f"SELECT * FROM {table}")
+        cursor.fetchall()
+        names = [col[0] for col in cursor.description or []]
+        for col_index, name in enumerate(names):
+            values = [
+                row[col_index]
+                for row in shadow_rows
+                if row[col_index] is not None
+            ]
+            if not values or not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in values
+            ):
+                continue
+            sql = f"SELECT SUM({name}) FROM {table}"
+            chaos_sum = self._probe(chaos, sql)
+            shadow_sum = self._probe(shadow, sql)
+            if isinstance(chaos_sum, str) or isinstance(shadow_sum, str):
+                return (
+                    f"SUM probe on {table}.{name} failed "
+                    f"(chaos: {chaos_sum!r:.120}, shadow: {shadow_sum!r:.120})"
+                )
+            if (chaos_sum is _REFUSED) != (shadow_sum is _REFUSED):
+                return f"asymmetric SUM refusal on {table}.{name}"
+            if chaos_sum is _REFUSED:
+                continue
+            expected = sum(values)
+            for lane, got in (("chaos", chaos_sum), ("shadow", shadow_sum)):
+                answer = got[0][0] if got and got[0] else None
+                if answer is None or not _cells_match(answer, expected):
+                    return (
+                        f"SUM({table}.{name}) on the {lane} lane is "
+                        f"{answer!r}, plaintext recomputation says "
+                        f"{expected!r}"
+                    )
+        return None
+
+    @staticmethod
+    def _check_plan_cache(server) -> Optional[str]:
+        """Sweep the chaos proxy's plan cache; no stale plan may survive."""
+        proxy = server.proxy
+        cache = proxy.plan_cache
+        version = proxy.schema.version
+        sink = _ProbeStats()
+        for key in list(cache._entries):
+            cache.get(key, version, sink)
+        for key, entry in cache._entries.items():
+            if entry.schema_version != version:
+                return (
+                    f"plan cache kept a stale plan for {key!r} "
+                    f"(planned at schema v{entry.schema_version}, "
+                    f"current v{version})"
+                )
+        return None

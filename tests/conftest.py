@@ -15,6 +15,7 @@ report so ``pytest --repro-seed=N path::test`` reproduces the run.
 from __future__ import annotations
 
 import random
+import time
 
 import pytest
 
@@ -70,6 +71,40 @@ def pytest_runtest_makereport(item, call):
         report.sections.append(
             ("repro seed", f"rerun with: pytest --repro-seed={seed} {item.nodeid}")
         )
+
+
+@pytest.fixture(autouse=True)
+def _faults_disarmed():
+    """No test may leak an armed fault injector into the next one."""
+    from repro import faults
+
+    yield
+    faults.disarm()
+
+
+def wait_until(
+    predicate,
+    timeout: float = 10.0,
+    interval: float = 0.01,
+    message: str = "condition",
+) -> None:
+    """Poll ``predicate`` until true or fail after ``timeout`` seconds.
+
+    The shared replacement for bare ``time.sleep`` waits: it returns the
+    moment the condition holds (fast on fast machines) and produces a real
+    assertion message instead of a flaky race on slow ones.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out after {timeout:g}s waiting for {message}")
+
+
+@pytest.fixture(name="wait_until", scope="session")
+def wait_until_fixture():
+    return wait_until
 
 
 @pytest.fixture(scope="session")

@@ -192,7 +192,7 @@ def test_pool_restart_does_not_double_count(parallel_proxy):
 # ---------------------------------------------------------------------------
 # asynchronous HOM pool refill
 # ---------------------------------------------------------------------------
-def test_hom_pool_async_refill():
+def test_hom_pool_async_refill(wait_until):
     # A private key pair: the session-scoped fixture's randomness pool is
     # shared across tests and may already sit far above the watermark.
     from repro.crypto.paillier import PaillierKeyPair
@@ -213,12 +213,10 @@ def test_hom_pool_async_refill():
         for i in range(8):
             proxy.execute("INSERT INTO h (v) VALUES (?)", (i,))
         proxy.pool.drain_async()
-        deadline = time.monotonic() + 10
-        while (
-            proxy.stats.cache_stats().hom_pool_async_refills == 0
-            and time.monotonic() < deadline
-        ):
-            time.sleep(0.01)
+        wait_until(
+            lambda: proxy.stats.cache_stats().hom_pool_async_refills > 0,
+            message="background HOM refill to land",
+        )
         stats = proxy.stats.cache_stats()
         assert stats.hom_pool_async_refills >= 1
         assert proxy.paillier.randomness_pool_size > 0

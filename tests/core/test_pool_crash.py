@@ -1,0 +1,248 @@
+"""Worker crashes mid-batch: self-healing, circuit breaker, exact results.
+
+The contract under test: a SIGKILLed worker (or any pool transport failure)
+may cost latency, never correctness.  The batch either completes through the
+pool's own recovery (the stdlib Pool repopulates idle-dead workers; the
+bounded ``map_async(...).get`` turns a lost in-flight task into
+:class:`ParallelUnavailable`) or the caller re-runs it serially -- with
+identical ciphertext semantics either way.  Counters accumulate as deltas,
+so crash + restart can never double-count ``worker_det_hits``; a burst of
+failures opens the circuit breaker (callers go serial) and the first probe
+after the cooldown respawns the workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import threading
+
+import pytest
+
+from repro import faults
+from repro.core.proxy import CryptDBProxy
+from repro.crypto.keys import MasterKey
+from repro.parallel import CryptoWorkerPool, ParallelConfig
+from repro.parallel.jobs import HomEncryptJob
+from repro.parallel.pool import ParallelUnavailable
+from repro.sql.engine import Database
+
+#: Aggressive sizing so small test batches offload, with a short scatter
+#: timeout so a genuinely lost task fails in seconds, not a minute.
+CRASHY = ParallelConfig(
+    workers=2,
+    chunk_threshold=4,
+    scatter_timeout=10.0,
+    max_pool_failures=2,
+    failure_window=30.0,
+    circuit_cooldown=0.3,
+)
+
+
+def _make_proxy(paillier_keypair, **parallel_overrides) -> CryptDBProxy:
+    config = (
+        dataclasses.replace(CRASHY, **parallel_overrides)
+        if parallel_overrides
+        else CRASHY
+    )
+    return CryptDBProxy(
+        db=Database(),
+        master_key=MasterKey.from_passphrase("pool-crash"),
+        paillier=paillier_keypair,
+        parallelism=config,
+        hom_precompute=4,
+    )
+
+
+def _unpicklable_job(chunk):
+    return lambda: chunk  # a lambda can't cross the IPC boundary
+
+
+# ---------------------------------------------------------------------------
+# SIGKILL mid-batch
+# ---------------------------------------------------------------------------
+def test_sigkill_at_scatter_entry_preserves_results(paillier_keypair):
+    """Kill a worker as a batch enters scatter; answers must not change.
+
+    The ``pool.scatter`` fault action SIGKILLs one live worker right before
+    the chunks are dispatched.  Whether the pool repopulates, self-heals,
+    or the encryptor falls back to serial crypto, the decrypted results
+    must equal a crash-free proxy's under the same master key.
+    """
+    parallel = _make_proxy(paillier_keypair)
+    serial = CryptDBProxy(
+        db=Database(),
+        master_key=MasterKey.from_passphrase("pool-crash"),
+        paillier=paillier_keypair,
+        hom_precompute=4,
+    )
+    plan = faults.FaultPlan(
+        7,
+        [
+            faults.FaultRule(
+                "pool.scatter",
+                trigger_hits=(1,),
+                kind="call",
+                action=faults.kill_one_worker,
+                scope=parallel.pool,
+            )
+        ],
+    )
+    rows = [(i, f"name-{i % 7}", 3 * i) for i in range(40)]
+    try:
+        for proxy in (parallel, serial):
+            proxy.execute("CREATE TABLE t (id INT, name VARCHAR(30), qty INT)")
+        with faults.armed(plan) as injector:
+            for proxy in (parallel, serial):
+                proxy.executemany(
+                    "INSERT INTO t (id, name, qty) VALUES (?, ?, ?)", rows
+                )
+        assert injector.fired_count == 1, "the kill action must have fired"
+        for sql, params in (
+            ("SELECT COUNT(*) FROM t", ()),
+            ("SELECT id, qty FROM t WHERE name = ? ORDER BY id ASC", ("name-3",)),
+            ("SELECT SUM(qty) FROM t", ()),
+        ):
+            assert (
+                parallel.execute(sql, params).rows
+                == serial.execute(sql, params).rows
+            ), sql
+        # Delta-based absorption: reading stats twice changes nothing, so a
+        # crash/restart in the middle cannot have double-counted hits.
+        first = parallel.stats.cache_stats()
+        second = parallel.stats.cache_stats()
+        assert (first.worker_det_hits, first.worker_det_misses) == (
+            second.worker_det_hits,
+            second.worker_det_misses,
+        )
+    finally:
+        parallel.close()
+        serial.close()
+
+
+def test_sigkill_while_batch_in_flight(paillier_keypair):
+    """SIGKILL a worker while its chunk is genuinely in flight.
+
+    The stdlib Pool loses an in-flight task forever; the bounded get()
+    turns that into ParallelUnavailable, the pool marks itself broken, and
+    the next ``usable()`` probe heals it.  Either way the batch's values
+    must come back exact.
+    """
+    pool = CryptoWorkerPool(CRASHY, paillier_keypair)
+    values = list(range(300))
+    killed = threading.Event()
+
+    def killer():
+        for process in list(pool._pool._pool):
+            if process.is_alive():
+                os.kill(process.pid, signal.SIGKILL)
+                killed.set()
+                return
+
+    timer = threading.Timer(0.02, killer)
+    timer.start()
+    try:
+        try:
+            result = pool.scatter(
+                values, lambda chunk: HomEncryptJob(values=chunk)
+            )
+        except ParallelUnavailable:
+            # The in-flight chunk died with its worker: bounded failure,
+            # broken pool, then self-healing on the next probe.
+            assert pool.broken
+            assert pool.failures >= 1
+            assert pool.usable(len(values)), "pool must self-heal"
+            assert pool.restarts >= 1
+            result = pool.scatter(
+                values, lambda chunk: HomEncryptJob(values=chunk)
+            )
+        timer.join()
+        assert killed.is_set(), "the killer thread must have found a worker"
+        assert [paillier_keypair.decrypt(ct) for ct in result] == values
+    finally:
+        timer.cancel()
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+def test_circuit_breaker_opens_then_recovers(paillier_keypair, wait_until):
+    pool = CryptoWorkerPool(CRASHY, paillier_keypair)
+
+    def fail_once():
+        with pytest.raises(ParallelUnavailable):
+            pool.scatter(list(range(8)), _unpicklable_job)
+
+    try:
+        fail_once()
+        assert pool.broken and pool.failures == 1
+        # First failure: plain self-heal, no circuit.
+        assert pool.usable(8)
+        assert pool.restarts == 1 and not pool.circuit_open
+        # Second failure within the window trips the breaker.
+        fail_once()
+        assert pool.failures == 2
+        assert pool.circuit_opens == 1 and pool.circuit_open
+        assert not pool.usable(8), "open circuit must force serial fallback"
+        assert pool.restarts == 1, "no respawn while the circuit is open"
+        wait_until(
+            lambda: not pool.circuit_open,
+            timeout=5,
+            message="circuit cooldown to elapse",
+        )
+        # First probe after the cooldown re-probes by respawning.
+        assert pool.usable(8)
+        assert pool.restarts == 2
+        result = pool.scatter(
+            list(range(8)), lambda chunk: HomEncryptJob(values=chunk)
+        )
+        assert [paillier_keypair.decrypt(ct) for ct in result] == list(range(8))
+    finally:
+        pool.close()
+
+
+def test_auto_restart_disabled_stays_broken(paillier_keypair):
+    pool = CryptoWorkerPool(
+        dataclasses.replace(CRASHY, auto_restart=False), paillier_keypair
+    )
+    try:
+        with pytest.raises(ParallelUnavailable):
+            pool.scatter(list(range(8)), _unpicklable_job)
+        assert pool.broken
+        assert not pool.usable(8)
+        assert pool.restarts == 0
+    finally:
+        pool.close()
+
+
+def test_closed_pool_never_heals(paillier_keypair):
+    pool = CryptoWorkerPool(CRASHY, paillier_keypair)
+    pool.close()
+    assert not pool.usable(10**9)
+    assert pool.restarts == 0
+
+
+# ---------------------------------------------------------------------------
+# health counters travel cache_stats()
+# ---------------------------------------------------------------------------
+def test_pool_health_counters_in_cache_stats(paillier_keypair):
+    proxy = _make_proxy(paillier_keypair)
+    try:
+        stats = proxy.stats.cache_stats()
+        assert (stats.pool_restarts, stats.pool_failures) == (0, 0)
+        assert stats.pool_circuit_opens == 0 and stats.pool_circuit_open == 0
+        with pytest.raises(ParallelUnavailable):
+            proxy.pool.scatter(list(range(8)), _unpicklable_job)
+        proxy.pool.usable(8)  # heal -> restart
+        stats = proxy.stats.cache_stats()
+        assert stats.pool_failures == 1
+        assert stats.pool_restarts == 1
+        # reset() zeroes the lifetime counters with everything else.
+        proxy.stats.reset()
+        stats = proxy.stats.cache_stats()
+        assert (stats.pool_restarts, stats.pool_failures) == (0, 0)
+        assert stats.pool_circuit_opens == 0
+    finally:
+        proxy.close()

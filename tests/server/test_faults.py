@@ -1,0 +1,278 @@
+"""Client self-healing and server overload reactions under injected faults.
+
+Companion to the chaos conformance lane (``tests/conformance/test_chaos.py``):
+these tests pin down the *individual* reactions -- transparent SELECT retry,
+refusal to retry writes, clean in-transaction aborts, hung/garbage peers
+failing fast as ``InterfaceError``, per-statement server timeouts and their
+counters in the STATS frame -- with single deterministic faults instead of
+randomized schedules.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro import faults
+from repro.api import exceptions
+from repro.api.connection import connect
+from repro.api.remote_backend import parse_url
+from repro.crypto.keys import MasterKey
+from repro.server.loopback import LoopbackServer
+
+#: Fast client recovery so injected disconnects heal in milliseconds.
+FAST_CLIENT = dict(
+    max_retries=3,
+    reconnect_attempts=3,
+    reconnect_backoff=0.01,
+    reconnect_backoff_cap=0.05,
+)
+
+
+@pytest.fixture()
+def server(paillier_keypair):
+    instance = LoopbackServer(
+        paillier=paillier_keypair,
+        master_key=MasterKey.from_passphrase("fault-tests"),
+        hom_precompute=4,
+    )
+    yield instance
+    instance.stop()
+
+
+def _connect(server, **kwargs):
+    return connect(url=server.url, **{**FAST_CLIENT, **kwargs})
+
+
+# ---------------------------------------------------------------------------
+# client retry / reconnect
+# ---------------------------------------------------------------------------
+def test_select_retries_transparently(server):
+    """A recv fault on a SELECT answer heals without surfacing an error."""
+    conn = _connect(server)
+    try:
+        conn.execute("CREATE TABLE r (id INT)")
+        conn.execute("INSERT INTO r (id) VALUES (?)", (7,))
+        plan = faults.FaultPlan(
+            1,
+            [
+                faults.FaultRule(
+                    "transport.recv",
+                    trigger_hits=(1,),
+                    match={"head": ("SELECT",)},
+                )
+            ],
+        )
+        with faults.armed(plan):
+            rows = conn.execute("SELECT id FROM r").fetchall()
+        assert rows == [(7,)]
+        client = conn.proxy
+        assert client.reconnects == 1
+        assert client.retries == 1
+    finally:
+        conn.close()
+
+
+def test_write_is_never_resent(server):
+    """A send fault on an INSERT reconnects but refuses to guess."""
+    conn = _connect(server)
+    try:
+        conn.execute("CREATE TABLE w (id INT)")
+        plan = faults.FaultPlan(
+            1,
+            [
+                faults.FaultRule(
+                    "transport.send",
+                    trigger_hits=(1,),
+                    match={"head": ("INSERT",)},
+                )
+            ],
+        )
+        with faults.armed(plan):
+            with pytest.raises(
+                exceptions.OperationalError, match="may not have been applied"
+            ):
+                conn.execute("INSERT INTO w (id) VALUES (?)", (1,))
+        client = conn.proxy
+        assert client.retries == 0, "writes must never be transparently resent"
+        assert client.reconnects == 1
+        # Pre-send fault: the statement genuinely never happened, and the
+        # re-established session serves immediately.
+        assert conn.execute("SELECT COUNT(*) FROM w").fetchall() == [(0,)]
+        conn.execute("INSERT INTO w (id) VALUES (?)", (1,))
+        assert conn.execute("SELECT COUNT(*) FROM w").fetchall() == [(1,)]
+    finally:
+        conn.close()
+
+
+def test_in_transaction_fault_aborts_cleanly(server):
+    """Losing the wire mid-transaction: clean abort, server-side rollback."""
+    conn = _connect(server)
+    try:
+        conn.execute("CREATE TABLE txn (id INT)")
+        plan = faults.FaultPlan(
+            1,
+            [
+                # First in-transaction INSERT passes, the second is cut off.
+                faults.FaultRule(
+                    "transport.send",
+                    trigger_hits=(2,),
+                    match={"in_txn": (True,)},
+                )
+            ],
+        )
+        with faults.armed(plan):
+            conn.execute("BEGIN")
+            conn.execute("INSERT INTO txn (id) VALUES (?)", (1,))
+            with pytest.raises(
+                exceptions.OperationalError, match="transaction aborted"
+            ):
+                conn.execute("INSERT INTO txn (id) VALUES (?)", (2,))
+        client = conn.proxy
+        assert not client.transactions.in_transaction
+        assert client.reconnects == 1
+        # The server rolled the whole transaction back on disconnect.
+        assert conn.execute("SELECT COUNT(*) FROM txn").fetchall() == [(0,)]
+        # close() stays idempotent after all of this.
+        conn.close()
+        conn.close()
+    finally:
+        conn.close()
+
+
+def test_exhausted_reconnects_mark_connection_dead(server):
+    """When the server is really gone, the client fails as InterfaceError."""
+    conn = _connect(server, reconnect_attempts=2, reconnect_backoff=0.01)
+    conn.execute("CREATE TABLE gone (id INT)")
+    server.stop()
+    with pytest.raises(exceptions.Error):
+        conn.execute("SELECT COUNT(*) FROM gone")
+    # Once dead, every call fails fast with the cached reason...
+    with pytest.raises(exceptions.InterfaceError, match="is gone"):
+        conn.execute("SELECT COUNT(*) FROM gone")
+    assert not conn.proxy.transactions.in_transaction
+    # ...and close() cannot raise through the dead socket.
+    conn.close()
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# connect-phase hardening
+# ---------------------------------------------------------------------------
+def test_parse_url_rejects_non_numeric_port():
+    with pytest.raises(exceptions.InterfaceError, match="invalid URL"):
+        parse_url("repro://localhost:not-a-port")
+
+
+def test_silent_peer_fails_handshake_within_connect_timeout():
+    """A peer that accepts and says nothing: InterfaceError, fast."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()
+    try:
+        with pytest.raises(
+            exceptions.InterfaceError, match=f"handshake with repro://{host}:{port}"
+        ):
+            connect(url=f"repro://{host}:{port}", connect_timeout=0.3)
+    finally:
+        listener.close()
+
+
+def test_garbage_peer_fails_handshake_cleanly():
+    """A peer that answers garbage: InterfaceError, never a raw struct error."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()
+
+    def serve_garbage():
+        peer, _ = listener.accept()
+        peer.recv(4096)
+        peer.sendall(struct.pack("!I", 12) + b"not-a-frame!")
+        peer.close()
+
+    thread = threading.Thread(target=serve_garbage, daemon=True)
+    thread.start()
+    try:
+        with pytest.raises(exceptions.InterfaceError, match="handshake"):
+            connect(url=f"repro://{host}:{port}", connect_timeout=2)
+        thread.join(timeout=5)
+    finally:
+        listener.close()
+
+
+# ---------------------------------------------------------------------------
+# server statement timeout + overload counters
+# ---------------------------------------------------------------------------
+def test_statement_timeout_surfaces_retryable_error(paillier_keypair, wait_until):
+    server = LoopbackServer(
+        paillier=paillier_keypair,
+        master_key=MasterKey.from_passphrase("timeout-tests"),
+        hom_precompute=4,
+        statement_timeout=0.2,
+    )
+    conn = _connect(server)
+    try:
+        conn.execute("CREATE TABLE slow (id INT)")
+        plan = faults.FaultPlan(
+            1,
+            [
+                faults.FaultRule(
+                    "backend.execute",
+                    trigger_hits=(1,),
+                    kind="delay",
+                    delay=0.8,
+                    scope=server.proxy.db,
+                )
+            ],
+        )
+        with faults.armed(plan):
+            with pytest.raises(
+                exceptions.OperationalError, match="timed out.*retry later"
+            ):
+                conn.execute("INSERT INTO slow (id) VALUES (?)", (1,))
+        # The admission lock is held until the abandoned thread finishes;
+        # the next statement then runs normally and the counter shows up in
+        # the STATS frame's server block.
+        wait_until(
+            lambda: conn.proxy.server_stats()["server"]["statements_timed_out"]
+            == 1,
+            message="timed-out statement to be accounted",
+        )
+        stats = conn.proxy.server_stats()
+        assert stats["server"]["statements_shed"] == 0
+        assert conn.execute("SELECT COUNT(*) FROM slow").fetchall()[0][0] in (0, 1)
+    finally:
+        conn.close()
+        server.stop()
+
+
+def test_stats_frame_carries_pool_health(paillier_keypair):
+    from repro.parallel import ParallelConfig
+
+    server = LoopbackServer(
+        paillier=paillier_keypair,
+        master_key=MasterKey.from_passphrase("pool-stats"),
+        hom_precompute=4,
+        parallelism=ParallelConfig(workers=2, chunk_threshold=4),
+    )
+    conn = _connect(server)
+    try:
+        stats = conn.proxy.server_stats()
+        cache = stats["cache"]
+        for key in (
+            "pool_restarts",
+            "pool_failures",
+            "pool_circuit_opens",
+            "pool_circuit_open",
+        ):
+            assert cache[key] == 0, key
+        server.proxy.pool.restart()
+        assert conn.proxy.server_stats()["cache"]["pool_restarts"] == 1
+    finally:
+        conn.close()
+        server.stop()

@@ -7,7 +7,6 @@ import signal
 import subprocess
 import sys
 import threading
-import time
 
 import pytest
 
@@ -172,7 +171,9 @@ def test_transaction_exclusivity_across_sessions(loopback):
         b.close()
 
 
-def test_drain_refuses_new_statements_but_finishes_inflight(paillier_keypair):
+def test_drain_refuses_new_statements_but_finishes_inflight(
+    paillier_keypair, wait_until
+):
     """The graceful-shutdown contract: in-flight finishes, new work refused."""
     from repro.crypto.keys import MasterKey
 
@@ -195,11 +196,17 @@ def test_drain_refuses_new_statements_but_finishes_inflight(paillier_keypair):
 
         worker = threading.Thread(target=slow_statement)
         worker.start()
-        time.sleep(0.15)  # let the batch reach the executor
+        wait_until(
+            lambda: server.server._inflight > 0,
+            message="the batch to reach the executor",
+        )
 
         drainer = threading.Thread(target=server.drain)
         drainer.start()
-        time.sleep(0.1)  # drain has flipped the flag and is awaiting idle
+        wait_until(
+            lambda: server.server.draining,
+            message="drain to flip the refuse-new-statements flag",
+        )
 
         with pytest.raises(exceptions.OperationalError, match="draining"):
             b.execute("INSERT INTO dr (id, v) VALUES (9999, 9999)")
@@ -252,8 +259,8 @@ def test_connect_url_argument_validation():
         connect(url="repro://localhost:1", encrypted=False)
 
 
-def test_connect_refused_maps_to_operational_error():
-    with pytest.raises(exceptions.OperationalError, match="cannot connect"):
+def test_connect_refused_maps_to_interface_error():
+    with pytest.raises(exceptions.InterfaceError, match="cannot connect"):
         connect(url="repro://127.0.0.1:1", connect_timeout=2)
 
 
