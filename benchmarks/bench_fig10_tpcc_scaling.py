@@ -36,6 +36,7 @@ import pytest
 
 import repro
 from repro.parallel import ParallelConfig
+from repro.shard import ShardedBackend
 from repro.workloads.tpcc import TPCCWorkload
 
 from conftest import BENCH_QUICK, print_table, record_bench
@@ -206,6 +207,9 @@ def _measure_pool_offload(small_paillier) -> dict:
     return timings
 
 
+_SHARDS = 3
+
+
 @pytest.fixture(scope="module")
 def loaded_systems(small_paillier):
     plain = repro.connect(encrypted=False)
@@ -219,13 +223,26 @@ def loaded_systems(small_paillier):
     # (§3.5.2) so the steady-state mix measures a warm pool.  The Figure 12
     # "Proxy*" ablation benchmarks the cold-pool case.
     proxy_conn.proxy.cache.precompute_hom(256 if BENCH_QUICK else 1024)
-    return plain, proxy_conn
+    # The shards x workers section: the same stack over a 3-shard scatter-
+    # gather backend.  ``threads=False`` keeps the forked-driver image free
+    # of thread pools (a ThreadPoolExecutor does not survive fork); on a
+    # GIL-bound pure-Python engine the thread scatter buys nothing anyway,
+    # and bench_shard_scaling.py measures it separately.
+    sharded_conn = repro.connect(
+        paillier=small_paillier,
+        backend=ShardedBackend(shards=_SHARDS, threads=False),
+    )
+    sharded_workload = TPCCWorkload(**_SCALE)
+    sharded_workload.load_into(sharded_conn)
+    sharded_conn.proxy.train(sharded_workload.training_queries())
+    sharded_conn.proxy.cache.precompute_hom(256 if BENCH_QUICK else 1024)
+    return plain, proxy_conn, sharded_conn
 
 
 def test_fig10_tpcc_throughput_scaling(benchmark, loaded_systems, small_paillier):
     if not _FORK_AVAILABLE:  # pragma: no cover - Linux containers always fork
         pytest.skip("real-process scaling drivers require the fork start method")
-    plain, proxy_conn = loaded_systems
+    plain, proxy_conn, sharded_conn = loaded_systems
     workload = TPCCWorkload(**_SCALE)
 
     # Correctness cross-check first: the decrypted SELECT results of the mix
@@ -280,6 +297,42 @@ def test_fig10_tpcc_throughput_scaling(benchmark, loaded_systems, small_paillier
     print(f"Plan cache: {stats.plan_cache_hits} hits / "
           f"{stats.plan_cache_misses} misses / "
           f"{stats.plan_cache_invalidations} invalidations")
+
+    # Shards x workers: the 3-shard scatter-gather stack under the same
+    # forked drivers.  Correctness first -- the decrypted answers of the mix
+    # equal a freshly loaded plaintext replica's (writes replay once on
+    # each side) -- then the driver sweep.
+    shadow = repro.connect(encrypted=False)
+    TPCCWorkload(**_SCALE).load_into(shadow)
+    shadow_results = _select_results(shadow, verify_params)
+    sharded_results = _select_results(sharded_conn, verify_params)
+    shadow.close()
+    assert len(shadow_results) == len(sharded_results)
+    for expected, decrypted in zip(shadow_results, sharded_results):
+        assert sorted(map(repr, decrypted)) == sorted(map(repr, expected))
+
+    sharded_rows = []
+    sharded_curve = []
+    for n_drivers in _WORKERS:
+        sharded_qps = _measure_scaling(sharded_conn, n_drivers)
+        sharded_curve.append(sharded_qps)
+        sharded_rows.append({
+            "workers": n_drivers,
+            "shards": _SHARDS,
+            "sharded q/s": round(sharded_qps),
+        })
+    print_table(
+        f"Figure 10 extension: {_SHARDS}-shard CryptDB vs driver processes",
+        sharded_rows,
+    )
+    shard_stats = sharded_conn.proxy.stats.shard_stats()
+    sharded_slope = sharded_curve[-1] / sharded_curve[0]
+    # Same non-collapse bar as the single-backend curve: N drivers over one
+    # core cannot speed up, but the scatter layer must not fall apart.
+    assert sharded_slope >= (0.5 if _AVAILABLE_CPUS < 2 else 0.9), (
+        f"sharded driver sweep collapsed: {sharded_curve}"
+    )
+
     slope = cryptdb_curve[-1] / cryptdb_curve[0]
     record_bench("fig10_tpcc_scaling", {
         "rows": rows,
@@ -296,6 +349,18 @@ def test_fig10_tpcc_throughput_scaling(benchmark, loaded_systems, small_paillier
                 later >= 0.97 * earlier
                 for earlier, later in zip(cryptdb_curve, cryptdb_curve[1:])
             ),
+        },
+        "sharded_scaling": {
+            "shards": _SHARDS,
+            "rows": sharded_rows,
+            "sharded_slope_max_vs_1": round(sharded_slope, 3),
+            "merge_counters": {
+                key: value
+                for key, value in shard_stats.items()
+                if key != "rows_per_shard"
+            },
+            "rows_per_shard": shard_stats["rows_per_shard"],
+            "results_match_plaintext": True,
         },
         "overhead_spread": round(max(overheads) - min(overheads), 4),
         "scheme_breakdown_us_per_query": breakdown,

@@ -1,0 +1,151 @@
+"""Scatter-gather scaling: one encrypted workload, 1 -> 2 -> 3 shards.
+
+The paper's proxy targets a single DBMS; this repo's ``repro.shard`` layer
+partitions the encrypted tables across N backend instances and merges at
+the proxy (k-way ordered merge, homomorphic partial-sum recombination,
+broadcast fallback for joins).  This benchmark drives the identical
+workload -- bulk load, point lookups, ordered LIMIT/OFFSET windows,
+SUM/COUNT, grouped aggregates, range scans -- at each shard count and
+records load and query rates plus the merge counters, asserting first that
+every answer matches a plaintext single-backend reference byte for byte.
+
+In one Python process more shards mean more merge overhead, not speedup
+(the scatter is thread- or serial-mapped over in-process engines); the
+numbers quantify the *cost* of distribution, and the regression baseline
+pins it.  Real scale-out across processes is measured by the sharded
+section of ``bench_fig10_tpcc_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro
+from repro.shard import ShardedBackend
+
+from conftest import BENCH_QUICK, print_table, record_bench
+
+_ROWS = 90 if BENCH_QUICK else 480
+_QUERIES = 40 if BENCH_QUICK else 160
+_SHARD_COUNTS = (1, 2, 3)
+
+
+def _query_mix(rows: int, queries: int) -> list[str]:
+    mix = []
+    for i in range(queries):
+        pick = i % 5
+        if pick == 0:
+            mix.append(f"SELECT balance FROM acct WHERE id = {(i * 13) % rows}")
+        elif pick == 1:
+            mix.append(
+                "SELECT id, balance FROM acct ORDER BY id ASC "
+                f"LIMIT 10 OFFSET {i % 20}"
+            )
+        elif pick == 2:
+            mix.append("SELECT SUM(balance), COUNT(*) FROM acct")
+        elif pick == 3:
+            mix.append("SELECT region, COUNT(*) FROM acct GROUP BY region")
+        else:
+            mix.append(
+                f"SELECT id FROM acct WHERE balance < {200 + (i % 500)} "
+                "ORDER BY id DESC LIMIT 5"
+            )
+    return mix
+
+
+def _load(conn, rows: int) -> float:
+    cursor = conn.cursor()
+    cursor.execute("CREATE TABLE acct (id INT, region INT, balance INT)")
+    data = [(i, i % 7, (i * 37) % 1000) for i in range(rows)]
+    start = time.perf_counter()
+    cursor.executemany(
+        "INSERT INTO acct (id, region, balance) VALUES (?, ?, ?)", data
+    )
+    return time.perf_counter() - start
+
+
+def _run_mix(conn, mix: list[str]) -> tuple[float, list[list[tuple]]]:
+    cursor = conn.cursor()
+    results = []
+    start = time.perf_counter()
+    for sql in mix:
+        cursor.execute(sql)
+        results.append(cursor.fetchall())
+    return time.perf_counter() - start, results
+
+
+def test_shard_scaling():
+    mix = _query_mix(_ROWS, _QUERIES)
+
+    # Ground truth: the same workload on one plaintext backend.
+    reference = repro.connect(encrypted=False)
+    _load(reference, _ROWS)
+    _, expected = _run_mix(reference, mix)
+    reference.close()
+
+    rows = []
+    merge_counters = {}
+    qps_curve = []
+    for shards in _SHARD_COUNTS:
+        backend = ShardedBackend(shards=shards)
+        conn = repro.connect(backend=backend, hom_precompute=8)
+        load_s = _load(conn, _ROWS)
+        elapsed, results = _run_mix(conn, mix)
+
+        # Correctness before speed: every decrypted answer equals the
+        # single-backend reference (ordered queries exactly, the rest as
+        # multisets).
+        for sql, got, want in zip(mix, results, expected):
+            if "ORDER BY" in sql:
+                assert got == want, f"[{shards} shards] {sql}"
+            else:
+                assert sorted(map(repr, got)) == sorted(map(repr, want)), (
+                    f"[{shards} shards] {sql}"
+                )
+
+        stats = backend.stats()
+        if shards > 1:
+            # The lane genuinely distributes and merges.
+            occupied = sum(1 for count in stats["rows_per_shard"] if count)
+            assert occupied > 1
+            assert stats["scatter_selects"] > 0
+            assert stats["aggregate_merges"] > 0
+            assert stats["routed_inserts"] > 0
+        qps = round(_QUERIES / elapsed, 1)
+        qps_curve.append(qps)
+        rows.append({
+            "shards": shards,
+            "load_rows_per_s": round(_ROWS / load_s, 1),
+            "query_q/s": qps,
+            "rows_per_shard": "/".join(str(c) for c in stats["rows_per_shard"]),
+            "scatter": stats["scatter_selects"],
+            "broadcast": stats["broadcast_selects"],
+            "agg merges": stats["aggregate_merges"],
+        })
+        if shards == _SHARD_COUNTS[-1]:
+            merge_counters = {
+                key: value for key, value in stats.items()
+                if key not in ("rows_per_shard",)
+            }
+        conn.close()
+
+    print_table(
+        f"Shard scaling ({_ROWS} rows, {_QUERIES} queries, encrypted)", rows
+    )
+
+    # Distribution overhead is real but bounded: scattering over in-process
+    # shards must not collapse throughput (each shard scans 1/N of the data,
+    # so the extra cost is merge + fan-out bookkeeping, not duplicated work).
+    assert qps_curve[-1] > 0.15 * qps_curve[0], (
+        f"3-shard throughput collapsed: {qps_curve}"
+    )
+
+    record_bench("shard_scaling", {
+        "rows": rows,
+        "shard_counts": list(_SHARD_COUNTS),
+        "table_rows": _ROWS,
+        "queries": _QUERIES,
+        "merge_counters_at_max_shards": merge_counters,
+        "results_match_single_backend": True,
+        "distribution_cost_3_vs_1": round(qps_curve[0] / qps_curve[-1], 3),
+    })

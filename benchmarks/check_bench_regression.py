@@ -154,7 +154,18 @@ def compare_file(
             continue
         leaf = path.rsplit(".", 1)[-1]
         if _is_storage_key(leaf):
-            if old > 0 and new > old * (1.0 + growth_threshold):
+            if old <= 0:
+                # The growth ratio divides by the baseline: a zero (or
+                # negative) baseline can't bound anything, and silently
+                # passing would disable the guard for exactly the metric it
+                # exists to watch.  Fail loudly with the remedy instead.
+                failures.append(
+                    f"{name}: {path} baseline is {old:g}; cannot check "
+                    f"growth against a zero/negative baseline -- regenerate "
+                    f"baselines (cd benchmarks && BENCH_QUICK=1 python -m "
+                    f"pytest -q -s; cp ../BENCH_*.json baselines/)"
+                )
+            elif new > old * (1.0 + growth_threshold):
                 failures.append(
                     f"{name}: {path} grew {old:g} -> {new:g} "
                     f"({(new / old - 1) * 100:.0f}% growth, "
@@ -169,6 +180,15 @@ def compare_file(
             )
         else:
             notes.append(f"{name}: {path} {old:g} -> {new:g} ok")
+    for path, new in sorted(fresh_metrics.items()):
+        leaf = path.rsplit(".", 1)[-1]
+        if _is_storage_key(leaf) and path not in baseline_metrics:
+            # A storage leaf with no baseline is unbounded growth waiting to
+            # be missed; the committed baselines must cover it.
+            failures.append(
+                f"{name}: storage metric {path} has no baseline "
+                f"(fresh {new:g}) -- regenerate baselines"
+            )
     return failures, notes
 
 

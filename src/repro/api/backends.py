@@ -139,11 +139,14 @@ class InMemoryBackend:
 
 
 def create_backend(name: str, **kwargs: Any) -> Any:
-    """Instantiate a backend by name: ``"memory"`` or ``"sqlite"``.
+    """Instantiate a backend by name: ``"memory"``, ``"sqlite"`` or ``"sharded"``.
 
     ``sqlite`` accepts a ``path=`` keyword (defaults to ``":memory:"``); the
     import is deferred so environments without the stdlib ``sqlite3`` module
-    can still use the in-memory engine.
+    can still use the in-memory engine.  ``sharded`` accepts ``shards=``,
+    ``base=`` ("memory"/"sqlite"), ``mode=`` ("det-hash"/"ope-range") and
+    for sqlite bases a ``paths=`` list; see
+    :class:`~repro.shard.backend.ShardedBackend`.
     """
     normalized = name.lower()
     if normalized in ("memory", "inmemory", "engine"):
@@ -152,7 +155,13 @@ def create_backend(name: str, **kwargs: Any) -> Any:
         from repro.api.sqlite_backend import SQLiteBackend
 
         return SQLiteBackend(**kwargs)
-    raise ValueError(f"unknown backend {name!r} (expected 'memory' or 'sqlite')")
+    if normalized in ("sharded", "shard", "shards"):
+        from repro.shard.backend import ShardedBackend
+
+        return ShardedBackend(**kwargs)
+    raise ValueError(
+        f"unknown backend {name!r} (expected 'memory', 'sqlite' or 'sharded')"
+    )
 
 
 def resolve_backend(target: Any = None) -> Any:

@@ -395,11 +395,22 @@ class RemoteProxyClient:
         )
         return response
 
-    def server_stats(self) -> dict:
-        """Operational counters of the remote server and its shared proxy."""
+    def server_stats(self, reset: bool = False) -> dict:
+        """Operational counters of the remote server and its shared proxy.
+
+        ``reset=True`` zeroes the remote counters (proxy, cache, crypto pool,
+        shard scatter/merge, server shed/timeout) after snapshotting them,
+        and zeroes this client's own ``reconnects``/``retries`` with them --
+        a reset must clear the *whole* distributed counter set, not just the
+        server half, or post-reset deltas mix epochs.
+        """
+        payload = {"reset": True} if reset else {}
         _, response = self._request(
-            self._protocol.FrameType.STATS, {}, idempotent=True, head="STATS"
+            self._protocol.FrameType.STATS, payload, idempotent=True, head="STATS"
         )
+        if reset:
+            self.reconnects = 0
+            self.retries = 0
         return response
 
     # ------------------------------------------------------------------

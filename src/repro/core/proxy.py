@@ -19,7 +19,7 @@ from repro.core import udfs
 from repro.core.cache import CacheStatistics, CryptoCache
 from repro.core.encryptor import Encryptor
 from repro.core.joins import JoinManager
-from repro.core.onion import Onion, SecurityLevel
+from repro.core.onion import EncryptionScheme, Onion, SecurityLevel
 from repro.core.plan_cache import (
     PlanCache,
     PreparedStatement,
@@ -77,6 +77,10 @@ class ProxyStatistics:
     #: excluded from reset()'s zeroing.  Its health counters are merged into
     #: cache_stats() so they travel the STATS frame with the cache block.
     pool: Optional[Any] = None
+    #: The sharded backend (None when single-node); set by the proxy,
+    #: excluded from reset()'s zeroing like cache/pool -- reset() asks it to
+    #: zero its own scatter/merge counters instead.
+    shard: Optional[Any] = None
 
     def cache_stats(self) -> CacheStatistics:
         """DET/OPE/SEARCH memo hit/miss counters and the HOM pool state."""
@@ -123,13 +127,19 @@ class ProxyStatistics:
         """
         fresh = ProxyStatistics()
         for name, value in vars(fresh).items():
-            if name in ("cache", "pool"):
+            if name in ("cache", "pool", "shard"):
                 continue
             setattr(self, name, value)
         if self.cache is not None:
             self.cache.reset_counters()
         if self.pool is not None:
             self.pool.reset_counters()
+        if self.shard is not None:
+            self.shard.reset_counters()
+
+    def shard_stats(self) -> Optional[dict]:
+        """The sharded backend's scatter/merge counters, or None."""
+        return self.shard.stats() if self.shard is not None else None
 
 
 class CryptDBProxy:
@@ -228,6 +238,12 @@ class CryptDBProxy:
         self._unsupported_log: list[str] = []
         self._training = False
         udfs.install_udfs(self.db, self.paillier.public, packing=self.hom_packing)
+        if getattr(self.db, "is_sharded", False):
+            # Hand the merge layer the Paillier *public* key (and packing
+            # layout) so per-shard HOM partials recombine homomorphically at
+            # the backend -- the private key never leaves the proxy.
+            self.db.configure_crypto(self.paillier.public, self.hom_packing)
+            self.stats.shard = self.db
 
     # ------------------------------------------------------------------
     # parallel crypto lifecycle
@@ -315,6 +331,42 @@ class CryptDBProxy:
                 self.joins.register_column(column.table, column.name)
         anon_columns = self._anonymized_columns(statement)
         self.db.execute(ast.CreateTable(table_meta.anon_name, anon_columns, statement.if_not_exists))
+        if getattr(self.db, "is_sharded", False):
+            self._declare_shard_key(statement.table)
+
+    def _declare_shard_key(self, table: str) -> None:
+        """Tell a sharded backend which anonymised column routes inserts.
+
+        The shard key's routing onion is peeled ahead of time -- DET for
+        det-hash routing, OPE for ope-range -- so equal/ordered plaintexts
+        land on predictable shards.  The table is empty here, so the peel is
+        metadata-only (no server-side UPDATEs), and it is the same §3.5.1
+        static trade-off as any pre-lowered column: the shard key leaks
+        equality (or order) to the DBMS from the start instead of after the
+        first query that needs it.  Routing stays placement-only, so a key
+        whose onion later adjusts further (e.g. JOIN-ADJ re-keying) never
+        breaks reads.
+        """
+        table_meta = self.schema.table(table)
+        preferred = getattr(self.db, "shard_key", None)
+        names = table_meta.column_names()
+        key = preferred if preferred in names else names[0]
+        column = table_meta.column(key)
+        mode = getattr(self.db, "mode", "det-hash")
+        if column.plaintext:
+            self.db.declare_routing(table_meta.anon_name, column.name, mode=mode)
+            return
+        if mode == "ope-range" and column.has_onion(Onion.ORD):
+            self.schema.lower_onion(table, key, Onion.ORD, EncryptionScheme.OPE)
+            anon = column.onion_state(Onion.ORD).anon_name
+            self.db.declare_routing(table_meta.anon_name, anon, mode="ope-range")
+            return
+        if column.has_onion(Onion.EQ):
+            self.schema.lower_onion(table, key, Onion.EQ, EncryptionScheme.DET)
+            anon = column.onion_state(Onion.EQ).anon_name
+            self.db.declare_routing(table_meta.anon_name, anon, mode="det-hash")
+        # No usable onion: the table stays undeclared and all rows pin to
+        # shard 0 -- correct, just not distributed.
 
     def _anonymized_columns(self, statement: ast.CreateTable):
         from repro.sql.types import BIGINT, BLOB, ColumnDef

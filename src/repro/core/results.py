@@ -72,20 +72,48 @@ def _decrypt_column(
     raise ValueError(f"unknown output spec kind {spec.kind}")
 
 
-def _proxy_sort(rows: list[tuple], order: list[tuple[int, bool]]) -> list[tuple]:
-    """In-proxy ORDER BY (§3.5.1), applied after decryption.
+class _Descending:
+    """Wraps one column's sort key so tuple comparison runs in reverse.
+
+    Python's sort has no per-column ``reverse``; negation only works for
+    numbers, while OPE integers, DET bytes and plaintext strings all flow
+    through these keys.  Inverting ``<`` is type-agnostic.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and other.key == self.key
+
+
+def column_sort_key(value, ascending: bool):
+    """One column's contribution to an ORDER BY sort key.
 
     NULL placement must match what the DBMS would have produced had the
     sort run server-side (NULLS FIRST ascending, NULLS LAST descending) --
     the conformance harness compares the two modes directly.  The non-NULL
     flag leads the key: ascending puts the False (NULL) group first, and
-    ``reverse`` flips it to the end for descending sorts.
+    the descending wrapper flips the whole pair, which lands NULLs last.
+    Shared with the sharded backend's k-way merge so per-shard ORDER BY
+    streams interleave with exactly the single-backend NULL semantics.
     """
-    ordered = list(rows)
-    # Apply sort keys from the least significant to the most significant.
-    for index, ascending in reversed(order):
-        ordered.sort(
-            key=lambda row: (row[index] is not None, row[index]),
-            reverse=not ascending,
-        )
-    return ordered
+    key = (value is not None, value)
+    return key if ascending else _Descending(key)
+
+
+def row_sort_key(row: tuple, order: list[tuple[int, bool]]) -> tuple:
+    """The full composite ORDER BY key for one row."""
+    return tuple(column_sort_key(row[index], ascending) for index, ascending in order)
+
+
+def _proxy_sort(rows: list[tuple], order: list[tuple[int, bool]]) -> list[tuple]:
+    """In-proxy ORDER BY (§3.5.1), applied after decryption."""
+    # sorted() is stable, so one composite-key pass is equivalent to the
+    # classic least-significant-first cascade of stable sorts.
+    return sorted(rows, key=lambda row: row_sort_key(row, order))

@@ -17,5 +17,6 @@ harness checks with a dedicated ``workers=2`` lane.
 """
 
 from repro.parallel.pool import CryptoWorkerPool, ParallelConfig, ParallelUnavailable
+from repro.parallel.threads import ThreadFanout
 
-__all__ = ["CryptoWorkerPool", "ParallelConfig", "ParallelUnavailable"]
+__all__ = ["CryptoWorkerPool", "ParallelConfig", "ParallelUnavailable", "ThreadFanout"]

@@ -37,8 +37,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="crypto worker processes for the shared proxy (0 = serial)",
     )
     parser.add_argument(
-        "--backend", default="memory", choices=["memory", "sqlite"],
-        help="DBMS the proxy fronts",
+        "--backend", default="memory", choices=["memory", "sqlite", "sharded"],
+        help="DBMS the proxy fronts (sharded = scatter-gather over "
+             "--shards in-memory instances)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=3,
+        help="shard count when --backend sharded (default 3)",
+    )
+    parser.add_argument(
+        "--shard-mode", default="det-hash", choices=["det-hash", "ope-range"],
+        help="shard-key placement: DET-ciphertext hash or OPE range slices",
     )
     parser.add_argument(
         "--auth-key", default="",
@@ -87,10 +96,17 @@ def main(argv: list[str] | None = None) -> int:
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
         stream=sys.stderr,
     )
+    backend = args.backend
+    if backend == "sharded":
+        from repro.shard import ShardedBackend
+
+        # resolve_backend passes instances through, so the CLI can carry
+        # the shard topology without widening ServerConfig.
+        backend = ShardedBackend(shards=args.shards, mode=args.shard_mode)
     config = ServerConfig(
         host=args.host,
         port=args.port,
-        backend=args.backend,
+        backend=backend,
         auth_key=args.auth_key.encode("utf-8"),
         idle_timeout=args.idle_timeout,
         max_connections=args.max_connections,

@@ -330,7 +330,7 @@ class Session:
     # ------------------------------------------------------------------
     async def _handle_stats(self, payload: dict) -> tuple[FrameType, dict]:
         stats = self.manager.proxy.stats
-        return FrameType.STATS_RESULT, {
+        response = {
             "proxy": {
                 "queries_processed": stats.queries_processed,
                 "queries_rewritten": stats.queries_rewritten,
@@ -344,6 +344,18 @@ class Session:
             "server": dict(self.manager.counters),
             "in_txn": self.manager.in_transaction(),
         }
+        if stats.shard is not None:
+            response["shard"] = stats.shard.stats()
+        if payload.get("reset"):
+            # Snapshot first, then zero: the caller sees the final counts of
+            # the epoch it is closing.  reset() cascades into the cache, the
+            # crypto pool and the sharded backend's scatter/merge counters;
+            # the server-level shed/timeout counters are part of the same
+            # epoch and clear with it.
+            stats.reset()
+            for key in self.manager.counters:
+                self.manager.counters[key] = 0
+        return FrameType.STATS_RESULT, response
 
     async def close(self) -> None:
         """Disconnect cleanup: park nothing, roll back an owned transaction."""

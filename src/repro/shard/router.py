@@ -1,0 +1,104 @@
+"""Shard routing: which backend instance stores a given encrypted row.
+
+Two routing modes, both operating on the *ciphertext* the proxy hands the
+backend (the backend never sees plaintext):
+
+``det-hash``
+    A stable SHA-256 hash of the shard-key cell's DET ciphertext, modulo the
+    shard count.  DET encryption is deterministic, so equal plaintexts land
+    on the same shard -- equality-heavy workloads co-locate their groups.
+
+``ope-range``
+    Contiguous ranges over the OPE ciphertext domain.  OPE preserves order,
+    so each shard owns one contiguous slice of the plaintext order -- the
+    classic range-partitioning layout.
+
+Routing is **placement only**: every read scatters to all shards and is
+merged at the proxy, so correctness never depends on routing stability.  A
+later onion adjustment (e.g. JOIN-ADJ re-keying rewrites DET cells in
+place) may make the stored bytes of old rows disagree with what a fresh
+hash of them would say -- which is fine, because nothing ever re-derives a
+row's location from its cells after insert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Any
+
+from repro.errors import ReproError
+
+#: The OPE scheme's default ciphertext range (crypto/ope.py maps a 32-bit
+#: plaintext domain into 64-bit ciphertexts); ``ope-range`` boundaries split
+#: this domain into equal-width slices unless told otherwise.
+DEFAULT_OPE_DOMAIN_BITS = 64
+
+ROUTING_MODES = ("det-hash", "ope-range")
+
+
+class ShardRoutingError(ReproError):
+    """A routing declaration or lookup was invalid."""
+
+
+def _canonical_bytes(value: Any) -> bytes:
+    """A stable byte encoding of a cell for hashing, across storage types."""
+    if value is None:
+        return b"\x00null"
+    if isinstance(value, bytes):
+        return b"b" + value
+    if isinstance(value, bool):
+        return b"i" + str(int(value)).encode("ascii")
+    if isinstance(value, int):
+        return b"i" + str(value).encode("ascii")
+    if isinstance(value, float):
+        return b"f" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8")
+    return b"r" + repr(value).encode("utf-8")
+
+
+class ShardRouter:
+    """Maps one shard-key cell value to a shard index in ``[0, shards)``."""
+
+    def __init__(
+        self,
+        shards: int,
+        mode: str = "det-hash",
+        domain_bits: int = DEFAULT_OPE_DOMAIN_BITS,
+    ):
+        if shards < 1:
+            raise ShardRoutingError(f"shard count must be >= 1, got {shards}")
+        if mode not in ROUTING_MODES:
+            raise ShardRoutingError(
+                f"unknown routing mode {mode!r} (one of {ROUTING_MODES})"
+            )
+        self.shards = shards
+        self.mode = mode
+        self.domain_bits = domain_bits
+        domain = 1 << domain_bits
+        #: ``ope-range`` split points: shard i owns [bounds[i-1], bounds[i]).
+        self._bounds = [
+            (index + 1) * domain // shards for index in range(shards - 1)
+        ]
+
+    def route(self, cell: Any) -> int:
+        """The shard index for one shard-key cell (NULL keys pin to shard 0)."""
+        if cell is None:
+            return 0
+        if self.mode == "ope-range":
+            if isinstance(cell, bool) or not isinstance(cell, int):
+                # A non-integer key under range routing (e.g. a plaintext
+                # string column): hashing keeps placement deterministic.
+                return self._hash(cell)
+            if cell < 0:
+                return 0
+            return bisect_right(self._bounds, cell)
+        return self._hash(cell)
+
+    def _hash(self, cell: Any) -> int:
+        digest = hashlib.sha256(_canonical_bytes(cell)).digest()
+        return int.from_bytes(digest[:8], "big") % self.shards
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ShardRouter(shards={self.shards}, mode={self.mode!r})"

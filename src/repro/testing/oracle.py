@@ -44,6 +44,8 @@ def default_lane_factory(
     remote: bool = False,
     remote_fetch_chunk: int = 64,
     packed_off: bool = False,
+    sharded: int = 0,
+    sharded_mode: str = "det-hash",
     **proxy_kwargs: Any,
 ) -> LaneFactory:
     """Fresh plaintext + encrypted connections over both backends.
@@ -61,6 +63,13 @@ def default_lane_factory(
     generated batches actually offload).  The lane must decrypt to
     byte-identical results *and* refuse exactly the statements the serial
     encrypted lanes refuse -- parallel offload may never change behaviour.
+
+    ``sharded=N`` (N >= 2) adds an ``enc-sharded`` lane: the same encrypted
+    proxy over a :class:`~repro.shard.ShardedBackend` of N in-memory shards
+    (``sharded_mode`` picks det-hash or ope-range placement).  Scatter-gather
+    execution -- routed inserts, k-way ordered merges, homomorphic partial-
+    sum recombination, broadcast fallbacks -- must match the single-backend
+    lanes answer for answer and refusal for refusal on every stream.
 
     ``remote=True`` adds a sixth lane, ``enc-remote``: every statement of
     the stream crosses a real TCP connection to an embedded
@@ -93,6 +102,13 @@ def default_lane_factory(
             off_kwargs = {k: v for k, v in proxy_kwargs.items() if k != "hom_packing"}
             lanes["enc-packed-off"] = connect(
                 backend="memory", hom_packing=False, **off_kwargs
+            )
+        if sharded > 1:
+            from repro.shard import ShardedBackend
+
+            lanes["enc-sharded"] = connect(
+                backend=ShardedBackend(shards=sharded, mode=sharded_mode),
+                **proxy_kwargs,
             )
         if remote:
             from repro.server.loopback import connect_loopback

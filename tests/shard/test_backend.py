@@ -1,0 +1,247 @@
+"""ShardedBackend unit tests: routing, scatter, broadcast, faults, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.api.backends import create_backend
+from repro.shard import ShardedBackend
+from repro.shard.router import ShardRouter
+
+
+def _mk(shards=3, **kwargs) -> ShardedBackend:
+    backend = ShardedBackend(shards=shards, **kwargs)
+    backend.execute("CREATE TABLE t (id INTEGER, grp TEXT, v INTEGER)")
+    backend.declare_routing("t", "id")
+    return backend
+
+
+def _fill(backend, count=30):
+    rows = ", ".join(f"({i}, 'g{i % 3}', {i * 10})" for i in range(count))
+    backend.execute(f"INSERT INTO t (id, grp, v) VALUES {rows}")
+
+
+def test_create_backend_name():
+    backend = create_backend("sharded", shards=4)
+    assert backend.is_sharded and backend.shard_count == 4
+
+
+def test_ddl_broadcasts_to_every_shard():
+    backend = _mk()
+    for shard in backend.backends:
+        assert shard.has_table("t")
+
+
+def test_inserts_route_rows_by_declared_key():
+    backend = _mk()
+    _fill(backend)
+    router = ShardRouter(3)
+    per_shard = [shard.row_counts().get("t", 0) for shard in backend.backends]
+    assert sum(per_shard) == 30
+    expected = [0, 0, 0]
+    for i in range(30):
+        expected[router.route(i)] += 1
+    assert per_shard == expected
+    # More than one shard actually holds data.
+    assert sum(1 for c in per_shard if c) > 1
+
+
+def test_undeclared_table_pins_to_shard_zero():
+    backend = ShardedBackend(shards=3)
+    backend.execute("CREATE TABLE u (id INTEGER)")
+    backend.execute("INSERT INTO u (id) VALUES (1), (2), (3)")
+    assert backend.backends[0].row_counts().get("u") == 3
+    assert not backend.backends[1].row_counts().get("u")
+
+
+def test_scatter_select_merges_ordered_rows():
+    backend = _mk()
+    _fill(backend)
+    result = backend.execute("SELECT id, v FROM t ORDER BY id DESC")
+    assert [row[0] for row in result.rows] == list(range(29, -1, -1))
+    assert backend.counters["scatter_selects"] >= 1
+    assert backend.counters["broadcast_selects"] == 0
+
+
+def test_limit_offset_applied_after_merge():
+    """Satellite regression: rows inside the window live on several shards."""
+    backend = _mk()
+    _fill(backend)
+    result = backend.execute("SELECT id FROM t ORDER BY id ASC LIMIT 4 OFFSET 5")
+    assert [row[0] for row in result.rows] == [5, 6, 7, 8]
+
+
+def test_update_delete_broadcast_and_sum_rowcounts():
+    backend = _mk()
+    _fill(backend)
+    updated = backend.execute("UPDATE t SET v = 0 WHERE grp = 'g1'").rowcount
+    assert updated == 10
+    deleted = backend.execute("DELETE FROM t WHERE grp = 'g2'").rowcount
+    assert deleted == 10
+    assert backend.execute("SELECT COUNT(*) FROM t").rows == [(20,)]
+
+
+def test_aggregates_recombine_across_shards():
+    backend = _mk()
+    _fill(backend)
+    assert backend.execute("SELECT SUM(v), COUNT(*), MIN(v), MAX(v) FROM t").rows == [
+        (sum(i * 10 for i in range(30)), 30, 0, 290)
+    ]
+    grouped = backend.execute("SELECT grp, COUNT(*) FROM t GROUP BY grp")
+    assert sorted(grouped.rows) == [("g0", 10), ("g1", 10), ("g2", 10)]
+    assert backend.counters["aggregate_merges"] >= 2
+
+
+def test_join_falls_back_to_broadcast():
+    backend = _mk()
+    _fill(backend, count=6)
+    backend.execute("CREATE TABLE names (id INTEGER, label TEXT)")
+    backend.declare_routing("names", "id")
+    backend.execute("INSERT INTO names (id, label) VALUES (0, 'zero'), (2, 'two')")
+    result = backend.execute(
+        "SELECT t.id, names.label FROM t JOIN names ON t.id = names.id "
+        "ORDER BY t.id ASC"
+    )
+    assert result.rows == [(0, "zero"), (2, "two")]
+    assert backend.counters["broadcast_selects"] >= 1
+
+
+def test_left_join_null_extends_when_right_side_is_remote():
+    """Satellite regression: a LEFT JOIN whose right-side rows all live on a
+    *different* shard than the probing left rows must still null-extend from
+    the schema template.  Before the recorded-DDL replay, the scratch engine
+    had no ``names`` table for left rows whose shard held zero right rows,
+    so the merge path lost the NULL extension that sql/executor provides."""
+    backend = ShardedBackend(shards=2)
+    backend.execute("CREATE TABLE t (id INTEGER, grp TEXT, v INTEGER)")
+    backend.execute("CREATE TABLE names (id INTEGER, label TEXT)")
+    backend.declare_routing("t", "id")
+    backend.declare_routing("names", "id")
+    router = ShardRouter(2)
+    left_ids = [i for i in range(40) if router.route(i) == 0][:3]
+    right_ids = [i for i in range(40) if router.route(i) == 1][:2]
+    backend.execute(
+        "INSERT INTO t (id, grp, v) VALUES "
+        + ", ".join(f"({i}, 'g', 1)" for i in left_ids)
+    )
+    backend.execute(
+        "INSERT INTO names (id, label) VALUES "
+        + ", ".join(f"({i}, 'n{i}')" for i in right_ids)
+    )
+    # Every t row is on shard 0; every names row on shard 1.
+    assert backend.backends[0].row_counts().get("names", 0) == 0
+    assert backend.backends[1].row_counts().get("t", 0) == 0
+    result = backend.execute(
+        "SELECT t.id, names.label FROM t LEFT JOIN names ON t.id = names.id "
+        "ORDER BY t.id ASC"
+    )
+    # No matches -- every left row must survive with a NULL label, exactly
+    # like a single backend holding both tables.
+    assert result.rows == [(i, None) for i in left_ids]
+
+
+def test_left_join_against_entirely_empty_right_table():
+    backend = ShardedBackend(shards=2)
+    backend.execute("CREATE TABLE l (id INTEGER)")
+    backend.execute("CREATE TABLE r (id INTEGER, w INTEGER)")
+    backend.declare_routing("l", "id")
+    backend.execute("INSERT INTO l (id) VALUES (1), (2)")
+    result = backend.execute(
+        "SELECT l.id, r.w FROM l LEFT JOIN r ON l.id = r.id ORDER BY l.id ASC"
+    )
+    assert result.rows == [(1, None), (2, None)]
+
+
+def test_scatter_fault_degrades_to_serial():
+    backend = _mk()
+    _fill(backend)
+    plan = faults.FaultPlan(
+        7, [faults.FaultRule("pool.scatter", probability=1.0, max_fires=2)]
+    )
+    with faults.armed(plan):
+        result = backend.execute("SELECT id FROM t ORDER BY id ASC")
+    assert [row[0] for row in result.rows] == list(range(30))
+    assert backend.counters["scatter_fallbacks"] == 1
+
+
+def test_transactions_broadcast_and_rollback():
+    backend = _mk()
+    _fill(backend, count=10)
+    backend.execute("BEGIN")
+    assert backend.transactions.in_transaction
+    backend.execute("DELETE FROM t WHERE id >= 0")
+    backend.execute("ROLLBACK")
+    assert not backend.transactions.in_transaction
+    assert backend.execute("SELECT COUNT(*) FROM t").rows == [(10,)]
+
+
+def test_drop_table_clears_records():
+    backend = _mk()
+    _fill(backend, count=4)
+    backend.execute("DROP TABLE t")
+    for shard in backend.backends:
+        assert not shard.has_table("t")
+    # Re-creating starts clean (no routing, no stale DDL).
+    backend.execute("CREATE TABLE t (id INTEGER)")
+    backend.execute("INSERT INTO t (id) VALUES (9)")
+    assert backend.backends[0].row_counts().get("t") == 1
+
+
+def test_table_view_broadcasts_index_creation():
+    backend = _mk()
+    backend.table("t").create_index("id", ordered=True)
+    for shard in backend.backends:
+        assert "id" in shard.table("t").indexes.columns()
+
+
+def test_stats_and_reset_counters():
+    backend = _mk()
+    _fill(backend)
+    backend.execute("SELECT COUNT(*) FROM t")
+    stats = backend.stats()
+    assert stats["shards"] == 3 and stats["mode"] == "det-hash"
+    assert sum(stats["rows_per_shard"]) == 30
+    assert stats["routed_inserts"] == 1
+    assert stats["scatter_selects"] >= 1
+    backend.reset_counters()
+    cleared = backend.stats()
+    assert cleared["scatter_selects"] == 0 and cleared["routed_inserts"] == 0
+    assert sum(cleared["rows_per_shard"]) == 30  # data survives a reset
+
+
+def test_storage_and_row_counts_aggregate():
+    backend = _mk()
+    _fill(backend)
+    assert backend.row_counts()["t"] == 30
+    assert backend.storage_bytes() == sum(
+        shard.storage_bytes() for shard in backend.backends
+    )
+
+
+def test_sqlite_base_shards_run_serially(tmp_path):
+    paths = [str(tmp_path / f"shard{i}.db") for i in range(2)]
+    backend = ShardedBackend(shards=2, base="sqlite", paths=paths)
+    assert not backend._fanout.threads  # sqlite connections are thread-pinned
+    backend.execute("CREATE TABLE t (id INTEGER, v INTEGER)")
+    backend.declare_routing("t", "id")
+    backend.execute("INSERT INTO t (id, v) VALUES (1, 10), (2, 20), (3, 30)")
+    assert backend.execute("SELECT SUM(v) FROM t").rows == [(60,)]
+    result = backend.execute("SELECT id FROM t ORDER BY id DESC LIMIT 2")
+    assert [row[0] for row in result.rows] == [3, 2]
+    backend.close()
+
+
+def test_single_shard_degenerates_gracefully():
+    backend = ShardedBackend(shards=1)
+    backend.execute("CREATE TABLE t (id INTEGER)")
+    backend.declare_routing("t", "id")
+    backend.execute("INSERT INTO t (id) VALUES (1), (2)")
+    assert backend.execute("SELECT COUNT(*) FROM t").rows == [(2,)]
+
+
+def test_invalid_shard_count_rejected():
+    from repro.shard import ShardedBackendError
+
+    with pytest.raises(ShardedBackendError):
+        ShardedBackend(shards=0)

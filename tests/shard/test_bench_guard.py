@@ -1,0 +1,81 @@
+"""Satellite regression: the bench guard must fail loudly on zero/missing
+storage baselines instead of silently passing (the growth check divides by
+the baseline, so a zero baseline used to short-circuit to an 'ok' note and
+disable the guard for exactly the metric it watches)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+GUARD_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "check_bench_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_bench_regression", GUARD_PATH)
+guard = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(guard)
+
+
+def _write(path: Path, payload: dict) -> Path:
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def test_zero_baseline_fails_with_clear_message(tmp_path):
+    baseline = _write(
+        tmp_path / "BENCH_storage.json",
+        {"quick_mode": True, "storage": {"bytes_per_row": 0}},
+    )
+    fresh = _write(
+        tmp_path / "fresh_BENCH_storage.json",
+        {"quick_mode": True, "storage": {"bytes_per_row": 512}},
+    )
+    failures, _notes = guard.compare_file(baseline, fresh, threshold=0.3)
+    assert failures, "a zero storage baseline must fail, not silently pass"
+    assert "zero/negative baseline" in failures[0]
+    assert "regenerate baselines" in failures[0]
+
+
+def test_fresh_only_storage_metric_fails(tmp_path):
+    baseline = _write(
+        tmp_path / "BENCH_storage.json",
+        {"quick_mode": True, "storage": {"bytes_per_row": 100}},
+    )
+    fresh = _write(
+        tmp_path / "fresh_BENCH_storage.json",
+        {
+            "quick_mode": True,
+            "storage": {"bytes_per_row": 100},
+            "cache": {"bytes_per_row": 64},  # new leaf, no baseline
+        },
+    )
+    failures, _notes = guard.compare_file(baseline, fresh, threshold=0.3)
+    assert any("has no baseline" in f for f in failures)
+
+
+def test_healthy_storage_pair_still_passes(tmp_path):
+    baseline = _write(
+        tmp_path / "BENCH_storage.json",
+        {"quick_mode": True, "storage": {"bytes_per_row": 100}},
+    )
+    fresh = _write(
+        tmp_path / "fresh_BENCH_storage.json",
+        {"quick_mode": True, "storage": {"bytes_per_row": 110}},
+    )
+    failures, notes = guard.compare_file(baseline, fresh, threshold=0.3)
+    assert failures == []
+    assert any(note.endswith("ok") for note in notes)
+
+
+def test_excessive_growth_still_fails(tmp_path):
+    baseline = _write(
+        tmp_path / "BENCH_storage.json",
+        {"quick_mode": True, "storage": {"bytes_per_row": 100}},
+    )
+    fresh = _write(
+        tmp_path / "fresh_BENCH_storage.json",
+        {"quick_mode": True, "storage": {"bytes_per_row": 150}},
+    )
+    failures, _notes = guard.compare_file(baseline, fresh, threshold=0.3)
+    assert any("grew" in f for f in failures)

@@ -1,0 +1,97 @@
+"""ShardRouter unit tests: det-hash and ope-range placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard.router import (
+    DEFAULT_OPE_DOMAIN_BITS,
+    ShardRouter,
+    ShardRoutingError,
+    _canonical_bytes,
+)
+
+
+def test_det_hash_is_stable_and_in_range():
+    router = ShardRouter(5, mode="det-hash")
+    cells = [b"\x01\x02", b"", 0, 12345, -7, "alpha", 3.5, True, None]
+    first = [router.route(c) for c in cells]
+    second = [router.route(c) for c in cells]
+    assert first == second
+    assert all(0 <= s < 5 for s in first)
+
+
+def test_det_hash_equal_ciphertexts_colocate():
+    """DET is deterministic, so equal plaintexts share shard placement."""
+    router = ShardRouter(3)
+    assert router.route(b"det-bytes") == router.route(b"det-bytes")
+    assert router.route("x") == router.route("x")
+
+
+def test_det_hash_distributes_distinct_keys():
+    router = ShardRouter(4)
+    shards = {router.route(f"key-{i}".encode()) for i in range(64)}
+    assert shards == {0, 1, 2, 3}
+
+
+def test_canonical_bytes_type_disambiguation():
+    """1, "1", b"1" and 1.0 must not collide onto identical digests."""
+    encodings = {
+        _canonical_bytes(1),
+        _canonical_bytes("1"),
+        _canonical_bytes(b"1"),
+        _canonical_bytes(1.0),
+    }
+    assert len(encodings) == 4
+
+
+def test_ope_range_boundaries_partition_the_domain():
+    shards = 4
+    router = ShardRouter(shards, mode="ope-range")
+    domain = 1 << DEFAULT_OPE_DOMAIN_BITS
+    width = domain // shards
+    # First value of each slice lands on its shard; last value too.
+    for index in range(shards):
+        low = index * width
+        high = (index + 1) * width - 1
+        assert router.route(low) == index
+        assert router.route(high) == index
+    assert router.route(0) == 0
+    assert router.route(domain - 1) == shards - 1
+
+
+def test_ope_range_preserves_order():
+    """Monotone ciphertexts map to monotone (non-decreasing) shard indexes."""
+    router = ShardRouter(3, mode="ope-range")
+    step = (1 << DEFAULT_OPE_DOMAIN_BITS) // 97
+    cells = [i * step for i in range(97)]
+    placements = [router.route(c) for c in cells]
+    assert placements == sorted(placements)
+
+
+def test_ope_range_edge_cells():
+    router = ShardRouter(3, mode="ope-range")
+    assert router.route(None) == 0
+    assert router.route(-5) == 0  # below-domain ciphertexts pin left
+    # Non-integer cells under range routing fall back to hashing.
+    assert 0 <= router.route("not-an-int") < 3
+    assert 0 <= router.route(b"\xff") < 3
+    # bool is an int subclass but routes via hash, not as 0/1 ciphertexts.
+    assert 0 <= router.route(True) < 3
+
+
+def test_null_cells_pin_to_shard_zero():
+    for mode in ("det-hash", "ope-range"):
+        assert ShardRouter(7, mode=mode).route(None) == 0
+
+
+def test_single_shard_routes_everything_to_zero():
+    router = ShardRouter(1)
+    assert {router.route(v) for v in (None, 0, "a", b"b", 9.5)} == {0}
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ShardRoutingError):
+        ShardRouter(0)
+    with pytest.raises(ShardRoutingError):
+        ShardRouter(2, mode="round-robin")

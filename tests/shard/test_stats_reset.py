@@ -1,0 +1,99 @@
+"""Satellite regression: stats.reset() must zero remote/shard counters
+end-to-end -- client reconnect/retry counters, the per-shard scatter/merge
+counters, and the server-side counters all reset through the STATS wire
+frame the same way the proxy's own counters always have."""
+
+from __future__ import annotations
+
+from repro.crypto.keys import MasterKey
+from repro.server.loopback import connect_loopback
+from repro.shard import ShardedBackend
+
+
+def test_local_proxy_reset_cascades_into_shard_counters(make_proxy):
+    backend = ShardedBackend(shards=3)
+    proxy = make_proxy(db=backend)
+    proxy.create_table("CREATE TABLE t (id INTEGER, v INTEGER)")
+    proxy.execute("INSERT INTO t (id, v) VALUES (1, 10), (2, 20), (3, 30)")
+    proxy.execute("SELECT SUM(v) FROM t")
+    assert proxy.stats.shard is backend
+    assert backend.counters["routed_inserts"] >= 1
+    assert backend.counters["scatter_selects"] >= 1
+    before = proxy.stats.shard_stats()
+    assert before["scatter_selects"] >= 1
+    proxy.stats.reset()
+    after = proxy.stats.shard_stats()
+    assert after["scatter_selects"] == 0
+    assert after["routed_inserts"] == 0
+    # Reset clears counters, never data.
+    assert sum(after["rows_per_shard"]) == 3
+    assert proxy.execute("SELECT COUNT(*) FROM t").rows == [(3,)]
+
+
+def test_stats_reset_round_trips_the_wire(paillier_keypair):
+    conn = connect_loopback(
+        backend=ShardedBackend(shards=2),
+        master_key=MasterKey.from_passphrase("stats-reset-test"),
+        paillier=paillier_keypair,
+        hom_precompute=4,
+    )
+    try:
+        client = conn.proxy
+        cur = conn.cursor()
+        conn.loopback_server.server.proxy.create_table(
+            "CREATE TABLE t (id INTEGER, v INTEGER)"
+        )
+        cur.execute("INSERT INTO t (id, v) VALUES (1, 5), (2, 6)")
+        cur.execute("SELECT SUM(v) FROM t")
+
+        # Simulate observed wire trouble so the client-side counters are
+        # nonzero -- the regression was exactly these surviving a reset.
+        client.reconnects = 3
+        client.retries = 2
+
+        before = client.server_stats()
+        assert before["proxy"]["queries_processed"] >= 2
+        assert "shard" in before, "STATS frame must carry the shard block"
+        assert before["shard"]["shards"] == 2
+        assert before["shard"]["routed_inserts"] >= 1
+
+        snapshot = client.server_stats(reset=True)
+        # The resetting call itself still reports the closing epoch...
+        assert snapshot["proxy"]["queries_processed"] >= 2
+        assert snapshot["shard"]["routed_inserts"] >= 1
+
+        # ...and everything afterwards starts from zero, on both ends.
+        assert client.reconnects == 0
+        assert client.retries == 0
+        after = client.server_stats()
+        assert after["proxy"]["queries_processed"] == 0
+        assert after["shard"]["routed_inserts"] == 0
+        assert after["shard"]["scatter_selects"] == 0
+        assert all(v == 0 for v in after["server"].values())
+
+        # Data is untouched: only counters reset.
+        cur.execute("SELECT COUNT(*) FROM t")
+        assert cur.fetchall() == [(2,)]
+    finally:
+        conn.close()
+
+
+def test_plain_stats_call_does_not_reset(paillier_keypair):
+    conn = connect_loopback(
+        backend=ShardedBackend(shards=2),
+        master_key=MasterKey.from_passphrase("stats-noreset-test"),
+        paillier=paillier_keypair,
+        hom_precompute=4,
+    )
+    try:
+        client = conn.proxy
+        conn.loopback_server.server.proxy.create_table("CREATE TABLE t (id INTEGER)")
+        cur = conn.cursor()
+        cur.execute("INSERT INTO t (id) VALUES (1)")
+        client.reconnects = 1
+        first = client.server_stats()
+        second = client.server_stats()
+        assert second["proxy"]["queries_processed"] >= first["proxy"]["queries_processed"]
+        assert client.reconnects == 1  # untouched without reset=True
+    finally:
+        conn.close()
