@@ -131,6 +131,38 @@ def check_scaling_slope(fresh_path: Path) -> tuple[list[str], list[str]]:
     return failures, [note]
 
 
+def check_recovery_overhead(
+    fresh_path: Path, limit_pct: float = 5.0
+) -> tuple[list[str], list[str]]:
+    """Hard bar on the durable catalog's steady-state write-through cost.
+
+    ``overhead`` keys are excluded from the generic throughput comparison
+    (they are ratios, not rates), so the durability issue's <5% bar is
+    enforced here explicitly against the freshly recorded
+    ``BENCH_recovery.json``.
+    """
+    name = fresh_path.name
+    if not fresh_path.exists():
+        return [f"{name}: fresh results missing for the WAL-overhead check"], []
+    payload = json.loads(fresh_path.read_text(encoding="utf-8"))
+    overhead = payload.get("steady_state", {}).get("overhead_pct")
+    if overhead is None:
+        return [f"{name}: no steady_state.overhead_pct recorded"], []
+    if float(overhead) > limit_pct:
+        return [
+            f"{name}: catalog steady-state overhead {float(overhead):.1f}% "
+            f"exceeds the {limit_pct:.0f}% bar"
+        ], []
+    recovery = payload.get("recovery", {})
+    note = (
+        f"{name}: catalog steady-state overhead {float(overhead):.1f}% "
+        f"(limit {limit_pct:.0f}%); recovery replayed "
+        f"{recovery.get('wal_records', '?')} records in "
+        f"{recovery.get('recover_seconds', '?')}s"
+    )
+    return [], [note]
+
+
 def compare_file(
     baseline_path: Path, fresh_path: Path, threshold: float,
     growth_threshold: float = 0.20,
@@ -204,6 +236,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--growth-threshold", type=float, default=0.20,
                         help="maximum tolerated fractional growth of "
                              "lower-is-better storage metrics (default 0.20)")
+    parser.add_argument("--recovery-overhead-limit", type=float, default=5.0,
+                        help="maximum tolerated steady-state catalog "
+                             "write-through overhead in percent (default 5.0)")
     parser.add_argument("--verbose", action="store_true",
                         help="also print every metric that passed")
     args = parser.parse_args(argv)
@@ -231,6 +266,12 @@ def main(argv: list[str] | None = None) -> int:
     slope_failures, slope_notes = check_scaling_slope(scaling_fresh)
     all_failures.extend(slope_failures)
     for note in slope_notes:
+        print(note)
+    overhead_failures, overhead_notes = check_recovery_overhead(
+        args.fresh_dir / "BENCH_recovery.json", args.recovery_overhead_limit
+    )
+    all_failures.extend(overhead_failures)
+    for note in overhead_notes:
         print(note)
     if all_failures:
         print(f"\n{len(all_failures)} benchmark regression(s):", file=sys.stderr)

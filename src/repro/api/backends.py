@@ -164,12 +164,30 @@ def create_backend(name: str, **kwargs: Any) -> Any:
     )
 
 
-def resolve_backend(target: Any = None) -> Any:
-    """Coerce ``None`` / a name / a :class:`Database` / an adapter into a backend."""
+#: Backend names resolve_backend recognises; any other string is a path.
+_BACKEND_NAMES = frozenset(
+    {"memory", "inmemory", "engine", "sqlite", "sqlite3", "sharded", "shard", "shards"}
+)
+
+
+def resolve_backend(target: Any = None, allow_existing: bool = False) -> Any:
+    """Coerce ``None`` / a name / a path / a :class:`Database` into a backend.
+
+    A string that is not a recognised backend name is treated as a SQLite
+    database *path* (``connect("app.db")``).  ``allow_existing=True`` lets a
+    file-backed SQLite database that already contains tables be reattached --
+    the catalog recovery path sets it; without a catalog, reopening an
+    encrypted database raises ``OperationalError`` (see
+    :class:`~repro.api.sqlite_backend.SQLiteBackend`).
+    """
     if target is None:
         return InMemoryBackend()
     if isinstance(target, str):
-        return create_backend(target)
+        if target.lower() in _BACKEND_NAMES:
+            if target.lower() in ("sqlite", "sqlite3"):
+                return create_backend(target, allow_existing=allow_existing)
+            return create_backend(target)
+        return create_backend("sqlite", path=target, allow_existing=allow_existing)
     if isinstance(target, Database):
         return InMemoryBackend(target)
     return target

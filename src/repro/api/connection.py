@@ -150,12 +150,20 @@ class Connection:
         except exceptions.Error:
             pass  # the peer may already be gone; releasing resources matters more
         finally:
-            if self._owns_proxy and self.proxy is not None:
-                self.proxy.close()
-            if self._owns_backend and self.backend is not self.proxy:
-                closer = getattr(self.backend, "close", None)
-                if callable(closer):
-                    closer()
+            try:
+                # The proxy closes first: it flushes and fsyncs its durable
+                # catalog, which must happen before the backend handle is
+                # released.  A flush failure still surfaces to the caller --
+                # but only after the backend below is closed too, and a
+                # repeated close() stays a no-op (the proxy detaches its
+                # catalog before flushing).
+                if self._owns_proxy and self.proxy is not None:
+                    self.proxy.close()
+            finally:
+                if self._owns_backend and self.backend is not self.proxy:
+                    closer = getattr(self.backend, "close", None)
+                    if callable(closer):
+                        closer()
 
     @property
     def closed(self) -> bool:
@@ -189,8 +197,13 @@ def connect(
     exception classes, same transaction scoping.
 
     ``database`` may be an existing :class:`~repro.sql.engine.Database`, a
-    backend adapter, a backend name (``"memory"`` or ``"sqlite"``), or None
-    for a fresh in-memory backend.  With
+    backend adapter, a backend name (``"memory"`` or ``"sqlite"``), a SQLite
+    file path, or None for a fresh in-memory backend.  Passing
+    ``catalog="path.wal"`` attaches the proxy's durable metadata catalog: a
+    fresh database writes every metadata mutation through to the WAL, and an
+    existing database+WAL pair rebuilds the proxy (same ``master_key``
+    required -- column keys re-derive from it) with schema, onion levels and
+    prepared-plan versioning restored.  With
     ``encrypted=True`` (the default) a :class:`CryptDBProxy` holding a fresh
     master key is placed in front of the backend; keyword arguments
     (``master_key``, ``paillier``, ``paillier_bits``, ``anonymize_names``,
@@ -223,7 +236,10 @@ def connect(
     # A backend named by string (or defaulted) is created here and therefore
     # owned by the connection: close() releases it (sqlite3 handles etc.).
     owns_backend = target is None or isinstance(target, str)
-    resolved = resolve_backend(target)
+    # ``catalog=`` is the restart path: the proxy rebuilds its metadata from
+    # the write-ahead log, so reattaching to an existing encrypted database
+    # file is legitimate exactly then (and refused otherwise).
+    resolved = resolve_backend(target, allow_existing="catalog" in proxy_kwargs)
     with translate_errors():
         if encrypted:
             proxy = CryptDBProxy(db=resolved, **proxy_kwargs)

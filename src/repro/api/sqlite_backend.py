@@ -390,12 +390,26 @@ class SQLiteTable:
 class SQLiteBackend:
     """Backend adapter over a ``sqlite3`` database (in-memory by default)."""
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(self, path: str = ":memory:", allow_existing: bool = False):
         self.path = path
         # isolation_level=None turns off the driver's implicit transaction
         # management: BEGIN/COMMIT/ROLLBACK pass through exactly as issued,
         # matching how the proxy drives the in-memory engine.
         self.connection = sqlite3.connect(path, isolation_level=None)
+        if not allow_existing and path != ":memory:" and self.table_names():
+            # A populated database file holds ciphertexts written under
+            # metadata (onion levels, anonymised names, schema version) that
+            # only the proxy's durable catalog records.  Silently reattaching
+            # with a fresh proxy would read them as garbage -- refuse unless
+            # the caller explicitly opted in (the catalog recovery path does).
+            self.connection.close()
+            from repro.api.exceptions import OperationalError
+
+            raise OperationalError(
+                f"existing encrypted database at {path!r} requires catalog=... "
+                "(recover the proxy metadata from its write-ahead log, or pass "
+                "allow_existing=True to take responsibility for the mismatch)"
+            )
         # SQLite's built-in LIKE folds case for ASCII only; the in-memory
         # engine (like MySQL's ci collations) folds the full Unicode range.
         # Overriding the like() function keeps the two backends transparent

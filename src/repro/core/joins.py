@@ -141,6 +141,21 @@ class JoinManager:
                 changed = True
         return changed
 
+    # -- durable catalog support -------------------------------------------------
+    def restore_group(self, column_id: ColumnId, base: ColumnId) -> None:
+        """Recovery: re-attach a column to its logged transitivity-group base.
+
+        The durable catalog stores only the public (column -> base)
+        structure, never scalars.  A member's effective scalar is always its
+        base's *initial* scalar -- ``ensure_joinable`` only merges groups
+        onto a base whose own key was never re-scaled -- so the structure
+        alone rebuilds every effective key from the master key.
+        """
+        self.register_column(*column_id)
+        self.register_column(*base)
+        self._group_base[column_id] = base
+        self._scalars[column_id] = self._initial_scalars[base]
+
     def group_members(self, table: str, column: str) -> list[ColumnId]:
         """All columns currently sharing a JOIN-ADJ key with the given column."""
         base = self.base_of(table, column)

@@ -10,6 +10,7 @@ CryptDB's UDFs (Figure 1).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Optional, Sequence, Union
@@ -33,7 +34,14 @@ from repro.core.schema import ProxySchema
 from repro.core.training import TrainingReport, build_report
 from repro.crypto.keys import KeyManager, MasterKey
 from repro.crypto.paillier import PackingConfig, PaillierKeyPair
-from repro.errors import ProxyError, ReproError, UnsupportedQueryError
+from repro.durability import CatalogState, MetadataCatalog, tag_value, untag_value
+from repro.errors import (
+    CatalogError,
+    ProxyError,
+    ReproError,
+    SimulatedCrash,
+    UnsupportedQueryError,
+)
 from repro.parallel.jobs import HomRandomnessJob
 from repro.parallel.pool import CryptoWorkerPool, ParallelConfig, ParallelUnavailable
 from repro.sql import ast_nodes as ast
@@ -160,6 +168,7 @@ class CryptDBProxy:
         parallelism: Optional[ParallelConfig] = None,
         hom_packing: Union[bool, PackingConfig] = True,
         cache_budget_bytes: Optional[int] = None,
+        catalog: Optional[Union[str, MetadataCatalog]] = None,
     ):
         self.db = db if db is not None else Database()
         self.master_key = master_key if master_key is not None else MasterKey.generate()
@@ -244,22 +253,42 @@ class CryptDBProxy:
             # the backend -- the private key never leaves the proxy.
             self.db.configure_crypto(self.paillier.public, self.hom_packing)
             self.stats.shard = self.db
+        # Durable metadata catalog: the proxy writes a WAL record through at
+        # every metadata mutation, and a catalog with history rebuilds this
+        # proxy's state (schema, onion levels, JOIN-ADJ groups, routing,
+        # schema version) against the existing backend -- the restart path.
+        self.catalog: Optional[MetadataCatalog] = None
+        #: Adjustment intents whose resolution rides an open application
+        #: transaction: COMMIT logs their commit records, ROLLBACK aborts.
+        self._txn_pending_intents: list[int] = []
+        if catalog is not None:
+            self._attach_catalog(catalog)
 
     # ------------------------------------------------------------------
     # parallel crypto lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release proxy resources: terminates the crypto worker pool.
+        """Release proxy resources: flushes the catalog, terminates the pool.
 
-        Idempotent; a proxy without a pool is a no-op.  The proxy remains
-        usable afterwards -- batch kernels simply run serially.
+        The durable catalog is flushed and fsynced *first*, before any other
+        resource is released, so buffered metadata records cannot be lost by
+        a clean shutdown.  Idempotent -- including after a flush failure: the
+        catalog reference is detached before flushing, so a failed fsync
+        surfaces exactly once and a second close() is a no-op.  The proxy
+        remains usable afterwards (batch kernels simply run serially), but
+        without its catalog attached.
         """
-        if self.paillier.refill_hook is self._hom_refill_hook:
-            self.paillier.refill_hook = None
-        if self.pool is not None:
-            self.pool.close()
-            self.pool = None
-            self.encryptor.pool = None
+        catalog, self.catalog = self.catalog, None
+        try:
+            if catalog is not None:
+                catalog.close()
+        finally:
+            if self.paillier.refill_hook is self._hom_refill_hook:
+                self.paillier.refill_hook = None
+            if self.pool is not None:
+                self.pool.close()
+                self.pool = None
+                self.encryptor.pool = None
 
     def _schedule_hom_refill(self) -> None:
         """Hand one Paillier randomness precompute batch to the worker pool."""
@@ -329,12 +358,27 @@ class CryptDBProxy:
             column = table_meta.column(column_def.name)
             if not column.plaintext:
                 self.joins.register_column(column.table, column.name)
+        if self.catalog is not None:
+            # Write-ahead: the record must be durable before the backend DDL
+            # runs, so a crash between the two leaves a catalog that knows
+            # the table and a recovery that completes the missing DDL.
+            record = self.schema.describe_table(statement.table)
+            record["t"] = "create_table"
+            record["version"] = self.schema.version
+            self.catalog.append(record, sync=True)
         anon_columns = self._anonymized_columns(statement)
         self.db.execute(ast.CreateTable(table_meta.anon_name, anon_columns, statement.if_not_exists))
         if getattr(self.db, "is_sharded", False):
-            self._declare_shard_key(statement.table)
+            rewind = (self.schema.snapshot_levels(), self.joins.snapshot(), self.schema.version)
+            declared = self._declare_shard_key(statement.table)
+            if self.catalog is not None:
+                meta = self._catalog_meta_diff(rewind) or {}
+                if declared is not None:
+                    meta["routing"] = [list(declared)]
+                if meta:
+                    self.catalog.append(dict(meta, t="meta"), sync=True)
 
-    def _declare_shard_key(self, table: str) -> None:
+    def _declare_shard_key(self, table: str) -> Optional[tuple[str, str, str]]:
         """Tell a sharded backend which anonymised column routes inserts.
 
         The shard key's routing onion is peeled ahead of time -- DET for
@@ -355,18 +399,20 @@ class CryptDBProxy:
         mode = getattr(self.db, "mode", "det-hash")
         if column.plaintext:
             self.db.declare_routing(table_meta.anon_name, column.name, mode=mode)
-            return
+            return (table_meta.anon_name, column.name, mode)
         if mode == "ope-range" and column.has_onion(Onion.ORD):
             self.schema.lower_onion(table, key, Onion.ORD, EncryptionScheme.OPE)
             anon = column.onion_state(Onion.ORD).anon_name
             self.db.declare_routing(table_meta.anon_name, anon, mode="ope-range")
-            return
+            return (table_meta.anon_name, anon, "ope-range")
         if column.has_onion(Onion.EQ):
             self.schema.lower_onion(table, key, Onion.EQ, EncryptionScheme.DET)
             anon = column.onion_state(Onion.EQ).anon_name
             self.db.declare_routing(table_meta.anon_name, anon, mode="det-hash")
+            return (table_meta.anon_name, anon, "det-hash")
         # No usable onion: the table stays undeclared and all rows pin to
         # shard 0 -- correct, just not distributed.
+        return None
 
     def _anonymized_columns(self, statement: ast.CreateTable):
         from repro.sql.types import BIGINT, BLOB, ColumnDef
@@ -413,6 +459,11 @@ class CryptDBProxy:
         """
         for table, column in columns:
             self.schema.column(table, column).ope_join_group = group
+        if self.catalog is not None:
+            self.catalog.append(
+                {"t": "meta", "ope_groups": [[t, c, group] for t, c in columns]},
+                sync=True,
+            )
 
     # ------------------------------------------------------------------
     # query execution
@@ -599,37 +650,83 @@ class CryptDBProxy:
         self.stats.proxy_time_seconds += rewrite_time
         self.stats.prepare_time_seconds += rewrite_time
 
+        # Any metadata the rewrite mutated (onion lowers, JOIN re-keys, HOM
+        # staleness, version bumps) as one state-setting catalog diff.
+        meta_diff = (
+            self._catalog_meta_diff(rewind) if self.catalog is not None else None
+        )
+
         # Onion adjustments run inside a transaction so concurrent readers
         # never observe a half-adjusted column (§3.2).  They run once, here at
         # prepare time; the stored plan is adjustment-free afterwards.  A
         # server failure mid-adjustment (real DBMS backends can fail) rolls
         # the data back and rewinds the metadata, so schema levels never
         # claim layers the stored ciphertexts did not reach.
+        #
+        # With a catalog attached the adjustment is two-phase crash
+        # consistent: a durable INTENT (ops + metadata diff + one canary
+        # ciphertext) precedes the backend UPDATEs, and a COMMIT record
+        # follows the backend commit.  A crash anywhere in between leaves an
+        # in-doubt intent that recovery resolves idempotently by probing the
+        # canary.  The ``adjust.*`` crash points bracket every phase edge.
         if plan.adjustments:
             adjust_start = time.perf_counter()
             own_transaction = not self.db.transactions.in_transaction
+            intent_id: Optional[int] = None
+            if self.catalog is not None:
+                intent_id = self.catalog.begin_adjustment(
+                    [list(op) for op in plan.adjustment_meta],
+                    meta_diff or {},
+                    self._sample_canary(plan.adjustment_meta),
+                )
+                if not own_transaction:
+                    # Inside an application transaction the intent's fate is
+                    # the transaction's: COMMIT/ROLLBACK logs its resolution.
+                    self._txn_pending_intents.append(intent_id)
+                if faults.INJECTOR is not None:
+                    faults.INJECTOR.fire("adjust.intent", target=self, intent=intent_id)
             try:
                 if own_transaction:
                     self.db.execute(ast.Begin())
                 for adjustment in plan.adjustments:
                     self.db.execute(adjustment)
+                if faults.INJECTOR is not None and intent_id is not None:
+                    faults.INJECTOR.fire("adjust.applied", target=self, intent=intent_id)
                 if own_transaction:
                     self.db.execute(ast.Commit())
+                if faults.INJECTOR is not None and intent_id is not None:
+                    faults.INJECTOR.fire("adjust.commit", target=self, intent=intent_id)
+            except SimulatedCrash:
+                # Process death: no rollback, no rewind, no abort record --
+                # the intent stays in doubt and recovery alone resolves it.
+                raise
             except Exception:
                 if own_transaction:
                     self.db.execute(ast.Rollback())
                     self._restore_onion_state(rewind)
+                    if intent_id is not None:
+                        self.catalog.abort_adjustment(intent_id)
                 else:
                     # Inside an application transaction there is no savepoint
                     # to unwind just the adjustments, and some strips may
                     # already be applied -- rewinding only the metadata would
                     # make the next query re-strip stripped ciphertexts.
                     # Abort the whole transaction instead: data and onion
-                    # metadata rewind together to the BEGIN snapshot.
+                    # metadata rewind together to the BEGIN snapshot (which
+                    # also logs abort records for the pending intents).
                     self._execute_transaction_control(ast.Rollback())
                 raise
+            if intent_id is not None and own_transaction:
+                self.catalog.commit_adjustment(intent_id)
             plan.adjustments = []
+            plan.adjustment_meta = []
             self.stats.server_time_seconds += time.perf_counter() - adjust_start
+        elif meta_diff:
+            # Metadata-only mutations (OPE -> OPE-JOIN policy changes, HOM
+            # staleness marks, plan-version bumps) have no backend write to
+            # anchor a two-phase protocol to; one synced meta record is
+            # enough because replaying it is a pure state assignment.
+            self.catalog.append(dict(meta_diff, t="meta"), sync=True)
 
         prepared = PreparedStatement(
             statement, plan, param_count, self.schema.version, kind, sql_key=cache_key
@@ -792,9 +889,20 @@ class CryptDBProxy:
                 self.schema.snapshot_levels(),
                 self.joins.snapshot(),
             )
+        pre_rollback = (
+            (self.schema.snapshot_levels(), self.joins.snapshot(), self.schema.version)
+            if isinstance(statement, ast.Rollback) and self.catalog is not None
+            else None
+        )
         result = self.db.execute(statement)
         if isinstance(statement, ast.Commit):
             self._onion_snapshot = None
+            if self.catalog is not None:
+                # The backend made the adjustments durable with this COMMIT;
+                # resolve every intent that rode the transaction.
+                for intent_id in self._txn_pending_intents:
+                    self.catalog.commit_adjustment(intent_id)
+            self._txn_pending_intents = []
         elif isinstance(statement, ast.Rollback):
             if self._onion_snapshot is not None:
                 levels, join_state = self._onion_snapshot
@@ -805,6 +913,17 @@ class CryptDBProxy:
                     self.schema.bump_version()
                     self.cache.invalidate_eq()
             self._onion_snapshot = None
+            if self.catalog is not None:
+                for intent_id in self._txn_pending_intents:
+                    self.catalog.abort_adjustment(intent_id)
+                self._txn_pending_intents = []
+                # Metadata-only records logged inside the transaction are
+                # already durable; one corrective diff rewinds the replayed
+                # state to the BEGIN snapshot the proxy just restored to.
+                correction = self._catalog_meta_diff(pre_rollback)
+                if correction:
+                    self.catalog.append(dict(correction, t="meta"), sync=True)
+            self._txn_pending_intents = []
         return result
 
     def _execute_ddl(self, statement: ast.Statement) -> ResultSet:
@@ -819,9 +938,323 @@ class CryptDBProxy:
         if isinstance(statement, ast.DropTable):
             if self.schema.has_table(statement.table):
                 meta = self.schema.drop_table(statement.table)
+                if self.catalog is not None:
+                    # Write-ahead: with the record durable first, a crash
+                    # before the backend drop leaves an orphaned anonymised
+                    # table that recovery removes.
+                    self.catalog.append(
+                        {
+                            "t": "drop_table",
+                            "table": statement.table,
+                            "anon": meta.anon_name,
+                            "version": self.schema.version,
+                        },
+                        sync=True,
+                    )
                 return self.db.execute(ast.DropTable(meta.anon_name, statement.if_exists))
             return self.db.execute(statement)
         raise ProxyError(f"unexpected DDL statement {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    # durable metadata catalog: write-through, recovery, compaction
+    # ------------------------------------------------------------------
+    def _attach_catalog(self, catalog: Union[str, os.PathLike, MetadataCatalog]) -> None:
+        if not isinstance(catalog, MetadataCatalog):
+            catalog = MetadataCatalog(os.fspath(catalog))
+        self.catalog = catalog
+        if catalog.has_history:
+            self._recover_from_catalog(catalog)
+        # Installed after recovery so no compaction can fire mid-rebuild.
+        catalog.snapshot_source = self._snapshot_record
+
+    def _catalog_meta_diff(self, rewind: tuple) -> Optional[dict]:
+        """The state-setting ``meta`` payload for changes since ``rewind``.
+
+        ``rewind`` is the (levels, joins, version) triple `_prepare_statement`
+        snapshots before rewriting.  Only deltas are logged -- onion levels
+        that moved, HOM columns whose staleness flipped, JOIN-ADJ columns
+        whose group base changed -- so steady-state DML appends nothing.
+        """
+        old_levels, (_, old_bases), old_version = rewind
+        meta: dict = {}
+        levels: list[list] = []
+        hom_stale: list[list] = []
+        for (table, column), (onions, stale) in self.schema.snapshot_levels().items():
+            old = old_levels.get((table, column))
+            for onion, level in onions.items():
+                if old is None or old[0].get(onion) is not level:
+                    levels.append([table, column, onion.value, level.value])
+            if stale != (old[1] if old is not None else False):
+                hom_stale.append([table, column, stale])
+        bases: list[list] = []
+        for column_id, base in self.joins.snapshot()[1].items():
+            if old_bases.get(column_id, column_id) != base:
+                bases.append([column_id[0], column_id[1], base[0], base[1]])
+        if levels:
+            meta["levels"] = levels
+        if hom_stale:
+            meta["hom_stale"] = hom_stale
+        if bases:
+            meta["joins"] = {"bases": bases}
+        if self.schema.version != old_version:
+            meta["version"] = self.schema.version
+        return meta or None
+
+    def _sample_canary(self, ops: list) -> Optional[dict]:
+        """One stored ciphertext plus its expected post-adjustment value.
+
+        Recovery probes the pair to decide whether an in-doubt adjustment's
+        UPDATEs reached the backend: the pre-value still stored means they
+        did not, the post-value means they committed.  The expected value is
+        computed with the same UDF implementations the server runs, under
+        keys re-derived from the master key.  Returns None when every
+        adjusted column stores only NULLs -- re-running the strips is then a
+        no-op either way, because the UDFs pass NULL through.
+        """
+        targets: list[tuple] = []
+        for op in ops:
+            target = (op[1], op[2], Onion(op[3]) if op[0] == "strip" else Onion.EQ)
+            if target not in targets:
+                targets.append(target)
+        for table, column_name, onion in targets:
+            column = self.schema.column(table, column_name)
+            state = column.onion_state(onion)
+            anon_table = self.schema.table(table).anon_name
+            sample = ast.Select(
+                items=[
+                    ast.SelectItem(ast.ColumnRef(state.anon_name), None),
+                    ast.SelectItem(ast.ColumnRef(column.iv_column), None),
+                ],
+                from_clause=ast.TableRef(anon_table, None),
+                limit=16,
+            )
+            for row in self.db.execute(sample).rows:
+                if row[0] is None:
+                    continue
+                post = self._canary_post_value(row[0], row[1], column, onion, ops)
+                return {
+                    "anon_table": anon_table,
+                    "anon_column": state.anon_name,
+                    "pre": tag_value(row[0]),
+                    "post": tag_value(post),
+                }
+        return None
+
+    def _canary_post_value(
+        self, value: Any, iv: Any, column: Any, onion: Onion, ops: list
+    ) -> Any:
+        """Apply the ops targeting one column, exactly as the server would."""
+        for op in ops:
+            if (op[1], op[2]) != (column.table, column.name):
+                continue
+            if op[0] == "strip" and Onion(op[3]) is onion:
+                layer = EncryptionScheme(op[4])
+                key = self.encryptor.layer_key(column, onion, layer)
+                if layer is EncryptionScheme.RND:
+                    if onion is Onion.EQ:
+                        value = udfs._decrypt_rnd_eq(key, value, iv)
+                    else:
+                        value = udfs._decrypt_rnd_ord(key, value, iv)
+                elif layer is EncryptionScheme.DET:
+                    value = udfs._decrypt_det_eq(key, value)
+            elif op[0] == "join" and onion is Onion.EQ:
+                value = udfs._join_adjust(value, int(op[3]).to_bytes(32, "big"))
+        return value
+
+    def _canary_present(self, anon_table: str, anon_column: str, value: Any) -> bool:
+        probe = ast.Select(
+            items=[ast.SelectItem(ast.ColumnRef(anon_column), None)],
+            from_clause=ast.TableRef(anon_table, None),
+            where=ast.BinaryOp("=", ast.ColumnRef(anon_column), ast.Literal(value)),
+        )
+        return bool(self.db.execute(probe).rows)
+
+    def _recover_from_catalog(self, catalog: MetadataCatalog) -> None:
+        """Rebuild proxy metadata from snapshot+WAL, reconcile the backend.
+
+        Column keys are never logged; they re-derive from the master key as
+        each table restores, after which the recorded onion levels, JOIN-ADJ
+        group structure, OPE join groups, shard routing and schema version
+        overlay the freshly-built defaults.  The backend is then reconciled
+        with the log: DDL that was recorded but never executed is completed,
+        anonymised tables orphaned by an interrupted DROP are removed, and
+        every in-doubt adjustment intent is resolved by probing its canary
+        ciphertext -- completing exactly the work whose commit record the
+        crash swallowed, never re-stripping already-stripped rows.
+        """
+        from repro.sql.types import ColumnDef, DataType
+
+        state = catalog.state
+        sharded = getattr(self.db, "is_sharded", False)
+        backend_tables = set(self.db.table_names())
+        for payload in state.tables:
+            meta = self.schema.restore_table(payload)
+            for column in meta.columns.values():
+                if not column.plaintext:
+                    self.joins.register_column(column.table, column.name)
+            columns = [
+                ColumnDef(name, DataType(type_name, length))
+                for name, type_name, length in payload["columns"]
+            ]
+            anon_ddl = ast.CreateTable(
+                meta.anon_name,
+                self._anonymized_columns(ast.CreateTable(meta.name, columns)),
+            )
+            if sharded:
+                # Re-register the anonymised layout for scratch-replay plans.
+                self.db.adopt_ddl(anon_ddl)
+            if meta.anon_name not in backend_tables:
+                # create_table record synced, crash hit before the DDL ran.
+                self.db.execute(anon_ddl)
+        live_anon = {payload["anon"] for payload in state.tables}
+        for orphan in sorted(backend_tables - live_anon):
+            # drop_table record synced, crash hit before the backend drop.
+            self.db.execute(ast.DropTable(orphan, if_exists=True))
+        for (table, column_name, onion), level in state.levels.items():
+            column = self._recovered_column(table, column_name)
+            if column is None:
+                continue
+            onion_state = column.onions.get(Onion(onion))
+            if onion_state is not None:
+                onion_state.level = EncryptionScheme(level)
+        for (table, column_name), stale in state.hom_stale.items():
+            column = self._recovered_column(table, column_name)
+            if column is not None:
+                column.hom_stale_others = bool(stale)
+        for (table, column_name), group in state.ope_groups.items():
+            column = self._recovered_column(table, column_name)
+            if column is not None:
+                column.ope_join_group = group
+        for column_id, base in state.join_bases.items():
+            self.joins.restore_group(tuple(column_id), tuple(base))
+        if sharded:
+            for anon_table, (anon_column, mode) in state.routing.items():
+                self.db.declare_routing(anon_table, anon_column, mode=mode)
+        # Restored last: every cached-plan consumer keys on this counter, so
+        # prepared-statement semantics survive the restart unchanged.
+        self.schema.version = state.version
+        for intent_id in sorted(state.in_doubt):
+            self._resolve_in_doubt(state.in_doubt[intent_id])
+            catalog.commit_adjustment(intent_id)
+
+    def _recovered_column(self, table: str, column: str) -> Optional[Any]:
+        table_meta = self.schema.tables.get(table)
+        if table_meta is None:
+            return None
+        return table_meta.columns.get(column)
+
+    def _resolve_in_doubt(self, intent: dict) -> None:
+        """Verify-and-complete one logged adjustment intent (idempotently).
+
+        The canary distinguishes "the UPDATEs never committed" (its
+        pre-value is still stored) from "they committed but the crash beat
+        the commit record" (its post-value is stored).  No canary means the
+        adjusted columns held only NULLs, so re-running is safe either way.
+        """
+        rerun = True
+        canary = intent.get("canary")
+        if canary:
+            anon_table, anon_column = canary["anon_table"], canary["anon_column"]
+            if self._canary_present(anon_table, anon_column, untag_value(canary["pre"])):
+                rerun = True
+            elif self._canary_present(anon_table, anon_column, untag_value(canary["post"])):
+                rerun = False
+            else:
+                raise CatalogError(
+                    "in-doubt adjustment canary matches neither its pre- nor "
+                    "post-adjustment value: the backend does not correspond "
+                    "to this catalog"
+                )
+        if rerun:
+            updates = [
+                update
+                for op in intent["ops"]
+                if (update := self._rebuild_adjustment(op)) is not None
+            ]
+            try:
+                self.db.execute(ast.Begin())
+                for update in updates:
+                    self.db.execute(update)
+                self.db.execute(ast.Commit())
+            except Exception:
+                self.db.execute(ast.Rollback())
+                raise
+        self._apply_meta_payload(intent.get("meta") or {})
+
+    def _rebuild_adjustment(self, op: list) -> Optional[ast.Statement]:
+        """Re-derive the server UPDATE for one logged adjustment op."""
+        if op[0] == "strip":
+            _, table, column_name, onion_value, layer_value = op
+            column = self.schema.column(table, column_name)
+            return self.rewriter._adjustment_update(
+                column, Onion(onion_value), EncryptionScheme(layer_value)
+            )
+        if op[0] == "join":
+            _, table, column_name, delta = op
+            column = self.schema.column(table, column_name)
+            eq_state = column.onion_state(Onion.EQ)
+            call = ast.FunctionCall(
+                udfs.JOIN_ADJUST,
+                [
+                    ast.ColumnRef(eq_state.anon_name),
+                    ast.Literal(int(delta).to_bytes(32, "big")),
+                ],
+            )
+            return ast.Update(
+                self.schema.table(table).anon_name,
+                [(eq_state.anon_name, call)],
+                None,
+            )
+        raise CatalogError(f"unknown adjustment op {op[0]!r}")
+
+    def _apply_meta_payload(self, meta: dict) -> None:
+        """Fold a logged ``meta`` payload into live schema/join state."""
+        for table, column_name, onion, level in meta.get("levels", ()):
+            column = self._recovered_column(table, column_name)
+            if column is None:
+                continue
+            onion_state = column.onions.get(Onion(onion))
+            if onion_state is not None:
+                onion_state.level = EncryptionScheme(level)
+        for table, column_name, stale in meta.get("hom_stale", ()):
+            column = self._recovered_column(table, column_name)
+            if column is not None:
+                column.hom_stale_others = bool(stale)
+        for table, column_name, group in meta.get("ope_groups", ()):
+            column = self._recovered_column(table, column_name)
+            if column is not None:
+                column.ope_join_group = group
+        for table, column_name, base_table, base_column in (
+            meta.get("joins") or {}
+        ).get("bases", ()):
+            self.joins.restore_group((table, column_name), (base_table, base_column))
+        if "version" in meta:
+            self.schema.version = int(meta["version"])
+
+    def _snapshot_record(self) -> dict:
+        """Full current metadata as one ``snapshot`` record (compaction)."""
+        state = CatalogState()
+        state.tables = [
+            self.schema.describe_table(name) for name in self.schema.table_names()
+        ]
+        state.table_counter = self.schema._table_counter
+        state.version = self.schema.version
+        for table, column, onion, level in self.schema.catalog_levels():
+            state.levels[(table, column, onion)] = level
+        for table_name, table_meta in self.schema.tables.items():
+            for column_name, column in table_meta.columns.items():
+                if column.hom_stale_others:
+                    state.hom_stale[(table_name, column_name)] = True
+                if column.ope_join_group is not None:
+                    state.ope_groups[(table_name, column_name)] = column.ope_join_group
+        for column_id, base in self.joins.snapshot()[1].items():
+            if base != column_id:
+                state.join_bases[column_id] = base
+        if getattr(self.db, "is_sharded", False):
+            state.routing = dict(self.db.routing_catalog())
+        if self.catalog is not None:
+            state.resolved = set(self.catalog.state.resolved)
+        return state.snapshot_payload()
 
     # ------------------------------------------------------------------
     # training mode (§3.5.1) and reporting

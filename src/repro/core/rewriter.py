@@ -94,6 +94,13 @@ class RewritePlan:
 
     statement: Optional[ast.Statement]
     adjustments: list[ast.Statement] = field(default_factory=list)
+    #: Structured twins of ``adjustments``, 1:1 and in the same order, for
+    #: the durable catalog's two-phase INTENT records: ``("strip", table,
+    #: column, onion-value, layer-value)`` or ``("join", table, column,
+    #: delta-int)``.  Recovery rebuilds the server UPDATEs from these (the
+    #: key material re-derives from the master key; the delta is the same
+    #: public value the server already saw).
+    adjustment_meta: list[tuple] = field(default_factory=list)
     output: list[OutputSpec] = field(default_factory=list)
     computations: dict[tuple[str, str], set[ComputationClass]] = field(default_factory=dict)
     proxy_order: list[tuple[int, bool]] = field(default_factory=list)
@@ -236,6 +243,9 @@ class Rewriter:
             update = self._adjustment_update(column, onion, layer)
             if update is not None:
                 plan.adjustments.append(update)
+                plan.adjustment_meta.append(
+                    ("strip", column.table, column.name, onion.value, layer.value)
+                )
                 self.onion_adjustments += 1
         return onion, needed
 
@@ -306,6 +316,9 @@ class Rewriter:
             )
             plan.adjustments.append(
                 ast.Update(table_meta.anon_name, [(state.anon_name, call)], None)
+            )
+            plan.adjustment_meta.append(
+                ("join", adjustment.table, adjustment.column, adjustment.delta)
             )
             self.onion_adjustments += 1
             # JOIN-ADJ key changes invalidate plans with baked JOIN constants.

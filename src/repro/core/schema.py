@@ -10,7 +10,7 @@ exposed (§3.5.1) or a "leave in plaintext" annotation (§3.5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.onion import (
     ONION_LAYERS,
@@ -242,6 +242,74 @@ class ProxySchema:
         meta = self.tables.pop(name)
         self.bump_version()
         return meta
+
+    # -- durable catalog support ----------------------------------------------
+    def describe_table(self, name: str) -> dict:
+        """The JSON-safe ``create_table`` catalog payload for one table.
+
+        Everything :meth:`add_table` needs to rebuild the identical layout:
+        column definitions, developer annotations, and the anonymised name
+        (recorded explicitly because the counter-derived name drifts once
+        tables have been dropped).  No key material appears here.
+        """
+        meta = self.table(name)
+        columns = []
+        annotations: dict[str, Any] = {"plaintext": [], "sensitive": [], "min_levels": {}}
+        for column in meta.columns.values():
+            columns.append(
+                [
+                    column.name,
+                    column.data_type.name,
+                    column.data_type.length,
+                ]
+            )
+            if column.plaintext:
+                annotations["plaintext"].append(column.name)
+            if column.sensitive:
+                annotations["sensitive"].append(column.name)
+            if column.minimum_level is not None:
+                annotations["min_levels"][column.name] = column.minimum_level.value
+        return {
+            "table": name,
+            "anon": meta.anon_name,
+            "counter": self._table_counter,
+            "columns": columns,
+            **annotations,
+        }
+
+    def restore_table(self, payload: dict) -> TableMeta:
+        """Rebuild one table from its ``create_table`` catalog payload.
+
+        The anonymised layout re-derives deterministically (column prefixes
+        are positional, HOM groups assign in schema order), then the
+        recorded anonymised table name overrides the counter-derived one.
+        """
+        columns = [
+            ColumnDef(name, DataType(type_name, length))
+            for name, type_name, length in payload["columns"]
+        ]
+        meta = self.add_table(
+            payload["table"],
+            columns,
+            plaintext_columns=set(payload.get("plaintext", ())),
+            sensitive_columns=set(payload.get("sensitive", ())),
+            minimum_levels={
+                name: SecurityLevel(value)
+                for name, value in (payload.get("min_levels") or {}).items()
+            },
+        )
+        meta.anon_name = payload["anon"]
+        self._table_counter = max(self._table_counter, int(payload["counter"]))
+        return meta
+
+    def catalog_levels(self) -> list[list]:
+        """Every onion level (and HOM staleness never included here) as rows."""
+        rows = []
+        for table_name, table in self.tables.items():
+            for column_name, column in table.columns.items():
+                for onion, state in column.onions.items():
+                    rows.append([table_name, column_name, onion.value, state.level.value])
+        return rows
 
     # -- lookups --------------------------------------------------------------
     def table(self, name: str) -> TableMeta:

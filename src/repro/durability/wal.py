@@ -1,0 +1,196 @@
+"""Append-only, checksummed, fsync-batched write-ahead log.
+
+The log is a flat file of length-prefixed records::
+
+    +----------------+----------------+------------------------+
+    | length (u32 LE)| crc32 (u32 LE) | payload (UTF-8 JSON)   |
+    +----------------+----------------+------------------------+
+
+Appends are buffered in memory until :meth:`WriteAheadLog.sync` writes and
+``fsync``\\ s them in one batch (group commit); callers place the sync
+barrier exactly where durability is required -- e.g. an adjustment INTENT
+must be on disk *before* the backend UPDATE runs, but several records logged
+inside one prepare share a single fsync.
+
+Torn tails are expected: a crash mid-write leaves a record with a short or
+checksum-mismatched payload at the end of the file.  :meth:`records` stops
+at the first damaged frame and reports how many bytes of valid prefix
+precede it; opening the log for append truncates the damage away so new
+records never chain onto garbage.
+
+The ``wal.append`` / ``wal.fsync`` crash points of :mod:`repro.faults` fire
+*before* the corresponding effect, so an injected
+:class:`~repro.errors.SimulatedCrash` models dying with the record never
+buffered / never durable.  :meth:`abandon` is the test harness's "process
+died" hook: buffered-but-unsynced records are dropped on the floor, exactly
+as the page cache would have dropped them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Iterator, Optional
+
+from repro import faults
+from repro.errors import CatalogError
+
+_HEADER = struct.Struct("<II")
+
+
+def encode_record(payload: dict) -> bytes:
+    """Frame one JSON payload: length + crc32 + body."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def decode_records(data: bytes) -> tuple[list[dict], int]:
+    """Decode every intact record; returns ``(records, valid_prefix_bytes)``.
+
+    Decoding stops at the first short or checksum-mismatched frame -- the
+    torn tail of an interrupted append -- without raising: write-ahead
+    logging means a damaged tail is a record whose effects never happened.
+    """
+    records: list[dict] = []
+    offset = 0
+    total = len(data)
+    while offset + _HEADER.size <= total:
+        length, checksum = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            break  # short payload: torn tail
+        body = data[start:end]
+        if zlib.crc32(body) != checksum:
+            break  # bit rot or torn header: stop before the damage
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CatalogError(
+                f"WAL record at byte {offset} passed its checksum but is not "
+                f"valid JSON: {exc}"
+            ) from exc
+        records.append(payload)
+        offset = end
+    return records, offset
+
+
+class WriteAheadLog:
+    """One append-only log file with group-commit durability."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._pending: list[bytes] = []
+        self._file: Optional[Any] = None
+        #: Records appended since the last sync barrier (for batching stats).
+        self.appends = 0
+        self.syncs = 0
+
+    # -- reading -----------------------------------------------------------
+    def load(self) -> list[dict]:
+        """Read every intact record currently on disk."""
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return []
+        records, valid = decode_records(data)
+        self._valid_prefix = valid
+        return records
+
+    def records(self) -> Iterator[dict]:
+        return iter(self.load())
+
+    # -- writing -----------------------------------------------------------
+    def _open_for_append(self) -> Any:
+        if self._file is None:
+            # Truncate any torn tail before appending: records must never
+            # chain onto a damaged frame.
+            records, valid = decode_records(self._read_raw())
+            del records
+            handle = open(self.path, "ab")
+            if handle.tell() != valid:
+                handle.truncate(valid)
+                handle.seek(valid)
+            self._file = handle
+        return self._file
+
+    def _read_raw(self) -> bytes:
+        try:
+            with open(self.path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return b""
+
+    def append(self, payload: dict) -> None:
+        """Buffer one record; durable only after the next :meth:`sync`."""
+        if faults.INJECTOR is not None:
+            faults.INJECTOR.fire("wal.append", target=self, record=payload.get("t"))
+        self._pending.append(encode_record(payload))
+        self.appends += 1
+
+    def sync(self) -> None:
+        """Write buffered records and fsync the file (group commit)."""
+        if not self._pending:
+            return
+        if faults.INJECTOR is not None:
+            faults.INJECTOR.fire("wal.fsync", target=self, pending=len(self._pending))
+        handle = self._open_for_append()
+        handle.write(b"".join(self._pending))
+        self._pending.clear()
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.syncs += 1
+
+    def replace_with(self, payloads: list[dict]) -> None:
+        """Atomically rewrite the log to exactly ``payloads`` (compaction).
+
+        The new contents are written to a sibling temp file, fsynced, and
+        ``os.replace``\\ d over the log, so a crash at any point leaves either
+        the old log or the new one -- never a mix.  Buffered unsynced
+        records are folded in by the caller before compaction.
+        """
+        if faults.INJECTOR is not None:
+            faults.INJECTOR.fire("snapshot.write", target=self, records=len(payloads))
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        tmp_path = self.path + ".compact"
+        with open(tmp_path, "wb") as handle:
+            handle.write(b"".join(encode_record(payload) for payload in payloads))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        self._fsync_directory()
+
+    def _fsync_directory(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def close(self) -> None:
+        """Flush and fsync anything buffered, then release the handle."""
+        self.sync()
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def abandon(self) -> None:
+        """Simulate process death: drop unsynced records, release the handle."""
+        self._pending.clear()
+        if self._file is not None:
+            self._file.close()
+            self._file = None

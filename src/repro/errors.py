@@ -36,6 +36,20 @@ class UnsupportedQueryError(ProxyError):
     """
 
 
+class CatalogError(ReproError):
+    """The durable metadata catalog is corrupt or inconsistent with the DBMS."""
+
+
+class SimulatedCrash(ReproError):
+    """An injected process death at a named crash point (``repro.faults``).
+
+    Unlike every other injected fault, handlers must *not* treat this as a
+    recoverable error: the contract is that the process is gone, so no
+    rollback, cleanup or metadata rewind runs.  The recovery harness catches
+    it at the top level, abandons the proxy, and rebuilds from the catalog.
+    """
+
+
 class PolicyError(ReproError):
     """A multi-principal annotation or access-control operation is invalid."""
 

@@ -54,6 +54,19 @@ from typing import Any, Callable, Optional
 
 from repro.errors import ReproError
 
+#: Crash points of the durable metadata catalog and the two-phase onion
+#: adjustment protocol (:mod:`repro.durability`).  A fault here raises
+#: :class:`~repro.errors.SimulatedCrash`, which by contract no layer treats
+#: as recoverable: it models the process dying at that exact instruction.
+CRASH_SITES = (
+    "wal.append",      # before a record enters the WAL buffer
+    "wal.fsync",       # before buffered records reach the file + fsync
+    "adjust.intent",   # INTENT durable, before the backend UPDATEs begin
+    "adjust.applied",  # UPDATEs executed, before the backend COMMIT
+    "adjust.commit",   # backend committed, before the COMMIT record logs
+    "snapshot.write",  # before a compacted snapshot replaces the WAL
+)
+
 #: The instrumented site names, for validation and documentation.
 SITES = (
     "transport.send",
@@ -62,7 +75,7 @@ SITES = (
     "pool.scatter",
     "backend.execute",
     "paillier.refill",
-)
+) + CRASH_SITES
 
 
 class FaultInjected(ReproError):
@@ -93,6 +106,10 @@ def _default_exception(site: str) -> BaseException:
         from repro.parallel.pool import ParallelUnavailable
 
         return ParallelUnavailable(f"injected fault at {site}")
+    if site in CRASH_SITES:
+        from repro.errors import SimulatedCrash
+
+        return SimulatedCrash(f"simulated crash at {site}")
     return FaultInjected(f"injected fault at {site}")
 
 
@@ -306,6 +323,30 @@ def paused():
 # ---------------------------------------------------------------------------
 # stock actions for kind="call" rules
 # ---------------------------------------------------------------------------
+def crash(site: str, at_hit: int = 1, scope: Any = None) -> FaultRule:
+    """A one-shot rule that kills the process at a named crash point.
+
+    The rule raises :class:`~repro.errors.SimulatedCrash` on the
+    ``at_hit``-th accepted hit of ``site`` (one of :data:`CRASH_SITES`) and
+    never fires again; ``scope`` confines it to one catalog or proxy so a
+    fault-free shadow can run alongside.  The recovery harness arms one of
+    these, lets the stream run until the proxy "dies", then rebuilds it from
+    snapshot+WAL and verifies zero divergence.
+    """
+    if site not in CRASH_SITES:
+        raise ValueError(f"{site!r} is not a crash point (one of {CRASH_SITES})")
+    from repro.errors import SimulatedCrash
+
+    return FaultRule(
+        site=site,
+        trigger_hits=(at_hit,),
+        max_fires=1,
+        kind="error",
+        exception=lambda: SimulatedCrash(f"simulated crash at {site}"),
+        scope=scope,
+    )
+
+
 def kill_one_worker(context: dict) -> None:
     """SIGKILL one live process of the pool passed as the site's ``target``.
 

@@ -65,6 +65,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--paillier-bits", type=int, default=1024,
         help="Paillier modulus size for the proxy's HOM onion",
     )
+    parser.add_argument(
+        "--catalog", default=None, metavar="PATH.WAL",
+        help="durable metadata catalog (write-ahead log); with an existing "
+             "catalog + backend files the proxy restarts from snapshot+WAL "
+             "(requires --master-key so column keys re-derive)",
+    )
+    parser.add_argument(
+        "--backend-path", default=None, metavar="FILE",
+        help="SQLite database file for --backend sqlite (default in-memory); "
+             "for --backend sharded, a base path expanded to FILE.shard0..N",
+    )
+    parser.add_argument(
+        "--master-key", default=None, metavar="PASSPHRASE",
+        help="master-key passphrase; required to restart from --catalog "
+             "(a fresh random key is generated otherwise)",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     return parser
 
@@ -102,7 +118,34 @@ def main(argv: list[str] | None = None) -> int:
 
         # resolve_backend passes instances through, so the CLI can carry
         # the shard topology without widening ServerConfig.
-        backend = ShardedBackend(shards=args.shards, mode=args.shard_mode)
+        paths = None
+        base = "memory"
+        if args.backend_path:
+            base = "sqlite"
+            paths = [f"{args.backend_path}.shard{i}" for i in range(args.shards)]
+        backend = ShardedBackend(
+            shards=args.shards,
+            base=base,
+            mode=args.shard_mode,
+            paths=paths,
+            allow_existing=args.catalog is not None,
+        )
+    elif backend == "sqlite" and args.backend_path:
+        from repro.api.sqlite_backend import SQLiteBackend
+
+        backend = SQLiteBackend(
+            path=args.backend_path, allow_existing=args.catalog is not None
+        )
+    proxy_kwargs = {
+        "workers": args.workers,
+        "paillier_bits": args.paillier_bits,
+    }
+    if args.catalog is not None:
+        proxy_kwargs["catalog"] = args.catalog
+    if args.master_key is not None:
+        from repro.crypto.keys import MasterKey
+
+        proxy_kwargs["master_key"] = MasterKey.from_passphrase(args.master_key)
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -112,10 +155,7 @@ def main(argv: list[str] | None = None) -> int:
         max_connections=args.max_connections,
         drain_timeout=args.drain_timeout,
         statement_timeout=args.statement_timeout,
-        proxy_kwargs={
-            "workers": args.workers,
-            "paillier_bits": args.paillier_bits,
-        },
+        proxy_kwargs=proxy_kwargs,
     )
     return asyncio.run(run(config))
 

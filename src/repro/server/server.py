@@ -86,7 +86,13 @@ class ReproServer:
             self.proxy = proxy
             self._owns_proxy = False
         else:
-            backend = resolve_backend(self.config.backend)
+            # With catalog= in proxy_kwargs this is the restart path: the
+            # backend may legitimately hold an existing encrypted database,
+            # and the proxy rebuilds its metadata from the WAL against it.
+            backend = resolve_backend(
+                self.config.backend,
+                allow_existing="catalog" in self.config.proxy_kwargs,
+            )
             self.proxy = CryptDBProxy(db=backend, **self.config.proxy_kwargs)
             self._owns_proxy = True
         self._server: Optional[asyncio.base_events.Server] = None

@@ -99,6 +99,7 @@ class ShardedBackend:
         paths: Optional[list[str]] = None,
         threads: bool = True,
         shard_key: Optional[str] = None,
+        allow_existing: bool = False,
     ):
         if shards < 1:
             raise ShardedBackendError(f"shard count must be >= 1, got {shards}")
@@ -115,7 +116,9 @@ class ShardedBackend:
         for index in range(shards):
             if normalized in ("sqlite", "sqlite3"):
                 path = paths[index] if paths else ":memory:"
-                self.backends.append(create_backend(base, path=path))
+                self.backends.append(
+                    create_backend(base, path=path, allow_existing=allow_existing)
+                )
             else:
                 self.backends.append(create_backend(base))
         # sqlite3 connections are pinned to their creating thread, so only
@@ -148,6 +151,24 @@ class ShardedBackend:
             column,
             ShardRouter(self.shard_count, mode=mode or self.mode),
         )
+
+    def routing_catalog(self) -> dict[str, tuple[str, str]]:
+        """``anon table -> (anon shard-key column, mode)`` for the catalog."""
+        return {
+            table: (column, router.mode)
+            for table, (column, router) in self._routing.items()
+        }
+
+    def adopt_ddl(self, statement: ast.CreateTable) -> None:
+        """Record a table's anonymised layout without executing any DDL.
+
+        Catalog recovery re-registers the layouts of tables the shard files
+        already contain, so broadcast-scratch plans (joins, LIMIT without an
+        order, ...) can replay the schemas exactly as a fresh run would.
+        """
+        if statement.table not in self._ddl:
+            self._ddl_order.append(statement.table)
+        self._ddl[statement.table] = statement
 
     # ------------------------------------------------------------------
     # BackendAdapter protocol

@@ -16,7 +16,12 @@ oracle:
   armed :mod:`repro.faults` plan (the chaos conformance lane): every
   statement must produce the fault-free answer or fail with a clean DB-API
   error, and after every injected fault an invariant probe asserts proxy
-  metadata and backend state still agree.
+  metadata and backend state still agree;
+* :class:`~repro.testing.oracle.RecoveryRunner` kills a catalog-backed
+  proxy at a named crash point mid-stream (the recovery conformance lane),
+  rebuilds it from snapshot+WAL against the surviving database files, and
+  verifies zero divergence -- answers and metadata -- against an
+  uninterrupted shadow proxy.
 """
 
 from repro.testing.generator import GeneratedStatement, StatementGenerator
@@ -25,6 +30,8 @@ from repro.testing.oracle import (
     ChaosRunner,
     DifferentialRunner,
     Divergence,
+    RecoveryReport,
+    RecoveryRunner,
     RunReport,
     conformance_problems,
     default_lane_factory,
@@ -38,6 +45,8 @@ __all__ = [
     "ChaosRunner",
     "DifferentialRunner",
     "Divergence",
+    "RecoveryReport",
+    "RecoveryRunner",
     "RunReport",
     "conformance_problems",
     "default_lane_factory",

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro import faults
 from repro.api import exceptions
 from repro.api.connection import Connection, connect
+from repro.errors import ReproError, SimulatedCrash, UnsupportedQueryError
 from repro.testing.generator import GeneratedStatement
 
 LaneFactory = Callable[[], dict[str, Connection]]
@@ -831,3 +833,378 @@ class ChaosRunner:
                     f"current v{version})"
                 )
         return None
+
+
+# ---------------------------------------------------------------------------
+# the crash-recovery lane
+# ---------------------------------------------------------------------------
+@dataclass
+class RecoveryReport:
+    """Outcome of one stream with a simulated crash and catalog recovery."""
+
+    crash_site: Optional[str] = None
+    statements_executed: int = 0
+    selects_compared: int = 0
+    refused: int = 0
+    crashed: bool = False
+    crash_index: Optional[int] = None
+    recoveries: int = 0
+    #: Adjustment intents that were neither committed nor aborted when the
+    #: proxy "died" and had to be resolved (via the canary) on recovery.
+    in_doubt_resolved: int = 0
+    transactions_resynced: int = 0
+    divergence: Optional[Divergence] = None
+    metadata_mismatches: list = field(default_factory=list)
+    seed: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None and not self.metadata_mismatches
+
+    def describe(self) -> str:
+        lines = [
+            f"{'conformant' if self.ok else 'FAILED'}: "
+            f"{self.statements_executed} statements, "
+            f"crash at {self.crash_site} "
+            f"({'statement #%s' % self.crash_index if self.crashed else 'never fired'}), "
+            f"{self.recoveries} recoveries, "
+            f"{self.in_doubt_resolved} in-doubt adjustments resolved, "
+            f"{self.selects_compared} SELECT comparisons, "
+            f"{self.refused} symmetric refusals"
+        ]
+        if self.seed is not None:
+            lines.append(f"reproduce with --repro-seed={self.seed}")
+        if self.divergence is not None:
+            lines.append(self.divergence.describe())
+        lines.extend(f"metadata mismatch: {m}" for m in self.metadata_mismatches)
+        return "\n".join(lines)
+
+
+class RecoveryRunner:
+    """Kill the proxy at a named crash point mid-stream and demand recovery.
+
+    Two encrypted proxies run the same stream in lockstep, sharing one
+    master key and Paillier key pair:
+
+    * ``enc-recovery`` -- a proxy over *file-backed* storage (one SQLite
+      database, or N sharded SQLite files) writing every metadata mutation
+      through a :class:`~repro.durability.MetadataCatalog`, with a one-shot
+      :func:`faults.crash` rule armed at one of :data:`faults.CRASH_SITES`;
+    * ``shadow`` -- an identical in-memory proxy with no catalog and no
+      faults, the uninterrupted reference.
+
+    When the crash fires, the harness simulates process death -- unsynced
+    WAL records are abandoned, the backend connection drops (rolling back
+    any open transaction) -- then rebuilds the proxy from snapshot+WAL
+    against the surviving database files.  The crashed statement replays,
+    the stream resumes, and at the end the two proxies must agree on every
+    answer *and* on all recovered metadata: onion levels, HOM staleness,
+    OPE range-join groups, JOIN-ADJ transitivity groups and effective
+    scalars (re-derived from the master key, never logged), shard routing
+    and the plan-cache schema version.  Any in-doubt two-phase adjustment
+    must be resolved during recovery -- none may survive.
+    """
+
+    #: ``mode`` -> proxy/backend flavour of the primary lane.
+    MODES = ("scalar", "packed", "sharded")
+
+    def __init__(
+        self,
+        workdir: str,
+        crash_site: str,
+        *,
+        mode: str = "packed",
+        at_hit: int = 1,
+        shards: int = 3,
+        sharded_mode: str = "det-hash",
+        snapshot_every: int = 8,
+        seed: int = 0,
+        **proxy_kwargs: Any,
+    ):
+        if crash_site not in faults.CRASH_SITES:
+            raise ValueError(
+                f"{crash_site!r} is not a crash point (one of {faults.CRASH_SITES})"
+            )
+        if mode not in self.MODES:
+            raise ValueError(f"unknown recovery mode {mode!r} (one of {self.MODES})")
+        self.workdir = os.fspath(workdir)
+        self.crash_site = crash_site
+        self.mode = mode
+        self.at_hit = at_hit
+        self.shards = shards
+        self.sharded_mode = sharded_mode
+        self.snapshot_every = snapshot_every
+        self.seed = seed
+        kwargs = dict(proxy_kwargs)
+        kwargs.setdefault("hom_precompute", 8)
+        if mode == "scalar":
+            kwargs.setdefault("hom_packing", False)
+        self.proxy_kwargs = kwargs
+        self._wal_path = os.path.join(self.workdir, "catalog.wal")
+        self._db_path = os.path.join(self.workdir, "primary.db")
+        self._shard_paths = [
+            os.path.join(self.workdir, f"primary.shard{i}") for i in range(shards)
+        ]
+
+    # -- lane construction -------------------------------------------------
+    def _build_backend(self, allow_existing: bool):
+        if self.mode == "sharded":
+            from repro.shard.backend import ShardedBackend
+
+            return ShardedBackend(
+                shards=self.shards,
+                base="sqlite",
+                mode=self.sharded_mode,
+                paths=self._shard_paths,
+                allow_existing=allow_existing,
+            )
+        from repro.api.sqlite_backend import SQLiteBackend
+
+        return SQLiteBackend(path=self._db_path, allow_existing=allow_existing)
+
+    def _build_primary(self, allow_existing: bool):
+        from repro.core.proxy import CryptDBProxy
+        from repro.durability import MetadataCatalog
+
+        return CryptDBProxy(
+            db=self._build_backend(allow_existing),
+            catalog=MetadataCatalog(self._wal_path, snapshot_every=self.snapshot_every),
+            **self.proxy_kwargs,
+        )
+
+    def _build_shadow(self):
+        from repro.core.proxy import CryptDBProxy
+
+        db = None
+        if self.mode == "sharded":
+            from repro.shard.backend import ShardedBackend
+
+            db = ShardedBackend(shards=self.shards, mode=self.sharded_mode)
+        return CryptDBProxy(db=db, **self.proxy_kwargs)
+
+    @staticmethod
+    def _close_backend(backend) -> None:
+        close = getattr(backend, "close", None)
+        if close is not None:
+            close()
+
+    # -- statement execution ----------------------------------------------
+    @staticmethod
+    def _run_statement(proxy, statement: GeneratedStatement) -> LaneOutcome:
+        try:
+            result = proxy.execute(statement.sql, statement.params)
+        except SimulatedCrash:
+            raise
+        except UnsupportedQueryError as exc:
+            return LaneOutcome(error="unsupported", error_detail=str(exc)[:120])
+        except ReproError as exc:
+            return LaneOutcome(
+                error="error", error_detail=f"{type(exc).__name__}: {str(exc)[:120]}"
+            )
+        if statement.kind == "select":
+            return LaneOutcome(rows=[tuple(row) for row in result.rows])
+        return LaneOutcome(rowcount=max(result.rowcount, 0))
+
+    # -- the replay loop ---------------------------------------------------
+    def run(self, statements: Sequence[GeneratedStatement]) -> RecoveryReport:
+        report = RecoveryReport(crash_site=self.crash_site, seed=self.seed)
+        primary = self._build_primary(allow_existing=False)
+        shadow = self._build_shadow()
+        plan = faults.FaultPlan(
+            self.seed, [faults.crash(self.crash_site, at_hit=self.at_hit)]
+        )
+        try:
+            with faults.armed(plan):
+                for index, statement in enumerate(statements):
+                    try:
+                        primary_out = self._run_statement(primary, statement)
+                    except SimulatedCrash:
+                        report.crashed = True
+                        report.crash_index = index
+                        primary = self._recover(primary, report)
+                        primary_out = self._resume(primary, shadow, statement, report)
+                        if primary_out is None:
+                            report.statements_executed += 1
+                            continue
+                    report.statements_executed += 1
+                    with faults.paused():
+                        shadow_out = self._run_statement(shadow, statement)
+                    divergence = self._compare(
+                        index, statement, primary_out, shadow_out, report
+                    )
+                    if divergence is not None:
+                        report.divergence = divergence
+                        return report
+            report.metadata_mismatches.extend(
+                self._metadata_mismatches(primary, shadow)
+            )
+        finally:
+            shadow.close()
+            primary.close()
+            self._close_backend(primary.db)
+        return report
+
+    # -- crash + recovery --------------------------------------------------
+    def _recover(self, primary, report: RecoveryReport):
+        """Simulate process death, then rebuild the proxy from the catalog."""
+        # The process is gone: unsynced WAL records vanish, the backend
+        # connection drops (sqlite rolls back any open transaction), and no
+        # in-memory metadata survives.
+        if primary.catalog is not None:
+            primary.catalog.abandon()
+        primary.close()
+        self._close_backend(primary.db)
+        report.in_doubt_resolved += self._pending_in_doubt()
+        rebuilt = self._build_primary(allow_existing=True)
+        report.recoveries += 1
+        if rebuilt.catalog.state.in_doubt:
+            report.metadata_mismatches.append(
+                "in-doubt intents survived recovery: "
+                f"{sorted(rebuilt.catalog.state.in_doubt)}"
+            )
+        return rebuilt
+
+    def _pending_in_doubt(self) -> int:
+        """In-doubt intents the durable log holds at the moment of death."""
+        if not os.path.exists(self._wal_path):
+            return 0
+        from repro.durability import decode_records, replay_records
+
+        with open(self._wal_path, "rb") as handle:
+            records, _ = decode_records(handle.read())
+        return len(replay_records(records).in_doubt)
+
+    def _resume(
+        self,
+        primary,
+        shadow,
+        statement: GeneratedStatement,
+        report: RecoveryReport,
+    ) -> Optional[LaneOutcome]:
+        """Replay the statement the crash interrupted; None when done.
+
+        Crash points fire only around catalog writes, which order the
+        possibilities: a crashed COMMIT/ROLLBACK already ran at the backend
+        (its catalog records follow the backend call), so the shadow simply
+        completes the same control statement; a crashed CREATE whose record
+        reached the WAL was finished *by recovery* (the missing anon DDL is
+        completed from the catalog), so only the shadow still runs it; any
+        other statement never took effect and replays on both lanes -- after
+        rolling the shadow's open transaction back, because the primary's
+        died with the process.
+        """
+        if statement.kind == "txn":
+            with faults.paused():
+                self._run_statement(shadow, statement)
+            return None
+        if shadow.db.transactions.in_transaction:
+            with faults.paused():
+                shadow.execute("ROLLBACK")
+            report.transactions_resynced += 1
+        if statement.kind == "ddl":
+            words = statement.sql.split()
+            if (
+                len(words) >= 3
+                and words[0].upper() == "CREATE"
+                and words[1].upper() == "TABLE"
+                and primary.schema.has_table(words[2])
+            ):
+                return LaneOutcome(rowcount=0)
+        return self._run_statement(primary, statement)
+
+    # -- comparison --------------------------------------------------------
+    def _compare(
+        self,
+        index: int,
+        statement: GeneratedStatement,
+        primary_out: LaneOutcome,
+        shadow_out: LaneOutcome,
+        report: RecoveryReport,
+    ) -> Optional[Divergence]:
+        def diverge(reason: str) -> Divergence:
+            return Divergence(
+                index,
+                statement,
+                reason,
+                {
+                    "enc-recovery": primary_out.summary(),
+                    "shadow": shadow_out.summary(),
+                },
+            )
+
+        if primary_out.error != shadow_out.error:
+            return diverge("lanes disagree on success/failure after recovery")
+        if primary_out.error == "unsupported":
+            report.refused += 1
+            return None
+        if primary_out.error is not None:
+            return None
+        if primary_out.rows is not None:
+            if shadow_out.rows is None:
+                return diverge("shadow returned no result set")
+            report.selects_compared += 1
+            expected = _normalize(shadow_out.rows, statement.ordered)
+            actual = _normalize(primary_out.rows, statement.ordered)
+            if not _rows_match(expected, actual):
+                return diverge(
+                    f"result rows differ after recovery: "
+                    f"{expected[:5]!r} vs {actual[:5]!r}"
+                )
+            return None
+        if shadow_out.rows is not None:
+            return diverge("shadow unexpectedly returned rows")
+        if primary_out.rowcount != shadow_out.rowcount:
+            return diverge(
+                f"rowcount differs after recovery "
+                f"({primary_out.rowcount} vs {shadow_out.rowcount})"
+            )
+        return None
+
+    # -- metadata equivalence ----------------------------------------------
+    def _metadata_mismatches(self, primary, shadow) -> list[str]:
+        """Recovered metadata vs. the never-crashed shadow, field by field.
+
+        The plan-cache schema *version* is deliberately absent: it is a
+        monotonic invalidation counter whose absolute value is
+        path-dependent -- an adjustment lowered and then rolled back inside
+        a transaction bumps the live counter twice while replaying the log
+        correctly collapses the round-trip to a no-op.  Recovery restores
+        the logged version and the rebuilt proxy starts with an empty plan
+        cache, so only the *semantic* state below has to agree.
+        """
+        mine = self._fingerprint(primary)
+        theirs = self._fingerprint(shadow)
+        return [
+            f"{key} diverged after recovery: {mine[key]!r} != {theirs[key]!r}"
+            for key in mine
+            if mine[key] != theirs[key]
+        ]
+
+    @staticmethod
+    def _fingerprint(proxy) -> dict:
+        schema = proxy.schema
+        stale, ope_groups = [], []
+        for table_name, table_meta in schema.tables.items():
+            for column_name, column in table_meta.columns.items():
+                if column.hom_stale_others:
+                    stale.append((table_name, column_name))
+                if column.ope_join_group is not None:
+                    ope_groups.append(
+                        (table_name, column_name, column.ope_join_group)
+                    )
+        join_state = {
+            column_id: (
+                proxy.joins.base_of(*column_id),
+                proxy.joins.effective_scalar(*column_id),
+            )
+            for column_id in sorted(proxy.joins.snapshot()[0])
+        }
+        fingerprint = {
+            "onion levels": sorted(tuple(row) for row in schema.catalog_levels()),
+            "HOM-stale columns": sorted(stale),
+            "OPE range-join groups": sorted(ope_groups),
+            "JOIN-ADJ state": join_state,
+        }
+        if getattr(proxy.db, "is_sharded", False):
+            fingerprint["shard routing"] = dict(proxy.db.routing_catalog())
+        return fingerprint
